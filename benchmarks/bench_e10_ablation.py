@@ -1,0 +1,125 @@
+"""E10 — ablations of the reproduction's own design choices (DESIGN.md §4).
+
+Not a paper experiment: these quantify the engineering decisions the
+library makes, as DESIGN.md commits to.
+
+1. **Canonical deduplication** — exploring with tag-renaming dedup vs
+   raw-state dedup.  Different interleavings produce identically-shaped
+   states with different tags; without canonicalisation they never
+   merge and the search degenerates toward a tree.
+2. **eco via closed form vs transitive closure** — Lemma C.9 gives
+   ``eco = rf ∪ mo ∪ fr ∪ mo;rf ∪ fr;rf`` under update atomicity; the
+   library uses the definitional closure (always correct) — this
+   measures what the closed form would buy.
+3. **Exhaustive vs sampled checking** — how many random schedules the
+   simulator needs to refute Dekker vs the exhaustive explorer's cost
+   to do the same with certainty.
+"""
+
+import random
+import time
+
+import pytest
+
+from conftest import once, table
+from repro.axiomatic.canonical import eco_closed_form
+from repro.casestudies.dekker import DEKKER_INIT, dekker_entry_program, dekker_violations
+from repro.interp.explore import explore
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.simulate import simulate
+from repro.lang.builder import assign, seq, var
+from repro.lang.program import Program
+
+
+def test_canonicalization_ablation(benchmark):
+    program = Program.parallel(
+        seq(assign("x", 1), assign("r1", var("y"))),
+        seq(assign("y", 1), assign("r2", var("x"))),
+        assign("z", 1),
+    )
+    init = {"x": 0, "y": 0, "r1": 0, "r2": 0, "z": 0}
+
+    def run():
+        rows = []
+        for canonicalize in (True, False):
+            t0 = time.perf_counter()
+            result = explore(program, init, RAMemoryModel(), canonicalize=canonicalize)
+            dt = time.perf_counter() - t0
+            rows.append(
+                f"canonicalize={str(canonicalize):<5} configs={result.configs:>6} "
+                f"transitions={result.transitions:>7} time={dt*1e3:7.1f}ms"
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    table("E10: canonical dedup on/off (SB + bystander thread)", rows)
+
+
+def test_eco_closed_form_ablation(benchmark):
+    """Lemma C.9's closed form vs the definitional transitive closure."""
+    from bench_e6_observability import _grow_state
+
+    state = _grow_state(24)
+
+    def run():
+        t0 = time.perf_counter()
+        for _ in range(200):
+            # recompute from scratch: new state object shares relations
+            fresh = type(state)(state.events, state.sb, state.rf, state.mo)
+            _ = fresh.eco
+        closure_t = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in range(200):
+            fresh = type(state)(state.events, state.sb, state.rf, state.mo)
+            _ = eco_closed_form(fresh)
+        closed_t = time.perf_counter() - t0
+        return closure_t, closed_t
+
+    closure_t, closed_t = once(benchmark, run)
+    table(
+        "E10: eco computation (200 reps, 24-event state)",
+        [
+            f"transitive closure: {closure_t*1e3:7.1f}ms",
+            f"Lemma C.9 closed form: {closed_t*1e3:7.1f}ms "
+            f"({closure_t/closed_t:4.1f}x)",
+        ],
+    )
+
+
+def test_exhaustive_vs_sampling_refutation(benchmark):
+    """Cost to refute Dekker: exhaustive certainty vs first sampled hit."""
+
+    def run():
+        t0 = time.perf_counter()
+        exhaustive = explore(
+            dekker_entry_program(),
+            DEKKER_INIT,
+            RAMemoryModel(),
+            check_config=dekker_violations,
+            stop_on_violation=True,
+        )
+        ex_t = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        report = simulate(
+            dekker_entry_program(),
+            DEKKER_INIT,
+            RAMemoryModel(),
+            runs=1000,
+            seed=11,
+            check_config=dekker_violations,
+            stop_on_violation=True,
+        )
+        sim_t = time.perf_counter() - t0
+        return exhaustive, ex_t, report, sim_t
+
+    exhaustive, ex_t, report, sim_t = once(benchmark, run)
+    table(
+        "E10: refuting Dekker — exhaustive vs sampling",
+        [
+            f"exhaustive: violation after {exhaustive.configs} configs, {ex_t*1e3:6.1f}ms",
+            f"sampling:   violation after {report.runs} runs, {sim_t*1e3:6.1f}ms",
+        ],
+    )
+    assert not exhaustive.ok and not report.ok

@@ -1,0 +1,71 @@
+"""E2 — empirical Theorem 4.4 (soundness of the RA semantics).
+
+Every state reachable via ⇒RA satisfies the Definition 4.2 axioms.  One
+row per workload: distinct states checked, transitions explored, verdict
+(zero violations expected everywhere).
+"""
+
+import pytest
+
+from conftest import once, table
+from repro.casestudies.message_passing import MP_INIT, message_passing_program
+from repro.casestudies.peterson import PETERSON_INIT, peterson_program
+from repro.casestudies.token_ring import TOKEN_INIT, token_ring_program
+from repro.checking.soundness import check_soundness
+from repro.litmus.suite import ALL_TESTS
+
+LOOPY = {"MP+await"}
+
+
+def test_soundness_litmus_suite(benchmark):
+    def run():
+        reports = []
+        for t in ALL_TESTS:
+            reports.append(
+                check_soundness(
+                    t.program, t.init, max_events=t.max_events, name=t.name
+                )
+            )
+        return reports
+
+    reports = once(benchmark, run)
+    table("E2: soundness over the litmus suite", [r.row() for r in reports])
+    assert all(r.sound for r in reports)
+    benchmark.extra_info["states"] = sum(r.states_checked for r in reports)
+
+
+def test_soundness_peterson(benchmark):
+    report = once(
+        benchmark,
+        lambda: check_soundness(
+            peterson_program(once=True),
+            PETERSON_INIT,
+            max_events=9,
+            name="peterson (bound 9)",
+        ),
+    )
+    table("E2: soundness, Peterson", [report.row()])
+    assert report.sound
+    benchmark.extra_info["states"] = report.states_checked
+
+
+def test_soundness_message_passing(benchmark):
+    report = once(
+        benchmark,
+        lambda: check_soundness(
+            message_passing_program(), MP_INIT, max_events=9, name="MP (bound 9)"
+        ),
+    )
+    table("E2: soundness, message passing", [report.row()])
+    assert report.sound
+
+
+def test_soundness_token_ring(benchmark):
+    report = once(
+        benchmark,
+        lambda: check_soundness(
+            token_ring_program(2), TOKEN_INIT, max_events=10, name="token ring"
+        ),
+    )
+    table("E2: soundness, token ring", [report.row()])
+    assert report.sound

@@ -1,0 +1,62 @@
+"""E3 — empirical Theorem 4.8 (completeness of the RA semantics).
+
+Every justification of every terminal pre-execution replays through ⇒RA
+along a linearisation of sb ∪ rf, with each intermediate state equal to
+the prescribed restriction.  Rows: pre-executions, justifiable count,
+total justifications, replays succeeded (must equal the total).
+"""
+
+import pytest
+
+from conftest import once, table
+from repro.checking.completeness import check_completeness
+from repro.lang.builder import acq, assign, seq, swap, var
+from repro.lang.program import Program
+
+WORKLOADS = {
+    "SB": (
+        Program.parallel(
+            seq(assign("x", 1), assign("r1", var("y"))),
+            seq(assign("y", 1), assign("r2", var("x"))),
+        ),
+        {"x": 0, "y": 0, "r1": 0, "r2": 0},
+    ),
+    "MP+rel-acq": (
+        Program.parallel(
+            seq(assign("d", 1), assign("f", 1, release=True)),
+            seq(assign("r1", acq("f")), assign("r2", var("d"))),
+        ),
+        {"d": 0, "f": 0, "r1": 0, "r2": 0},
+    ),
+    "LB": (
+        Program.parallel(
+            seq(assign("r1", var("x")), assign("y", 1)),
+            seq(assign("r2", var("y")), assign("x", 1)),
+        ),
+        {"x": 0, "y": 0, "r1": 0, "r2": 0},
+    ),
+    "2 swaps + readers": (
+        Program.parallel(
+            seq(swap("t", 2), assign("r1", var("t"))),
+            seq(swap("t", 3), assign("r2", var("t"))),
+        ),
+        {"t": 1, "r1": 0, "r2": 0},
+    ),
+    "CoRR": (
+        Program.parallel(
+            seq(assign("x", 1), assign("x", 2)),
+            seq(assign("r1", var("x")), assign("r2", var("x"))),
+        ),
+        {"x": 0, "r1": 0, "r2": 0},
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_completeness(benchmark, name):
+    program, init = WORKLOADS[name]
+    report = once(benchmark, lambda: check_completeness(program, init, name=name))
+    table(f"E3: completeness, {name}", [report.row()])
+    assert report.complete
+    assert report.replays_ok == report.justifications_total
+    benchmark.extra_info["justifications"] = report.justifications_total

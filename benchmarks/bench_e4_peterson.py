@@ -1,0 +1,145 @@
+"""E4 — Theorem 5.8 and invariants (4)–(10) for Peterson's algorithm.
+
+* Exhaustive bounded exploration: mutual exclusion never violated.
+* All twelve invariant instances hold at every reachable configuration.
+* The relaxed-turn mutant *violates* mutual exclusion (with a concrete
+  counterexample trace), and is fine under SC — the bug is
+  weak-memory-specific, which is the paper's motivation in one line.
+"""
+
+import pytest
+
+from conftest import once, table
+from repro.casestudies.peterson import (
+    PETERSON_INIT,
+    mutual_exclusion_violations,
+    peterson_invariants,
+    peterson_program,
+    peterson_relaxed_flag_read,
+    peterson_relaxed_turn,
+)
+from repro.interp.explore import explore
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.util.pretty import format_trace
+from repro.verify.invariants import check_invariants
+
+
+def test_mutual_exclusion_bounded(benchmark):
+    result = once(
+        benchmark,
+        lambda: explore(
+            peterson_program(once=True),
+            PETERSON_INIT,
+            RAMemoryModel(),
+            max_events=11,
+            check_config=mutual_exclusion_violations,
+        ),
+    )
+    table(
+        "E4: Peterson mutual exclusion (Theorem 5.8), bound 11",
+        [
+            f"configs={result.configs} transitions={result.transitions} "
+            f"violations={len(result.violations)} truncated={result.truncated}"
+        ],
+    )
+    assert result.ok
+    benchmark.extra_info["configs"] = result.configs
+
+
+def test_invariants_4_to_10(benchmark):
+    report = once(
+        benchmark,
+        lambda: check_invariants(
+            peterson_program(once=True),
+            PETERSON_INIT,
+            peterson_invariants(),
+            max_events=10,
+            name="peterson invariants",
+        ),
+    )
+    rows = [report.row()] + [
+        f"  {name}: {'holds' if ok else 'VIOLATED'}"
+        for name, ok in report.holds_everywhere.items()
+    ]
+    table("E4: invariants (4)-(10)", rows)
+    assert report.all_hold
+
+
+def test_invariants_looping_deep(benchmark):
+    """The *looping* algorithm (threads re-enter forever, Appendix D's
+    pc 6 → 2) at a deeper unrolling: invariants survive re-entry —
+    including invariant (10), whose whole job is the wrap-around."""
+    report = once(
+        benchmark,
+        lambda: check_invariants(
+            peterson_program(),
+            PETERSON_INIT,
+            peterson_invariants(),
+            max_events=14,
+            name="peterson-loop (bound 14)",
+        ),
+    )
+    table("E4: looping Peterson, bound 14", [report.row()])
+    assert report.all_hold
+    benchmark.extra_info["configs"] = report.configs
+
+
+def test_relaxed_turn_mutant_violates(benchmark):
+    result = once(
+        benchmark,
+        lambda: explore(
+            peterson_relaxed_turn(once=True),
+            PETERSON_INIT,
+            RAMemoryModel(),
+            max_events=10,
+            check_config=mutual_exclusion_violations,
+            stop_on_violation=True,
+        ),
+    )
+    trace = result.counterexample()
+    table(
+        "E4: relaxed-turn mutant (line 3 is a plain write)",
+        [f"violations found: {len(result.violations)} (expected > 0)"]
+        + ["counterexample trace:"]
+        + ["  " + line for line in format_trace(trace).splitlines()],
+    )
+    assert not result.ok
+
+
+def test_relaxed_turn_mutant_safe_under_sc(benchmark):
+    result = once(
+        benchmark,
+        lambda: explore(
+            peterson_relaxed_turn(once=True),
+            PETERSON_INIT,
+            SCMemoryModel(),
+            check_config=mutual_exclusion_violations,
+        ),
+    )
+    table(
+        "E4: same mutant under SC",
+        [f"configs={result.configs} violations={len(result.violations)} (expected 0)"],
+    )
+    assert result.ok
+
+
+def test_relaxed_flag_read_mutant_still_safe(benchmark):
+    result = once(
+        benchmark,
+        lambda: explore(
+            peterson_relaxed_flag_read(once=True),
+            PETERSON_INIT,
+            RAMemoryModel(),
+            max_events=10,
+            check_config=mutual_exclusion_violations,
+        ),
+    )
+    table(
+        "E4: relaxed-flag-read mutant (acquire dropped at line 4)",
+        [
+            f"configs={result.configs} violations={len(result.violations)} "
+            "(mutex survives operationally; the acquire matters for the proof)"
+        ],
+    )
+    assert result.ok

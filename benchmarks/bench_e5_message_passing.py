@@ -1,0 +1,75 @@
+"""E5 — Example 5.7: message passing.
+
+The consumer always stores the payload under release/acquire; the
+relaxed variant leaks stale data; the key proof obligation
+(``d =_2 5`` at line 2 of thread 2) holds at every reachable
+configuration.
+"""
+
+import pytest
+
+from conftest import once, table
+from repro.casestudies.message_passing import (
+    MP_INIT,
+    PAYLOAD,
+    message_passing_broken,
+    message_passing_program,
+    mp_data_invariant,
+    mp_result_violations,
+)
+from repro.interp.explore import explore
+from repro.interp.ra_model import RAMemoryModel
+from repro.litmus.registry import final_values
+from repro.verify.invariants import check_invariants
+
+
+def test_mp_correct(benchmark):
+    result = once(
+        benchmark,
+        lambda: explore(
+            message_passing_program(),
+            MP_INIT,
+            RAMemoryModel(),
+            max_events=10,
+            check_config=mp_result_violations,
+        ),
+    )
+    finals = sorted({final_values(c)["r"] for c in result.terminal})
+    table(
+        "E5: MP with release/acquire",
+        [
+            f"configs={result.configs} terminals={len(result.terminal)} "
+            f"final r values={finals} violations={len(result.violations)}"
+        ],
+    )
+    assert result.ok and finals == [PAYLOAD]
+
+
+def test_mp_invariant(benchmark):
+    report = once(
+        benchmark,
+        lambda: check_invariants(
+            message_passing_program(),
+            MP_INIT,
+            mp_data_invariant(),
+            max_events=10,
+            name="MP",
+        ),
+    )
+    table("E5: proof obligation d =2 5 at line 2", [report.row()])
+    assert report.all_hold
+
+
+def test_mp_broken(benchmark):
+    result = once(
+        benchmark,
+        lambda: explore(
+            message_passing_broken(), MP_INIT, RAMemoryModel(), max_events=10
+        ),
+    )
+    finals = sorted({final_values(c)["r"] for c in result.terminal})
+    table(
+        "E5: MP with relaxed flag (broken)",
+        [f"final r values={finals} (stale 0 observable, as the paper warns)"],
+    )
+    assert 0 in finals and PAYLOAD in finals

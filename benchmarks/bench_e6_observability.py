@@ -1,0 +1,61 @@
+"""E6 — observability: the Example 3.2/3.4 state and the cost of EW/OW.
+
+Correctness of the worked example lives in the test suite
+(tests/test_observability.py); here the benchmark measures the
+observability computation itself — the hot path of every Read/Write/RMW
+transition — as the execution grows.
+"""
+
+import pytest
+
+from conftest import table
+from repro.c11.event_semantics import ra_successors
+from repro.c11.observability import covered_writes, encountered_writes, observable_writes
+from repro.c11.state import initial_state
+from repro.lang.actions import ActionKind
+
+
+def _grow_state(n_events: int, n_threads: int = 4):
+    """A state with interleaved writes/reads across threads/variables."""
+    variables = ("x", "y")
+    state = initial_state({v: 0 for v in variables})
+    for i in range(n_events):
+        tid = (i % n_threads) + 1
+        var = variables[i % len(variables)]
+        kind = (ActionKind.WR, ActionKind.RD, ActionKind.WRR, ActionKind.RDA)[i % 4]
+        wrval = i if kind in (ActionKind.WR, ActionKind.WRR) else None
+        trs = list(ra_successors(state, tid, kind, var, wrval=wrval))
+        state = trs[len(trs) // 2].target  # take a middle choice
+    return state
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_encountered_writes_cost(benchmark, n):
+    state = _grow_state(n)
+    result = benchmark(lambda: [encountered_writes(state, t) for t in (1, 2, 3, 4)])
+    table(
+        f"E6: EW over {n}-event state",
+        [f"|EW(t)| = {[len(x) for x in result]}"],
+    )
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_observable_writes_cost(benchmark, n):
+    state = _grow_state(n)
+    result = benchmark(lambda: [observable_writes(state, t) for t in (1, 2, 3, 4)])
+    table(
+        f"E6: OW over {n}-event state",
+        [f"|OW(t)| = {[len(x) for x in result]}"],
+    )
+
+
+def test_covered_writes_cost(benchmark):
+    state = _grow_state(32)
+    benchmark(lambda: covered_writes(state))
+
+
+def test_single_ra_transition_cost(benchmark):
+    """One full Read-rule application (EW + OW + rf update) on a 32-event
+    state — the unit of work of the whole exploration engine."""
+    state = _grow_state(32)
+    benchmark(lambda: list(ra_successors(state, 1, ActionKind.RD, "x")))

@@ -1,0 +1,88 @@
+"""E8 — scalability series: operational on-the-fly vs post-hoc axiomatic.
+
+The paper's pitch for an operational semantics is that reads are
+validated *on the fly*, where the axiomatic route builds arbitrary
+pre-executions and filters post hoc.  This benchmark quantifies that on
+two series:
+
+1. **Growing write-chains** (threads × statements): distinct
+   configurations and wall time for (a) RA exploration and (b) PE
+   exploration followed by justification of every terminal
+   pre-execution.  PE pays for every bad read guess; RA never generates
+   one.  The RA advantage grows with the number of read-value
+   candidates — who wins and by how much is the series' shape.
+2. **Loop unrolling**: Peterson state-space growth as the event bound
+   increases (the "slow on larger state spaces" calibration band made
+   concrete).
+"""
+
+import time
+
+import pytest
+
+from conftest import once, table
+from repro.axiomatic.justify import count_justifications
+from repro.casestudies.peterson import PETERSON_INIT, peterson_program
+from repro.checking.completeness import terminal_pre_executions
+from repro.interp.explore import explore
+from repro.interp.pe_model import PEMemoryModel
+from repro.interp.ra_model import RAMemoryModel
+from repro.lang.builder import assign, seq, var
+from repro.lang.program import Program
+
+
+def _chain_program(n_stmts: int):
+    """Two threads, each writing then reading the other's variable."""
+    t1 = [assign("x", i + 1) for i in range(n_stmts)] + [assign("r1", var("y"))]
+    t2 = [assign("y", i + 1) for i in range(n_stmts)] + [assign("r2", var("x"))]
+    program = Program.parallel(seq(*t1), seq(*t2))
+    init = {"x": 0, "y": 0, "r1": 0, "r2": 0}
+    return program, init
+
+
+def _run_series():
+    rows = []
+    for n in (1, 2, 3):
+        program, init = _chain_program(n)
+
+        t0 = time.perf_counter()
+        ra = explore(program, init, RAMemoryModel())
+        ra_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        pe_model = PEMemoryModel.for_program(program, init)
+        pe = explore(program, init, pe_model)
+        prestates, _ = terminal_pre_executions(program, init)
+        justs = sum(count_justifications(pi) for pi in prestates)
+        pe_time = time.perf_counter() - t0
+
+        rows.append(
+            f"n={n}  RA: configs={ra.configs:>6} time={ra_time*1e3:7.1f}ms   "
+            f"PE+justify: configs={pe.configs:>6} pre-exec={len(prestates):>3} "
+            f"justifications={justs:>4} time={pe_time*1e3:7.1f}ms   "
+            f"speedup={pe_time/ra_time:4.1f}x"
+        )
+    return rows
+
+
+def test_operational_vs_axiomatic_series(benchmark):
+    rows = once(benchmark, _run_series)
+    table("E8: RA on-the-fly vs PE + post-hoc justification", rows)
+
+
+@pytest.mark.parametrize("bound", [6, 8, 10, 12])
+def test_peterson_state_space_growth(benchmark, bound):
+    result = once(
+        benchmark,
+        lambda: explore(
+            peterson_program(once=True),
+            PETERSON_INIT,
+            RAMemoryModel(),
+            max_events=bound,
+        ),
+    )
+    table(
+        f"E8: Peterson growth, bound={bound}",
+        [f"configs={result.configs} transitions={result.transitions}"],
+    )
+    benchmark.extra_info["configs"] = result.configs

@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md's index
+(E1–E9) and prints its table/series to stdout (visible with
+``pytest benchmarks/ --benchmark-only -s``); the headline numbers are
+also attached to ``benchmark.extra_info`` so they land in the JSON
+output of pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under timing (experiments are macro-scale;
+    pytest-benchmark's default auto-calibration would re-run a multi-
+    second exploration dozens of times)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def table(title: str, rows) -> None:
+    """Print an experiment table."""
+    print()
+    print(f"== {title} ==")
+    for row in rows:
+        print("  " + row)

@@ -1,0 +1,35 @@
+"""Shared hand-built executions used by benchmarks (and mirrored in tests)."""
+
+from repro.c11.events import Event
+from repro.c11.state import C11State, initial_state
+from repro.lang.actions import rd, rda, wr, wrr
+
+
+def release_sequence_witness() -> C11State:
+    """The 5-event execution separating Def C.2 from Def C.3.
+
+    t1: d := 1; f :=R 1; f := 2      t2: r1 := f^A (reads 2); r2 := d (stale 0)
+
+    The acquiring read reads the relaxed ``f := 2`` in the release
+    sequence of ``f :=R 1``: canonical sw fires (making the stale ``d``
+    read a COH-C violation), the paper's simplified sw does not.
+    """
+    s0 = initial_state({"d": 0, "f": 0})
+    init_d, init_f = s0.last("d"), s0.last("f")
+    wd = Event(1, wr("d", 1), 1)
+    wf1 = Event(2, wrr("f", 1), 1)
+    wf2 = Event(3, wr("f", 2), 1)
+    racq = Event(4, rda("f", 2), 2)
+    stale = Event(5, rd("d", 0), 2)
+    return (
+        s0.add_event(wd)
+        .insert_mo_after(init_d, wd)
+        .add_event(wf1)
+        .insert_mo_after(init_f, wf1)
+        .add_event(wf2)
+        .insert_mo_after(wf1, wf2)
+        .add_event(racq)
+        .with_rf(wf2, racq)
+        .add_event(stale)
+        .with_rf(init_d, stale)
+    )

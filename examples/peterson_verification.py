@@ -1,0 +1,86 @@
+"""Peterson's algorithm, verified — the paper's case study end to end.
+
+* Theorem 5.8 (mutual exclusion) checked over the bounded state space.
+* Invariants (4)–(10) of Section 5.2 evaluated at every reachable
+  configuration.
+* The relaxed-turn mutant shown to violate mutual exclusion under RA
+  (with a counterexample trace) while remaining correct under SC.
+
+Run:  python examples/peterson_verification.py
+"""
+
+from repro.casestudies.peterson import (
+    PETERSON_INIT,
+    mutual_exclusion_violations,
+    peterson_invariants,
+    peterson_program,
+    peterson_relaxed_turn,
+)
+from repro.interp.explore import explore
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.util.pretty import format_trace
+from repro.verify.invariants import check_invariants
+
+BOUND = 10
+
+
+def main() -> None:
+    print("Peterson's algorithm (Algorithm 1), release-acquire version")
+    print("thread 1:", peterson_program(once=True).command(1), "\n")
+
+    # -- Theorem 5.8 ----------------------------------------------------
+    result = explore(
+        peterson_program(once=True),
+        PETERSON_INIT,
+        RAMemoryModel(),
+        max_events=BOUND,
+        check_config=mutual_exclusion_violations,
+    )
+    print(
+        f"mutual exclusion: {result.configs} configurations explored "
+        f"(bound {BOUND} events), violations: {len(result.violations)}"
+    )
+    assert result.ok
+
+    # -- invariants (4)-(10) ---------------------------------------------
+    report = check_invariants(
+        peterson_program(once=True),
+        PETERSON_INIT,
+        peterson_invariants(),
+        max_events=BOUND,
+        name="peterson",
+    )
+    print(f"\ninvariants over {report.configs} configurations:")
+    for name, holds in report.holds_everywhere.items():
+        print(f"  {name:<55} {'holds' if holds else 'VIOLATED'}")
+    assert report.all_hold
+
+    # -- the mutant -------------------------------------------------------
+    print("\nmutant: line 3 'turn.swap(other)^RA' replaced by relaxed 'turn := other'")
+    mutant = explore(
+        peterson_relaxed_turn(once=True),
+        PETERSON_INIT,
+        RAMemoryModel(),
+        max_events=BOUND,
+        check_config=mutual_exclusion_violations,
+        stop_on_violation=True,
+    )
+    assert not mutant.ok
+    print("mutual exclusion VIOLATED under RA; counterexample:")
+    print(format_trace(mutant.counterexample()))
+
+    sc = explore(
+        peterson_relaxed_turn(once=True),
+        PETERSON_INIT,
+        SCMemoryModel(),
+        check_config=mutual_exclusion_violations,
+    )
+    assert sc.ok
+    print("\n... and the same mutant is correct under SC: the bug exists "
+          "only in the weak-memory semantics,")
+    print("which is exactly why the paper builds an operational C11 model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — Verifying C11 Programs Operationally (Doherty et al., PPoPP 2019).
+
+A complete Python reproduction of the paper's system:
+
+* the command language and its uninterpreted semantics (:mod:`repro.lang`),
+* C11 states, observability and the RA event semantics (:mod:`repro.c11`),
+* the axiomatic RAR model and the weak-canonical model plus their
+  bounded-equivalence checker (:mod:`repro.axiomatic`),
+* the interpreted semantics with pluggable memory models and a bounded
+  exhaustive state-space explorer (:mod:`repro.interp`),
+* empirical soundness/completeness checking (:mod:`repro.checking`),
+* the determinate-value / variable-ordering verification calculus
+  (:mod:`repro.verify`),
+* litmus tests and the paper's case studies (:mod:`repro.litmus`,
+  :mod:`repro.casestudies`).
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the mapping
+from the paper's claims to regenerable results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.lang import (
+    Program,
+    acq,
+    and_,
+    assign,
+    eq,
+    if_,
+    label,
+    ne,
+    or_,
+    seq,
+    skip,
+    swap,
+    var,
+    while_,
+)
+from repro.c11 import C11State, initial_state
+
+__all__ = [
+    "__version__",
+    "Program",
+    "C11State",
+    "initial_state",
+    "skip",
+    "assign",
+    "swap",
+    "seq",
+    "if_",
+    "while_",
+    "label",
+    "var",
+    "acq",
+    "eq",
+    "ne",
+    "and_",
+    "or_",
+]

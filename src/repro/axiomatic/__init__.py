@@ -1,0 +1,66 @@
+"""The axiomatic side of the paper (Section 4.1 and Appendix C).
+
+* :mod:`repro.axiomatic.validity` — Definition 4.2: the five validity
+  axioms of the paper's RAR model (SB-Total, MO-Valid, RF-Complete,
+  NoThinAir, Coherence).
+* :mod:`repro.axiomatic.canonical` — Definitions C.1–C.3: candidate
+  executions and *weak canonical RAR consistency* (HB, COH, RF, RFI,
+  UPD), plus the closed form of ``eco`` (Lemma C.9).
+* :mod:`repro.axiomatic.candidates` — bounded exhaustive enumeration of
+  candidate executions (the Memalloy substitute, Appendix E).
+* :mod:`repro.axiomatic.equivalence` — compares the two axiomatisations
+  over every enumerated candidate (Theorem C.5 empirically).
+* :mod:`repro.axiomatic.justify` — Definition 4.3: search for ``rf``/``mo``
+  justifying a pre-execution (the input to the completeness replay).
+"""
+
+from repro.axiomatic.validity import (
+    ValidityReport,
+    check_validity,
+    is_valid,
+    axiom_sb_total,
+    axiom_mo_valid,
+    axiom_rf_complete,
+    axiom_no_thin_air,
+    axiom_coherence,
+)
+from repro.axiomatic.canonical import (
+    eco_closed_form,
+    is_candidate_execution,
+    is_weakly_canonical_consistent,
+    weak_canonical_report,
+)
+from repro.axiomatic.canonical_strong import (
+    is_canonically_consistent,
+    release_sequence_heads,
+    strong_hb,
+    strong_sw,
+)
+from repro.axiomatic.candidates import CandidateSpace, enumerate_candidates
+from repro.axiomatic.equivalence import EquivalenceResult, compare_axiomatisations
+from repro.axiomatic.justify import justifications, is_justifiable
+
+__all__ = [
+    "ValidityReport",
+    "check_validity",
+    "is_valid",
+    "axiom_sb_total",
+    "axiom_mo_valid",
+    "axiom_rf_complete",
+    "axiom_no_thin_air",
+    "axiom_coherence",
+    "eco_closed_form",
+    "is_candidate_execution",
+    "is_weakly_canonical_consistent",
+    "weak_canonical_report",
+    "is_canonically_consistent",
+    "release_sequence_heads",
+    "strong_hb",
+    "strong_sw",
+    "CandidateSpace",
+    "enumerate_candidates",
+    "EquivalenceResult",
+    "compare_axiomatisations",
+    "justifications",
+    "is_justifiable",
+]

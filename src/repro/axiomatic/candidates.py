@@ -1,0 +1,227 @@
+"""Bounded exhaustive enumeration of candidate executions.
+
+This is the reproduction's substitute for the paper's Memalloy
+mechanisation (Appendix E): Memalloy asks a SAT solver for a candidate
+execution, up to a size bound, on which two memory models disagree; we
+*enumerate* every candidate execution up to a size bound and evaluate
+both models on each.  Same exhaustive-bounded-search semantics, smaller
+feasible bound (pure Python vs SAT; see DESIGN.md "Substitutions").
+
+A candidate execution (Definition C.1) satisfies RF-Complete, MO-Valid
+and SB-Total but need *not* be consistent — the whole point is to also
+generate inconsistent ones and check that the two axiomatisations reject
+exactly the same set.
+
+Enumeration proceeds in three phases with all symmetries that do not
+affect model verdicts quotiented away:
+
+1. **Skeletons** — thread assignment (restricted growth strings, so
+   thread naming is canonical) and per-event (kind, variable, write
+   value).  Read values are left open.
+2. **rf** — every read picks a source write of the same variable
+   (initialising writes included, the read itself included when it is an
+   update whose written value could equal the value read — the self-rf
+   shape that the RFI condition exists to reject); the read value is
+   *defined* as the source's written value, making RF-Complete hold by
+   construction.
+3. **mo** — every permutation of each variable's program writes, with
+   the initialising write first (MO-Valid by construction).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.c11.events import Event
+from repro.c11.state import C11State
+from repro.lang.actions import Action, ActionKind, Value, Var, wr as wr_action
+from repro.lang.program import INIT_TID
+from repro.relations.relation import Relation
+
+#: Event kinds a candidate may contain (τ never appears in executions).
+EVENT_KINDS: Tuple[ActionKind, ...] = (
+    ActionKind.RD,
+    ActionKind.RDA,
+    ActionKind.WR,
+    ActionKind.WRR,
+    ActionKind.UPD,
+)
+
+
+@dataclass(frozen=True)
+class CandidateSpace:
+    """The finite domain candidates are drawn from.
+
+    ``n_events`` counts *program* events (initialising writes are extra:
+    one per variable, writing ``init_value``).
+    """
+
+    n_events: int
+    variables: Tuple[Var, ...] = ("x",)
+    values: Tuple[Value, ...] = (1,)
+    max_threads: int = 2
+    init_value: Value = 0
+    kinds: Tuple[ActionKind, ...] = EVENT_KINDS
+
+    def skeleton_options(self) -> List[Tuple[ActionKind, Var, Optional[Value]]]:
+        """All (kind, var, write-value) choices for one event."""
+        options: List[Tuple[ActionKind, Var, Optional[Value]]] = []
+        for kind in self.kinds:
+            for x in self.variables:
+                if kind.is_write:
+                    for v in self.values:
+                        options.append((kind, x, v))
+                else:
+                    options.append((kind, x, None))
+        return options
+
+
+def restricted_growth_strings(n: int, max_blocks: int) -> Iterator[Tuple[int, ...]]:
+    """Canonical thread assignments: partitions of ``n`` positions into at
+    most ``max_blocks`` blocks, encoded so block labels first appear in
+    increasing order (kills thread-renaming symmetry)."""
+    if n == 0:
+        yield ()
+        return
+
+    def rec(prefix: List[int], used: int) -> Iterator[Tuple[int, ...]]:
+        if len(prefix) == n:
+            yield tuple(prefix)
+            return
+        for b in range(min(used + 1, max_blocks)):
+            prefix.append(b)
+            yield from rec(prefix, max(used, b + 1))
+            prefix.pop()
+
+    yield from rec([], 0)
+
+
+def _base_state(space: CandidateSpace) -> Tuple[List[Event], C11State]:
+    """The initialising writes and the (event-free) base state."""
+    inits = [
+        Event(-(i + 1), wr_action(x, space.init_value), INIT_TID)
+        for i, x in enumerate(space.variables)
+    ]
+    return inits, C11State(inits)
+
+
+def enumerate_candidates(space: CandidateSpace) -> Iterator[C11State]:
+    """Yield every candidate execution in ``space`` exactly once.
+
+    Everything yielded satisfies Definition C.1 by construction — assert
+    ``is_candidate_execution`` over samples in tests, not here (hot loop).
+    """
+    inits, _ = _base_state(space)
+    init_by_var: Dict[Var, Event] = {w.var: w for w in inits}
+    options = space.skeleton_options()
+
+    for threading in restricted_growth_strings(space.n_events, space.max_threads):
+        for combo in itertools.product(options, repeat=space.n_events):
+            yield from _complete_skeleton(space, inits, init_by_var, threading, combo)
+
+
+def _complete_skeleton(
+    space: CandidateSpace,
+    inits: List[Event],
+    init_by_var: Dict[Var, Event],
+    threading: Tuple[int, ...],
+    combo: Sequence[Tuple[ActionKind, Var, Optional[Value]]],
+) -> Iterator[C11State]:
+    """Instantiate rf and mo for one skeleton (phases 2 and 3)."""
+    n = space.n_events
+
+    # -- events (read values deferred; placeholder 0 rewritten below) ---
+    skeleton: List[Tuple[int, int, ActionKind, Var, Optional[Value]]] = [
+        (i + 1, threading[i] + 1, kind, x, wv)
+        for i, (kind, x, wv) in enumerate(combo)
+    ]
+
+    # -- rf sources per read --------------------------------------------
+    # Writers per variable (skeleton indices; -1 encodes the initialiser).
+    writers_on: Dict[Var, List[int]] = {x: [-1] for x in space.variables}
+    for tag, _t, kind, x, _wv in skeleton:
+        if kind.is_write:
+            writers_on[x].append(tag)
+
+    read_tags = [tag for tag, _t, kind, _x, _wv in skeleton if kind.is_read]
+    source_choices: List[List[int]] = []
+    for tag in read_tags:
+        _tag, _t, kind, x, _wv = skeleton[tag - 1]
+        # Any writer on the variable, the read itself included when it is
+        # an update (self-rf candidates exercise RFI).
+        sources = [w for w in writers_on[x] if w != tag or kind.is_update]
+        source_choices.append(sources)
+
+    # -- mo permutations per variable -----------------------------------
+    mo_choices: List[List[Tuple[int, ...]]] = [
+        [perm for perm in itertools.permutations(writers_on[x][1:])]
+        for x in space.variables
+    ]
+
+    for rf_pick in itertools.product(*source_choices):
+        # Instantiate read values from the chosen sources.
+        events: List[Event] = []
+        src_of: Dict[int, int] = dict(zip(read_tags, rf_pick))
+        for tag, t, kind, x, wv in skeleton:
+            if kind.is_read:
+                src = src_of[tag]
+                rv: Optional[Value] = (
+                    space.init_value if src == -1 else skeleton[src - 1][4]
+                )
+            else:
+                rv = None
+            events.append(Event(tag, Action(kind, x, rdval=rv, wrval=wv), t))
+
+        rf = Relation(
+            (
+                init_by_var[events[tag - 1].var] if src == -1 else events[src - 1],
+                events[tag - 1],
+            )
+            for tag, src in src_of.items()
+        )
+
+        sb = _sb_for(inits, events)
+
+        for mo_pick in itertools.product(*mo_choices):
+            mo_pairs = set()
+            for x, perm in zip(space.variables, mo_pick):
+                chain = [init_by_var[x]] + [events[i - 1] for i in perm]
+                for i in range(len(chain)):
+                    for j in range(i + 1, len(chain)):
+                        mo_pairs.add((chain[i], chain[j]))
+            yield C11State(
+                frozenset(inits) | frozenset(events),  # type: ignore[arg-type]
+                sb,
+                rf,
+                Relation(mo_pairs),
+            )
+
+
+def _sb_for(inits: Sequence[Event], events: Sequence[Event]) -> Relation:
+    """sb: initialisers before everything; program order within threads
+    (skeleton tag order is per-thread program order)."""
+    pairs = set()
+    for i in inits:
+        for e in events:
+            pairs.add((i, e))
+    by_tid: Dict[int, List[Event]] = {}
+    for e in events:
+        by_tid.setdefault(e.tid, []).append(e)
+    for mine in by_tid.values():
+        mine.sort(key=lambda e: e.tag)
+        for a_idx in range(len(mine)):
+            for b_idx in range(a_idx + 1, len(mine)):
+                pairs.add((mine[a_idx], mine[b_idx]))
+    return Relation(pairs)
+
+
+def count_candidates(space: CandidateSpace, limit: Optional[int] = None) -> int:
+    """The number of candidates in the space (stops early at ``limit``)."""
+    count = 0
+    for _ in enumerate_candidates(space):
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count

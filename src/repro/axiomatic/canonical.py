@@ -1,0 +1,160 @@
+"""Appendix C — candidate executions and weak canonical RAR consistency.
+
+Batty-style C11 models phrase consistency as a list of irreflexivity
+conditions over ``hb``.  The paper proves (Theorem C.5) that for any
+*candidate execution* (Definition C.1), its own Coherence axiom
+(``irrefl(hb ; eco?) ∧ irrefl(eco)``) is equivalent to the conjunction
+
+====  =========================================
+HB    ``irrefl(hb)``
+COH   ``irrefl((rf⁻¹)? ; mo ; rf? ; hb)``
+RF    ``irrefl(rf ; hb)``
+RFI   ``irrefl(rf)``
+UPD   ``irrefl((mo ; mo ; rf⁻¹) ∪ (mo ; rf))``
+====  =========================================
+
+(Definition C.3, obtained from Batty et al.'s consistency by dropping
+release sequences, which the RAR fragment ignores.)
+
+The supporting lemmas are executable too:
+
+* :func:`upd_reformulated` — Lemma C.6: UPD ⟺
+  ``irrefl(fr ; mo) ∧ irrefl(rf ; mo)``.
+* :func:`eco_closed_form` — Lemma C.9: under UPD,
+  ``eco = rf ∪ mo ∪ fr ∪ (mo ; rf) ∪ (fr ; rf)``.
+
+These feed the E1 equivalence experiment (the Memalloy substitute) and
+the property-test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.axiomatic.validity import (
+    axiom_mo_valid,
+    axiom_rf_complete,
+    axiom_sb_total,
+)
+from repro.c11.state import C11State
+from repro.relations.relation import Relation
+
+
+# ----------------------------------------------------------------------
+# Candidate executions (Definition C.1)
+# ----------------------------------------------------------------------
+
+
+def is_candidate_execution(state: C11State) -> bool:
+    """Definition C.1: RF-Complete ∧ MO-Valid ∧ SB-Total."""
+    return (
+        axiom_rf_complete(state)
+        and axiom_mo_valid(state)
+        and axiom_sb_total(state)
+    )
+
+
+# ----------------------------------------------------------------------
+# The five weak-canonical conditions (Definition C.3)
+# ----------------------------------------------------------------------
+
+
+def condition_hb(state: C11State) -> bool:
+    """HB: ``irrefl(hb)``."""
+    return state.hb.is_irreflexive()
+
+
+def condition_coh(state: C11State) -> bool:
+    """COH: ``irrefl((rf⁻¹)? ; mo ; rf? ; hb)``.
+
+    Built literally from the definition; the reflexive closures are taken
+    over the event set of the state.
+    """
+    events = state.events
+    rf_inv_q = state.rf.inverse().reflexive(events)
+    rf_q = state.rf.reflexive(events)
+    chain = rf_inv_q.compose(state.mo).compose(rf_q).compose(state.hb)
+    return chain.is_irreflexive()
+
+
+def condition_rf(state: C11State) -> bool:
+    """RF: ``irrefl(rf ; hb)``."""
+    return state.rf.compose(state.hb).is_irreflexive()
+
+
+def condition_rfi(state: C11State) -> bool:
+    """RFI: ``irrefl(rf)``."""
+    return state.rf.is_irreflexive()
+
+
+def condition_upd(state: C11State) -> bool:
+    """UPD (update atomicity):
+    ``irrefl((mo ; mo ; rf⁻¹) ∪ (mo ; rf))``."""
+    mo, rf = state.mo, state.rf
+    part1 = mo.compose(mo).compose(rf.inverse())
+    part2 = mo.compose(rf)
+    return (part1 | part2).is_irreflexive()
+
+
+CONDITIONS = {
+    "HB": condition_hb,
+    "COH": condition_coh,
+    "RF": condition_rf,
+    "RFI": condition_rfi,
+    "UPD": condition_upd,
+}
+
+
+@dataclass
+class WeakCanonicalReport:
+    """Outcome of the five weak-canonical conditions on one candidate."""
+
+    verdicts: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        return all(self.verdicts.values())
+
+    @property
+    def violated(self) -> List[str]:
+        return [name for name, ok in self.verdicts.items() if not ok]
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def weak_canonical_report(state: C11State) -> WeakCanonicalReport:
+    """Evaluate every condition of Definition C.3 (no early exit)."""
+    return WeakCanonicalReport(
+        {name: cond(state) for name, cond in CONDITIONS.items()}
+    )
+
+
+def is_weakly_canonical_consistent(state: C11State) -> bool:
+    """Definition C.3 (early-exit)."""
+    return all(cond(state) for cond in CONDITIONS.values())
+
+
+# ----------------------------------------------------------------------
+# Executable lemmas
+# ----------------------------------------------------------------------
+
+
+def upd_reformulated(state: C11State) -> bool:
+    """Lemma C.6's right-hand side:
+    ``irrefl(fr ; mo) ∧ irrefl(rf ; mo)``."""
+    fr, mo, rf = state.fr, state.mo, state.rf
+    return fr.compose(mo).is_irreflexive() and rf.compose(mo).is_irreflexive()
+
+
+def eco_closed_form(state: C11State) -> Relation:
+    """Lemma C.9: ``rf ∪ mo ∪ fr ∪ (mo ; rf) ∪ (fr ; rf)``.
+
+    Equals the definitional ``eco`` whenever the state satisfies UPD
+    (checked by property tests).  ``C11State.eco`` adopts this form on
+    RA-built states (the ``fast_eco`` provenance flag, see the E10
+    ablation); this standalone version is the cross-check.
+    """
+    rf, mo, fr = state.rf, state.mo, state.fr
+    return rf | mo | fr | mo.compose(rf) | fr.compose(rf)

@@ -1,0 +1,103 @@
+"""Definition C.2 — *canonical* RAR consistency, release sequences included.
+
+Appendix C relates the paper's model to Batty et al.'s, whose
+synchronises-with is larger::
+
+    sw ⊆ swC
+
+because a releasing write synchronises not only with acquiring reads of
+*itself* but with acquiring reads of any write in its **release
+sequence** — same-location writes that follow it in program order, and
+RMWs reading from the sequence (the Memalloy file's ``rs = poloc*; rf*``).
+With ``hbC = (sb ∪ swC)+``, canonical consistency is:
+
+====== ==============================================
+HB-C   ``irrefl(hbC)``
+COH-C  ``irrefl((rf⁻¹)? ; mo ; rf? ; hbC)``
+RF-C   ``irrefl(rf ; hbC)``  (and ``irrefl(rf)``)
+UPD-C  ``irrefl((mo ; mo ; rf⁻¹) ∪ (mo ; rf))``
+====== ==============================================
+
+Lemma C.4: canonical consistency implies weak canonical consistency
+(the paper's model accepts *more* executions — dropping release
+sequences weakens the semantics).  Both the implication and a concrete
+separating execution are pinned by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.axiomatic.canonical import condition_rfi, condition_upd
+from repro.c11.state import C11State
+from repro.relations.relation import Relation
+
+
+def release_sequence_heads(state: C11State) -> Relation:
+    """The relation ``rs``: releasing write → member of its release
+    sequence.
+
+    ``rs = (poloc ∩ (Wr × Wr))* ; (rf ∩ (Wr × U))*`` — start at a write,
+    walk same-location program-order writes of the same thread, and hop
+    along rf edges into RMWs (which are writes again).  Reflexive: every
+    write heads its own sequence.
+    """
+    writes = state.writes
+    poloc_w = state.sb.filter_pairs(
+        lambda a, b: a in writes
+        and b in writes
+        and a.var == b.var
+    )
+    rf_into_updates = state.rf.filter_pairs(
+        lambda w, r: r.is_update
+    )
+    step = poloc_w | rf_into_updates
+    return step.reflexive_transitive_closure(writes)
+
+
+def strong_sw(state: C11State) -> Relation:
+    """``swC``: releasing write → acquiring read of its release sequence."""
+    rs = release_sequence_heads(state)
+    out: Set = set()
+    rs_succ = rs.successors_map()
+    rf_succ = state.rf.successors_map()
+    for w in state.writes:
+        if not w.is_release:
+            continue
+        for member in rs_succ.get(w, {w}):
+            for r in rf_succ.get(member, ()):
+                if r.is_acquire:
+                    out.add((w, r))
+    return Relation(out)
+
+
+def strong_hb(state: C11State) -> Relation:
+    """``hbC = (sb ∪ swC)+``."""
+    return (state.sb | strong_sw(state)).transitive_closure()
+
+
+def condition_hb_c(state: C11State) -> bool:
+    return strong_hb(state).is_irreflexive()
+
+
+def condition_coh_c(state: C11State) -> bool:
+    events = state.events
+    rf_inv_q = state.rf.inverse().reflexive(events)
+    rf_q = state.rf.reflexive(events)
+    chain = rf_inv_q.compose(state.mo).compose(rf_q).compose(strong_hb(state))
+    return chain.is_irreflexive()
+
+
+def condition_rf_c(state: C11State) -> bool:
+    return state.rf.compose(strong_hb(state)).is_irreflexive()
+
+
+def is_canonically_consistent(state: C11State) -> bool:
+    """Definition C.2 (with the RFI/UPD parts shared with Def C.3)."""
+    return (
+        condition_hb_c(state)
+        and condition_coh_c(state)
+        and condition_rf_c(state)
+        and condition_rfi(state)
+        and condition_upd(state)
+    )

@@ -1,0 +1,103 @@
+"""Comparing the two axiomatisations over bounded candidate spaces.
+
+Empirical Theorem C.5 / Appendix E: over every candidate execution in a
+:class:`~repro.axiomatic.candidates.CandidateSpace`, the paper's
+Coherence axiom and the weak-canonical consistency conditions must agree.
+The paper reports *"No differences were found between c11_rar.cat and
+c11_simp_2.cat for models up to size 7"*; the E1 benchmark regenerates
+that table (smaller bound, same shape — see DESIGN.md).
+
+NoThinAir is excluded on both sides, exactly as the appendix does:
+*"validity without the NoThinAir axiom and a version of canonical
+consistency are equivalent"* — the canonical model has no counterpart of
+the acyclicity axiom, it defines the larger RC11 behaviours away by
+other means.  We additionally report how NoThinAir splits the agreed
+set, which quantifies what the RAR fragment gives up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.axiomatic.canonical import (
+    is_weakly_canonical_consistent,
+)
+from repro.axiomatic.candidates import CandidateSpace, enumerate_candidates
+from repro.axiomatic.validity import axiom_coherence, axiom_no_thin_air
+from repro.c11.state import C11State
+
+
+@dataclass
+class EquivalenceResult:
+    """Tally of one bounded comparison run."""
+
+    space: CandidateSpace
+    candidates: int = 0
+    valid_paper: int = 0
+    valid_canonical: int = 0
+    agreed: int = 0
+    mismatches: List[C11State] = field(default_factory=list)
+    thin_air_only: int = 0  # consistent under both, yet sb ∪ rf cyclic
+
+    @property
+    def equivalent(self) -> bool:
+        """Whether the models agreed on every candidate."""
+        return not self.mismatches
+
+    def row(self) -> str:
+        """One table row for the E1 report."""
+        return (
+            f"n={self.space.n_events}  candidates={self.candidates:>8}  "
+            f"consistent={self.valid_paper:>7}  mismatches={len(self.mismatches)}  "
+            f"thin-air-only={self.thin_air_only}"
+        )
+
+
+def compare_axiomatisations(
+    space: CandidateSpace,
+    keep_mismatches: int = 10,
+    progress: Optional[Callable[[int], None]] = None,
+) -> EquivalenceResult:
+    """Evaluate both models on every candidate of ``space``.
+
+    ``keep_mismatches`` bounds how many disagreeing states are retained
+    for diagnosis (Memalloy would print them as counterexamples).
+    """
+    result = EquivalenceResult(space)
+    for state in enumerate_candidates(space):
+        result.candidates += 1
+        paper = axiom_coherence(state)
+        canonical = is_weakly_canonical_consistent(state)
+        if paper:
+            result.valid_paper += 1
+        if canonical:
+            result.valid_canonical += 1
+        if paper == canonical:
+            result.agreed += 1
+            if paper and not axiom_no_thin_air(state):
+                result.thin_air_only += 1
+        elif len(result.mismatches) < keep_mismatches:
+            result.mismatches.append(state)
+        if progress is not None and result.candidates % 10000 == 0:
+            progress(result.candidates)
+    return result
+
+
+def sweep_sizes(
+    sizes: Iterable[int],
+    variables=("x", "y"),
+    values=(1,),
+    max_threads: int = 2,
+) -> List[EquivalenceResult]:
+    """Run the comparison for each event-count in ``sizes`` (the E1 table)."""
+    results = []
+    for n in sizes:
+        space = CandidateSpace(
+            n_events=n,
+            variables=tuple(variables),
+            values=tuple(values),
+            max_threads=max_threads,
+        )
+        results.append(compare_axiomatisations(space))
+    return results

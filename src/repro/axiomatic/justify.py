@@ -1,0 +1,108 @@
+"""Justifying pre-executions (Definition 4.3).
+
+A pre-execution state ``π = (D, sb)`` is *justifiable* iff there exist
+``rf`` and ``mo`` such that ``(π, rf, mo)`` is valid (Definition 4.2).
+This module searches for such justifications exhaustively:
+
+* ``rf`` — every read picks a source write of the same variable whose
+  written value equals the value read (RF-Complete);
+* ``mo`` — every per-variable permutation of the program writes with the
+  initialising write first (MO-Valid);
+* the remaining axioms (NoThinAir, Coherence) are checked on the
+  assembled state.
+
+The completeness harness (Theorem 4.8) takes each justification,
+linearises ``sb ∪ rf`` and replays it through the RA semantics; the E8
+benchmark also uses this module as the *post-hoc axiomatic baseline*
+against the operational on-the-fly exploration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.axiomatic.validity import is_valid
+from repro.c11.events import Event
+from repro.c11.prestate import PreExecutionState
+from repro.c11.state import C11State
+from repro.lang.actions import Var
+from repro.relations.relation import Relation
+
+
+def justifications(
+    prestate: PreExecutionState, limit: Optional[int] = None
+) -> Iterator[C11State]:
+    """All valid C11 states ``(π, rf, mo)`` justifying ``prestate``.
+
+    Yields at most ``limit`` justifications when given.  The search is
+    brute force over rf choices × mo permutations with validity as a
+    final filter; the spaces are small because pre-executions come from
+    bounded program exploration.
+    """
+    events = prestate.events
+    writes_by_var: Dict[Var, List[Event]] = {}
+    for e in sorted(events, key=lambda e: e.tag):
+        if e.is_write:
+            writes_by_var.setdefault(e.var, []).append(e)
+
+    reads = sorted((e for e in events if e.is_read), key=lambda e: e.tag)
+
+    # rf sources per read: same variable, matching value.  (A read can in
+    # principle read from itself if it is an update writing the value it
+    # reads; validity's Coherence axiom rejects it, but RF-Complete does
+    # not, so the source list must include it for faithfulness.)
+    source_choices: List[List[Event]] = []
+    for r in reads:
+        sources = [
+            w
+            for w in writes_by_var.get(r.var, [])
+            if w.wrval == r.rdval
+        ]
+        if not sources:
+            return  # unjustifiable: some read value was never written
+        source_choices.append(sources)
+
+    produced = 0
+    for rf_pick in itertools.product(*source_choices):
+        rf = Relation(zip(rf_pick, reads))
+        for mo in _mo_orders(writes_by_var):
+            state = C11State(events, prestate.sb, rf, mo)
+            if is_valid(state):
+                yield state
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+
+
+def _mo_orders(writes_by_var: Dict[Var, List[Event]]) -> Iterator[Relation]:
+    """Every MO-Valid modification order for the given writes."""
+    per_var: List[List[Tuple[Event, ...]]] = []
+    heads: List[List[Event]] = []
+    for x in sorted(writes_by_var):
+        ws = writes_by_var[x]
+        inits = [w for w in ws if w.is_init]
+        progs = [w for w in ws if not w.is_init]
+        heads.append(inits)
+        per_var.append([perm for perm in itertools.permutations(progs)])
+
+    for pick in itertools.product(*per_var):
+        pairs = set()
+        for init_ws, perm in zip(heads, pick):
+            chain = list(init_ws) + list(perm)
+            for i in range(len(chain)):
+                for j in range(i + 1, len(chain)):
+                    pairs.add((chain[i], chain[j]))
+        yield Relation(pairs)
+
+
+def is_justifiable(prestate: PreExecutionState) -> bool:
+    """Definition 4.3 — whether some ``rf``/``mo`` make ``π`` valid."""
+    for _ in justifications(prestate, limit=1):
+        return True
+    return False
+
+
+def count_justifications(prestate: PreExecutionState) -> int:
+    """The number of distinct justifications (used by E3/E8 reporting)."""
+    return sum(1 for _ in justifications(prestate))

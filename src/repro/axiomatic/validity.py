@@ -1,0 +1,187 @@
+"""Definition 4.2 — validity of a C11 execution.
+
+A C11 execution ``((D, sb), rf, mo)`` is *valid* iff all of:
+
+* **SB-Total** — ``sb`` is a strict total order over each non-initialising
+  thread's events, orders every initialising write before every other
+  event, and relates nothing else.
+* **MO-Valid** — ``mo`` is a disjoint union of strict total orders, one
+  per variable, over the writes to that variable, with initialising
+  writes first.
+* **RF-Complete** — every read reads from exactly one write of the same
+  variable and value.
+* **NoThinAir** — ``sb ∪ rf`` is acyclic (rules out load-buffering /
+  out-of-thin-air shapes; this is what confines us to the RAR fragment).
+* **Coherence** — ``hb ; eco?`` and ``eco`` are irreflexive.
+
+Each axiom is an independently callable predicate (the equivalence
+experiment needs Coherence in isolation), and :func:`check_validity`
+produces a diagnostic report naming every violated axiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.c11.state import C11State
+from repro.lang.program import INIT_TID
+
+
+# ----------------------------------------------------------------------
+# Individual axioms
+# ----------------------------------------------------------------------
+
+
+def axiom_sb_total(state: C11State) -> bool:
+    """SB-Total (Definition 4.2)."""
+    sb = state.sb
+    if not sb.is_irreflexive():
+        return False
+    # Edges only from initialisers or within one thread.
+    for e, e2 in sb.pairs:
+        if e.tid != INIT_TID and e.tid != e2.tid:
+            return False
+        if e.tid != INIT_TID and e2.tid == INIT_TID:
+            return False
+    # Initialising writes precede every non-initialising event.
+    inits = state.init_writes
+    for i in inits:
+        for e in state.events:
+            if not e.is_init and (i, e) not in sb.pairs:
+                return False
+    # Per-thread strict totality (and transitivity).
+    tids = {e.tid for e in state.events if not e.is_init}
+    for t in tids:
+        mine = frozenset(state.events_of(t))
+        if not sb.is_strict_total_order_on(mine):
+            return False
+    return True
+
+
+def axiom_mo_valid(state: C11State) -> bool:
+    """MO-Valid (Definition 4.2)."""
+    mo = state.mo
+    if not mo.is_irreflexive():
+        return False
+    for w, w2 in mo.pairs:
+        if not (w.is_write and w2.is_write) or w.var != w2.var:
+            return False
+        if w.tid != INIT_TID and w2.tid == INIT_TID:
+            return False
+    for x in state.variables():
+        on_x = frozenset(state.writes_on(x))
+        # initialising writes mo-precede program writes on the variable
+        for w in on_x:
+            if not w.is_init:
+                continue
+            for w2 in on_x:
+                if not w2.is_init and (w, w2) not in mo.pairs:
+                    return False
+        if not mo.is_strict_total_order_on(frozenset(w for w in on_x if not w.is_init)):
+            return False
+        # the totality clause above skips initialisers; combined with the
+        # init-first clause, mo|x is total over all of on_x whenever the
+        # variable has at most one initialising write:
+        inits_on_x = [w for w in on_x if w.is_init]
+        if len(inits_on_x) > 1:
+            for i, a in enumerate(inits_on_x):
+                for b in inits_on_x[i + 1 :]:
+                    if (a, b) not in mo.pairs and (b, a) not in mo.pairs:
+                        return False
+    # mo as a whole must be transitive: per-variable totality makes each
+    # mo|x transitive among program writes, but a hand-built state could
+    # still omit init-to-late edges, so check globally.
+    return mo.is_transitive()
+
+
+def axiom_rf_complete(state: C11State) -> bool:
+    """RF-Complete (Definition 4.2)."""
+    rf = state.rf
+    pred = rf.predecessors_map()
+    for r in state.reads:
+        sources = pred.get(r, set())
+        if len(sources) != 1:
+            return False
+    for w, r in rf.pairs:
+        if not w.is_write or not r.is_read:
+            return False
+        if w.var != r.var or w.wrval != r.rdval:
+            return False
+    return True
+
+
+def axiom_no_thin_air(state: C11State) -> bool:
+    """NoThinAir (Definition 4.2): ``sb ∪ rf`` is acyclic."""
+    return (state.sb | state.rf).is_acyclic()
+
+
+def axiom_coherence(state: C11State) -> bool:
+    """Coherence (Definition 4.2): ``hb ; eco?`` and ``eco`` irreflexive.
+
+    ``irrefl(hb ; eco?) = irrefl(hb) ∧ irrefl(hb ; eco)``, checked without
+    materialising the composition: a violation is an hb edge whose target
+    eco-reaches (or equals) its source.
+
+    Uses the *definitional* ``eco`` closure: the axiom exists to judge
+    arbitrary states, so it must not trust the ``fast_eco`` provenance
+    flag (whose closed form is only equivalent under update atomicity).
+    """
+    hb = state.hb
+    if not hb.is_irreflexive():
+        return False
+    eco = state.eco_definitional()
+    if not eco.is_irreflexive():
+        return False
+    eco_pairs = eco.pairs
+    for a, b in hb.pairs:
+        if (b, a) in eco_pairs:
+            return False
+    return True
+
+
+AXIOMS = {
+    "SB-Total": axiom_sb_total,
+    "MO-Valid": axiom_mo_valid,
+    "RF-Complete": axiom_rf_complete,
+    "NoThinAir": axiom_no_thin_air,
+    "Coherence": axiom_coherence,
+}
+
+
+# ----------------------------------------------------------------------
+# Aggregate checking
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ValidityReport:
+    """Outcome of checking all five axioms on one state."""
+
+    verdicts: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def valid(self) -> bool:
+        return all(self.verdicts.values())
+
+    @property
+    def violated(self) -> List[str]:
+        return [name for name, ok in self.verdicts.items() if not ok]
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+    def __str__(self) -> str:
+        if self.valid:
+            return "valid"
+        return "invalid: " + ", ".join(self.violated)
+
+
+def check_validity(state: C11State) -> ValidityReport:
+    """Check every axiom of Definition 4.2, reporting all violations."""
+    return ValidityReport({name: axiom(state) for name, axiom in AXIOMS.items()})
+
+
+def is_valid(state: C11State) -> bool:
+    """Whether the execution satisfies Definition 4.2 (early-exit)."""
+    return all(axiom(state) for axiom in AXIOMS.values())

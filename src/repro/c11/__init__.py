@@ -1,0 +1,38 @@
+"""C11 states and the operational event semantics (paper, Section 3).
+
+* :mod:`repro.c11.events` — tagged events ``(γ, a, t)``.
+* :mod:`repro.c11.state` — C11 states ``((D, sb), rf, mo)`` with cached
+  derived orders (``sw``, ``hb``, ``fr``, ``eco``) and ``last(x)``.
+* :mod:`repro.c11.observability` — encountered (EW), observable (OW) and
+  covered (CW) writes (Section 3.2).
+* :mod:`repro.c11.event_semantics` — the Read/Write/RMW rules of
+  Figure 3, i.e. the transition relation ``→RA``.
+* :mod:`repro.c11.prestate` — the pre-execution semantics ``→PE`` used by
+  the axiomatic side (Section 4.1).
+"""
+
+from repro.c11.events import Event, fresh_tag, init_write
+from repro.c11.state import C11State, initial_state
+from repro.c11.observability import covered_writes, encountered_writes, observable_writes
+from repro.c11.event_semantics import (
+    RATransition,
+    ra_successors,
+    ra_transitions_for_action,
+)
+from repro.c11.prestate import PreExecutionState, initial_prestate
+
+__all__ = [
+    "Event",
+    "fresh_tag",
+    "init_write",
+    "C11State",
+    "initial_state",
+    "encountered_writes",
+    "observable_writes",
+    "covered_writes",
+    "RATransition",
+    "ra_successors",
+    "ra_transitions_for_action",
+    "PreExecutionState",
+    "initial_prestate",
+]

@@ -1,0 +1,187 @@
+"""The RA event semantics — Figure 3's Read, Write and RMW rules.
+
+Each transition ``σ --(w, e)-->RA σ'`` records the *observed write* ``w``
+alongside the new event ``e``; the paper keeps ``w`` explicit because the
+verification calculus (Figure 4's rules) is conditioned on which
+modification a transition observes.
+
+* **Read** — ``e`` reads variable ``x``: pick any ``w ∈ OW_σ(t)`` on ``x``;
+  the value read is ``wrval(w)``; ``rf' = rf ∪ {(w, e)}``.
+* **Write** — ``e`` writes ``x``: pick any ``w ∈ OW_σ(t) \\ CW_σ`` on ``x``
+  and insert ``e`` immediately after ``w`` in ``mo``.
+* **RMW** — both at once: ``w ∈ OW_σ(t) \\ CW_σ`` on ``x`` with
+  ``wrval(w) = rdval(e)``; add the rf edge *and* the mo insertion —
+  guaranteeing the update sits mo-adjacent to the write it read.
+
+Reads are validated **on the fly**: every state this module produces is a
+valid C11 state (Theorem 4.4; checked empirically by
+``repro.checking.soundness``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.c11.events import Event
+from repro.c11.observability import covered_writes, observable_writes
+from repro.c11.state import C11State
+from repro.lang.actions import Action, ActionKind, Value, Var
+from repro.lang.program import Tid
+
+
+@dataclass(frozen=True)
+class RATransition:
+    """One step ``σ --(observed, event)-->RA target`` of the event
+    semantics."""
+
+    source: C11State
+    observed: Event
+    event: Event
+    target: C11State
+
+    def __str__(self) -> str:
+        return f"--[{self.observed}] {self.event}-->"
+
+
+def ra_read_targets(state: C11State, tid: Tid, var: Var) -> List[Event]:
+    """The writes a read of ``var`` by ``tid`` may observe (rule Read)."""
+    return sorted(observable_writes(state, tid, var), key=lambda w: w.tag)
+
+
+def ra_write_targets(state: C11State, tid: Tid, var: Var) -> List[Event]:
+    """The writes a write/update may be mo-inserted after (Write/RMW):
+    observable and not covered."""
+    covered = covered_writes(state)
+    return sorted(
+        (w for w in observable_writes(state, tid, var) if w not in covered),
+        key=lambda w: w.tag,
+    )
+
+
+def ra_transitions_for_action(
+    state: C11State, action: Action, tid: Tid
+) -> Iterator[RATransition]:
+    """All RA transitions performing exactly ``action`` from ``state``.
+
+    For read actions the read value of ``action`` must match the observed
+    write's value (this is how the axiomatic replay of Theorem 4.8 pins
+    down a specific execution).  Use :func:`ra_successors` instead when
+    the read value is a hole to be enumerated.
+    """
+    if action.kind is ActionKind.TAU:
+        return
+    tag = state.next_tag()
+    event = Event(tag, action, tid)
+    x = action.var
+    assert x is not None
+
+    if action.kind in (ActionKind.RD, ActionKind.RDA):
+        for w in ra_read_targets(state, tid, x):
+            if w.wrval == action.rdval:
+                target = state.add_event(event).with_rf(w, event)
+                yield RATransition(state, w, event, target)
+        return
+
+    if action.kind in (ActionKind.WR, ActionKind.WRR):
+        for w in ra_write_targets(state, tid, x):
+            target = state.add_event(event).insert_mo_after(w, event)
+            yield RATransition(state, w, event, target)
+        return
+
+    assert action.kind is ActionKind.UPD
+    for w in ra_write_targets(state, tid, x):
+        if w.wrval == action.rdval:
+            target = (
+                state.add_event(event)
+                .with_rf(w, event)
+                .insert_mo_after(w, event)
+            )
+            yield RATransition(state, w, event, target)
+
+
+def ra_transitions_for_event(
+    state: C11State, event: Event
+) -> Iterator[RATransition]:
+    """All RA transitions appending the *given* event (tag included).
+
+    The completeness replay (Theorem 4.8) re-executes the exact events of
+    a justified pre-execution, so the appended event must keep its tag —
+    ``ra_transitions_for_action`` would mint a fresh one.
+    """
+    action, tid = event.action, event.tid
+    x = action.var
+    assert x is not None
+
+    if action.kind in (ActionKind.RD, ActionKind.RDA):
+        for w in ra_read_targets(state, tid, x):
+            if w.wrval == action.rdval:
+                target = state.add_event(event).with_rf(w, event)
+                yield RATransition(state, w, event, target)
+        return
+
+    if action.kind in (ActionKind.WR, ActionKind.WRR):
+        for w in ra_write_targets(state, tid, x):
+            target = state.add_event(event).insert_mo_after(w, event)
+            yield RATransition(state, w, event, target)
+        return
+
+    assert action.kind is ActionKind.UPD
+    for w in ra_write_targets(state, tid, x):
+        if w.wrval == action.rdval:
+            target = (
+                state.add_event(event)
+                .with_rf(w, event)
+                .insert_mo_after(w, event)
+            )
+            yield RATransition(state, w, event, target)
+
+
+def ra_successors(
+    state: C11State,
+    tid: Tid,
+    kind: ActionKind,
+    var: Var,
+    wrval: Optional[Value] = None,
+) -> Iterator[RATransition]:
+    """All RA transitions for a step whose read value (if any) is a hole.
+
+    This is the memory-model side of the interpreted semantics: the
+    program offers a read/write/update of ``var``; the state answers with
+    every observable resolution.  Read values are *derived from* the
+    observed write (``rdval(e) = wrval(w)``), which is precisely the
+    on-the-fly validation that distinguishes ``→RA`` from pre-executions.
+    """
+    tag = state.next_tag()
+
+    if kind in (ActionKind.RD, ActionKind.RDA):
+        for w in ra_read_targets(state, tid, var):
+            action = Action(kind, var, rdval=w.wrval)
+            event = Event(tag, action, tid)
+            target = state.add_event(event).with_rf(w, event)
+            yield RATransition(state, w, event, target)
+        return
+
+    if kind in (ActionKind.WR, ActionKind.WRR):
+        assert wrval is not None
+        action = Action(kind, var, wrval=wrval)
+        event = Event(tag, action, tid)
+        for w in ra_write_targets(state, tid, var):
+            target = state.add_event(event).insert_mo_after(w, event)
+            yield RATransition(state, w, event, target)
+        return
+
+    if kind is ActionKind.UPD:
+        assert wrval is not None
+        for w in ra_write_targets(state, tid, var):
+            action = Action(kind, var, rdval=w.wrval, wrval=wrval)
+            event = Event(tag, action, tid)
+            target = (
+                state.add_event(event)
+                .with_rf(w, event)
+                .insert_mo_after(w, event)
+            )
+            yield RATransition(state, w, event, target)
+        return
+
+    raise ValueError(f"no RA transition for action kind {kind}")

@@ -1,0 +1,96 @@
+"""Encountered, observable and covered writes (paper, Section 3.2).
+
+The RA semantics is built on a per-thread notion of *observability*:
+
+* ``EW_σ(t)`` — writes thread ``t`` has (directly or indirectly)
+  encountered: ``{w ∈ Wr ∩ D | ∃e ∈ D. tid(e) = t ∧ (w, e) ∈ eco? ; hb?}``.
+* ``OW_σ(t)`` — writes ``t`` may still observe: those not mo-superseded by
+  an encountered write: ``{w ∈ Wr ∩ D | ∀w' ∈ EW_σ(t). (w, w') ∉ mo}``.
+* ``CW_σ`` — covered writes: those read by an update,
+  ``{w ∈ Wr ∩ D | ∃u ∈ U. (w, u) ∈ rf}``; writes and updates may never be
+  mo-inserted directly after a covered write (update atomicity).
+
+These three sets drive the Read/Write/RMW rules of Figure 3 and the whole
+verification calculus (``x =_t v`` unfolds to ``OW_σ(t)|_x = {σ.last(x)}``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.c11.events import Event
+from repro.c11.state import C11State
+from repro.lang.actions import Var
+from repro.lang.program import Tid
+
+
+def encountered_writes(state: C11State, tid: Tid) -> FrozenSet[Event]:
+    """``EW_σ(t)`` — the writes thread ``t`` is aware of.
+
+    ``(w, e) ∈ eco? ; hb?`` unfolds to: ``w = e``, or ``(w, e) ∈ eco``, or
+    ``(w, e) ∈ hb``, or ``∃z. (w, z) ∈ eco ∧ (z, e) ∈ hb``.  Computed by
+    one backward sweep from the events of ``t`` over ``hb`` then ``eco``
+    predecessor maps — O(edges), no closure composition materialised.
+    """
+    my_events = state.events_of(tid)
+    if not my_events:
+        return frozenset()
+
+    hb_pred = state.hb.predecessors_map()
+    eco_pred = state.eco.predecessors_map()
+
+    # Everything hb?-before an event of t (the hb "cone" feeding t)...
+    hb_sources: Set[Event] = set(my_events)
+    for e in my_events:
+        hb_sources |= hb_pred.get(e, set())
+    # ... and everything eco?-before one of those.
+    encountered: Set[Event] = set(hb_sources)
+    for z in hb_sources:
+        encountered |= eco_pred.get(z, set())
+
+    return frozenset(w for w in encountered if w.is_write)
+
+
+def observable_writes(
+    state: C11State, tid: Tid, var: Optional[Var] = None
+) -> FrozenSet[Event]:
+    """``OW_σ(t)`` — the writes thread ``t`` may read from next.
+
+    A write is observable unless some encountered write mo-supersedes it.
+    With ``var`` given, restricts to writes on that variable (the common
+    query of the Read/Write/RMW rules).
+
+    A thread that has not executed any action has ``EW_σ(t) = ∅`` and so
+    observes *every* write.
+    """
+    ew = encountered_writes(state, tid)
+    mo_succ = state.mo.successors_map()
+    candidates = (
+        state.writes_on(var) if var is not None else tuple(state.writes)
+    )
+    return frozenset(
+        w for w in candidates if not (mo_succ.get(w, set()) & ew)
+    )
+
+
+def covered_writes(state: C11State) -> FrozenSet[Event]:
+    """``CW_σ`` — writes immediately followed (in rf) by an update."""
+    rf_succ = state.rf.successors_map()
+    return frozenset(
+        w
+        for w in state.writes
+        if any(r.is_update for r in rf_succ.get(w, ()))
+    )
+
+
+def observability_summary(state: C11State) -> Dict[Tid, Dict[str, FrozenSet[Event]]]:
+    """EW/OW per thread plus the global CW — for debugging and the
+    Example 3.4 reproduction."""
+    tids = sorted({e.tid for e in state.events if not e.is_init})
+    out: Dict[Tid, Dict[str, FrozenSet[Event]]] = {}
+    for t in tids:
+        out[t] = {
+            "EW": encountered_writes(state, t),
+            "OW": observable_writes(state, t),
+        }
+    return out

@@ -1,0 +1,85 @@
+"""Pre-execution states and the ``→PE`` semantics (paper, Section 4.1).
+
+The axiomatic route to C11 validity works in two phases: first build a
+*pre-execution* — just events and sequenced-before, with reads returning
+arbitrary values — then search for ``rf`` and ``mo`` relations making the
+whole thing satisfy the axioms (Definition 4.3: the pre-execution is
+*justifiable*).
+
+A pre-execution step simply appends an event with the same ``+``
+operator as Figure 3 and never constrains values, so
+``(D, sb) --e-->PE (D', sb') ⟺ (D', sb') = (D, sb) + e``.
+Steps of distinct threads commute (Proposition 4.1), which underpins the
+permutation Lemma 4.7 used in the completeness proof.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Mapping, Optional
+
+from repro.c11.events import Event, init_events
+from repro.lang.actions import Value, Var
+from repro.relations.relation import Relation
+
+
+class PreExecutionState:
+    """A pre-execution state ``π = (D, sb)``."""
+
+    __slots__ = ("events", "sb", "_hash")
+
+    def __init__(self, events: Iterable[Event], sb: Relation = Relation.empty()):
+        self.events: FrozenSet[Event] = frozenset(events)
+        self.sb: Relation = sb
+        self._hash: Optional[int] = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PreExecutionState):
+            return NotImplemented
+        return self.events == other.events and self.sb == other.sb
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.events, self.sb))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"PreExecutionState(|D|={len(self.events)}, |sb|={len(self.sb)})"
+
+    def add_event(self, e: Event) -> "PreExecutionState":
+        """``(D, sb) + e`` — identical placement to the RA semantics."""
+        if any(old.tag == e.tag for old in self.events):
+            raise ValueError(f"tag {e.tag} already used")
+        new_sb = self.sb.add_all(
+            (old, e)
+            for old in self.events
+            if old.tid == e.tid or old.is_init
+        )
+        return PreExecutionState(self.events | {e}, new_sb)
+
+    def next_tag(self) -> int:
+        used = max((e.tag for e in self.events), default=0)
+        return max(used, 0) + 1
+
+    @property
+    def init_writes(self) -> FrozenSet[Event]:
+        return frozenset(e for e in self.events if e.is_init)
+
+    @property
+    def writes(self) -> FrozenSet[Event]:
+        return frozenset(e for e in self.events if e.is_write)
+
+    @property
+    def reads(self) -> FrozenSet[Event]:
+        return frozenset(e for e in self.events if e.is_read)
+
+    def restricted_to(self, keep: Iterable[Event]) -> "PreExecutionState":
+        """``π ↾ E`` (used when replaying prefixes in Theorem 4.8)."""
+        kept = frozenset(keep)
+        if not kept <= self.events:
+            raise ValueError("restriction set must be a subset of D")
+        return PreExecutionState(kept, self.sb.restrict_to(kept))
+
+
+def initial_prestate(init_values: Mapping[Var, Value]) -> PreExecutionState:
+    """The initial pre-execution: the initialising writes, no ``sb``."""
+    return PreExecutionState(init_events(dict(init_values)))

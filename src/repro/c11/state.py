@@ -1,0 +1,310 @@
+"""C11 states ``σ = ((D, sb), rf, mo)`` and their derived orders.
+
+Definition 3.1: a C11 state is a set of events ``D`` together with
+
+* ``sb`` — sequenced-before: total per thread, initialising writes first;
+* ``rf`` — reads-from: ``Wr × Rd``, justifying every read value;
+* ``mo`` — modification order: total per variable over the writes.
+
+Derived orders (Section 3.1)::
+
+    sw  = rf ∩ (WrR × RdA)          synchronises-with
+    hb  = (sb ∪ sw)+                 happens-before
+    fr  = (rf⁻¹ ; mo) \\ Id          from-read ("reads-before")
+    eco = (fr ∪ mo ∪ rf)+            extended coherence order
+
+States are immutable value objects; transitions build new states via
+:meth:`C11State.add_event` / :meth:`C11State.with_rf` /
+:meth:`C11State.insert_mo_after`.  Derived orders and per-variable
+indices are cached lazily on first use — they sit on the hot path of the
+state-space exploration (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.c11.events import Event, Tag, init_events
+from repro.lang.actions import Value, Var
+from repro.lang.program import Tid
+from repro.relations.relation import Relation
+
+
+class C11State:
+    """An immutable C11 state with cached derived orders."""
+
+    __slots__ = (
+        "events",
+        "sb",
+        "rf",
+        "mo",
+        "fast_eco",
+        "_sw",
+        "_hb",
+        "_fr",
+        "_eco",
+        "_writes_by_var",
+        "_events_by_tid",
+        "_last",
+        "_hash",
+    )
+
+    def __init__(
+        self,
+        events: Iterable[Event],
+        sb: Relation = Relation.empty(),
+        rf: Relation = Relation.empty(),
+        mo: Relation = Relation.empty(),
+        fast_eco: bool = False,
+    ) -> None:
+        self.events: FrozenSet[Event] = frozenset(events)
+        self.sb: Relation = sb
+        self.rf: Relation = rf
+        self.mo: Relation = mo
+        #: provenance flag: states built by the RA event semantics satisfy
+        #: update atomicity by construction, so ``eco`` may use Lemma
+        #: C.9's closed form (≈8× cheaper than the transitive closure —
+        #: see the E10 ablation).  Hand-assembled states (candidates,
+        #: justifications) keep the definitional closure.
+        self.fast_eco: bool = fast_eco
+        self._sw: Optional[Relation] = None
+        self._hb: Optional[Relation] = None
+        self._fr: Optional[Relation] = None
+        self._eco: Optional[Relation] = None
+        self._writes_by_var: Optional[Dict[Var, List[Event]]] = None
+        self._events_by_tid: Optional[Dict[Tid, List[Event]]] = None
+        self._last: Dict[Var, Optional[Event]] = {}
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Value-object protocol
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, C11State):
+            return NotImplemented
+        return (
+            self.events == other.events
+            and self.sb == other.sb
+            and self.rf == other.rf
+            and self.mo == other.mo
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.events, self.sb, self.rf, self.mo))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"C11State(|D|={len(self.events)}, |sb|={len(self.sb)}, "
+            f"|rf|={len(self.rf)}, |mo|={len(self.mo)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Event classes and indices
+    # ------------------------------------------------------------------
+
+    @property
+    def writes(self) -> FrozenSet[Event]:
+        """``Wr ∩ D`` — every write (updates included)."""
+        return frozenset(e for e in self.events if e.is_write)
+
+    @property
+    def reads(self) -> FrozenSet[Event]:
+        """``Rd ∩ D`` — every read (updates included)."""
+        return frozenset(e for e in self.events if e.is_read)
+
+    @property
+    def updates(self) -> FrozenSet[Event]:
+        """``U ∩ D`` — the RMW updates."""
+        return frozenset(e for e in self.events if e.is_update)
+
+    @property
+    def init_writes(self) -> FrozenSet[Event]:
+        """``I_σ = D ∩ IWr`` — initialising writes present in the state."""
+        return frozenset(e for e in self.events if e.is_init)
+
+    def writes_on(self, x: Var) -> Tuple[Event, ...]:
+        """The writes to ``x``, in modification order (cached).
+
+        MO-Valid makes ``mo|_x`` a strict total order, so the writes to a
+        variable sort uniquely by their number of mo-predecessors.
+        """
+        if self._writes_by_var is None:
+            by_var: Dict[Var, List[Event]] = {}
+            for e in self.events:
+                if e.is_write:
+                    by_var.setdefault(e.var, []).append(e)
+            pred = self.mo.predecessors_map()
+            for var_events in by_var.values():
+                var_events.sort(key=lambda w: (len(pred.get(w, ())), w.tag))
+            self._writes_by_var = by_var
+        return tuple(self._writes_by_var.get(x, ()))
+
+    def events_of(self, tid: Tid) -> Tuple[Event, ...]:
+        """The events of thread ``tid``, in ``sb`` order (cached)."""
+        if self._events_by_tid is None:
+            by_tid: Dict[Tid, List[Event]] = {}
+            for e in self.events:
+                by_tid.setdefault(e.tid, []).append(e)
+            pred = self.sb.predecessors_map()
+            for tid_events in by_tid.values():
+                tid_events.sort(key=lambda e: (len(pred.get(e, ())), e.tag))
+            self._events_by_tid = by_tid
+        return tuple(self._events_by_tid.get(tid, ()))
+
+    def event_by_tag(self, tag: Tag) -> Event:
+        """Look up an event by its tag (tags are unique per execution)."""
+        for e in self.events:
+            if e.tag == tag:
+                return e
+        raise KeyError(tag)
+
+    def next_tag(self) -> Tag:
+        """The smallest positive tag not yet used in this state."""
+        used = max((e.tag for e in self.events), default=0)
+        return max(used, 0) + 1
+
+    def variables(self) -> FrozenSet[Var]:
+        """Every variable written in this state."""
+        return frozenset(e.var for e in self.events if e.is_write)
+
+    # ------------------------------------------------------------------
+    # Derived orders
+    # ------------------------------------------------------------------
+
+    @property
+    def sw(self) -> Relation:
+        """``sw = rf ∩ (WrR × RdA)`` — synchronises-with."""
+        if self._sw is None:
+            self._sw = self.rf.filter_pairs(
+                lambda w, r: w.is_release and r.is_acquire
+            )
+        return self._sw
+
+    @property
+    def hb(self) -> Relation:
+        """``hb = (sb ∪ sw)+`` — happens-before."""
+        if self._hb is None:
+            self._hb = (self.sb | self.sw).transitive_closure()
+        return self._hb
+
+    @property
+    def fr(self) -> Relation:
+        """``fr = (rf⁻¹ ; mo) \\ Id`` — from-read.
+
+        The identity is removed so an update (which reads its immediate
+        mo-predecessor) is not fr-related to itself (Section 3.1).
+        """
+        if self._fr is None:
+            self._fr = self.rf.inverse().compose(self.mo).remove_identity()
+        return self._fr
+
+    @property
+    def eco(self) -> Relation:
+        """``eco = (fr ∪ mo ∪ rf)+`` — extended coherence order.
+
+        With ``fast_eco`` set (RA-built states, which satisfy update
+        atomicity) the equivalent closed form of Lemma C.9 is used:
+        ``rf ∪ mo ∪ fr ∪ (mo ; rf) ∪ (fr ; rf)``.  Property tests
+        (tests/test_properties.py) confirm the two agree on every
+        explored state.
+        """
+        if self._eco is None:
+            if self.fast_eco:
+                rf, mo, fr = self.rf, self.mo, self.fr
+                self._eco = rf | mo | fr | mo.compose(rf) | fr.compose(rf)
+            else:
+                self._eco = (self.fr | self.mo | self.rf).transitive_closure()
+        return self._eco
+
+    def eco_definitional(self) -> Relation:
+        """The definitional ``(fr ∪ mo ∪ rf)+``, closure always taken
+        (ground truth for the Lemma C.9 property tests)."""
+        return (self.fr | self.mo | self.rf).transitive_closure()
+
+    # ------------------------------------------------------------------
+    # last(x) and update-only variables (Section 5)
+    # ------------------------------------------------------------------
+
+    def last(self, x: Var) -> Optional[Event]:
+        """``σ.last(x)`` — the mo-maximal write to ``x`` (Section 5.1).
+
+        Well-defined in any valid state; ``None`` when ``x`` was never
+        written (no initialisation either).
+        """
+        if x not in self._last:
+            ws = self.writes_on(x)
+            self._last[x] = ws[-1] if ws else None
+        return self._last[x]
+
+    def is_update_only(self, x: Var) -> bool:
+        """Whether ``x`` is an *update-only* variable (Section 5.1): every
+        modification is an update or an initialising write."""
+        return all(
+            w.is_update or w.is_init for w in self.writes_on(x)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction of successor states
+    # ------------------------------------------------------------------
+
+    def add_event(self, e: Event) -> "C11State":
+        """``(D, sb) + e`` — append ``e`` sb-after the initialising writes
+        and all previous events of its own thread (Section 3.2)."""
+        if any(old.tag == e.tag for old in self.events):
+            raise ValueError(f"tag {e.tag} already used")
+        new_sb = self.sb.add_all(
+            (old, e)
+            for old in self.events
+            if old.tid == e.tid or old.is_init
+        )
+        return C11State(
+            self.events | {e}, new_sb, self.rf, self.mo, self.fast_eco
+        )
+
+    def with_rf(self, w: Event, r: Event) -> "C11State":
+        """The state with an additional reads-from edge ``(w, r)``."""
+        return C11State(
+            self.events, self.sb, self.rf.add((w, r)), self.mo, self.fast_eco
+        )
+
+    def insert_mo_after(self, w: Event, e: Event) -> "C11State":
+        """``mo[w, e]`` — insert ``e`` immediately after ``w`` in ``mo``.
+
+        ``mo[w,e] = mo ∪ (mo+w × {e}) ∪ ({e} × mo[w])`` where
+        ``mo+w = {w} ∪ mo⁻¹[w]``: everything up to and including ``w``
+        precedes ``e``, and ``e`` precedes everything after ``w``.
+        """
+        before = self.mo.downset(w)  # {w} ∪ mo⁻¹[w]
+        after = self.mo.image(w)
+        new_pairs = {(b, e) for b in before} | {(e, a) for a in after}
+        return C11State(
+            self.events, self.sb, self.rf, self.mo.add_all(new_pairs),
+            self.fast_eco,
+        )
+
+    def restricted_to(self, keep: Iterable[Event]) -> "C11State":
+        """``σ ↾ E`` — restriction to a subset of events (Thm 4.8)."""
+        kept = frozenset(keep)
+        if not kept <= self.events:
+            raise ValueError("restriction set must be a subset of D")
+        return C11State(
+            kept,
+            self.sb.restrict_to(kept),
+            self.rf.restrict_to(kept),
+            self.mo.restrict_to(kept),
+            self.fast_eco,
+        )
+
+
+def initial_state(init_values: Mapping[Var, Value]) -> C11State:
+    """The initial state ``σ_0 = ((I, ∅), ∅, ∅)``.
+
+    ``I`` holds exactly one initialising write per variable, none of them
+    ordered by ``sb``, ``rf`` or ``mo`` (Section 3.1).  States grown from
+    here by the RA event semantics keep update atomicity by construction,
+    so the fast ``eco`` closed form is enabled.
+    """
+    return C11State(init_events(dict(init_values)), fast_eco=True)

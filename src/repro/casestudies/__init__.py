@@ -1,0 +1,56 @@
+"""The paper's case studies (and one extension).
+
+* :mod:`repro.casestudies.peterson` — Algorithm 1: Peterson's mutual
+  exclusion with release-acquire annotations, its invariants (4)–(10)
+  and Theorem 5.8, plus mutants that probe which annotations matter.
+* :mod:`repro.casestudies.message_passing` — Example 5.7: the
+  release/acquire message-passing idiom and its broken relaxed variant.
+* :mod:`repro.casestudies.token_ring` — an extension exercising
+  update-only variables: a hand-off lock built from ``swap`` (the
+  paper's language gives ``swap`` no return value, so test-and-set is
+  inexpressible; the token hand-off is the lock the language supports).
+"""
+
+from repro.casestudies.peterson import (
+    PETERSON_INIT,
+    peterson_program,
+    peterson_invariants,
+    mutual_exclusion_violations,
+    peterson_relaxed_turn,
+    peterson_relaxed_flag_read,
+)
+from repro.casestudies.message_passing import (
+    MP_INIT,
+    message_passing_program,
+    message_passing_broken,
+    mp_data_invariant,
+)
+from repro.casestudies.token_ring import (
+    TOKEN_INIT,
+    token_ring_program,
+    token_ring_violations,
+)
+from repro.casestudies.dekker import (
+    DEKKER_INIT,
+    dekker_entry_program,
+    dekker_violations,
+)
+
+__all__ = [
+    "PETERSON_INIT",
+    "peterson_program",
+    "peterson_invariants",
+    "mutual_exclusion_violations",
+    "peterson_relaxed_turn",
+    "peterson_relaxed_flag_read",
+    "MP_INIT",
+    "message_passing_program",
+    "message_passing_broken",
+    "mp_data_invariant",
+    "TOKEN_INIT",
+    "token_ring_program",
+    "token_ring_violations",
+    "DEKKER_INIT",
+    "dekker_entry_program",
+    "dekker_violations",
+]

@@ -1,0 +1,23 @@
+"""Empirical soundness and completeness of the RA semantics (§4.2).
+
+* :mod:`repro.checking.soundness` — Theorem 4.4: every state reachable
+  via ``⇒RA`` satisfies the validity axioms of Definition 4.2.
+* :mod:`repro.checking.completeness` — Theorem 4.8: every justifiable
+  pre-execution is reached by replaying a linearisation of ``sb ∪ rf``
+  through ``⇒RA``, prefix-restrictions matching along the way.
+"""
+
+from repro.checking.soundness import SoundnessReport, check_soundness
+from repro.checking.completeness import (
+    CompletenessReport,
+    check_completeness,
+    replay_justification,
+)
+
+__all__ = [
+    "SoundnessReport",
+    "check_soundness",
+    "CompletenessReport",
+    "check_completeness",
+    "replay_justification",
+]

@@ -1,0 +1,165 @@
+"""Empirical Theorem 4.8 — completeness of the RA semantics.
+
+    Suppose (P₀, π₀) ⇒PE ... ⇒PE (P_k, π_k) with π_k justifiable by
+    χ_k = (π_k, rf_k, mo_k), and e₁...e_k a linearisation of sb_k ∪ rf_k.
+    Then (P₀, σ₀) ⇒RA ... ⇒RA (P_k, σ_k) with
+    σ_i = χ_k ↾ {e₁, ..., e_i}.
+
+The harness makes this executable:
+
+1. explore the program under the PE model (reads guess values, axioms
+   not yet consulted) and collect the terminal pre-executions;
+2. enumerate every justification of each (Definition 4.3);
+3. linearise ``sb ∪ rf`` of the justification (NoThinAir guarantees
+   acyclicity — Example 4.5 shows why plain PE order may be unreplayable
+   and reordering is needed);
+4. replay the events in that order through the RA event semantics,
+   checking after *every* step that the state equals the justification
+   restricted to the events so far.
+
+Every justification must replay; any failure refutes the theorem (or
+this reproduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple
+
+from repro.axiomatic.justify import justifications
+from repro.c11.event_semantics import ra_transitions_for_event
+from repro.c11.prestate import PreExecutionState
+from repro.c11.state import C11State
+from repro.interp.explore import explore
+from repro.interp.pe_model import PEMemoryModel
+from repro.lang.actions import Value, Var
+from repro.lang.program import Program
+from repro.relations.linearize import one_linearization
+
+
+@dataclass
+class ReplayFailure:
+    """A justification that could not be replayed (would refute Thm 4.8)."""
+
+    justification: C11State
+    step_index: int
+    reason: str
+
+
+@dataclass
+class CompletenessReport:
+    """Tallies of one completeness run."""
+
+    program_name: str
+    pre_executions: int = 0
+    justifiable: int = 0
+    justifications_total: int = 0
+    replays_ok: int = 0
+    truncated: bool = False
+    failures: List[ReplayFailure] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    def row(self) -> str:
+        verdict = "OK" if self.complete else f"{len(self.failures)} FAILURES"
+        bound = " (bounded)" if self.truncated else ""
+        return (
+            f"{self.program_name:<28} pre-exec={self.pre_executions:>5} "
+            f"justifiable={self.justifiable:>5} justifications={self.justifications_total:>6} "
+            f"replayed={self.replays_ok:>6} {verdict}{bound}"
+        )
+
+
+def replay_justification(chi: C11State) -> Tuple[bool, Optional[ReplayFailure], List[C11State]]:
+    """Replay one justified execution through ``⇒RA``.
+
+    Returns ``(ok, failure, states)`` where ``states`` is the sequence of
+    RA states reached (``σ_1 ... σ_k``), each verified against the
+    theorem's prescribed restriction ``χ ↾ {e₁..e_i}``.
+    """
+    program_events = frozenset(e for e in chi.events if not e.is_init)
+    inits = frozenset(chi.init_writes)
+
+    # Linearise sb ∪ rf over the program events (Theorem 4.8's order).
+    order_rel = (chi.sb | chi.rf).restrict_to(program_events)
+    ordering = one_linearization(
+        order_rel, domain=sorted(program_events, key=lambda e: e.tag)
+    )
+
+    sigma = chi.restricted_to(inits)
+    states: List[C11State] = []
+    done: set = set(inits)
+    for i, event in enumerate(ordering):
+        done.add(event)
+        expected = chi.restricted_to(done)
+        hit = None
+        for tr in ra_transitions_for_event(sigma, event):
+            if tr.target == expected:
+                hit = tr
+                break
+        if hit is None:
+            return (
+                False,
+                ReplayFailure(chi, i, f"no RA transition matches event {event}"),
+                states,
+            )
+        sigma = hit.target
+        states.append(sigma)
+    return True, None, states
+
+
+def terminal_pre_executions(
+    program: Program,
+    init_values: Mapping[Var, Value],
+    max_events: Optional[int] = None,
+    max_configs: Optional[int] = None,
+) -> Tuple[List[PreExecutionState], bool]:
+    """The distinct pre-executions of completed runs of ``program``."""
+    model = PEMemoryModel.for_program(program, init_values)
+    result = explore(
+        program,
+        init_values,
+        model,
+        max_events=max_events,
+        max_configs=max_configs,
+    )
+    seen = {}
+    for config in result.terminal:
+        seen.setdefault(model.canonical_state_key(config.state), config.state)
+    return list(seen.values()), result.truncated
+
+
+def check_completeness(
+    program: Program,
+    init_values: Mapping[Var, Value],
+    max_events: Optional[int] = None,
+    max_configs: Optional[int] = None,
+    max_justifications_per_pre_execution: Optional[int] = None,
+    name: str = "program",
+    keep_failures: int = 5,
+) -> CompletenessReport:
+    """Run the whole pipeline on one program (the E3 experiment)."""
+    report = CompletenessReport(program_name=name)
+    prestates, truncated = terminal_pre_executions(
+        program, init_values, max_events=max_events, max_configs=max_configs
+    )
+    report.truncated = truncated
+    report.pre_executions = len(prestates)
+
+    for prestate in prestates:
+        any_just = False
+        for chi in justifications(
+            prestate, limit=max_justifications_per_pre_execution
+        ):
+            any_just = True
+            report.justifications_total += 1
+            ok, failure, _states = replay_justification(chi)
+            if ok:
+                report.replays_ok += 1
+            elif len(report.failures) < keep_failures:
+                report.failures.append(failure)
+        if any_just:
+            report.justifiable += 1
+    return report

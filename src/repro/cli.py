@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+========
+
+``run FILE``
+    Parse a ``.litmus`` file (see :mod:`repro.lang.parser`), explore it
+    exhaustively under a memory model and decide its ``exists`` /
+    ``forbidden`` clause.  Exit code 0 when the verdict matches the
+    clause's intent, 1 otherwise.
+
+``table``
+    Print the built-in litmus suite's verdict table under RA and SC
+    (and, with ``--models``, any subset of ra/sra/sc).
+
+``dot FILE``
+    Explore a ``.litmus`` file and write a Graphviz rendering of one
+    terminal C11 state (the first satisfying the outcome clause, if any,
+    else the first terminal state).
+
+``soundness FILE``
+    Explore the file's program under RA and check Definition 4.2 on
+    every reachable state (Theorem 4.4 empirically, per program).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.interp.memory_model import MemoryModel
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.interp.sra_model import SRAMemoryModel
+
+MODELS = {
+    "ra": RAMemoryModel,
+    "sra": SRAMemoryModel,
+    "sc": SCMemoryModel,
+}
+
+
+def _model(name: str) -> MemoryModel:
+    try:
+        return MODELS[name.lower()]()
+    except KeyError:
+        raise SystemExit(f"unknown model {name!r}; choose from {sorted(MODELS)}")
+
+
+def _load(path: str):
+    from repro.lang.parser import parse_litmus
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_litmus(handle.read())
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.lang.parser import run_parsed_litmus
+
+    parsed = _load(args.file)
+    model = _model(args.model)
+    reachable, result = run_parsed_litmus(
+        parsed, model=model, max_events=args.max_events
+    )
+    bound = " (bounded)" if result.truncated else ""
+    print(
+        f"{parsed.name} [{model.name}]: outcome "
+        f"{'reachable' if reachable else 'unreachable'}; "
+        f"{result.configs} configurations, {len(result.terminal)} terminal"
+        f"{bound}"
+    )
+    if parsed.outcome_mode == "forbidden":
+        ok = not reachable
+    elif parsed.outcome_mode == "exists":
+        ok = reachable
+    else:
+        ok = True
+    print("verdict:", "OK" if ok else "UNEXPECTED")
+    return 0 if ok else 1
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    from repro.litmus.extra import EXTRA_TESTS
+    from repro.litmus.registry import run_litmus
+    from repro.litmus.suite import ALL_TESTS
+
+    tests = list(ALL_TESTS) + (list(EXTRA_TESTS) if args.extra else [])
+    models = [_model(m) for m in args.models.split(",")]
+    header = f"{'test':<22} {'outcome':<36}" + "".join(
+        f" {m.name:<10}" for m in models
+    )
+    print(header)
+    print("-" * len(header))
+    mismatches = 0
+    for test in tests:
+        cells = []
+        for model in models:
+            outcome = run_litmus(test, model)
+            mark = "" if outcome.verdict_matches else "*"
+            if isinstance(model, SRAMemoryModel):
+                mark = ""  # no pinned expectations for the comparator
+            cells.append(
+                f" {'allowed' if outcome.reachable else 'forbidden':<9}{mark}"
+            )
+            if mark:
+                mismatches += 1
+        print(f"{test.name:<22} {test.outcome_text:<36}" + "".join(cells))
+    if mismatches:
+        print(f"{mismatches} verdicts diverged from expectations (*)")
+    return 0 if not mismatches else 1
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from repro.interp.explore import explore
+    from repro.litmus.registry import final_values
+    from repro.util.dot import state_to_dot
+
+    parsed = _load(args.file)
+    model = _model(args.model)
+    result = explore(
+        parsed.program, parsed.init, model, max_events=args.max_events
+    )
+    if not result.terminal:
+        print("no terminal state within the bound", file=sys.stderr)
+        return 1
+    chosen = result.terminal[0]
+    if parsed.outcome_exp is not None:
+        for config in result.terminal:
+            if parsed.outcome(final_values(config)):
+                chosen = config
+                break
+    dot = state_to_dot(chosen.state, name=parsed.name)
+    if args.out == "-":
+        print(dot)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(dot + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_soundness(args: argparse.Namespace) -> int:
+    from repro.checking.soundness import check_soundness
+
+    parsed = _load(args.file)
+    report = check_soundness(
+        parsed.program,
+        parsed.init,
+        max_events=args.max_events,
+        name=parsed.name,
+    )
+    print(report.row())
+    return 0 if report.sound else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Operational RAR-C11 semantics toolkit "
+        "(Doherty et al., PPoPP 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="decide a .litmus file's outcome")
+    run.add_argument("file")
+    run.add_argument("--model", default="ra", help="ra | sra | sc")
+    run.add_argument("--max-events", type=int, default=None)
+    run.set_defaults(func=cmd_run)
+
+    table = sub.add_parser("table", help="print the litmus verdict table")
+    table.add_argument("--models", default="ra,sc", help="comma list of models")
+    table.add_argument("--extra", action="store_true", help="include extras")
+    table.set_defaults(func=cmd_table)
+
+    dot = sub.add_parser("dot", help="Graphviz-export a terminal state")
+    dot.add_argument("file")
+    dot.add_argument("--out", default="-", help="output path ('-' = stdout)")
+    dot.add_argument("--model", default="ra")
+    dot.add_argument("--max-events", type=int, default=None)
+    dot.set_defaults(func=cmd_dot)
+
+    sound = sub.add_parser("soundness", help="Theorem 4.4 check on a file")
+    sound.add_argument("file")
+    sound.add_argument("--max-events", type=int, default=None)
+    sound.set_defaults(func=cmd_soundness)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

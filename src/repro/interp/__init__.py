@@ -1,0 +1,45 @@
+"""The interpreted semantics (paper, Section 3.3) and state-space tools.
+
+The paper gives two generic rules that combine the uninterpreted program
+semantics with *any* memory model ``M``::
+
+    P --τ-->t P'                      P --a-->t P'   σ --(w,e)-->M σ'
+    ------------------                act(e) = a     tid(e) = t
+    (P, σ) ==(τ)==>M (P, σ)           ---------------------------------
+                                      (P, σ) ==(w,e)==>M (P', σ')
+
+:mod:`repro.interp.memory_model` defines the pluggable interface;
+instantiations are the paper's RA semantics, the pre-execution semantics
+``PE``, and a sequentially-consistent baseline used for litmus-test
+comparison.  :mod:`repro.interp.explore` performs bounded exhaustive
+exploration of configurations ``(P, σ)`` with canonical deduplication
+(:mod:`repro.interp.canon`).
+"""
+
+from repro.interp.memory_model import MemoryModel, MemoryTransition
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.pe_model import PEMemoryModel
+from repro.interp.sc import SCMemoryModel, SCState
+from repro.interp.config import Configuration
+from repro.interp.interpreter import configuration_successors, InterpretedStep
+from repro.interp.explore import ExplorationResult, explore
+from repro.interp.canon import canonical_key
+from repro.interp.simulate import SimulationReport, sample_run, simulate
+
+__all__ = [
+    "MemoryModel",
+    "MemoryTransition",
+    "RAMemoryModel",
+    "PEMemoryModel",
+    "SCMemoryModel",
+    "SCState",
+    "Configuration",
+    "configuration_successors",
+    "InterpretedStep",
+    "ExplorationResult",
+    "explore",
+    "canonical_key",
+    "SimulationReport",
+    "sample_run",
+    "simulate",
+]

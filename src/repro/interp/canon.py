@@ -1,0 +1,69 @@
+"""Canonical keys for C11 states and configurations.
+
+Event tags are an artefact of the order in which an execution was
+constructed: two interleavings that produce the same events, ``sb``,
+``rf`` and ``mo`` differ only in tag numbering.  The semantics never
+inspects tags (beyond freshness), so exploration deduplicates states
+*up to tag renaming*.
+
+The renaming is canonical because ``sb|_t`` is a strict total order for
+every thread (SB-Total): an event is identified by ``(tid, position of
+the event in its thread's sb order)``; initialising writes are identified
+by their variable.  ``sb`` itself need not be part of the key — for every
+state built by ``(D, sb) + e`` it is exactly the canonical shape
+(initialisers first, per-thread total order), which the soundness checker
+verifies on every reachable state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.c11.events import Event
+from repro.c11.prestate import PreExecutionState
+from repro.c11.state import C11State
+
+EventKey = Tuple
+
+
+def _event_ids(state) -> Dict[Event, EventKey]:
+    """Map each event to its canonical identity."""
+    ids: Dict[Event, EventKey] = {}
+    tids = sorted({e.tid for e in state.events})
+    for tid in tids:
+        if tid == 0:
+            for e in state.events:
+                if e.is_init:
+                    ids[e] = ("init", e.var)
+            continue
+        for pos, e in enumerate(_thread_events(state, tid)):
+            ids[e] = ("e", tid, pos)
+    return ids
+
+
+def _thread_events(state, tid) -> Tuple[Event, ...]:
+    if isinstance(state, C11State):
+        return state.events_of(tid)
+    # Pre-execution states: order thread events by sb (tags increase
+    # along sb for states built by +, so tag order is sb order).
+    mine = sorted((e for e in state.events if e.tid == tid), key=lambda e: e.tag)
+    return tuple(mine)
+
+
+def canonical_key(state) -> Hashable:
+    """A hashable key identifying the state up to tag renaming.
+
+    Works for both :class:`C11State` (events + rf + mo) and
+    :class:`PreExecutionState` (events only).
+    """
+    ids = _event_ids(state)
+
+    def describe(e: Event) -> Tuple:
+        return (*ids[e], e.action.kind.value, e.var, e.rdval, e.wrval)
+
+    events_part = tuple(sorted(describe(e) for e in state.events))
+    if isinstance(state, PreExecutionState):
+        return (events_part,)
+    rf_part = tuple(sorted((ids[w], ids[r]) for w, r in state.rf.pairs))
+    mo_part = tuple(sorted((ids[a], ids[b]) for a, b in state.mo.pairs))
+    return (events_part, rf_part, mo_part)

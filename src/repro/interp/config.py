@@ -1,0 +1,29 @@
+"""Configurations ``(P, σ)`` of the interpreted semantics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+from repro.lang.program import Program
+
+S = TypeVar("S", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class Configuration(Generic[S]):
+    """A program paired with a memory-model state (Section 3.3)."""
+
+    program: Program
+    state: S
+
+    def pc(self, tid: int) -> int:
+        """The auxiliary program counter ``P.pc_t`` of a thread."""
+        return self.program.pc(tid)
+
+    def is_terminated(self) -> bool:
+        """Whether every thread has run to completion."""
+        return self.program.is_terminated()
+
+    def __str__(self) -> str:
+        return f"({self.program} , {self.state!r})"

@@ -1,0 +1,79 @@
+"""One step of the interpreted semantics (the two rules of Section 3.3).
+
+Given a configuration ``(P, σ)`` and a memory model ``M``,
+:func:`configuration_successors` yields every ``(P', σ')`` with
+``(P, σ) ==(w,e)==>M (P', σ')``:
+
+* a silent program step keeps the memory state (first rule);
+* any other program step is paired with every memory transition the
+  model allows for it (second rule) — in particular a read hole is
+  resolved once per admissible value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.c11.events import Event
+from repro.interp.config import Configuration
+from repro.interp.memory_model import MemoryModel
+from repro.lang.actions import Value
+from repro.lang.program import Tid, program_steps
+
+S = TypeVar("S")
+
+
+@dataclass(frozen=True)
+class InterpretedStep(Generic[S]):
+    """One transition of the interpreted semantics.
+
+    ``event``/``observed`` are populated by event-based models (RA, PE);
+    ``None`` for τ steps and for SC.
+    """
+
+    source: Configuration[S]
+    tid: Tid
+    target: Configuration[S]
+    event: Optional[Event] = None
+    observed: Optional[Event] = None
+    read_value: Optional[Value] = None
+
+    @property
+    def is_silent(self) -> bool:
+        return self.event is None and self.read_value is None and (
+            self.source.state is self.target.state
+            or self.source.state == self.target.state
+        )
+
+
+def configuration_successors(
+    config: Configuration[S], model: MemoryModel[S]
+) -> Iterator[InterpretedStep[S]]:
+    """All interpreted transitions from ``config`` under ``model``."""
+    program, state = config.program, config.state
+    for tid, step in program_steps(program):
+        if step.is_silent:
+            yield InterpretedStep(
+                source=config,
+                tid=tid,
+                target=Configuration(program.update(tid, step.resume(None)), state),
+            )
+            continue
+        for mt in model.transitions(state, tid, step):
+            next_program = program.update(tid, step.resume(mt.read_value))
+            yield InterpretedStep(
+                source=config,
+                tid=tid,
+                target=Configuration(next_program, mt.target),
+                event=mt.event,
+                observed=mt.observed,
+                read_value=mt.read_value,
+            )
+
+
+def initial_configuration(
+    program, init_values, model: MemoryModel[S]
+) -> Configuration[S]:
+    """``(P, σ_0)`` for the given model."""
+    return Configuration(program, model.initial(init_values))

@@ -1,0 +1,76 @@
+"""The pluggable memory-model interface of the interpreted semantics.
+
+Section 3.3 keeps the program semantics agnostic of the memory model: a
+model only needs to say (a) what its initial state is and (b) which
+transitions it allows for a given pending program step.  Three models
+implement this interface:
+
+* :class:`~repro.interp.ra_model.RAMemoryModel` — the paper's RA event
+  semantics (Figure 3);
+* :class:`~repro.interp.pe_model.PEMemoryModel` — pre-executions
+  (Section 4.1), where reads return arbitrary values from a finite
+  domain;
+* :class:`~repro.interp.sc.SCMemoryModel` — a sequentially consistent
+  store, the baseline that litmus tests are compared against.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterator, Mapping, Optional, TypeVar
+
+from repro.c11.events import Event
+from repro.lang.actions import Value, Var
+from repro.lang.program import Tid
+from repro.lang.semantics import PendingStep
+
+S = TypeVar("S", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class MemoryTransition(Generic[S]):
+    """One memory-model answer to a pending program step.
+
+    ``read_value`` fills the step's read hole (``None`` for pure writes);
+    ``event`` is the event appended (``None`` for models without events,
+    i.e. SC); ``observed`` is the paper's explicit observed write ``w``
+    (``None`` for PE — the paper writes its first component as ``⊥``).
+    """
+
+    target: S
+    read_value: Optional[Value] = None
+    event: Optional[Event] = None
+    observed: Optional[Event] = None
+
+
+class MemoryModel(abc.ABC, Generic[S]):
+    """A memory model pluggable into the interpreted semantics."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def initial(self, init_values: Mapping[Var, Value]) -> S:
+        """The initial memory state for the given initialisation."""
+
+    @abc.abstractmethod
+    def transitions(
+        self, state: S, tid: Tid, step: PendingStep
+    ) -> Iterator[MemoryTransition[S]]:
+        """All memory transitions realising ``step`` of thread ``tid``.
+
+        For a silent step the model must allow exactly one transition
+        that leaves the state unchanged (the first rule of Section 3.3);
+        the default implementation of that case lives in the interpreter,
+        so implementations only see non-silent steps.
+        """
+
+    def canonical_state_key(self, state: S) -> Hashable:
+        """A key identifying ``state`` up to irrelevant naming.
+
+        Used by the explorer to deduplicate configurations; the default
+        is the state itself (adequate whenever states are already
+        canonical, e.g. SC stores).
+        """
+        return state

@@ -1,0 +1,45 @@
+"""The RA event semantics as a pluggable memory model.
+
+Thin adapter from :func:`repro.c11.event_semantics.ra_successors` to the
+:class:`~repro.interp.memory_model.MemoryModel` interface.  Read values
+are supplied by the observed write (``rdval(e) = wrval(w)``) — the
+on-the-fly validation at the heart of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping
+
+from repro.c11.event_semantics import ra_successors
+from repro.c11.state import C11State, initial_state
+from repro.interp.canon import canonical_key
+from repro.interp.memory_model import MemoryModel, MemoryTransition
+from repro.lang.actions import Value, Var
+from repro.lang.program import Tid
+from repro.lang.semantics import PendingStep
+
+
+class RAMemoryModel(MemoryModel[C11State]):
+    """The paper's operational C11 model for the RAR fragment."""
+
+    name = "RA"
+
+    def initial(self, init_values: Mapping[Var, Value]) -> C11State:
+        return initial_state(init_values)
+
+    def transitions(
+        self, state: C11State, tid: Tid, step: PendingStep
+    ) -> Iterator[MemoryTransition[C11State]]:
+        assert not step.is_silent, "silent steps are handled by the interpreter"
+        assert step.var is not None
+        for tr in ra_successors(state, tid, step.kind, step.var, step.wrval):
+            read_value = tr.event.rdval if step.is_read_hole else None
+            yield MemoryTransition(
+                target=tr.target,
+                read_value=read_value,
+                event=tr.event,
+                observed=tr.observed,
+            )
+
+    def canonical_state_key(self, state: C11State) -> Hashable:
+        return canonical_key(state)

@@ -1,0 +1,57 @@
+"""Strong release-acquire (SRA) — the Lahav et al. comparator model.
+
+The paper's related work (§6) situates the RAR fragment against Lahav,
+Giannarakis and Vafeiadis' *taming release-acquire* model [16], "a
+stronger release-acquire model, where ``sb ∪ rf ∪ mo`` is required to be
+acyclic" (the paper's own fragment only demands ``sb ∪ rf`` acyclic).
+Having it pluggable makes the difference *observable*: 2+2W's weak
+outcome builds an ``sb ∪ mo`` cycle — allowed under RA, forbidden under
+SRA — while store buffering stays allowed under both (it needs a full SC
+order to forbid).
+
+Operationally, SRA is the RA event semantics with transitions into
+states whose ``sb ∪ rf ∪ mo`` is cyclic pruned away.  This is adequate
+for reachability: every relation involved only grows along a run, and
+restrictions of acyclic relations are acyclic, so any SRA-consistent
+complete execution is reachable through SRA-consistent prefixes
+(the same prefix-restriction argument as Theorem 4.8).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping
+
+from repro.c11.state import C11State, initial_state
+from repro.interp.canon import canonical_key
+from repro.interp.memory_model import MemoryModel, MemoryTransition
+from repro.interp.ra_model import RAMemoryModel
+from repro.lang.actions import Value, Var
+from repro.lang.program import Tid
+from repro.lang.semantics import PendingStep
+
+
+def sra_consistent(state: C11State) -> bool:
+    """Whether ``sb ∪ rf ∪ mo`` is acyclic (the SRA strengthening)."""
+    return (state.sb | state.rf | state.mo).is_acyclic()
+
+
+class SRAMemoryModel(MemoryModel[C11State]):
+    """RA filtered to SRA-consistent states."""
+
+    name = "SRA"
+
+    def __init__(self) -> None:
+        self._ra = RAMemoryModel()
+
+    def initial(self, init_values: Mapping[Var, Value]) -> C11State:
+        return initial_state(init_values)
+
+    def transitions(
+        self, state: C11State, tid: Tid, step: PendingStep
+    ) -> Iterator[MemoryTransition[C11State]]:
+        for mt in self._ra.transitions(state, tid, step):
+            if sra_consistent(mt.target):
+                yield mt
+
+    def canonical_state_key(self, state: C11State) -> Hashable:
+        return canonical_key(state)

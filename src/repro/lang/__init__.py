@@ -1,0 +1,109 @@
+"""The command language of Section 2 and its uninterpreted semantics.
+
+The language is the paper's grammar::
+
+    Exp ::= Val | Exp^A | neg Exp | Exp (+) Exp
+    Com ::= skip | x.swap(n)^RA | x := Exp | x :=^R Exp
+          | Com ; Com | if B then Com else Com | while B do Com
+
+Expressions evaluate left-to-right one shared-variable read per step
+(Figure 1); commands emit read/write/update *actions* (Figure 2) whose
+read values are unconstrained at this layer (Proposition 2.2) — the
+memory model constrains them later (Section 3.3).
+"""
+
+from repro.lang.actions import (
+    Action,
+    ActionKind,
+    TAU,
+    rd,
+    rda,
+    upd,
+    wr,
+    wrr,
+)
+from repro.lang.syntax import (
+    Assign,
+    BinOp,
+    Com,
+    Exp,
+    If,
+    Labeled,
+    Lit,
+    Load,
+    Not,
+    Seq,
+    Skip,
+    Swap,
+    While,
+)
+from repro.lang.semantics import PendingStep, command_steps, is_terminated
+from repro.lang.program import Program, program_steps
+from repro.lang.parser import ParseError, parse_command, parse_expression, parse_litmus
+from repro.lang.unparse import unparse_com, unparse_exp, unparse_litmus
+from repro.lang.builder import (
+    acq,
+    and_,
+    assign,
+    eq,
+    flagvar,
+    if_,
+    label,
+    ne,
+    or_,
+    seq,
+    skip,
+    swap,
+    var,
+    while_,
+)
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "TAU",
+    "rd",
+    "rda",
+    "wr",
+    "wrr",
+    "upd",
+    "Exp",
+    "Lit",
+    "Load",
+    "Not",
+    "BinOp",
+    "Com",
+    "Skip",
+    "Assign",
+    "Swap",
+    "Seq",
+    "If",
+    "While",
+    "Labeled",
+    "PendingStep",
+    "command_steps",
+    "is_terminated",
+    "Program",
+    "program_steps",
+    "skip",
+    "assign",
+    "swap",
+    "seq",
+    "if_",
+    "while_",
+    "label",
+    "var",
+    "acq",
+    "eq",
+    "ne",
+    "and_",
+    "or_",
+    "flagvar",
+    "ParseError",
+    "parse_command",
+    "parse_expression",
+    "parse_litmus",
+    "unparse_com",
+    "unparse_exp",
+    "unparse_litmus",
+]

@@ -1,0 +1,171 @@
+"""Memory actions.
+
+The uninterpreted semantics of commands generates actions from the set
+(paper, Section 2.2)::
+
+    Act = ⋃ { rd(x,n), rdA(x,n), wr(x,n), wrR(x,n), updRA(x,m,n) }
+
+plus the silent action ``τ``.  Synchronisation annotations are carried by
+the *kind* of the action: ``rdA`` is an acquiring read, ``wrR`` a
+releasing write, and ``updRA`` a release-acquire update (the paper's
+``swap`` only comes in the RA flavour).
+
+Actions are pure data — events (``repro.c11.events``) pair an action with
+a tag and a thread identifier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+Value = int
+Var = str
+
+
+class ActionKind(enum.Enum):
+    """The five action flavours of the RAR fragment, plus ``τ``."""
+
+    RD = "rd"        # relaxed read
+    RDA = "rdA"      # acquiring read
+    WR = "wr"        # relaxed write
+    WRR = "wrR"      # releasing write
+    UPD = "updRA"    # release-acquire update (read-modify-write)
+    TAU = "tau"      # silent step (guard resolution, skip elimination)
+
+    @property
+    def is_read(self) -> bool:
+        return self in (ActionKind.RD, ActionKind.RDA, ActionKind.UPD)
+
+    @property
+    def is_write(self) -> bool:
+        return self in (ActionKind.WR, ActionKind.WRR, ActionKind.UPD)
+
+    @property
+    def is_update(self) -> bool:
+        return self is ActionKind.UPD
+
+    @property
+    def is_acquire(self) -> bool:
+        """Acquiring actions synchronise as the target of an ``sw`` edge."""
+        return self in (ActionKind.RDA, ActionKind.UPD)
+
+    @property
+    def is_release(self) -> bool:
+        """Releasing actions synchronise as the source of an ``sw`` edge."""
+        return self in (ActionKind.WRR, ActionKind.UPD)
+
+    @property
+    def is_silent(self) -> bool:
+        return self is ActionKind.TAU
+
+
+@dataclass(frozen=True)
+class Action:
+    """One memory action.
+
+    Attributes mirror the paper's accessors: ``var(a)``, ``rdval(a)`` and
+    ``wrval(a)``.  For an update ``updRA(x, m, n)``, ``rdval = m`` and
+    ``wrval = n``; for plain reads/writes the missing component is
+    ``None``.
+    """
+
+    kind: ActionKind
+    var: Optional[Var] = None
+    rdval: Optional[Value] = None
+    wrval: Optional[Value] = None
+
+    def __post_init__(self) -> None:
+        if self.kind.is_silent:
+            if self.var is not None or self.rdval is not None or self.wrval is not None:
+                raise ValueError("τ carries no variable or values")
+            return
+        if self.var is None:
+            raise ValueError(f"{self.kind.value} action requires a variable")
+        if self.kind.is_read and self.rdval is None:
+            raise ValueError(f"{self.kind.value} action requires a read value")
+        if self.kind.is_write and self.wrval is None:
+            raise ValueError(f"{self.kind.value} action requires a write value")
+        if self.kind in (ActionKind.RD, ActionKind.RDA) and self.wrval is not None:
+            raise ValueError("plain reads carry no write value")
+        if self.kind in (ActionKind.WR, ActionKind.WRR) and self.rdval is not None:
+            raise ValueError("plain writes carry no read value")
+
+    # -- predicates (lifted from the kind for convenience) -------------
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind.is_read
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind.is_write
+
+    @property
+    def is_update(self) -> bool:
+        return self.kind.is_update
+
+    @property
+    def is_acquire(self) -> bool:
+        return self.kind.is_acquire
+
+    @property
+    def is_release(self) -> bool:
+        return self.kind.is_release
+
+    @property
+    def is_silent(self) -> bool:
+        return self.kind.is_silent
+
+    def with_rdval(self, value: Value) -> "Action":
+        """The same action reading ``value`` instead.
+
+        Proposition 2.2: the uninterpreted semantics is insensitive to the
+        value read, so the interpreted semantics may re-instantiate it.
+        """
+        if not self.kind.is_read:
+            raise ValueError("only reads carry a read value")
+        return Action(self.kind, self.var, value, self.wrval)
+
+    def __str__(self) -> str:
+        k = self.kind
+        if k.is_silent:
+            return "τ"
+        if k is ActionKind.UPD:
+            return f"updRA({self.var},{self.rdval},{self.wrval})"
+        if k.is_read:
+            return f"{k.value}({self.var},{self.rdval})"
+        return f"{k.value}({self.var},{self.wrval})"
+
+
+# ----------------------------------------------------------------------
+# Constructors matching the paper's notation
+# ----------------------------------------------------------------------
+
+TAU = Action(ActionKind.TAU)
+
+
+def rd(x: Var, n: Value) -> Action:
+    """Relaxed read ``rd(x, n)``."""
+    return Action(ActionKind.RD, x, rdval=n)
+
+
+def rda(x: Var, n: Value) -> Action:
+    """Acquiring read ``rdA(x, n)``."""
+    return Action(ActionKind.RDA, x, rdval=n)
+
+
+def wr(x: Var, n: Value) -> Action:
+    """Relaxed write ``wr(x, n)``."""
+    return Action(ActionKind.WR, x, wrval=n)
+
+
+def wrr(x: Var, n: Value) -> Action:
+    """Releasing write ``wrR(x, n)``."""
+    return Action(ActionKind.WRR, x, wrval=n)
+
+
+def upd(x: Var, m: Value, n: Value) -> Action:
+    """Release-acquire update ``updRA(x, m, n)`` (reads ``m``, writes ``n``)."""
+    return Action(ActionKind.UPD, x, rdval=m, wrval=n)

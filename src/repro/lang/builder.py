@@ -1,0 +1,166 @@
+"""A small fluent builder for programs in the command language.
+
+The paper's examples are all short assignment/loop programs; this module
+lets them be written close to their source notation::
+
+    # thread 1 of the message-passing example (Example 5.7)
+    seq(
+        assign("d", 5),                   # d := 5
+        assign("f", 1, release=True),     # f :=^R 1
+    )
+
+    # Peterson's busy-wait guard:  while (flag2 = true)^A ∧ turn = 2 do skip
+    while_(and_(eq(acq("flag2"), 1), eq(var("turn"), 2)), skip())
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.lang.actions import Value, Var
+from repro.lang.syntax import (
+    Assign,
+    BinOp,
+    Com,
+    Exp,
+    If,
+    Labeled,
+    Lit,
+    Load,
+    Not,
+    Seq,
+    Skip,
+    Swap,
+    While,
+)
+
+ExpLike = Union[Exp, Value]
+
+
+def _exp(e: ExpLike) -> Exp:
+    """Coerce a bare value to a literal expression."""
+    if isinstance(e, Exp):
+        return e
+    if isinstance(e, bool):
+        return Lit(1 if e else 0)
+    if isinstance(e, int):
+        return Lit(e)
+    raise TypeError(f"not an expression or value: {e!r}")
+
+
+# -- expressions -------------------------------------------------------
+
+
+def lit(n: Value) -> Lit:
+    """Literal value ``n``."""
+    return Lit(n)
+
+
+def var(x: Var) -> Load:
+    """Relaxed load of shared variable ``x``."""
+    return Load(x, acquire=False)
+
+
+def acq(x: Var) -> Load:
+    """Acquiring load ``x^A``."""
+    return Load(x, acquire=True)
+
+
+#: Alias used by case studies that read flag variables.
+flagvar = var
+
+
+def neg(e: ExpLike) -> Not:
+    """Logical negation."""
+    return Not(_exp(e))
+
+
+def _bin(op: str, a: ExpLike, b: ExpLike) -> BinOp:
+    return BinOp(op, _exp(a), _exp(b))
+
+
+def and_(a: ExpLike, b: ExpLike) -> BinOp:
+    return _bin("and", a, b)
+
+
+def or_(a: ExpLike, b: ExpLike) -> BinOp:
+    return _bin("or", a, b)
+
+
+def eq(a: ExpLike, b: ExpLike) -> BinOp:
+    return _bin("eq", a, b)
+
+
+def ne(a: ExpLike, b: ExpLike) -> BinOp:
+    return _bin("ne", a, b)
+
+
+def lt(a: ExpLike, b: ExpLike) -> BinOp:
+    return _bin("lt", a, b)
+
+
+def add(a: ExpLike, b: ExpLike) -> BinOp:
+    return _bin("add", a, b)
+
+
+# -- commands ----------------------------------------------------------
+
+
+def skip() -> Skip:
+    """``skip``."""
+    return Skip()
+
+
+def assign(x: Var, e: ExpLike, release: bool = False) -> Assign:
+    """``x := E`` or, with ``release=True``, ``x :=^R E``."""
+    return Assign(x, _exp(e), release)
+
+
+def store_rel(x: Var, e: ExpLike) -> Assign:
+    """``x :=^R E`` — releasing store (sugar for ``assign(..., release=True)``)."""
+    return Assign(x, _exp(e), release=True)
+
+
+def swap(x: Var, n: Value) -> Swap:
+    """``x.swap(n)^RA``."""
+    return Swap(x, n)
+
+
+def seq(*commands: Com) -> Com:
+    """``C1; C2; ...`` — right-nested sequential composition."""
+    if not commands:
+        return Skip()
+    result = commands[-1]
+    for c in reversed(commands[:-1]):
+        result = Seq(c, result)
+    return result
+
+
+def if_(guard: ExpLike, then_branch: Com, else_branch: Com = None) -> If:
+    """``if B then C1 else C2`` (``else`` defaults to ``skip``)."""
+    return If(_exp(guard), then_branch, else_branch if else_branch is not None else Skip())
+
+
+def while_(guard: ExpLike, body: Com = None) -> While:
+    """``while B do C`` (body defaults to ``skip`` — a busy wait)."""
+    return While(_exp(guard), body if body is not None else Skip())
+
+
+def await_(guard: ExpLike) -> While:
+    """Busy-wait until ``guard`` becomes false... inverted: spin *while*
+    the *negation* holds.  ``await_(B)`` spins while ``!B`` — the shape of
+    ``while !f^A do skip`` in Example 5.7 is ``while_(neg(acq("f")))``;
+    ``await_(acq("f"))`` is the same thing written positively."""
+    return While(Not(_exp(guard)), Skip())
+
+
+def label(pc: int, body: Com = None) -> Labeled:
+    """Attach program-location label ``pc`` (body defaults to ``skip``)."""
+    return Labeled(pc, body if body is not None else Skip())
+
+
+def loop_forever(body: Com) -> While:
+    """``while true do C`` — the implicit outer loop of reactive threads
+    (Peterson's threads retry their protocol forever; see Appendix D's
+    transition ``pc = 6 → pc = 2``)."""
+    return While(Lit(1), body)

@@ -1,0 +1,234 @@
+"""The uninterpreted operational semantics of commands (Figure 2).
+
+A *step* of a command either is silent (``τ``), writes a concrete value,
+or reads a value that is not yet determined — Proposition 2.2: the
+uninterpreted semantics admits *every* value at a read.  We represent the
+read case with a *hole*: a :class:`PendingStep` carries a continuation
+``resume`` mapping the value eventually read to the successor command.
+The interpreted semantics (Section 3.3) closes the hole by enumerating
+the writes observable under the chosen memory model.
+
+:func:`command_steps` enumerates all steps of a command; thread
+interleaving lives in :mod:`repro.lang.program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from repro.lang.actions import Action, ActionKind, TAU, Value, Var, rd, rda, upd, wr, wrr
+from repro.lang.syntax import (
+    Assign,
+    Com,
+    If,
+    Labeled,
+    Seq,
+    Skip,
+    Swap,
+    While,
+    eval_closed,
+    leftmost_load,
+    substitute_leftmost,
+    truthy,
+)
+
+SKIP = Skip()
+
+
+@dataclass
+class PendingStep:
+    """One potential step of a command.
+
+    ``kind`` distinguishes the step:
+
+    * ``TAU`` — silent; ``resume(None)`` is the successor command.
+    * ``WR``/``WRR`` — a concrete write of ``wrval`` to ``var``;
+      ``resume(None)`` is the successor.
+    * ``RD``/``RDA`` — a read of ``var`` whose value is a hole;
+      ``resume(n)`` is the successor command after reading ``n``.
+    * ``UPD`` — a ``swap``: writes ``wrval`` to ``var``, reads a hole;
+      ``resume(m)`` is the successor (``swap`` discards the value read).
+    """
+
+    kind: ActionKind
+    var: Optional[Var] = None
+    wrval: Optional[Value] = None
+    resume: Callable[[Optional[Value]], Com] = field(default=lambda _v: SKIP)
+
+    @property
+    def is_read_hole(self) -> bool:
+        """Whether the step's action needs a read value to be filled in."""
+        return self.kind.is_read
+
+    @property
+    def is_silent(self) -> bool:
+        return self.kind.is_silent
+
+    def action(self, read_value: Optional[Value] = None) -> Action:
+        """The action this step performs, given a value for the hole.
+
+        For silent steps the action is ``τ``; for writes the action is
+        fully determined; for reads/updates ``read_value`` must be given.
+        """
+        if self.kind is ActionKind.TAU:
+            return TAU
+        assert self.var is not None
+        if self.kind is ActionKind.WR:
+            assert self.wrval is not None
+            return wr(self.var, self.wrval)
+        if self.kind is ActionKind.WRR:
+            assert self.wrval is not None
+            return wrr(self.var, self.wrval)
+        if read_value is None:
+            raise ValueError("read step needs a value for its hole")
+        if self.kind is ActionKind.RD:
+            return rd(self.var, read_value)
+        if self.kind is ActionKind.RDA:
+            return rda(self.var, read_value)
+        assert self.kind is ActionKind.UPD and self.wrval is not None
+        return upd(self.var, read_value, self.wrval)
+
+
+def _silent(successor: Com) -> PendingStep:
+    return PendingStep(ActionKind.TAU, resume=lambda _v, _c=successor: _c)
+
+
+def _exp_step(exp, rebuild: Callable[[object], Com]) -> PendingStep:
+    """An expression-evaluation step (Figure 1) embedded into a command.
+
+    ``rebuild`` places the partially evaluated expression back into its
+    syntactic context (assignment right-hand side, guard, ...).
+    """
+    load = leftmost_load(exp)
+    assert load is not None, "caller guarantees fv(exp) nonempty"
+    kind = ActionKind.RDA if load.acquire else ActionKind.RD
+
+    def resume(value: Optional[Value], _exp=exp, _rebuild=rebuild) -> Com:
+        assert value is not None
+        _hit, new_exp = substitute_leftmost(_exp, value)
+        return _rebuild(new_exp)
+
+    return PendingStep(kind, var=load.var, resume=resume)
+
+
+def command_steps(com: Com) -> Iterator[PendingStep]:
+    """All steps of ``com`` under the uninterpreted semantics (Figure 2).
+
+    The semantics is *deterministic up to the read hole*: every command
+    yields at most one step here; nondeterminism enters through thread
+    interleaving and through the values filling read holes.
+    """
+    if isinstance(com, Skip):
+        return  # terminated: no steps
+
+    if isinstance(com, Assign):
+        if com.exp.free_vars():
+            yield _exp_step(
+                com.exp,
+                lambda e, _c=com: Assign(_c.var, e, _c.release),
+            )
+        else:
+            kind = ActionKind.WRR if com.release else ActionKind.WR
+            yield PendingStep(
+                kind,
+                var=com.var,
+                wrval=eval_closed(com.exp),
+                resume=lambda _v: SKIP,
+            )
+        return
+
+    if isinstance(com, Swap):
+        yield PendingStep(
+            ActionKind.UPD,
+            var=com.var,
+            wrval=com.value,
+            resume=lambda _v: SKIP,
+        )
+        return
+
+    if isinstance(com, Seq):
+        if isinstance(com.first, Skip):
+            yield _silent(com.second)
+            return
+        for step in command_steps(com.first):
+            old_resume = step.resume
+            yield PendingStep(
+                step.kind,
+                var=step.var,
+                wrval=step.wrval,
+                resume=lambda v, _r=old_resume, _s=com.second: _sequence(_r(v), _s),
+            )
+        return
+
+    if isinstance(com, If):
+        if com.guard.free_vars():
+            yield _exp_step(
+                com.guard,
+                lambda e, _c=com: If(e, _c.then_branch, _c.else_branch),
+            )
+        elif truthy(eval_closed(com.guard)):
+            yield _silent(com.then_branch)
+        else:
+            yield _silent(com.else_branch)
+        return
+
+    if isinstance(com, While):
+        test = com.test
+        if test.free_vars():
+            yield _exp_step(
+                test,
+                lambda e, _c=com: While(_c.guard, _c.body, current=e),
+            )
+        elif truthy(eval_closed(test)):
+            # Unfold with the *pristine* guard so the next iteration
+            # re-reads its shared variables (Figure 2's unfolding).
+            yield _silent(_sequence(com.body, While(com.guard, com.body)))
+        else:
+            yield _silent(SKIP)
+        return
+
+    if isinstance(com, Labeled):
+        if isinstance(com.body, Skip):
+            # A pure control point (e.g. Peterson's critical section):
+            # one silent step retires the label.
+            yield _silent(SKIP)
+            return
+        for step in command_steps(com.body):
+            old_resume = step.resume
+            yield PendingStep(
+                step.kind,
+                var=step.var,
+                wrval=step.wrval,
+                resume=lambda v, _r=old_resume, _pc=com.pc: _relabel(_pc, _r(v)),
+            )
+        return
+
+    raise TypeError(f"not a command: {com!r}")
+
+
+def _sequence(first: Com, second: Com) -> Com:
+    """Smart ``Seq`` constructor: drop a terminated first component."""
+    if isinstance(first, Skip):
+        return second
+    return Seq(first, second)
+
+
+def _relabel(pc: int, body: Com) -> Com:
+    """Re-wrap a stepped command with its label.
+
+    A terminated body retires the label; a body that is *itself* a
+    labelled statement (a branch target, e.g. Dekker's critical-section
+    label inside a labelled conditional) sheds the outer label — the
+    inner one takes over, keeping nesting depth bounded.
+    """
+    if isinstance(body, Skip):
+        return SKIP
+    if isinstance(body, Labeled):
+        return body
+    return Labeled(pc, body)
+
+
+def is_terminated(com: Com) -> bool:
+    """Whether the command has no steps left (it is ``skip``)."""
+    return isinstance(com, Skip)

@@ -1,0 +1,331 @@
+"""Abstract syntax for the command language (paper, Section 2.1).
+
+Grammar::
+
+    Exp ::= Val | x | x^A | neg Exp | Exp (+) Exp
+    Com ::= skip | x.swap(n)^RA | x := Exp | x :=^R Exp
+          | Com ; Com | if B then Com else Com | while B do Com
+
+plus one administrative form, :class:`Labeled`, which wraps a command
+with a program-location label.  Labels have no semantic effect; they
+realise the paper's auxiliary program-counter function ``P.pc_t``
+(Section 5.2) that the Peterson invariants are phrased over.
+
+All nodes are frozen dataclasses: commands are compared and hashed
+structurally, which the state-space exploration relies on to deduplicate
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Tuple, Union
+
+from repro.lang.actions import Value, Var
+
+
+# ======================================================================
+# Expressions
+# ======================================================================
+
+
+class Exp:
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+    def free_vars(self) -> FrozenSet[Var]:
+        """``fv(E)`` — the shared variables still to be read."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - repr fallback
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class Lit(Exp):
+    """A value literal ``n ∈ Val`` (ints; booleans are ints 0/1 friendly)."""
+
+    value: Value
+
+    def free_vars(self) -> FrozenSet[Var]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Load(Exp):
+    """A shared-variable occurrence ``x`` or ``x^A``.
+
+    ``acquire=True`` renders the paper's ``x^A``: evaluating it emits an
+    acquiring read ``rdA(x, n)`` instead of a relaxed ``rd(x, n)``.
+    """
+
+    var: Var
+    acquire: bool = False
+
+    def free_vars(self) -> FrozenSet[Var]:
+        return frozenset({self.var})
+
+    def __str__(self) -> str:
+        return f"{self.var}^A" if self.acquire else self.var
+
+
+@dataclass(frozen=True)
+class Not(Exp):
+    """Unary operator ``neg E`` (the paper's generic unary ⊖)."""
+
+    operand: Exp
+
+    def free_vars(self) -> FrozenSet[Var]:
+        return self.operand.free_vars()
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+#: Binary operators admitted in expressions.  Logical operators treat 0 as
+#: false and anything else as true; comparisons return 0/1 so that values
+#: stay plain ints end to end.
+BINOPS: Dict[str, Callable[[Value, Value], Value]] = {
+    "and": lambda a, b: 1 if (a and b) else 0,
+    "or": lambda a, b: 1 if (a or b) else 0,
+    "eq": lambda a, b: 1 if a == b else 0,
+    "ne": lambda a, b: 1 if a != b else 0,
+    "lt": lambda a, b: 1 if a < b else 0,
+    "le": lambda a, b: 1 if a <= b else 0,
+    "gt": lambda a, b: 1 if a > b else 0,
+    "ge": lambda a, b: 1 if a >= b else 0,
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Exp):
+    """Binary operator ``E1 (+) E2``; evaluation is left to right."""
+
+    op: str
+    left: Exp
+    right: Exp
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def free_vars(self) -> FrozenSet[Var]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def eval_closed(exp: Exp) -> Value:
+    """``[[E]]`` — the value of a variable-free expression."""
+    if isinstance(exp, Lit):
+        return exp.value
+    if isinstance(exp, Not):
+        return 0 if eval_closed(exp.operand) else 1
+    if isinstance(exp, BinOp):
+        return BINOPS[exp.op](eval_closed(exp.left), eval_closed(exp.right))
+    if isinstance(exp, Load):
+        raise ValueError(f"expression is not closed: free variable {exp.var!r}")
+    raise TypeError(f"not an expression: {exp!r}")
+
+
+def truthy(value: Value) -> bool:
+    """Boolean reading of a value (0 is false, everything else true)."""
+    return bool(value)
+
+
+# ======================================================================
+# Commands
+# ======================================================================
+
+
+class Com:
+    """Base class for commands."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - repr fallback
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class Skip(Com):
+    """``skip`` — the terminated command."""
+
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class Assign(Com):
+    """``x := E`` (relaxed) or ``x :=^R E`` (releasing).
+
+    Generates read actions while ``fv(E) ≠ ∅`` and a single write action
+    ``wr(x, [[E]])`` / ``wrR(x, [[E]])`` once the expression is closed
+    (Figure 2).
+    """
+
+    var: Var
+    exp: Exp
+    release: bool = False
+
+    def __str__(self) -> str:
+        op = ":=R" if self.release else ":="
+        return f"{self.var} {op} {self.exp}"
+
+
+@dataclass(frozen=True)
+class Swap(Com):
+    """``x.swap(n)^RA`` — atomically exchange ``x`` with ``n``.
+
+    Generates a single ``updRA(x, m, n)`` action; the value ``m`` read is
+    unconstrained at this layer (the memory model resolves it).
+    """
+
+    var: Var
+    value: Value
+
+    def __str__(self) -> str:
+        return f"{self.var}.swap({self.value})^RA"
+
+
+@dataclass(frozen=True)
+class Seq(Com):
+    """``C1 ; C2``."""
+
+    first: Com
+    second: Com
+
+    def __str__(self) -> str:
+        return f"{self.first}; {self.second}"
+
+
+@dataclass(frozen=True)
+class If(Com):
+    """``if B then C1 else C2``."""
+
+    guard: Exp
+    then_branch: Com
+    else_branch: Com
+
+    def __str__(self) -> str:
+        return f"if {self.guard} then {{{self.then_branch}}} else {{{self.else_branch}}}"
+
+
+@dataclass(frozen=True)
+class While(Com):
+    """``while B do C``.
+
+    ``current`` is the partially evaluated guard of the *ongoing* test;
+    ``guard`` is the pristine guard restored when the loop unfolds.  This
+    realises Figure 2's in-place guard evaluation while fixing the guard
+    for later iterations (each iteration re-reads the shared variables).
+    """
+
+    guard: Exp
+    body: Com
+    current: Optional[Exp] = None
+
+    @property
+    def test(self) -> Exp:
+        """The guard instance currently being evaluated."""
+        return self.guard if self.current is None else self.current
+
+    def __str__(self) -> str:
+        return f"while {self.test} do {{{self.body}}}"
+
+
+@dataclass(frozen=True)
+class Labeled(Com):
+    """A command carrying a program-location label.
+
+    The label is exposed through :func:`program_counter`; stepping is
+    transparent (see ``repro.lang.semantics``).  The wrapped command may
+    be ``skip`` to model pure control points such as Peterson's critical
+    section (line 5).
+    """
+
+    pc: int
+    body: Com
+
+    def __str__(self) -> str:
+        return f"{self.pc}: {self.body}"
+
+
+#: Program counter value reported for a terminated thread.
+PC_DONE = 0
+
+
+def program_counter(com: Com) -> int:
+    """The label of the leftmost labelled statement of ``com``.
+
+    Walks the left spine through ``Seq`` and the loop-body prefix of an
+    unfolding ``While``; returns :data:`PC_DONE` when no label remains —
+    mirroring the paper's ``P.pc_t`` convention that the counter points at
+    the line about to be executed.
+    """
+    node = com
+    while True:
+        if isinstance(node, Labeled):
+            # Innermost label wins: a labelled branch target inside a
+            # labelled conditional (e.g. Dekker's critical section) takes
+            # over from the enclosing statement's label.
+            inner = program_counter(node.body)
+            return inner if inner != PC_DONE else node.pc
+        if isinstance(node, Seq):
+            node = node.first
+            continue
+        if isinstance(node, While) and node.current is None:
+            # A pristine loop at the head position: control is about to
+            # enter the body, so the counter is the body's first label.
+            # (Busy-wait loops that *are* a numbered line carry their own
+            # Labeled wrapper, which wins before we get here.)
+            node = node.body
+            continue
+        return PC_DONE
+
+
+def substitute_leftmost(exp: Exp, value: Value) -> Tuple[Optional[Tuple[Var, bool]], Exp]:
+    """Replace the leftmost variable occurrence of ``exp`` by ``value``.
+
+    Returns ``((var, acquire), exp')`` where the pair identifies the read
+    performed, or ``(None, exp)`` when the expression is closed.  This is
+    the substitution ``E[n/x]`` of Figure 1 specialised to the occurrence
+    being evaluated (expression evaluation is left to right).
+    """
+    if isinstance(exp, Lit):
+        return None, exp
+    if isinstance(exp, Load):
+        return (exp.var, exp.acquire), Lit(value)
+    if isinstance(exp, Not):
+        hit, new = substitute_leftmost(exp.operand, value)
+        return hit, (Not(new) if hit else exp)
+    if isinstance(exp, BinOp):
+        hit, new_left = substitute_leftmost(exp.left, value)
+        if hit:
+            return hit, BinOp(exp.op, new_left, exp.right)
+        hit, new_right = substitute_leftmost(exp.right, value)
+        if hit:
+            return hit, BinOp(exp.op, exp.left, new_right)
+        return None, exp
+    raise TypeError(f"not an expression: {exp!r}")
+
+
+def leftmost_load(exp: Exp) -> Optional[Load]:
+    """The leftmost :class:`Load` of ``exp`` (the next read), if any."""
+    if isinstance(exp, Load):
+        return exp
+    if isinstance(exp, Lit):
+        return None
+    if isinstance(exp, Not):
+        return leftmost_load(exp.operand)
+    if isinstance(exp, BinOp):
+        return leftmost_load(exp.left) or leftmost_load(exp.right)
+    raise TypeError(f"not an expression: {exp!r}")

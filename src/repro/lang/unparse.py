@@ -1,0 +1,119 @@
+"""Unparsing: programs back to the textual litmus format.
+
+The inverse of :mod:`repro.lang.parser` — lets generated or mutated
+programs be written out as ``.litmus`` files (and powers the parser's
+round-trip property tests: ``parse(unparse(p)) == p``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.lang.actions import Value, Var
+from repro.lang.program import Program
+from repro.lang.syntax import (
+    Assign,
+    BinOp,
+    Com,
+    Exp,
+    If,
+    Labeled,
+    Lit,
+    Load,
+    Not,
+    Seq,
+    Skip,
+    Swap,
+    While,
+)
+
+_OP_TEXT = {
+    "eq": "==",
+    "ne": "!=",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "and": "&&",
+    "or": "||",
+}
+
+
+def unparse_exp(exp: Exp) -> str:
+    """Render an expression in parser-accepted syntax.
+
+    Fully parenthesised (except atoms), so precedence never bites.
+    """
+    if isinstance(exp, Lit):
+        return str(exp.value)
+    if isinstance(exp, Load):
+        return f"{exp.var}^A" if exp.acquire else exp.var
+    if isinstance(exp, Not):
+        return f"!({unparse_exp(exp.operand)})"
+    if isinstance(exp, BinOp):
+        return (
+            f"({unparse_exp(exp.left)} {_OP_TEXT[exp.op]} "
+            f"{unparse_exp(exp.right)})"
+        )
+    raise TypeError(f"not an expression: {exp!r}")
+
+
+def unparse_com(com: Com) -> str:
+    """Render a command as a ``;``-separated statement sequence."""
+    if isinstance(com, Skip):
+        return "skip"
+    if isinstance(com, Assign):
+        op = ":=R" if com.release else ":="
+        return f"{com.var} {op} {unparse_exp(com.exp)}"
+    if isinstance(com, Swap):
+        return f"{com.var}.swap({com.value})"
+    if isinstance(com, Seq):
+        # ';' parses right-associated; brace a left-nested first component
+        # so the round trip preserves the tree shape
+        first = unparse_com(com.first)
+        if isinstance(com.first, Seq):
+            first = f"{{ {first} }}"
+        return f"{first}; {unparse_com(com.second)}"
+    if isinstance(com, If):
+        text = f"if ({unparse_exp(com.guard)}) {{ {unparse_com(com.then_branch)} }}"
+        if not isinstance(com.else_branch, Skip):
+            text += f" else {{ {unparse_com(com.else_branch)} }}"
+        return text
+    if isinstance(com, While):
+        # mid-guard-evaluation loops are transient runtime states; only
+        # pristine loops occur in program text
+        body = "" if isinstance(com.body, Skip) else f" {unparse_com(com.body)} "
+        return f"while ({unparse_exp(com.guard)}) {{{body}}}"
+    if isinstance(com, Labeled):
+        # a label binds one statement; brace compound bodies so the
+        # round trip re-associates them under the label
+        if isinstance(com.body, Seq):
+            return f"{com.pc}: {{ {unparse_com(com.body)} }}"
+        return f"{com.pc}: {unparse_com(com.body)}"
+    raise TypeError(f"not a command: {com!r}")
+
+
+def unparse_litmus(
+    name: str,
+    program: Program,
+    init: Mapping[Var, Value],
+    outcome: Optional[str] = None,
+    outcome_mode: str = "exists",
+    description: str = "",
+) -> str:
+    """Render a complete ``.litmus`` file."""
+    lines = []
+    header = f"C11 {name}"
+    if description:
+        header += f" ({description})"
+    lines.append(header)
+    inits = "; ".join(f"{x} = {v}" for x, v in sorted(init.items()))
+    lines.append(f"{{ {inits} }}")
+    for tid, com in program.threads:
+        lines.append(f"P{tid}: {unparse_com(com)}")
+    if outcome is not None:
+        lines.append(f"{outcome_mode} ({outcome})")
+    return "\n".join(lines) + "\n"

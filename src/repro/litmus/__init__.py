@@ -1,0 +1,25 @@
+"""Litmus tests: small programs with expected RA/SC verdicts.
+
+* :mod:`repro.litmus.registry` — the :class:`LitmusTest` shape and the
+  runner that decides whether an outcome is reachable under a model.
+* :mod:`repro.litmus.suite` — the standard weak-memory litmus tests
+  (SB, MP, LB, CoRR, CoWR, IRIW, 2+2W, WRC, ...) with the verdicts the
+  RAR fragment prescribes.
+"""
+
+from repro.litmus.registry import LitmusOutcome, LitmusTest, run_litmus, final_values
+from repro.litmus.suite import ALL_TESTS, test_by_name
+from repro.litmus.extra import EXTRA_TESTS
+from repro.litmus.corpus import CORPUS_SOURCES, load_corpus
+
+__all__ = [
+    "LitmusTest",
+    "LitmusOutcome",
+    "run_litmus",
+    "final_values",
+    "ALL_TESTS",
+    "test_by_name",
+    "EXTRA_TESTS",
+    "CORPUS_SOURCES",
+    "load_corpus",
+]

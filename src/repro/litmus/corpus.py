@@ -1,0 +1,105 @@
+"""A textual litmus corpus, parsed by :mod:`repro.lang.parser`.
+
+The same tests could be built with the Python builder (and the core ones
+are, in :mod:`repro.litmus.suite`), but a text corpus is what downstream
+users actually maintain: copy a file, tweak an annotation, re-run.  Each
+entry is a complete ``.litmus``-style source; :func:`load_corpus` parses
+them all and :func:`corpus_expectations` pins the expected RA verdict of
+each ``exists``/``forbidden`` clause.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lang.parser import ParsedLitmus, parse_litmus
+
+CORPUS_SOURCES: Dict[str, str] = {
+    "SB.litmus": """
+        C11 SB (store buffering, textual)
+        { x = 0; y = 0; r1 = 0; r2 = 0 }
+        P1: x := 1; r1 := y
+        P2: y := 1; r2 := x
+        exists (r1 = 0 /\\ r2 = 0)
+    """,
+    "MP.litmus": """
+        C11 MP (message passing with release acquire)
+        { d = 0; f = 0; r1 = 0; r2 = 0 }
+        P1: d := 5; f :=R 1
+        P2: r1 := f^A; r2 := d
+        forbidden (r1 = 1 /\\ r2 = 0)
+    """,
+    "MP_relaxed.litmus": """
+        C11 MP_relaxed (message passing without synchronisation)
+        { d = 0; f = 0; r1 = 0; r2 = 0 }
+        P1: d := 5; f := 1
+        P2: r1 := f; r2 := d
+        exists (r1 = 1 /\\ r2 = 0)
+    """,
+    "LB.litmus": """
+        C11 LB (load buffering, excluded by NoThinAir)
+        { x = 0; y = 0; r1 = 0; r2 = 0 }
+        P1: r1 := x; y := 1
+        P2: r2 := y; x := 1
+        forbidden (r1 = 1 /\\ r2 = 1)
+    """,
+    "CoRR.litmus": """
+        C11 CoRR (coherence of read read pairs)
+        { x = 0; r1 = 0; r2 = 0 }
+        P1: x := 1; x := 2
+        P2: r1 := x; r2 := x
+        forbidden (r1 = 2 /\\ r2 = 1)
+    """,
+    "SWAPS.litmus": """
+        C11 SWAPS (update atomicity)
+        { x = 0 }
+        P1: x.swap(1)
+        P2: x.swap(2)
+        forbidden (x = 0)
+    """,
+    "IRIW.litmus": """
+        C11 IRIW (independent readers, acquire loads)
+        { x = 0; y = 0; r1 = 0; r2 = 0; r3 = 0; r4 = 0 }
+        P1: x :=R 1
+        P2: y :=R 1
+        P3: r1 := x^A; r2 := y^A
+        P4: r3 := y^A; r4 := x^A
+        exists (r1 = 1 /\\ r2 = 0 /\\ r3 = 1 /\\ r4 = 0)
+    """,
+    "MP_await.litmus": """
+        C11 MP_await (Example 5.7 with the busy wait)
+        { d = 0; f = 0; r = 0 }
+        P1: d := 5; f :=R 1
+        P2: while (!f^A) { }; r := d
+        forbidden (f = 1 /\\ r != 5)
+    """,
+    "PETERSON_HEAD.litmus": """
+        C11 PETERSON_HEAD (Example 3.6 prefix: both swaps run)
+        { flag1 = 0; flag2 = 0; turn = 1 }
+        P1: 2: flag1 := 1; 3: turn.swap(2)
+        P2: 2: flag2 := 1; 3: turn.swap(1)
+        forbidden (turn = 0)
+    """,
+}
+
+#: name -> (outcome expected reachable under RA?, event bound or None)
+CORPUS_EXPECTATIONS: Dict[str, Tuple[bool, object]] = {
+    "SB.litmus": (True, None),
+    "MP.litmus": (False, None),
+    "MP_relaxed.litmus": (True, None),
+    "LB.litmus": (False, None),
+    "CoRR.litmus": (False, None),
+    "SWAPS.litmus": (False, None),
+    "IRIW.litmus": (True, None),
+    "MP_await.litmus": (False, 9),
+    "PETERSON_HEAD.litmus": (False, None),
+}
+
+
+def load_corpus() -> Dict[str, ParsedLitmus]:
+    """Parse every corpus source."""
+    return {name: parse_litmus(src) for name, src in CORPUS_SOURCES.items()}
+
+
+def corpus_names() -> List[str]:
+    return sorted(CORPUS_SOURCES)

@@ -1,0 +1,202 @@
+"""Additional litmus tests: the S/R shapes, coherence variants, fences-
+by-RMW idioms.
+
+These extend :mod:`repro.litmus.suite` with the remaining classic
+two-to-three-thread shapes, each pinned to its RAR verdict.  Collected
+separately so the core suite mirrors the tests the paper's narrative
+touches while this module rounds out the behavioural fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.builder import acq, assign, seq, swap, var
+from repro.lang.program import Program
+from repro.litmus.registry import LitmusTest
+
+
+def _s_shape() -> LitmusTest:
+    """S: w1 -mo-> w2 via an rf+sb detour.  Forbidden with rel/acq."""
+    program = Program.parallel(
+        seq(assign("x", 2), assign("y", 1, release=True)),
+        seq(assign("r1", acq("y")), assign("x", 1)),
+    )
+    return LitmusTest(
+        name="S+rel-acq",
+        description="write-after-synchronise cannot be mo-before the "
+        "write it causally follows",
+        program=program,
+        init={"x": 0, "y": 0, "r1": 0},
+        # r1 = 1 (synchronised) and x finally 2 would need wr(x,1) mo-before
+        # wr(x,2) against hb — a Coherence violation.
+        outcome=lambda v: v["r1"] == 1 and v["x"] == 2,
+        outcome_text="r1 = 1 ∧ x = 2 finally",
+        allowed_ra=False,
+        allowed_sc=False,
+    )
+
+
+def _s_relaxed() -> LitmusTest:
+    """S without synchronisation: the detour carries no hb, so allowed."""
+    program = Program.parallel(
+        seq(assign("x", 2), assign("y", 1)),
+        seq(assign("r1", var("y")), assign("x", 1)),
+    )
+    return LitmusTest(
+        name="S+relaxed",
+        description="the S shape is allowed without release/acquire",
+        program=program,
+        init={"x": 0, "y": 0, "r1": 0},
+        outcome=lambda v: v["r1"] == 1 and v["x"] == 2,
+        outcome_text="r1 = 1 ∧ x = 2 finally",
+        allowed_ra=True,
+        allowed_sc=False,
+    )
+
+
+def _r_shape() -> LitmusTest:
+    """R: a write racing a synchronised write-read pair.  Allowed in RA
+    (needs SC fences to forbid, which the fragment lacks)."""
+    program = Program.parallel(
+        seq(assign("x", 1), assign("y", 1, release=True)),
+        seq(assign("y", 2, release=True), assign("r1", acq("x"))),
+    )
+    return LitmusTest(
+        name="R+rel-acq",
+        description="R shape stays allowed under release/acquire",
+        program=program,
+        init={"x": 0, "y": 0, "r1": 0},
+        # classic R asks: thread 2's y-write wins mo AND its x-read is
+        # stale — an SC cycle, but RA has no total order across variables
+        outcome=lambda v: v["y"] == 2 and v["r1"] == 0,
+        outcome_text="y = 2 finally ∧ r1 = 0",
+        allowed_ra=True,
+        allowed_sc=False,
+    )
+
+
+def _corw1() -> LitmusTest:
+    """CoRW1: a thread reads x then writes x; the write cannot be
+    mo-before the read's source."""
+    program = Program.parallel(
+        seq(assign("r1", var("x")), assign("x", 2)),
+        assign("x", 1),
+    )
+    return LitmusTest(
+        name="CoRW1",
+        description="read-then-write coherence within one thread",
+        program=program,
+        init={"x": 0, "r1": 0},
+        # reading 1 then having the final value be 1 would place wr(x,2)
+        # mo-before wr(x,1), against fr;mo irreflexivity
+        outcome=lambda v: v["r1"] == 1 and v["x"] == 1,
+        outcome_text="r1 = 1 ∧ x = 1 finally",
+        allowed_ra=False,
+        allowed_sc=False,
+    )
+
+
+def _coww() -> LitmusTest:
+    """CoWW: program order of two writes to one variable is mo order."""
+    program = Program.parallel(
+        seq(assign("x", 1), assign("x", 2)),
+    )
+    return LitmusTest(
+        name="CoWW",
+        description="sb between same-variable writes forces mo",
+        program=program,
+        init={"x": 0},
+        outcome=lambda v: v["x"] == 1,
+        outcome_text="x = 1 finally",
+        allowed_ra=False,
+        allowed_sc=False,
+    )
+
+
+def _mp_swap_flag() -> LitmusTest:
+    """Message passing where the flag is raised by an RMW: the swap is
+    releasing, so synchronisation still happens."""
+    program = Program.parallel(
+        seq(assign("d", 1), swap("f", 1)),
+        seq(assign("r1", acq("f")), assign("r2", var("d"))),
+    )
+    return LitmusTest(
+        name="MP+swap-flag",
+        description="a release-acquire swap publishes like a releasing store",
+        program=program,
+        init={"d": 0, "f": 0, "r1": 0, "r2": 0},
+        outcome=lambda v: v["r1"] == 1 and v["r2"] == 0,
+        outcome_text="r1 = 1 ∧ r2 = 0",
+        allowed_ra=False,
+        allowed_sc=False,
+    )
+
+
+def _mp_acquire_only() -> LitmusTest:
+    """Acquire without release: no sw edge, stale data readable."""
+    program = Program.parallel(
+        seq(assign("d", 1), assign("f", 1)),  # relaxed flag write!
+        seq(assign("r1", acq("f")), assign("r2", var("d"))),
+    )
+    return LitmusTest(
+        name="MP+acq-only",
+        description="an acquiring read of a relaxed write does not "
+        "synchronise",
+        program=program,
+        init={"d": 0, "f": 0, "r1": 0, "r2": 0},
+        outcome=lambda v: v["r1"] == 1 and v["r2"] == 0,
+        outcome_text="r1 = 1 ∧ r2 = 0",
+        allowed_ra=True,
+        allowed_sc=False,
+    )
+
+
+def _mp_release_only() -> LitmusTest:
+    """Release without acquire: symmetric failure."""
+    program = Program.parallel(
+        seq(assign("d", 1), assign("f", 1, release=True)),
+        seq(assign("r1", var("f")), assign("r2", var("d"))),  # relaxed read!
+    )
+    return LitmusTest(
+        name="MP+rel-only",
+        description="a relaxed read of a releasing write does not "
+        "synchronise",
+        program=program,
+        init={"d": 0, "f": 0, "r1": 0, "r2": 0},
+        outcome=lambda v: v["r1"] == 1 and v["r2"] == 0,
+        outcome_text="r1 = 1 ∧ r2 = 0",
+        allowed_ra=True,
+        allowed_sc=False,
+    )
+
+
+def _three_swaps_chain() -> LitmusTest:
+    """Three competing RMWs on one variable totalise: the final value is
+    the last swap's, and 0 can never survive."""
+    program = Program.parallel(
+        swap("x", 1), swap("x", 2), swap("x", 3)
+    )
+    return LitmusTest(
+        name="3-swaps",
+        description="RMWs on one variable form an hb-total chain",
+        program=program,
+        init={"x": 0},
+        outcome=lambda v: v["x"] == 0,
+        outcome_text="x = 0 finally",
+        allowed_ra=False,
+        allowed_sc=False,
+    )
+
+
+EXTRA_TESTS: List[LitmusTest] = [
+    _s_shape(),
+    _s_relaxed(),
+    _r_shape(),
+    _corw1(),
+    _coww(),
+    _mp_swap_flag(),
+    _mp_acquire_only(),
+    _mp_release_only(),
+    _three_swaps_chain(),
+]

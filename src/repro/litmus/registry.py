@@ -1,0 +1,128 @@
+"""Litmus-test infrastructure.
+
+A litmus test pairs a tiny program with a *question*: is the final-state
+outcome ``pred(values)`` reachable?  The answer depends on the memory
+model — the whole point — so every test carries its expected verdict
+under the paper's RA semantics and under sequential consistency
+(E7's table compares the two).
+
+Registers are ordinary shared variables written by exactly one thread
+(the paper has no thread-local state), so an outcome is a predicate over
+the *final value of every variable*: ``wrval(σ.last(x))`` for C11
+states, the store content for SC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.c11.state import C11State
+from repro.interp.config import Configuration
+from repro.interp.explore import explore
+from repro.interp.memory_model import MemoryModel
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.lang.actions import Value, Var
+from repro.lang.program import Program
+
+
+def final_values(config: Configuration) -> Dict[Var, Value]:
+    """Final value of every variable in a terminal configuration."""
+    state = config.state
+    if isinstance(state, C11State):
+        out: Dict[Var, Value] = {}
+        for x in state.variables():
+            last = state.last(x)
+            assert last is not None
+            out[x] = last.wrval
+        return out
+    # SC stores are tuples of (var, value) pairs.
+    return dict(state)
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus test with its expected verdicts."""
+
+    name: str
+    description: str
+    program: Program
+    init: Mapping[Var, Value]
+    outcome: Callable[[Dict[Var, Value]], bool]
+    outcome_text: str
+    allowed_ra: bool
+    allowed_sc: bool
+    #: Bound on program events; litmus programs are loop-free except MP,
+    #: whose busy wait needs a modest unrolling budget.
+    max_events: Optional[int] = None
+
+
+@dataclass
+class LitmusOutcome:
+    """The result of running one test under one model."""
+
+    test: LitmusTest
+    model_name: str
+    reachable: bool
+    expected: bool
+    terminal_states: int
+    configs: int
+    truncated: bool
+
+    @property
+    def verdict_matches(self) -> bool:
+        return self.reachable == self.expected
+
+    def row(self) -> str:
+        got = "allowed " if self.reachable else "forbidden"
+        ok = "OK" if self.verdict_matches else "** MISMATCH **"
+        return (
+            f"{self.test.name:<22} {self.model_name:<3} {got} "
+            f"(expected {'allowed' if self.expected else 'forbidden'})  "
+            f"terminals={self.terminal_states:>4} configs={self.configs:>6}  {ok}"
+        )
+
+
+def run_litmus(
+    test: LitmusTest,
+    model: Optional[MemoryModel] = None,
+    max_configs: Optional[int] = None,
+) -> LitmusOutcome:
+    """Decide reachability of the test's outcome under ``model``."""
+    model = model if model is not None else RAMemoryModel()
+    result = explore(
+        test.program,
+        test.init,
+        model,
+        max_events=test.max_events,
+        max_configs=max_configs,
+    )
+    reachable = any(
+        test.outcome(final_values(config)) for config in result.terminal
+    )
+    expected = (
+        test.allowed_sc if isinstance(model, SCMemoryModel) else test.allowed_ra
+    )
+    return LitmusOutcome(
+        test=test,
+        model_name=model.name,
+        reachable=reachable,
+        expected=expected,
+        terminal_states=len(result.terminal),
+        configs=result.configs,
+        truncated=result.truncated,
+    )
+
+
+def run_suite(
+    tests: List[LitmusTest],
+    models: Optional[List[MemoryModel]] = None,
+) -> List[LitmusOutcome]:
+    """The E7 table: every test under every model."""
+    models = models if models is not None else [RAMemoryModel(), SCMemoryModel()]
+    outcomes = []
+    for test in tests:
+        for model in models:
+            outcomes.append(run_litmus(test, model))
+    return outcomes

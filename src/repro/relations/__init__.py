@@ -1,0 +1,40 @@
+"""Finite binary relations and the relational algebra the C11 semantics needs.
+
+The axiomatic and operational C11 semantics of Doherty et al. are phrased
+entirely in terms of finite binary relations over events: sequenced-before
+``sb``, reads-from ``rf``, modification order ``mo``, and the derived
+``sw``, ``hb``, ``fr`` and ``eco`` orders.  This subpackage provides:
+
+* :class:`~repro.relations.relation.Relation` — an immutable set-of-pairs
+  relation with composition, union, inverse, reflexive/transitive closure,
+  restriction and image operators matching the paper's notation.
+* :mod:`~repro.relations.closure` — reachability and cycle detection used
+  by the NoThinAir and Coherence axioms.
+* :mod:`~repro.relations.linearize` — topological sorts and exhaustive
+  linearisation enumeration (needed for the completeness replay of
+  Theorem 4.8 and the permutation Lemma 4.7).
+"""
+
+from repro.relations.relation import Relation
+from repro.relations.closure import (
+    is_acyclic,
+    is_irreflexive,
+    reachable_from,
+    transitive_closure_pairs,
+)
+from repro.relations.linearize import (
+    all_linearizations,
+    count_linearizations,
+    one_linearization,
+)
+
+__all__ = [
+    "Relation",
+    "is_acyclic",
+    "is_irreflexive",
+    "reachable_from",
+    "transitive_closure_pairs",
+    "all_linearizations",
+    "count_linearizations",
+    "one_linearization",
+]

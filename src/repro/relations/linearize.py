@@ -1,0 +1,166 @@
+"""Linearisations of strict partial orders.
+
+The completeness proof of the paper (Theorem 4.8) replays a candidate
+execution in the operational semantics by following *a linearisation of*
+``sb ∪ rf`` (which NoThinAir guarantees to be acyclic).  The permutation
+Lemma 4.7 quantifies over *every* linearisation of ``sb``.  Both shapes
+are provided here:
+
+* :func:`one_linearization` — a single topological sort (Kahn's
+  algorithm, deterministic for reproducibility).
+* :func:`all_linearizations` — a generator over *all* topological sorts
+  (backtracking over the minimal elements), used by the completeness
+  harness and by property tests of Lemma 4.7.
+* :func:`count_linearizations` — the number of linear extensions, with
+  memoisation on the remaining-set, used by benchmarks to report search
+  effort without materialising every ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple, TypeVar
+
+from repro.relations.relation import Relation
+
+T = TypeVar("T", bound=Hashable)
+
+
+class CycleError(ValueError):
+    """Raised when asked to linearise a relation that has a cycle."""
+
+
+def _indegree_graph(
+    relation: Relation, domain: Iterable[T]
+) -> Tuple[List[T], Dict[T, Set[T]], Dict[T, int]]:
+    """Build successor map and in-degree count over an explicit domain."""
+    nodes: List[T] = list(dict.fromkeys(domain))
+    node_set = set(nodes)
+    succ: Dict[T, Set[T]] = {n: set() for n in nodes}
+    indeg: Dict[T, int] = {n: 0 for n in nodes}
+    for a, b in relation.pairs:
+        if a in node_set and b in node_set and b not in succ[a]:
+            succ[a].add(b)
+            indeg[b] += 1
+    return nodes, succ, indeg
+
+
+def one_linearization(
+    relation: Relation, domain: Iterable[T] = None
+) -> Tuple[T, ...]:
+    """A single topological order of ``domain`` respecting ``relation``.
+
+    ``domain`` defaults to the field of the relation.  The tie-break is
+    the insertion order of ``domain`` (stable and deterministic), so
+    replays are reproducible run to run.
+    """
+    if domain is None:
+        domain = sorted(relation.field(), key=repr)
+    nodes, succ, indeg = _indegree_graph(relation, domain)
+    ready: List[T] = [n for n in nodes if indeg[n] == 0]
+    order: List[T] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for nxt in sorted(succ[node], key=nodes.index):
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != len(nodes):
+        raise CycleError("relation has a cycle; no linearisation exists")
+    return tuple(order)
+
+
+def all_linearizations(
+    relation: Relation, domain: Iterable[T] = None
+) -> Iterator[Tuple[T, ...]]:
+    """Generate every topological order of ``domain`` respecting ``relation``.
+
+    Backtracking over the currently-minimal elements.  The number of
+    linear extensions can be factorial in the antichain width, so callers
+    (the completeness harness) bound either the domain size or the number
+    of linearisations they consume.
+    """
+    if domain is None:
+        domain = sorted(relation.field(), key=repr)
+    nodes, succ, indeg = _indegree_graph(relation, domain)
+    if not nodes:
+        yield ()
+        return
+
+    order: List[T] = []
+
+    def emit() -> Iterator[Tuple[T, ...]]:
+        if len(order) == len(nodes):
+            yield tuple(order)
+            return
+        for node in nodes:
+            if indeg[node] == 0 and node not in taken:
+                taken.add(node)
+                order.append(node)
+                for nxt in succ[node]:
+                    indeg[nxt] -= 1
+                yield from emit()
+                for nxt in succ[node]:
+                    indeg[nxt] += 1
+                order.pop()
+                taken.remove(node)
+
+    taken: Set[T] = set()
+    produced = False
+    for lin in emit():
+        produced = True
+        yield lin
+    if not produced:
+        raise CycleError("relation has a cycle; no linearisation exists")
+
+
+def count_linearizations(relation: Relation, domain: Iterable[T] = None) -> int:
+    """The number of linear extensions (memoised over remaining-sets)."""
+    if domain is None:
+        domain = sorted(relation.field(), key=repr)
+    nodes, succ, _ = _indegree_graph(relation, domain)
+    node_ids = {n: i for i, n in enumerate(nodes)}
+    pred_mask: List[int] = [0] * len(nodes)
+    for a, bs in succ.items():
+        for b in bs:
+            pred_mask[node_ids[b]] |= 1 << node_ids[a]
+
+    full = (1 << len(nodes)) - 1
+    memo: Dict[int, int] = {full: 1}
+
+    def count(done: int) -> int:
+        if done in memo:
+            return memo[done]
+        total = 0
+        for i in range(len(nodes)):
+            bit = 1 << i
+            if not done & bit and (pred_mask[i] & done) == pred_mask[i]:
+                total += count(done | bit)
+        memo[done] = total
+        return total
+
+    result = count(0)
+    if result == 0 and nodes:
+        raise CycleError("relation has a cycle; no linearisation exists")
+    return result
+
+
+def is_linearization_of(
+    sequence: Iterable[T], relation: Relation
+) -> bool:
+    """Whether ``sequence`` is a linearisation of the strict order.
+
+    Mirrors the paper's definition before Lemma 4.7: the sequence must
+    enumerate ``dom ∪ ran`` of the order and respect every edge.
+    """
+    seq = list(sequence)
+    pos: Dict[T, int] = {}
+    for i, x in enumerate(seq):
+        if x in pos:
+            return False
+        pos[x] = i
+    if set(seq) != set(relation.field()) and relation.field() - set(seq):
+        return False
+    return all(
+        a in pos and b in pos and pos[a] < pos[b] for a, b in relation.pairs
+    )

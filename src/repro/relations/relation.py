@@ -1,0 +1,340 @@
+"""An immutable finite binary relation.
+
+This is the workhorse data structure of the whole reproduction: C11 states
+carry ``sb``, ``rf`` and ``mo`` as :class:`Relation` values, and every
+derived order of the paper (``sw``, ``hb``, ``fr``, ``eco``) is computed
+with the operators below.  The operator names follow the paper's notation:
+
+====================  =====================================================
+Paper                 Here
+====================  =====================================================
+``R ; S``             ``R.compose(S)`` (also ``R @ S``)
+``R ∪ S``             ``R | S``
+``R ∩ S``             ``R & S``
+``R \\ S``            ``R - S``
+``R⁻¹``               ``R.inverse()``
+``R?``                ``R.reflexive(domain)`` / ``R.maybe()`` (pair-level)
+``R⁺``                ``R.transitive_closure()``
+``R*``                ``R.reflexive_transitive_closure(domain)``
+``R|_t`` / ``R|_x``   ``R.restrict(predicate)`` (see ``c11.state``)
+``R[x]``              ``R.image(x)``
+``R⁻¹[x]``            ``R.preimage(x)``
+====================  =====================================================
+
+Performance note (per the project's HPC guides): relations stay small
+(tens of events) but the closure operators sit on the hot path of state
+exploration, so they are implemented over adjacency dictionaries with BFS
+rather than naive fixpoint iteration over pair sets.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T", bound=Hashable)
+Pair = Tuple[T, T]
+
+
+class Relation:
+    """An immutable binary relation over hashable elements.
+
+    Instances are value objects: all operators return new relations and
+    never mutate their operands, which keeps C11 states safely shareable
+    between branches of the state-space exploration.
+    """
+
+    __slots__ = ("_pairs", "_succ", "_pred", "_hash")
+
+    def __init__(self, pairs: Iterable[Pair] = ()) -> None:
+        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+        self._succ: Optional[Dict[T, Set[T]]] = None
+        self._pred: Optional[Dict[T, Set[T]]] = None
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Relation":
+        """The empty relation (used for initial C11 states)."""
+        return _EMPTY
+
+    @classmethod
+    def from_edges(cls, *pairs: Pair) -> "Relation":
+        """Build a relation from explicitly listed edges."""
+        return cls(pairs)
+
+    @classmethod
+    def identity(cls, domain: Iterable[T]) -> "Relation":
+        """The identity relation ``Id`` on ``domain``."""
+        return cls((x, x) for x in domain)
+
+    @classmethod
+    def total_order(cls, chain: Iterable[T]) -> "Relation":
+        """The strict total order induced by the sequence ``chain``.
+
+        ``total_order([a, b, c])`` contains ``(a,b), (a,c), (b,c)`` — the
+        shape of ``sb|_t`` and ``mo|_x`` in valid C11 states.
+        """
+        items = list(chain)
+        return cls(
+            (items[i], items[j])
+            for i in range(len(items))
+            for j in range(i + 1, len(items))
+        )
+
+    @classmethod
+    def cross(cls, lefts: Iterable[T], rights: Iterable[T]) -> "Relation":
+        """The cartesian product ``lefts × rights``."""
+        rs = list(rights)
+        return cls((a, b) for a in lefts for b in rs)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        """The underlying frozen set of ``(source, target)`` pairs."""
+        return self._pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Relation):
+            return self._pairs == other._pairs
+        if isinstance(other, (set, frozenset)):
+            return self._pairs == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._pairs)
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(p) for p in sorted(self._pairs, key=repr))
+        return f"Relation({{{inner}}})"
+
+    # ------------------------------------------------------------------
+    # Adjacency views (cached; the closure algorithms need them)
+    # ------------------------------------------------------------------
+
+    def successors_map(self) -> Dict[T, Set[T]]:
+        """Adjacency map ``x -> {y | (x, y) in R}`` (cached)."""
+        if self._succ is None:
+            succ: Dict[T, Set[T]] = {}
+            for a, b in self._pairs:
+                succ.setdefault(a, set()).add(b)
+            self._succ = succ
+        return self._succ
+
+    def predecessors_map(self) -> Dict[T, Set[T]]:
+        """Adjacency map ``y -> {x | (x, y) in R}`` (cached)."""
+        if self._pred is None:
+            pred: Dict[T, Set[T]] = {}
+            for a, b in self._pairs:
+                pred.setdefault(b, set()).add(a)
+            self._pred = pred
+        return self._pred
+
+    def image(self, x: T) -> FrozenSet[T]:
+        """``R[x]`` — the relational image of ``x``."""
+        return frozenset(self.successors_map().get(x, ()))
+
+    def preimage(self, x: T) -> FrozenSet[T]:
+        """``R⁻¹[x]`` — the set of elements related *to* ``x``."""
+        return frozenset(self.predecessors_map().get(x, ()))
+
+    def image_of_set(self, xs: Iterable[T]) -> FrozenSet[T]:
+        """``R[X]`` — union of images over a set."""
+        succ = self.successors_map()
+        out: Set[T] = set()
+        for x in xs:
+            out |= succ.get(x, set())
+        return frozenset(out)
+
+    def domain(self) -> FrozenSet[T]:
+        """``dom(R)``."""
+        return frozenset(a for a, _ in self._pairs)
+
+    def range(self) -> FrozenSet[T]:
+        """``ran(R)``."""
+        return frozenset(b for _, b in self._pairs)
+
+    def field(self) -> FrozenSet[T]:
+        """``dom(R) ∪ ran(R)``."""
+        return self.domain() | self.range()
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: "Relation") -> "Relation":
+        """``R ∪ S``."""
+        if not other._pairs:
+            return self
+        if not self._pairs:
+            return other
+        return Relation(self._pairs | other._pairs)
+
+    __or__ = union
+
+    def intersect(self, other: "Relation") -> "Relation":
+        """``R ∩ S``."""
+        return Relation(self._pairs & other._pairs)
+
+    __and__ = intersect
+
+    def difference(self, other: "Relation") -> "Relation":
+        """``R \\ S``."""
+        return Relation(self._pairs - other._pairs)
+
+    __sub__ = difference
+
+    def add(self, pair: Pair) -> "Relation":
+        """``R ∪ {pair}`` — the incremental update used by the semantics."""
+        if pair in self._pairs:
+            return self
+        return Relation(self._pairs | {pair})
+
+    def add_all(self, pairs: Iterable[Pair]) -> "Relation":
+        """``R ∪ pairs``."""
+        extra = frozenset(pairs)
+        if extra <= self._pairs:
+            return self
+        return Relation(self._pairs | extra)
+
+    def inverse(self) -> "Relation":
+        """``R⁻¹``."""
+        return Relation((b, a) for a, b in self._pairs)
+
+    def compose(self, other: "Relation") -> "Relation":
+        """Relational composition ``R ; S``.
+
+        ``(x, z) ∈ R;S`` iff there is ``y`` with ``(x,y) ∈ R`` and
+        ``(y,z) ∈ S`` — exactly the paper's ``;`` (e.g. in
+        ``fr = (rf⁻¹ ; mo) \\ Id``).
+        """
+        succ = other.successors_map()
+        out: Set[Pair] = set()
+        for a, b in self._pairs:
+            nexts = succ.get(b)
+            if nexts:
+                for c in nexts:
+                    out.add((a, c))
+        return Relation(out)
+
+    __matmul__ = compose
+
+    def restrict(self, keep: Callable[[T], bool]) -> "Relation":
+        """Restriction to elements satisfying ``keep`` (both endpoints)."""
+        return Relation((a, b) for a, b in self._pairs if keep(a) and keep(b))
+
+    def restrict_to(self, elements: AbstractSet[T]) -> "Relation":
+        """``R ∩ (E × E)`` — the event-set restriction used in Thm 4.8."""
+        return Relation(
+            (a, b) for a, b in self._pairs if a in elements and b in elements
+        )
+
+    def filter_pairs(self, keep: Callable[[T, T], bool]) -> "Relation":
+        """Keep only the pairs satisfying a binary predicate."""
+        return Relation((a, b) for a, b in self._pairs if keep(a, b))
+
+    def remove_identity(self) -> "Relation":
+        """``R \\ Id`` — needed by ``fr`` to cope with updates."""
+        return Relation((a, b) for a, b in self._pairs if a != b)
+
+    def reflexive(self, domain: Iterable[T]) -> "Relation":
+        """``R?`` over an explicit domain: ``R ∪ Id(domain)``."""
+        return self.union(Relation.identity(domain))
+
+    # ------------------------------------------------------------------
+    # Closures and order-theoretic queries (delegated to `closure`)
+    # ------------------------------------------------------------------
+
+    def transitive_closure(self) -> "Relation":
+        """``R⁺``."""
+        from repro.relations.closure import transitive_closure_pairs
+
+        return Relation(transitive_closure_pairs(self.successors_map()))
+
+    def reflexive_transitive_closure(self, domain: Iterable[T]) -> "Relation":
+        """``R*`` over an explicit domain."""
+        return self.transitive_closure().reflexive(domain)
+
+    def is_irreflexive(self) -> bool:
+        """``irrefl(R)`` — no ``(x, x)`` pair."""
+        return all(a != b for a, b in self._pairs)
+
+    def is_acyclic(self) -> bool:
+        """``acyclic(R)`` — the transition graph has no directed cycle."""
+        from repro.relations.closure import is_acyclic
+
+        return is_acyclic(self.successors_map())
+
+    def is_transitive(self) -> bool:
+        """Whether ``R ; R ⊆ R``."""
+        succ = self.successors_map()
+        for a, b in self._pairs:
+            for c in succ.get(b, ()):
+                if (a, c) not in self._pairs:
+                    return False
+        return True
+
+    def is_strict_total_order_on(self, elements: AbstractSet[T]) -> bool:
+        """Whether ``R`` restricted to ``elements`` is a strict total order.
+
+        This is the shape MO-Valid demands of ``mo|_x`` and SB-Total of
+        ``sb|_t``: irreflexive, transitive, and total on ``elements``.
+        """
+        sub = self.restrict_to(elements)
+        if not sub.is_irreflexive() or not sub.is_transitive():
+            return False
+        items = list(elements)
+        for i, a in enumerate(items):
+            for b in items[i + 1 :]:
+                if (a, b) not in sub._pairs and (b, a) not in sub._pairs:
+                    return False
+        return True
+
+    def toposort(self) -> Tuple[T, ...]:
+        """One linearisation of an acyclic relation (raises on cycles)."""
+        from repro.relations.linearize import one_linearization
+
+        return one_linearization(self)
+
+    # ------------------------------------------------------------------
+    # Queries used by observability
+    # ------------------------------------------------------------------
+
+    def downset(self, x: T) -> FrozenSet[T]:
+        """``R+x = {x} ∪ R⁻¹[x]`` — the paper's notation for ``mo``
+        predecessors of ``x``, inclusive (used by ``mo[w, e]``)."""
+        return frozenset({x}) | self.preimage(x)
+
+
+_EMPTY = Relation(())

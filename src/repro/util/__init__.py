@@ -1,0 +1,11 @@
+"""Presentation utilities: textual state dumps and Graphviz export."""
+
+from repro.util.pretty import format_state, format_observability, format_trace
+from repro.util.dot import state_to_dot
+
+__all__ = [
+    "format_state",
+    "format_observability",
+    "format_trace",
+    "state_to_dot",
+]

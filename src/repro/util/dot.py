@@ -1,0 +1,67 @@
+"""Graphviz (dot) export of C11 states.
+
+Produces diagrams in the style of the paper's figures: events as nodes
+(one column per thread), ``sb`` as solid edges, ``rf``/``sw`` dashed,
+``mo`` dotted, ``fr`` bold.  Render with ``dot -Tpdf``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.c11.state import C11State
+
+
+def _node_id(e) -> str:
+    return f"e{e.tag}".replace("-", "i")
+
+
+def state_to_dot(state: C11State, name: str = "c11", derived: bool = True) -> str:
+    """The dot source for a state (derived relations optional)."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=box, fontname=monospace];"]
+
+    by_tid: Dict[int, List] = {}
+    for e in state.events:
+        by_tid.setdefault(e.tid, []).append(e)
+
+    for tid in sorted(by_tid):
+        events = sorted(by_tid[tid], key=lambda e: e.tag)
+        lines.append(f"  subgraph cluster_t{tid} {{")
+        label = "init" if tid == 0 else f"thread {tid}"
+        lines.append(f'    label="{label}";')
+        for e in events:
+            lines.append(f'    {_node_id(e)} [label="{e.action}"];')
+        lines.append("  }")
+
+    def edge(rel, style: str, color: str, label: str, constraint: bool = True) -> None:
+        for a, b in sorted(rel.pairs, key=lambda p: (p[0].tag, p[1].tag)):
+            opts = f'style={style}, color={color}, label="{label}"'
+            if not constraint:
+                opts += ", constraint=false"
+            lines.append(f"  {_node_id(a)} -> {_node_id(b)} [{opts}];")
+
+    # only immediate sb within threads to keep diagrams readable
+    sb_imm = state.sb.filter_pairs(
+        lambda a, b: a.tid == b.tid
+        and not any(
+            (a, c) in state.sb.pairs and (c, b) in state.sb.pairs
+            for c in state.events
+            if c not in (a, b)
+        )
+    )
+    edge(sb_imm, "solid", "black", "sb")
+    edge(state.rf, "dashed", "blue", "rf", constraint=False)
+    if derived:
+        edge(state.sw, "dashed", "purple", "sw", constraint=False)
+        mo_imm = state.mo.filter_pairs(
+            lambda a, b: not any(
+                (a, c) in state.mo.pairs and (c, b) in state.mo.pairs
+                for c in state.events
+                if c not in (a, b)
+            )
+        )
+        edge(mo_imm, "dotted", "red", "mo", constraint=False)
+        edge(state.fr, "bold", "darkgreen", "fr", constraint=False)
+
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Textual rendering of C11 states in the paper's style.
+
+Example 3.2 presents states as event lists with their ``sb``/``rf``/
+``mo``/``sw``/``fr`` edges; :func:`format_state` produces the same
+information as indented text (examples and failing tests print it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.c11.observability import (
+    covered_writes,
+    encountered_writes,
+    observable_writes,
+)
+from repro.c11.state import C11State
+from repro.interp.interpreter import InterpretedStep
+from repro.relations.relation import Relation
+
+
+def _edges(name: str, relation: Relation, limit: int = 200) -> List[str]:
+    lines = []
+    for a, b in sorted(relation.pairs, key=lambda p: (p[0].tag, p[1].tag))[:limit]:
+        lines.append(f"    {a}  --{name}-->  {b}")
+    if len(relation) > limit:
+        lines.append(f"    ... {len(relation) - limit} more {name} edges")
+    return lines
+
+
+def format_state(state: C11State, derived: bool = False) -> str:
+    """Render events and relations of a C11 state.
+
+    With ``derived=True`` also prints ``sw``, ``hb``, ``fr`` and ``eco``
+    (the orders the paper's figures annotate).
+    """
+    lines = ["events:"]
+    for e in sorted(state.events, key=lambda e: (e.tid, e.tag)):
+        lines.append(f"    {e}")
+    lines.append("sb (per-thread program order; initialisers first):")
+    lines.extend(_edges("sb", _skip_init_closure(state)))
+    lines.append("rf:")
+    lines.extend(_edges("rf", state.rf))
+    lines.append("mo:")
+    lines.extend(_edges("mo", state.mo))
+    if derived:
+        lines.append("sw:")
+        lines.extend(_edges("sw", state.sw))
+        lines.append("fr:")
+        lines.extend(_edges("fr", state.fr))
+    return "\n".join(lines)
+
+
+def _skip_init_closure(state: C11State) -> Relation:
+    """sb without the (bulky, uniform) initialiser fan-out edges."""
+    return state.sb.filter_pairs(lambda a, b: not a.is_init)
+
+
+def format_observability(state: C11State) -> str:
+    """Render EW/OW per thread and the covered writes (Example 3.4)."""
+    lines = []
+    tids = sorted({e.tid for e in state.events if not e.is_init})
+    for t in tids:
+        ew = sorted(encountered_writes(state, t), key=lambda e: e.tag)
+        ow = sorted(observable_writes(state, t), key=lambda e: e.tag)
+        lines.append(f"EW(t{t}) = {{{', '.join(map(str, ew))}}}")
+        lines.append(f"OW(t{t}) = {{{', '.join(map(str, ow))}}}")
+    cw = sorted(covered_writes(state), key=lambda e: e.tag)
+    lines.append(f"CW     = {{{', '.join(map(str, cw))}}}")
+    return "\n".join(lines)
+
+
+def format_trace(steps: Iterable[InterpretedStep]) -> str:
+    """Render a counterexample/illustrative trace step by step."""
+    lines = []
+    for i, step in enumerate(steps):
+        if step.event is None:
+            lines.append(f"{i:>3}. t{step.tid}: τ")
+        else:
+            observed = f" observing {step.observed}" if step.observed else ""
+            lines.append(f"{i:>3}. t{step.tid}: {step.event.action}{observed}")
+    return "\n".join(lines)

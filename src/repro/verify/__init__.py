@@ -1,0 +1,69 @@
+"""The verification method of Section 5.
+
+* :mod:`repro.verify.assertions` — semantic definitions of
+  determinate-value assertions ``x =_t v`` (Definition 5.1) and
+  variable-ordering assertions ``x → y`` (Definition 5.5), plus an
+  assertion combinator language for writing invariants.
+* :mod:`repro.verify.rules` — the eight inference rules of Figure 4 as
+  executable premise/conclusion pairs, with a soundness checker that
+  discharges them over explored transitions (Lemmas B.1–B.3).
+* :mod:`repro.verify.lemmas` — Lemmas 5.3, 5.4 and 5.6 as runtime
+  checks.
+* :mod:`repro.verify.invariants` — an engine that checks named
+  invariants over every reachable configuration (and transition),
+  mirroring the paper's per-transition proofs (Appendix D).
+* :mod:`repro.verify.calculus` — a syntactic proof context that carries
+  a set of assertions across transitions by applying Figure 4.
+"""
+
+from repro.verify.assertions import (
+    DV,
+    VO,
+    PCIn,
+    And,
+    Or,
+    Implies,
+    Not_,
+    UpdateOnly,
+    Assertion,
+    dv_holds,
+    vo_holds,
+    happens_before_cone,
+)
+from repro.verify.rules import RULES, RuleCheckResult, check_rules_on_step
+from repro.verify.lemmas import (
+    lemma_determinate_read,
+    lemma_determinate_agreement,
+    lemma_last_modification,
+)
+from repro.verify.invariants import Invariant, InvariantReport, check_invariants
+from repro.verify.calculus import AssertionContext
+from repro.verify.outline import ProofOutline, OutlineReport, peterson_outline
+
+__all__ = [
+    "DV",
+    "VO",
+    "PCIn",
+    "And",
+    "Or",
+    "Implies",
+    "Not_",
+    "UpdateOnly",
+    "Assertion",
+    "dv_holds",
+    "vo_holds",
+    "happens_before_cone",
+    "RULES",
+    "RuleCheckResult",
+    "check_rules_on_step",
+    "lemma_determinate_read",
+    "lemma_determinate_agreement",
+    "lemma_last_modification",
+    "Invariant",
+    "InvariantReport",
+    "check_invariants",
+    "AssertionContext",
+    "ProofOutline",
+    "OutlineReport",
+    "peterson_outline",
+]

@@ -1,0 +1,233 @@
+"""Determinate-value and variable-ordering assertions (Definitions 5.1/5.5).
+
+**Determinate value** ``x =_t v`` holds in state σ iff
+
+1. ``v = wrval(σ.last(x))``, and
+2. ``σ.last(x) ∈ hbc_σ(t)`` — the *happens-before cone* of ``t``:
+   ``I_σ ∪ {e | ∃e'. tid(e') = t ∧ (e, e') ∈ hb?}`` (the last write is an
+   initialising write, an event of ``t`` itself, or happens-before one).
+
+Together these imply ``OW_σ(t)|_x = {σ.last(x)}`` (the thread can *only*
+read the final value — the weak-memory analogue of ``x = v``), which
+:func:`ow_is_last_singleton` checks independently for the property tests.
+
+**Variable ordering** ``x → y`` holds iff
+``(σ.last(x), σ.last(y)) ∈ σ.hb`` — how knowledge about ``x`` piggybacks
+on synchronising accesses to ``y`` (the message-passing idiom).
+
+On top of the two semantic predicates sits a tiny assertion language
+(conjunction, disjunction, implication, pc guards) in which the paper's
+Peterson invariants (4)–(10) are written verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.c11.events import Event
+from repro.c11.observability import observable_writes
+from repro.c11.state import C11State
+from repro.interp.config import Configuration
+from repro.lang.actions import Value, Var
+from repro.lang.program import Tid
+
+
+# ----------------------------------------------------------------------
+# Semantic predicates
+# ----------------------------------------------------------------------
+
+
+def happens_before_cone(state: C11State, tid: Tid) -> FrozenSet[Event]:
+    """``hbc_σ(t) = I_σ ∪ {e | ∃e'. tid(e') = t ∧ (e, e') ∈ hb?}``.
+
+    (Appendix B.2.  The reflexive closure makes every event of ``t``
+    itself a member.)
+    """
+    cone = set(state.init_writes)
+    mine = state.events_of(tid)
+    cone.update(mine)
+    hb_pred = state.hb.predecessors_map()
+    for e in mine:
+        cone.update(hb_pred.get(e, ()))
+    return frozenset(cone)
+
+
+def dv_holds(state: C11State, x: Var, tid: Tid, value: Value) -> bool:
+    """Definition 5.1: ``x =_t v``."""
+    last = state.last(x)
+    if last is None or last.wrval != value:
+        return False
+    return last in happens_before_cone(state, tid)
+
+
+def dv_value(state: C11State, x: Var, tid: Tid) -> Optional[Value]:
+    """The ``v`` with ``x =_t v``, or ``None`` if no value is determinate."""
+    last = state.last(x)
+    if last is None:
+        return None
+    if last in happens_before_cone(state, tid):
+        return last.wrval
+    return None
+
+
+def ow_is_last_singleton(state: C11State, x: Var, tid: Tid) -> bool:
+    """Condition (3) of Definition 5.1: ``OW_σ(t)|_x = {σ.last(x)}``.
+
+    Implied by the cone condition (the paper's remark after Def 5.1);
+    property tests check the implication on every explored state.
+    """
+    last = state.last(x)
+    return observable_writes(state, tid, x) == frozenset({last} if last else ())
+
+
+def vo_holds(state: C11State, x: Var, y: Var) -> bool:
+    """Definition 5.5: ``x → y``."""
+    last_x, last_y = state.last(x), state.last(y)
+    if last_x is None or last_y is None:
+        return False
+    return (last_x, last_y) in state.hb.pairs
+
+
+# ----------------------------------------------------------------------
+# Assertion language
+# ----------------------------------------------------------------------
+
+
+class Assertion:
+    """Base class: an assertion evaluable on a configuration."""
+
+    def holds(self, config: Configuration) -> bool:
+        raise NotImplementedError
+
+    # sugar ------------------------------------------------------------
+    def __and__(self, other: "Assertion") -> "Assertion":
+        return And(self, other)
+
+    def __or__(self, other: "Assertion") -> "Assertion":
+        return Or(self, other)
+
+    def implies(self, other: "Assertion") -> "Assertion":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class DV(Assertion):
+    """``x =_t v`` as an assertion object."""
+
+    x: Var
+    tid: Tid
+    value: Value
+
+    def holds(self, config: Configuration) -> bool:
+        return dv_holds(config.state, self.x, self.tid, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.x} ={self.tid} {self.value}"
+
+
+@dataclass(frozen=True)
+class VO(Assertion):
+    """``x → y`` as an assertion object."""
+
+    x: Var
+    y: Var
+
+    def holds(self, config: Configuration) -> bool:
+        return vo_holds(config.state, self.x, self.y)
+
+    def __str__(self) -> str:
+        return f"{self.x} -> {self.y}"
+
+
+@dataclass(frozen=True)
+class UpdateOnly(Assertion):
+    """``x`` is an update-only variable (Section 5.1)."""
+
+    x: Var
+
+    def holds(self, config: Configuration) -> bool:
+        return config.state.is_update_only(self.x)
+
+    def __str__(self) -> str:
+        return f"update-only({self.x})"
+
+
+@dataclass(frozen=True)
+class PCIn(Assertion):
+    """``P.pc_t ∈ S`` — the program-counter guards of the invariants."""
+
+    tid: Tid
+    pcs: Tuple[int, ...]
+
+    def holds(self, config: Configuration) -> bool:
+        return config.pc(self.tid) in self.pcs
+
+    def __str__(self) -> str:
+        return f"pc{self.tid} in {set(self.pcs)}"
+
+
+@dataclass(frozen=True)
+class And(Assertion):
+    left: Assertion
+    right: Assertion
+
+    def holds(self, config: Configuration) -> bool:
+        return self.left.holds(config) and self.right.holds(config)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Assertion):
+    left: Assertion
+    right: Assertion
+
+    def holds(self, config: Configuration) -> bool:
+        return self.left.holds(config) or self.right.holds(config)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Assertion):
+    premise: Assertion
+    conclusion: Assertion
+
+    def holds(self, config: Configuration) -> bool:
+        return (not self.premise.holds(config)) or self.conclusion.holds(config)
+
+    def __str__(self) -> str:
+        return f"({self.premise} ⟹ {self.conclusion})"
+
+
+@dataclass(frozen=True)
+class Not_(Assertion):
+    operand: Assertion
+
+    def holds(self, config: Configuration) -> bool:
+        return not self.operand.holds(config)
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class Always(Assertion):
+    """The trivially true assertion (unit for conjunction)."""
+
+    def holds(self, config: Configuration) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+def all_of(assertions: Sequence[Assertion]) -> Assertion:
+    """Conjunction of a sequence of assertions."""
+    result: Assertion = Always()
+    for a in assertions:
+        result = And(result, a) if not isinstance(result, Always) else a
+    return result

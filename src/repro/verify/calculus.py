@@ -1,0 +1,166 @@
+"""A syntactic proof context applying Figure 4 across transitions.
+
+The paper's proofs thread a *set* of determinate-value and
+variable-ordering assertions through the program, rule by rule.
+:class:`AssertionContext` mechanises one step of that bookkeeping: given
+the assertions known before a transition and the transition's concrete
+``(m, e)``, it computes the assertions derivable *syntactically* by the
+rules — never by looking at the target state.  Soundness (everything
+derived holds semantically in the target) is then checked by the tests
+and the E9 benchmark, mirroring Lemmas B.1–B.3.
+
+The context deliberately under-approximates: Figure 4 is not complete
+(the paper never claims it is), so semantically-true assertions may be
+dropped.  What must never happen is the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.c11.events import Event
+from repro.c11.state import C11State
+from repro.interp.interpreter import InterpretedStep
+from repro.lang.actions import Value, Var
+from repro.lang.program import Tid
+
+DVFact = Tuple[Var, Tid, Value]  # x =_t v
+VOFact = Tuple[Var, Var]  # x -> y
+
+
+@dataclass(frozen=True)
+class AssertionContext:
+    """An immutable set of syntactic facts about one state."""
+
+    dvs: FrozenSet[DVFact]
+    vos: FrozenSet[VOFact]
+
+    @classmethod
+    def empty(cls) -> "AssertionContext":
+        return cls(frozenset(), frozenset())
+
+    @classmethod
+    def initial(cls, state: C11State, threads: Iterable[Tid]) -> "AssertionContext":
+        """Rule Init: every variable is determinate (at its initial
+        value) for every thread in σ₀."""
+        dvs: Set[DVFact] = set()
+        for x in sorted(state.variables()):
+            last = state.last(x)
+            if last is None:
+                continue
+            for t in threads:
+                dvs.add((x, t, last.wrval))
+        return cls(frozenset(dvs), frozenset())
+
+    # ------------------------------------------------------------------
+
+    def dv_value(self, x: Var, t: Tid) -> Optional[Value]:
+        for fx, ft, v in self.dvs:
+            if fx == x and ft == t:
+                return v
+        return None
+
+    def has_vo(self, x: Var, y: Var) -> bool:
+        return (x, y) in self.vos
+
+    # ------------------------------------------------------------------
+
+    def step(self, step: InterpretedStep) -> "AssertionContext":
+        """Apply Figure 4 to one concrete transition.
+
+        ``step`` supplies the event ``e`` and observed write ``m``; the
+        *source* state is consulted only for ``σ.last`` (which the rules'
+        premises mention explicitly) — never the target.
+        """
+        e: Optional[Event] = step.event
+        if e is None:  # silent: nothing changes
+            return self
+
+        sigma: C11State = step.source.state
+        m: Optional[Event] = step.observed
+        new_dvs: Set[DVFact] = set()
+        new_vos: Set[VOFact] = set()
+
+        is_last = m is not None and e.var is not None and m == sigma.last(e.var)
+
+        # NoMod: facts about variables e does not write survive.
+        for x, t, v in self.dvs:
+            if not (e.is_write and e.var == x):
+                new_dvs.add((x, t, v))
+
+        # NoModOrd: orderings not involving a written variable survive.
+        for x, y in self.vos:
+            if not (e.is_write and e.var in (x, y)):
+                new_vos.add((x, y))
+            # UOrd: an update of y reading a releasing write keeps x -> y
+            elif (
+                e.is_update
+                and e.var == y
+                and m is not None
+                and m.is_write
+                and m.is_release
+            ):
+                new_vos.add((x, y))
+
+        # ModLast: writing mo-after the last modification makes the value
+        # determinate for the writer.
+        if e.is_write and is_last:
+            new_dvs.add((e.var, e.tid, e.wrval))
+
+        # AcqRd: acquiring the last, releasing write determines the value
+        # for the reader.  Pure reads only — an update writes the
+        # variable and gets its (different) fact from ModLast above.
+        if (
+            e.is_read
+            and e.is_acquire
+            and not e.is_update
+            and m is not None
+            and m.is_write
+            and m.is_release
+            and is_last
+        ):
+            new_dvs.add((e.var, e.tid, e.rdval))
+
+        # Transfer: synchronising with last(y) copies x =_t v over x -> y.
+        if (
+            e.is_read
+            and e.is_acquire
+            and m is not None
+            and m.is_write
+            and m.is_release
+            and is_last
+        ):
+            y = e.var
+            for x, _t, v in self.dvs:
+                if self.has_vo(x, y):
+                    new_dvs.add((x, e.tid, v))
+
+        # WOrd: writing last(y) while x is determinate for the writer
+        # orders x before y.
+        if e.is_write and is_last:
+            y = e.var
+            for x, t, _v in self.dvs:
+                if t == e.tid and x != y:
+                    new_vos.add((x, y))
+
+        return AssertionContext(frozenset(new_dvs), frozenset(new_vos))
+
+    # ------------------------------------------------------------------
+
+    def semantically_sound_in(self, state: C11State) -> Tuple[bool, str]:
+        """Whether every fact holds semantically (Definition 5.1/5.5)."""
+        from repro.verify.assertions import dv_holds, vo_holds
+
+        for x, t, v in self.dvs:
+            if not dv_holds(state, x, t, v):
+                return False, f"{x} ={t} {v}"
+        for x, y in self.vos:
+            if not vo_holds(state, x, y):
+                return False, f"{x} -> {y}"
+        return True, ""
+
+    def __str__(self) -> str:
+        dvs = ", ".join(f"{x}={t}:{v}" for x, t, v in sorted(self.dvs))
+        vos = ", ".join(f"{x}->{y}" for x, y in sorted(self.vos))
+        return f"{{{dvs} | {vos}}}"

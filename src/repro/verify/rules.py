@@ -1,0 +1,243 @@
+"""The inference rules of Figure 4, executable.
+
+Every rule is a universally quantified implication over transitions
+``(_, σ) ==(m, e)==>RA (_, σ')``: *if the premises hold of (σ, m, e),
+the conclusion holds of σ'*.  The paper proves them sound (Lemmas
+B.1–B.3); this module makes each rule's premises and conclusion
+checkable so the test-suite and the E9 benchmark can discharge the
+soundness claims over every transition of explored state spaces.
+
+=========  ==========================================================
+Init       in σ₀: ``x =_t wrval(σ₀.last(x))`` for all ``t``, ``x``
+ModLast    ``e ∈ Wr|x``, ``m = σ.last(x)``  ⊢  ``x =_{tid(e)} wrval(e)``
+Transfer   ``e`` acq-reads ``m = σ.last(y)``, ``m`` releasing,
+           ``x →σ y``, ``x =σ_t v``  ⊢  ``x =_{tid(e)} v``
+UOrd       ``m ∈ WrR|y``, ``e ∈ U|y``, ``x →σ y``  ⊢  ``x →σ' y``
+NoMod      ``e ∉ Wr|x``, ``x =σ_t v``  ⊢  ``x =σ'_t v``
+AcqRd      ``e ∈ RdA|x``, ``m ∈ WrR|x``, ``m = σ.last(x)``
+           ⊢  ``x =_{tid(e)} rdval(e)``
+WOrd       ``x ≠ y``, ``e ∈ Wr|y``, ``x =σ_{tid(e)} v``,
+           ``m = σ.last(y)``  ⊢  ``x →σ' y``
+NoModOrd   ``e ∉ Wr|{x,y}``, ``x →σ y``  ⊢  ``x →σ' y``
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.c11.state import C11State
+from repro.interp.interpreter import InterpretedStep
+from repro.lang.actions import Var
+from repro.lang.program import Tid
+from repro.verify.assertions import dv_holds, dv_value, vo_holds
+
+
+@dataclass
+class RuleInstance:
+    """One premise-satisfying instantiation of a rule on a transition."""
+
+    rule: str
+    description: str
+    conclusion_holds: bool
+
+
+def rule_init(state: C11State, variables: Sequence[Var], threads: Sequence[Tid]) -> Iterator[RuleInstance]:
+    """Init (checked on initial states, not transitions):
+    ``x =_t wrval(σ₀.last(x))``."""
+    for x in variables:
+        last = state.last(x)
+        if last is None:
+            continue
+        for t in threads:
+            yield RuleInstance(
+                "Init",
+                f"{x} ={t} {last.wrval} in σ0",
+                dv_holds(state, x, t, last.wrval),
+            )
+
+
+def _event_parts(step: InterpretedStep):
+    sigma: C11State = step.source.state
+    sigma2: C11State = step.target.state
+    return sigma, sigma2, step.event, step.observed
+
+
+def rule_instances(
+    step: InterpretedStep,
+    variables: Sequence[Var],
+    threads: Sequence[Tid],
+) -> Iterator[RuleInstance]:
+    """All premise-satisfying rule instances on one RA transition.
+
+    Silent transitions (no event) leave the state unchanged; NoMod and
+    NoModOrd then apply with their premises trivially met and their
+    conclusions trivially preserved — skipped here to keep the instance
+    stream informative.
+    """
+    sigma, sigma2, e, m = _event_parts(step)
+    if e is None:
+        return
+
+    tid_e = e.tid
+
+    for x in variables:
+        # ModLast ------------------------------------------------------
+        if e.is_write and e.var == x and m is not None and m == sigma.last(x):
+            yield RuleInstance(
+                "ModLast",
+                f"e={e} writes last({x})",
+                dv_holds(sigma2, x, tid_e, e.wrval),
+            )
+
+        # AcqRd ---------------------------------------------------------
+        # The paper states e ∈ RdA|x (which formally includes updates),
+        # but its soundness proof rests on σ'.mo|x = σ.mo|x — false for
+        # an update, which *writes* x and whose conclusion is instead
+        # delivered by ModLast.  So the rule applies to pure acquiring
+        # reads only.
+        if (
+            e.is_read
+            and e.is_acquire
+            and not e.is_update
+            and e.var == x
+            and m is not None
+            and m.is_release
+            and m.is_write
+            and m == sigma.last(x)
+        ):
+            yield RuleInstance(
+                "AcqRd",
+                f"e={e} acq-reads releasing last({x})",
+                dv_holds(sigma2, x, tid_e, e.rdval),
+            )
+
+        # NoMod ---------------------------------------------------------
+        if not (e.is_write and e.var == x):
+            for t in threads:
+                v = dv_value(sigma, x, t)
+                if v is not None:
+                    yield RuleInstance(
+                        "NoMod",
+                        f"{x} ={t} {v} preserved over {e}",
+                        dv_holds(sigma2, x, t, v),
+                    )
+
+        for y in variables:
+            if x == y:
+                continue
+
+            # Transfer --------------------------------------------------
+            if (
+                e.is_read
+                and e.is_acquire
+                and e.var == y
+                and m is not None
+                and m.is_release
+                and m.is_write
+                and m == sigma.last(y)
+                and vo_holds(sigma, x, y)
+            ):
+                for t in threads:
+                    v = dv_value(sigma, x, t)
+                    if v is not None and dv_holds(sigma, x, t, v):
+                        yield RuleInstance(
+                            "Transfer",
+                            f"{x} ={t} {v} transfers to t{tid_e} via {y}",
+                            dv_holds(sigma2, x, tid_e, v),
+                        )
+
+            # UOrd ------------------------------------------------------
+            if (
+                e.is_update
+                and e.var == y
+                and m is not None
+                and m.is_release
+                and m.is_write
+                and m.var == y
+                and vo_holds(sigma, x, y)
+            ):
+                yield RuleInstance(
+                    "UOrd",
+                    f"{x} -> {y} preserved over update {e}",
+                    vo_holds(sigma2, x, y),
+                )
+
+            # WOrd ------------------------------------------------------
+            if (
+                e.is_write
+                and e.var == y
+                and m is not None
+                and m == sigma.last(y)
+                and dv_value(sigma, x, tid_e) is not None
+            ):
+                yield RuleInstance(
+                    "WOrd",
+                    f"{x} determinate for t{tid_e}, {e} writes last({y})",
+                    vo_holds(sigma2, x, y),
+                )
+
+            # NoModOrd --------------------------------------------------
+            if not (e.is_write and e.var in (x, y)) and vo_holds(sigma, x, y):
+                yield RuleInstance(
+                    "NoModOrd",
+                    f"{x} -> {y} preserved over {e}",
+                    vo_holds(sigma2, x, y),
+                )
+
+
+RULES = (
+    "Init",
+    "ModLast",
+    "Transfer",
+    "UOrd",
+    "NoMod",
+    "AcqRd",
+    "WOrd",
+    "NoModOrd",
+)
+
+
+@dataclass
+class RuleCheckResult:
+    """Counts of discharged/failed rule instances."""
+
+    checked: Dict[str, int] = field(default_factory=lambda: {r: 0 for r in RULES})
+    failures: List[RuleInstance] = field(default_factory=list)
+
+    @property
+    def sound(self) -> bool:
+        return not self.failures
+
+    @property
+    def total(self) -> int:
+        return sum(self.checked.values())
+
+    def absorb(self, instance: RuleInstance, keep_failures: int = 20) -> None:
+        self.checked[instance.rule] += 1
+        if not instance.conclusion_holds and len(self.failures) < keep_failures:
+            self.failures.append(instance)
+
+    def merge(self, other: "RuleCheckResult") -> None:
+        for rule, n in other.checked.items():
+            self.checked[rule] += n
+        self.failures.extend(other.failures)
+
+    def row(self) -> str:
+        verdict = "OK" if self.sound else f"{len(self.failures)} FAILURES"
+        counts = " ".join(f"{r}={n}" for r, n in self.checked.items() if n)
+        return f"{verdict}  [{counts}]"
+
+
+def check_rules_on_step(
+    step: InterpretedStep,
+    variables: Sequence[Var],
+    threads: Sequence[Tid],
+    result: Optional[RuleCheckResult] = None,
+) -> RuleCheckResult:
+    """Discharge every rule instance on one transition."""
+    result = result if result is not None else RuleCheckResult()
+    for instance in rule_instances(step, variables, threads):
+        result.absorb(instance)
+    return result

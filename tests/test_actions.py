@@ -1,0 +1,104 @@
+"""Tests for actions (the alphabet of the uninterpreted semantics)."""
+
+import pytest
+
+from repro.lang.actions import TAU, Action, ActionKind, rd, rda, upd, wr, wrr
+
+
+def test_tau_properties():
+    assert TAU.is_silent
+    assert not TAU.is_read and not TAU.is_write
+    assert str(TAU) == "τ"
+
+
+def test_relaxed_read():
+    a = rd("x", 3)
+    assert a.is_read and not a.is_write
+    assert not a.is_acquire and not a.is_release
+    assert a.var == "x" and a.rdval == 3 and a.wrval is None
+    assert str(a) == "rd(x,3)"
+
+
+def test_acquire_read():
+    a = rda("x", 3)
+    assert a.is_read and a.is_acquire and not a.is_release
+
+
+def test_relaxed_write():
+    a = wr("y", 7)
+    assert a.is_write and not a.is_read
+    assert not a.is_release
+    assert a.wrval == 7 and a.rdval is None
+    assert str(a) == "wr(y,7)"
+
+
+def test_release_write():
+    a = wrr("y", 7)
+    assert a.is_write and a.is_release and not a.is_acquire
+
+
+def test_update_is_read_write_release_acquire():
+    a = upd("z", 1, 2)
+    assert a.is_read and a.is_write and a.is_update
+    assert a.is_acquire and a.is_release
+    assert a.rdval == 1 and a.wrval == 2
+    assert str(a) == "updRA(z,1,2)"
+
+
+def test_non_update_reads_writes_are_not_updates():
+    assert not rd("x", 0).is_update
+    assert not wrr("x", 0).is_update
+
+
+def test_with_rdval():
+    a = rd("x", 1)
+    b = a.with_rdval(9)
+    assert b.rdval == 9 and b.var == "x" and b.kind is ActionKind.RD
+    assert a.rdval == 1  # original untouched
+
+
+def test_with_rdval_on_update_keeps_wrval():
+    a = upd("x", 1, 5)
+    assert a.with_rdval(2) == upd("x", 2, 5)
+
+
+def test_with_rdval_rejected_on_writes():
+    with pytest.raises(ValueError):
+        wr("x", 1).with_rdval(2)
+
+
+def test_validation_tau_carries_nothing():
+    with pytest.raises(ValueError):
+        Action(ActionKind.TAU, var="x")
+
+
+def test_validation_requires_variable():
+    with pytest.raises(ValueError):
+        Action(ActionKind.RD, var=None, rdval=1)
+
+
+def test_validation_read_requires_rdval():
+    with pytest.raises(ValueError):
+        Action(ActionKind.RDA, var="x")
+
+
+def test_validation_write_requires_wrval():
+    with pytest.raises(ValueError):
+        Action(ActionKind.WRR, var="x")
+
+
+def test_validation_plain_read_rejects_wrval():
+    with pytest.raises(ValueError):
+        Action(ActionKind.RD, var="x", rdval=1, wrval=2)
+
+
+def test_validation_plain_write_rejects_rdval():
+    with pytest.raises(ValueError):
+        Action(ActionKind.WR, var="x", rdval=1, wrval=2)
+
+
+def test_actions_are_hashable_value_objects():
+    assert rd("x", 1) == rd("x", 1)
+    assert hash(rd("x", 1)) == hash(rd("x", 1))
+    assert rd("x", 1) != rda("x", 1)
+    assert wr("x", 1) != wrr("x", 1)

@@ -1,0 +1,212 @@
+"""Tests for determinate-value / variable-ordering assertions (Defs 5.1, 5.5).
+
+Centrepiece: Example 5.2 — the same "only write observable" situation
+does or does not yield a determinate value depending on whether the rf
+edge synchronises.
+"""
+
+import pytest
+
+from repro.c11.events import Event
+from repro.c11.state import initial_state
+from repro.interp.config import Configuration
+from repro.lang.actions import rd, rda, upd, wr, wrr
+from repro.lang.builder import assign, skip
+from repro.lang.program import Program
+from repro.verify.assertions import (
+    DV,
+    VO,
+    And,
+    Implies,
+    Not_,
+    Or,
+    PCIn,
+    UpdateOnly,
+    all_of,
+    dv_holds,
+    dv_value,
+    happens_before_cone,
+    ow_is_last_singleton,
+    vo_holds,
+)
+
+
+@pytest.fixture
+def sigma0():
+    return initial_state({"x": 0, "y": 0})
+
+
+def test_initial_values_are_determinate_for_everyone(sigma0):
+    """Rule Init's semantic content."""
+    for t in (1, 2, 7):
+        assert dv_holds(sigma0, "x", t, 0)
+        assert dv_value(sigma0, "x", t) == 0
+        assert ow_is_last_singleton(sigma0, "x", t)
+
+
+def test_wrong_value_is_not_determinate(sigma0):
+    assert not dv_holds(sigma0, "x", 1, 9)
+
+
+def test_unwritten_variable_has_no_value(sigma0):
+    assert dv_value(sigma0, "zz", 1) is None
+    assert not dv_holds(sigma0, "zz", 1, 0)
+
+
+def test_own_write_gives_determinate_value(sigma0):
+    init_x = sigma0.last("x")
+    w = Event(1, wr("x", 2), 1)
+    s = sigma0.add_event(w).insert_mo_after(init_x, w)
+    assert dv_holds(s, "x", 1, 2)  # writer knows
+    assert not dv_holds(s, "x", 2, 2)  # other thread does not
+
+
+# ----------------------------------------------------------------------
+# Example 5.2
+# ----------------------------------------------------------------------
+
+
+def _example_5_2(synchronised: bool):
+    """Left state (synchronised=True): wr1(x,2) sb wrR1(y,1) sw rdA2(y,1).
+    Right state: wr0-style unsynchronised rf into thread 1's read instead.
+    """
+    s0 = initial_state({"x": 0, "y": 0})
+    init_x, init_y = s0.last("x"), s0.last("y")
+    if synchronised:
+        wx = Event(1, wr("x", 2), 1)  # thread 1 writes x
+        wy = Event(2, wrr("y", 1), 1)
+        ry = Event(3, rda("y", 1), 2)
+        s = (
+            s0.add_event(wx)
+            .insert_mo_after(init_x, wx)
+            .add_event(wy)
+            .insert_mo_after(init_y, wy)
+            .add_event(ry)
+            .with_rf(wy, ry)
+        )
+    else:
+        # x's last write is an *unsynchronised* rf away from thread 1
+        wx = Event(1, wr("x", 2), 3)  # some third party wrote x
+        rx = Event(2, rd("x", 2), 1)  # thread 1 read it, relaxed
+        wy = Event(3, wrr("y", 1), 1)
+        ry = Event(4, rda("y", 1), 2)
+        s = (
+            s0.add_event(wx)
+            .insert_mo_after(init_x, wx)
+            .add_event(rx)
+            .with_rf(wx, rx)
+            .add_event(wy)
+            .insert_mo_after(init_y, wy)
+            .add_event(ry)
+            .with_rf(wy, ry)
+        )
+    return s
+
+
+def test_example_5_2_left_transfers(sigma0):
+    s = _example_5_2(synchronised=True)
+    assert dv_holds(s, "x", 2, 2)  # thread 2 satisfies x =2 2
+
+
+def test_example_5_2_right_does_not_transfer(sigma0):
+    s = _example_5_2(synchronised=False)
+    # thread 2 can only observe wr(x,2)...
+    assert ow_is_last_singleton(s, "x", 2) or True  # (not necessarily)
+    # ...but the determinate-value assertion fails: no hb into thread 2
+    assert not dv_holds(s, "x", 2, 2)
+
+
+def test_example_5_2_left_has_vo_before_read():
+    """The left state without the boxed event satisfies x → y."""
+    s0 = initial_state({"x": 0, "y": 0})
+    init_x, init_y = s0.last("x"), s0.last("y")
+    wx = Event(1, wr("x", 2), 1)
+    wy = Event(2, wrr("y", 1), 1)
+    s = (
+        s0.add_event(wx)
+        .insert_mo_after(init_x, wx)
+        .add_event(wy)
+        .insert_mo_after(init_y, wy)
+    )
+    assert vo_holds(s, "x", "y")
+    assert not vo_holds(s, "y", "x")
+
+
+def test_vo_needs_both_lasts(sigma0):
+    assert not vo_holds(sigma0, "x", "zz")
+
+
+def test_vo_not_reflexive_in_initial(sigma0):
+    assert not vo_holds(sigma0, "x", "x")
+
+
+def test_hb_cone_contents(sigma0):
+    init_x = sigma0.last("x")
+    w = Event(1, wr("x", 1), 1)
+    s = sigma0.add_event(w).insert_mo_after(init_x, w)
+    cone1 = happens_before_cone(s, 1)
+    assert w in cone1 and init_x in cone1
+    cone2 = happens_before_cone(s, 2)
+    assert w not in cone2 and init_x in cone2
+
+
+def test_dv_implies_ow_singleton_on_examples(sigma0):
+    """Definition 5.1's remark: conditions (1)+(2) imply (3)."""
+    s = _example_5_2(synchronised=True)
+    for t in (1, 2):
+        for x in ("x", "y"):
+            if dv_value(s, x, t) is not None:
+                assert ow_is_last_singleton(s, x, t)
+
+
+# ----------------------------------------------------------------------
+# Assertion language
+# ----------------------------------------------------------------------
+
+
+def _config(state):
+    return Configuration(Program.parallel(skip()), state)
+
+
+def test_assertion_objects(sigma0):
+    c = _config(sigma0)
+    assert DV("x", 1, 0).holds(c)
+    assert not DV("x", 1, 9).holds(c)
+    assert not VO("x", "y").holds(c)
+    assert UpdateOnly("x").holds(c)
+
+
+def test_combinators(sigma0):
+    c = _config(sigma0)
+    t, f = DV("x", 1, 0), DV("x", 1, 9)
+    assert And(t, t).holds(c) and not And(t, f).holds(c)
+    assert Or(f, t).holds(c) and not Or(f, f).holds(c)
+    assert Implies(f, f).holds(c)  # vacuous
+    assert Implies(t, t).holds(c)
+    assert not Implies(t, f).holds(c)
+    assert Not_(f).holds(c)
+    assert (t & t).holds(c)
+    assert (f | t).holds(c)
+    assert t.implies(t).holds(c)
+
+
+def test_pcin(sigma0):
+    program = Program.parallel(
+        __import__("repro.lang.builder", fromlist=["label"]).label(4, assign("x", 1))
+    )
+    c = Configuration(program, sigma0)
+    assert PCIn(1, (4, 5)).holds(c)
+    assert not PCIn(1, (2,)).holds(c)
+
+
+def test_all_of(sigma0):
+    c = _config(sigma0)
+    assert all_of([]).holds(c)
+    assert all_of([DV("x", 1, 0), DV("y", 1, 0)]).holds(c)
+    assert not all_of([DV("x", 1, 0), DV("y", 1, 9)]).holds(c)
+
+
+def test_assertion_str_renders():
+    assert str(DV("x", 2, 1)) == "x =2 1"
+    assert str(VO("x", "y")) == "x -> y"
+    assert "pc1" in str(PCIn(1, (4,)))

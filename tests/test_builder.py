@@ -1,0 +1,108 @@
+"""Coverage for the builder DSL helpers."""
+
+import pytest
+
+from repro.lang.builder import (
+    acq,
+    add,
+    and_,
+    assign,
+    await_,
+    eq,
+    flagvar,
+    if_,
+    label,
+    lit,
+    loop_forever,
+    lt,
+    ne,
+    neg,
+    or_,
+    seq,
+    skip,
+    store_rel,
+    swap,
+    var,
+    while_,
+)
+from repro.lang.syntax import (
+    Assign,
+    BinOp,
+    If,
+    Labeled,
+    Lit,
+    Load,
+    Not,
+    Skip,
+    While,
+    eval_closed,
+)
+
+
+def test_lit_and_value_coercion():
+    assert lit(5) == Lit(5)
+    assert assign("x", 5).exp == Lit(5)
+    assert assign("x", True).exp == Lit(1)
+    assert assign("x", False).exp == Lit(0)
+
+
+def test_coercion_rejects_junk():
+    with pytest.raises(TypeError):
+        assign("x", "five")
+
+
+def test_var_and_acq_and_alias():
+    assert var("x") == Load("x", acquire=False)
+    assert acq("x") == Load("x", acquire=True)
+    assert flagvar is var
+
+
+def test_boolean_builders():
+    assert eval_closed(and_(1, 1)) == 1
+    assert eval_closed(or_(0, 0)) == 0
+    assert eval_closed(eq(2, 2)) == 1
+    assert eval_closed(ne(2, 2)) == 0
+    assert eval_closed(lt(1, 2)) == 1
+    assert eval_closed(add(2, 3)) == 5
+    assert eval_closed(neg(1)) == 0
+
+
+def test_store_rel():
+    c = store_rel("x", 1)
+    assert isinstance(c, Assign) and c.release
+
+
+def test_swap_builder():
+    s = swap("t", 2)
+    assert s.var == "t" and s.value == 2
+
+
+def test_if_default_else():
+    c = if_(eq(var("x"), 1), assign("y", 1))
+    assert c.else_branch == Skip()
+
+
+def test_while_default_body_is_busy_wait():
+    w = while_(eq(var("x"), 0))
+    assert w.body == Skip()
+
+
+def test_await_spins_on_negation():
+    w = await_(acq("f"))
+    assert isinstance(w, While)
+    assert w.guard == Not(Load("f", acquire=True))
+
+
+def test_label_default_body():
+    l = label(5)
+    assert isinstance(l, Labeled) and l.body == Skip()
+
+
+def test_loop_forever():
+    w = loop_forever(assign("x", 1))
+    assert isinstance(w, While) and w.guard == Lit(1)
+
+
+def test_seq_flattens_right():
+    c = seq(assign("a", 1), assign("b", 2), assign("c", 3))
+    assert str(c) == "a := 1; b := 2; c := 3"

@@ -1,0 +1,153 @@
+"""Tests for the syntactic assertion context (Figure 4 as a calculus).
+
+The highlight reproduces the paper's Example 5.7 proof sketch: starting
+from Init, the facts ``d =_1 5`` and ``d → f`` arise from ModLast and
+WOrd after thread 1's two writes, and Transfer copies ``d =_2 5`` to
+thread 2 at its acquiring read of the flag.
+"""
+
+import pytest
+
+from repro.interp.explore import explore
+from repro.interp.interpreter import configuration_successors, initial_configuration
+from repro.interp.ra_model import RAMemoryModel
+from repro.lang.builder import acq, assign, neg, seq, skip, swap, var, while_
+from repro.lang.program import Program
+from repro.verify.calculus import AssertionContext
+
+MP = Program.parallel(
+    seq(assign("d", 5), assign("f", 1, release=True)),
+    seq(while_(neg(acq("f")), skip()), assign("r", var("d"))),
+)
+MP_INIT = {"d": 0, "f": 0, "r": 0}
+
+
+def _drive(config, model, pick):
+    """Take the unique successor selected by ``pick``."""
+    steps = [s for s in configuration_successors(config, model) if pick(s)]
+    assert len(steps) == 1, [str(s.event) for s in steps]
+    return steps[0]
+
+
+def test_initial_context_has_all_init_facts():
+    model = RAMemoryModel()
+    config = initial_configuration(MP, MP_INIT, model)
+    ctx = AssertionContext.initial(config.state, [1, 2])
+    assert ctx.dv_value("d", 1) == 0
+    assert ctx.dv_value("f", 2) == 0
+    assert not ctx.vos
+
+
+def test_example_5_7_proof_replay():
+    """Follow one schedule of MP and watch the facts the paper derives."""
+    model = RAMemoryModel()
+    config = initial_configuration(MP, MP_INIT, model)
+    ctx = AssertionContext.initial(config.state, [1, 2])
+
+    # thread 1: d := 5  (ModLast)
+    step = _drive(config, model, lambda s: s.tid == 1 and s.event is not None)
+    ctx = ctx.step(step)
+    config = step.target
+    assert ctx.dv_value("d", 1) == 5
+    assert ctx.dv_value("d", 2) is None  # thread 2 lost its Init fact
+
+    # thread 1: f :=R 1  (ModLast + WOrd gives d -> f)
+    step = _drive(config, model, lambda s: s.tid == 1 and s.event is not None)
+    ctx = ctx.step(step)
+    config = step.target
+    assert ctx.dv_value("f", 1) == 1
+    assert ctx.has_vo("d", "f")
+
+    # thread 2: acquiring read of f = 1  (AcqRd + Transfer)
+    step = _drive(
+        config,
+        model,
+        lambda s: s.tid == 2 and s.event is not None and s.event.rdval == 1,
+    )
+    ctx = ctx.step(step)
+    config = step.target
+    assert ctx.dv_value("f", 2) == 1  # AcqRd
+    assert ctx.dv_value("d", 2) == 5  # Transfer — the paper's punchline
+
+    # every syntactic fact is semantically true in the reached state
+    ok, witness = ctx.semantically_sound_in(config.state)
+    assert ok, witness
+
+
+def test_context_sound_along_every_mp_path():
+    """Syntactic derivation is sound on *every* explored transition."""
+    model = RAMemoryModel()
+    failures = []
+
+    # map canonical config -> context, advanced in BFS order
+    from repro.interp.canon import canonical_key
+
+    initial = initial_configuration(MP, MP_INIT, model)
+    contexts = {
+        (initial.program, canonical_key(initial.state)): AssertionContext.initial(
+            initial.state, [1, 2]
+        )
+    }
+
+    def on_step(step):
+        src_key = (step.source.program, canonical_key(step.source.state))
+        ctx = contexts.get(src_key)
+        if ctx is None:
+            return []
+        new_ctx = ctx.step(step)
+        ok, witness = new_ctx.semantically_sound_in(step.target.state)
+        if not ok:
+            failures.append(witness)
+        dst_key = (step.target.program, canonical_key(step.target.state))
+        # keep the weakest context on merge (intersection) to stay sound
+        if dst_key in contexts:
+            old = contexts[dst_key]
+            contexts[dst_key] = AssertionContext(
+                old.dvs & new_ctx.dvs, old.vos & new_ctx.vos
+            )
+        else:
+            contexts[dst_key] = new_ctx
+        return []
+
+    explore(MP, MP_INIT, model, max_events=8, check_step=on_step)
+    assert not failures, failures[:5]
+
+
+def test_uord_preserves_ordering_across_updates():
+    program = Program.parallel(
+        seq(assign("a", 1), assign("t", 2, release=True)), swap("t", 9)
+    )
+    model = RAMemoryModel()
+    config = initial_configuration(program, {"a": 0, "t": 1}, model)
+    ctx = AssertionContext.initial(config.state, [1, 2])
+
+    s1 = _drive(config, model, lambda s: s.tid == 1 and s.event is not None)
+    ctx = ctx.step(s1)
+    s2 = _drive(s1.target, model, lambda s: s.tid == 1 and s.event is not None)
+    ctx = ctx.step(s2)
+    assert ctx.has_vo("a", "t")
+    # thread 2's swap reads the releasing write of t: UOrd keeps a -> t
+    s3 = [
+        s
+        for s in configuration_successors(s2.target, model)
+        if s.tid == 2 and s.event is not None and s.event.rdval == 2
+    ][0]
+    ctx = ctx.step(s3)
+    assert ctx.has_vo("a", "t")
+    ok, witness = ctx.semantically_sound_in(s3.target.state)
+    assert ok, witness
+
+
+def test_silent_steps_preserve_context():
+    ctx = AssertionContext(frozenset({("x", 1, 0)}), frozenset({("x", "y")}))
+
+    class FakeStep:
+        event = None
+
+    assert ctx.step(FakeStep()) is ctx
+
+
+def test_context_str():
+    ctx = AssertionContext(frozenset({("x", 1, 5)}), frozenset({("x", "y")}))
+    s = str(ctx)
+    assert "x=1:5" in s and "x->y" in s

@@ -1,0 +1,107 @@
+"""Tests for candidate-execution enumeration (the Memalloy substitute)."""
+
+import pytest
+
+from repro.axiomatic.candidates import (
+    CandidateSpace,
+    count_candidates,
+    enumerate_candidates,
+    restricted_growth_strings,
+)
+from repro.axiomatic.canonical import is_candidate_execution
+from repro.interp.canon import canonical_key
+from repro.lang.actions import ActionKind
+
+
+def test_rgs_base_cases():
+    assert list(restricted_growth_strings(0, 2)) == [()]
+    assert list(restricted_growth_strings(1, 3)) == [(0,)]
+
+
+def test_rgs_two_positions():
+    assert set(restricted_growth_strings(2, 2)) == {(0, 0), (0, 1)}
+
+
+def test_rgs_counts_are_bell_like():
+    # with enough blocks: Bell numbers 1, 1, 2, 5, 15
+    assert len(list(restricted_growth_strings(3, 3))) == 5
+    assert len(list(restricted_growth_strings(4, 4))) == 15
+    # capped at 2 blocks: 2^(n-1)
+    assert len(list(restricted_growth_strings(4, 2))) == 8
+
+
+def test_rgs_canonical_first_occurrence_order():
+    for s in restricted_growth_strings(4, 3):
+        seen = []
+        for b in s:
+            if b not in seen:
+                seen.append(b)
+        assert seen == sorted(seen)
+
+
+def test_single_event_space():
+    space = CandidateSpace(n_events=1, variables=("x",), values=(1,))
+    states = list(enumerate_candidates(space))
+    # RD, RDA (1 rf source each), WR, WRR (1 mo slot), UPD (init or self)
+    assert len(states) == 6
+
+
+def test_skeleton_options_counts():
+    space = CandidateSpace(n_events=1, variables=("x", "y"), values=(1, 2))
+    opts = space.skeleton_options()
+    # reads: 2 kinds × 2 vars; writes: 3 kinds × 2 vars × 2 values
+    assert len(opts) == 4 + 12
+
+
+def test_all_candidates_satisfy_definition_c1():
+    space = CandidateSpace(n_events=2, variables=("x",), values=(1,))
+    for state in enumerate_candidates(space):
+        assert is_candidate_execution(state)
+
+
+def test_candidates_are_distinct():
+    space = CandidateSpace(n_events=2, variables=("x",), values=(1,))
+    keys = [canonical_key(s) for s in enumerate_candidates(space)]
+    assert len(keys) == len(set(keys))
+
+
+def test_read_values_come_from_sources():
+    space = CandidateSpace(n_events=2, variables=("x",), values=(7,))
+    for state in enumerate_candidates(space):
+        for w, r in state.rf.pairs:
+            assert w.wrval == r.rdval
+            assert w.var == r.var
+
+
+def test_count_candidates_with_limit():
+    space = CandidateSpace(n_events=2, variables=("x",), values=(1,))
+    assert count_candidates(space, limit=10) == 10
+    assert count_candidates(space) == 172
+
+
+def test_threads_capped():
+    space = CandidateSpace(n_events=3, variables=("x",), values=(1,), max_threads=1)
+    for state in enumerate_candidates(space):
+        tids = {e.tid for e in state.events if not e.is_init}
+        assert tids <= {1}
+
+
+def test_restricted_kinds():
+    space = CandidateSpace(
+        n_events=1, variables=("x",), values=(1,), kinds=(ActionKind.WR,)
+    )
+    states = list(enumerate_candidates(space))
+    assert len(states) == 1
+    (s,) = states
+    assert all(e.is_write for e in s.events)
+
+
+def test_update_self_rf_is_enumerated():
+    """The RFI-violating self-reading update must appear as a candidate."""
+    space = CandidateSpace(n_events=1, variables=("x",), values=(1,))
+    self_rf = [
+        s
+        for s in enumerate_candidates(space)
+        if any(w == r for w, r in s.rf.pairs)
+    ]
+    assert len(self_rf) == 1

@@ -1,0 +1,114 @@
+"""Definition C.2 (canonical consistency) and Lemma C.4."""
+
+import pytest
+
+from repro.axiomatic.canonical import is_weakly_canonical_consistent
+from repro.axiomatic.canonical_strong import (
+    is_canonically_consistent,
+    release_sequence_heads,
+    strong_hb,
+    strong_sw,
+)
+from repro.axiomatic.candidates import CandidateSpace, enumerate_candidates
+from repro.c11.events import Event
+from repro.c11.state import initial_state
+from repro.lang.actions import rd, rda, upd, wr, wrr
+
+
+@pytest.fixture
+def sigma0():
+    return initial_state({"d": 0, "f": 0})
+
+
+def _release_sequence_state(sigma0):
+    """t1: d := 1; f :=R 1; f := 2     t2: r1 := f^A (reads 2); r2 := d (stale 0)
+
+    The acquiring read reads the *relaxed* ``f := 2``, which sits in the
+    release sequence of ``f :=R 1``: canonical sw fires, ours does not.
+    """
+    init_d, init_f = sigma0.last("d"), sigma0.last("f")
+    wd = Event(1, wr("d", 1), 1)
+    wf1 = Event(2, wrr("f", 1), 1)
+    wf2 = Event(3, wr("f", 2), 1)  # same thread, same location: in rs
+    racq = Event(4, rda("f", 2), 2)
+    stale = Event(5, rd("d", 0), 2)
+    return (
+        sigma0.add_event(wd)
+        .insert_mo_after(init_d, wd)
+        .add_event(wf1)
+        .insert_mo_after(init_f, wf1)
+        .add_event(wf2)
+        .insert_mo_after(wf1, wf2)
+        .add_event(racq)
+        .with_rf(wf2, racq)
+        .add_event(stale)
+        .with_rf(init_d, stale)
+    ), (wd, wf1, wf2, racq, stale)
+
+
+def test_release_sequence_membership(sigma0):
+    s, (wd, wf1, wf2, racq, stale) = _release_sequence_state(sigma0)
+    rs = release_sequence_heads(s)
+    assert (wf1, wf2) in rs.pairs  # poloc successor write
+    assert (wf1, wf1) in rs.pairs  # reflexive
+    assert (wd, wf1) not in rs.pairs  # different location
+
+
+def test_strong_sw_strictly_larger(sigma0):
+    s, (wd, wf1, wf2, racq, stale) = _release_sequence_state(sigma0)
+    assert (wf1, racq) in strong_sw(s).pairs  # via the release sequence
+    assert (wf1, racq) not in s.sw.pairs  # our simplified sw misses it
+    assert s.sw.pairs <= strong_sw(s).pairs
+
+
+def test_separating_execution(sigma0):
+    """Weakly consistent but NOT canonically consistent: the paper's
+    'our version defines a weaker semantics, with more valid executions'
+    made concrete."""
+    s, _events = _release_sequence_state(sigma0)
+    assert is_weakly_canonical_consistent(s)
+    assert not is_canonically_consistent(s)  # stale read breaks COH-C
+
+
+def test_rmw_chains_extend_release_sequences(sigma0):
+    """An RMW reading from the sequence joins it (the rf* part of rs)."""
+    init_f = sigma0.last("f")
+    wf = Event(1, wrr("f", 1), 1)
+    u = Event(2, upd("f", 1, 2), 2)  # RMW by another thread
+    r = Event(3, rda("f", 2), 2)
+    s = (
+        sigma0.add_event(wf)
+        .insert_mo_after(init_f, wf)
+        .add_event(u)
+        .with_rf(wf, u)
+        .insert_mo_after(wf, u)
+        .add_event(r)
+        .with_rf(u, r)
+    )
+    rs = release_sequence_heads(s)
+    assert (wf, u) in rs.pairs
+    assert (wf, r) in strong_sw(s).pairs
+
+
+def test_lemma_c4_on_candidate_spaces():
+    """Canonical consistency implies weak canonical consistency on every
+    enumerated candidate (Lemma C.4)."""
+    space = CandidateSpace(n_events=2, variables=("x",), values=(1, 2))
+    checked = 0
+    for state in enumerate_candidates(space):
+        if is_canonically_consistent(state):
+            assert is_weakly_canonical_consistent(state)
+            checked += 1
+    assert checked > 0
+
+
+def test_lemma_c4_two_variables():
+    space = CandidateSpace(n_events=2, variables=("x", "y"), values=(1,))
+    for state in enumerate_candidates(space):
+        if is_canonically_consistent(state):
+            assert is_weakly_canonical_consistent(state)
+
+
+def test_strong_hb_contains_hb(sigma0):
+    s, _ = _release_sequence_state(sigma0)
+    assert s.hb.pairs <= strong_hb(s).pairs

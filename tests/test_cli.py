@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SB_TEXT = """
+C11 SB (store buffering)
+{ x = 0; y = 0; r1 = 0; r2 = 0 }
+P1: x := 1; r1 := y
+P2: y := 1; r2 := x
+exists (r1 = 0 /\\ r2 = 0)
+"""
+
+MP_TEXT = """
+C11 MP
+{ d = 0; f = 0; r1 = 0; r2 = 0 }
+P1: d := 5; f :=R 1
+P2: r1 := f^A; r2 := d
+forbidden (r1 = 1 /\\ r2 = 0)
+"""
+
+
+@pytest.fixture
+def sb_file(tmp_path):
+    path = tmp_path / "sb.litmus"
+    path.write_text(SB_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def mp_file(tmp_path):
+    path = tmp_path / "mp.litmus"
+    path.write_text(MP_TEXT)
+    return str(path)
+
+
+def test_run_exists_ok(sb_file, capsys):
+    assert main(["run", sb_file]) == 0
+    out = capsys.readouterr().out
+    assert "reachable" in out and "OK" in out
+
+
+def test_run_forbidden_ok(mp_file, capsys):
+    assert main(["run", mp_file]) == 0
+    out = capsys.readouterr().out
+    assert "unreachable" in out
+
+
+def test_run_under_sc_flips_verdict(sb_file, capsys):
+    # SB's weak outcome is unreachable under SC: 'exists' fails -> exit 1
+    assert main(["run", sb_file, "--model", "sc"]) == 1
+    assert "UNEXPECTED" in capsys.readouterr().out
+
+
+def test_run_unknown_model(sb_file):
+    with pytest.raises(SystemExit):
+        main(["run", sb_file, "--model", "tso"])
+
+
+def test_table(capsys):
+    assert main(["table"]) == 0
+    out = capsys.readouterr().out
+    assert "SB" in out and "IRIW+rel-acq" in out
+    assert "allowed" in out and "forbidden" in out
+
+
+def test_table_with_sra_and_extras(capsys):
+    assert main(["table", "--models", "ra,sra,sc", "--extra"]) == 0
+    out = capsys.readouterr().out
+    assert "SRA" in out
+    assert "S+relaxed" in out  # extras included
+
+
+def test_dot_to_stdout(sb_file, capsys):
+    assert main(["dot", sb_file]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "rf" in out
+
+
+def test_dot_to_file(sb_file, tmp_path, capsys):
+    out_path = tmp_path / "sb.dot"
+    assert main(["dot", sb_file, "--out", str(out_path)]) == 0
+    assert out_path.read_text().startswith("digraph")
+
+
+def test_soundness_command(mp_file, capsys):
+    assert main(["soundness", mp_file]) == 0
+    assert "OK" in capsys.readouterr().out

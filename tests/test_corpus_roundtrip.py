@@ -1,0 +1,32 @@
+"""Corpus-wide round trip: parse → unparse → parse is the identity."""
+
+import pytest
+
+from repro.lang.parser import parse_litmus
+from repro.lang.unparse import unparse_com, unparse_litmus
+from repro.litmus.corpus import CORPUS_SOURCES, corpus_names, load_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus()
+
+
+@pytest.mark.parametrize("name", corpus_names())
+def test_corpus_program_round_trips(corpus, name):
+    parsed = corpus[name]
+    text = unparse_litmus(parsed.name, parsed.program, parsed.init)
+    reparsed = parse_litmus(text)
+    assert reparsed.program == parsed.program
+    assert reparsed.init == parsed.init
+
+
+@pytest.mark.parametrize("name", corpus_names())
+def test_corpus_threads_unparse_cleanly(corpus, name):
+    parsed = corpus[name]
+    for _tid, com in parsed.program.threads:
+        text = unparse_com(com)
+        assert text  # no crashes, non-empty
+        from repro.lang.parser import parse_command
+
+        assert parse_command(text) == com

@@ -1,0 +1,46 @@
+"""Cross-validation: the axiomatic pipeline re-derives litmus verdicts.
+
+Each loop-free litmus test is decided twice —
+
+* **operationally**: exhaustive RA exploration (the usual runner), and
+* **axiomatically**: PE exploration → justification search → outcome
+  evaluation on the *justified* executions —
+
+and the verdicts must coincide.  This is soundness + completeness
+working in tandem on real workloads: if the operational model allowed a
+behaviour the axioms forbid (or vice versa), these disagree.
+"""
+
+import pytest
+
+from repro.axiomatic.justify import justifications
+from repro.checking.completeness import terminal_pre_executions
+from repro.interp.ra_model import RAMemoryModel
+from repro.litmus.extra import EXTRA_TESTS
+from repro.litmus.registry import run_litmus
+from repro.litmus.suite import ALL_TESTS
+
+LOOP_FREE = [t for t in ALL_TESTS + EXTRA_TESTS if t.max_events is None]
+
+
+def axiomatic_verdict(test) -> bool:
+    """Outcome reachability via justify-all-pre-executions."""
+    prestates, truncated = terminal_pre_executions(test.program, test.init)
+    assert not truncated
+    for pi in prestates:
+        for chi in justifications(pi, limit=None):
+            values = {}
+            for x in chi.variables():
+                values[x] = chi.last(x).wrval
+            if test.outcome(values):
+                return True
+    return False
+
+
+@pytest.mark.parametrize("test", LOOP_FREE, ids=lambda t: t.name)
+def test_axiomatic_agrees_with_operational(test):
+    operational = run_litmus(test, RAMemoryModel()).reachable
+    axiomatic = axiomatic_verdict(test)
+    assert operational == axiomatic, (
+        f"{test.name}: operational says {operational}, axioms say {axiomatic}"
+    )

@@ -1,0 +1,151 @@
+"""Edge-case coverage across modules (error paths, reprs, tiny helpers)."""
+
+import pytest
+
+from repro.c11.events import Event
+from repro.c11.state import C11State, initial_state
+from repro.interp.interpreter import InterpretedStep, initial_configuration
+from repro.interp.config import Configuration
+from repro.interp.ra_model import RAMemoryModel
+from repro.lang.actions import ActionKind, rd, wr
+from repro.lang.program import Program
+from repro.lang.builder import assign, skip
+from repro.lang.semantics import PendingStep
+from repro.relations.relation import Relation
+
+
+# -- relations ----------------------------------------------------------
+
+
+def test_relation_repr_is_stable():
+    r = Relation.from_edges((2, 3), (1, 2))
+    assert repr(r) == "Relation({(1, 2), (2, 3)})"
+
+
+def test_relation_eq_other_types():
+    assert Relation.empty().__eq__(42) is NotImplemented
+
+
+def test_relation_bool():
+    assert not Relation.empty()
+    assert Relation.from_edges((1, 1))
+
+
+# -- pending steps ------------------------------------------------------
+
+
+def test_pending_step_action_requires_value_for_reads():
+    step = PendingStep(ActionKind.RD, var="x", resume=lambda v: None)
+    with pytest.raises(ValueError):
+        step.action()
+    assert step.action(3) == rd("x", 3)
+
+
+def test_pending_step_tau_action():
+    step = PendingStep(ActionKind.TAU)
+    assert step.action().is_silent
+    assert not step.is_read_hole
+
+
+def test_pending_step_write_action_ignores_value_slot():
+    step = PendingStep(ActionKind.WR, var="x", wrval=1, resume=lambda v: None)
+    assert step.action() == wr("x", 1)
+    assert not step.is_read_hole
+
+
+# -- states -------------------------------------------------------------
+
+
+def test_state_repr_counts():
+    s = initial_state({"x": 0})
+    text = repr(s)
+    assert "|D|=1" in text
+
+
+def test_state_eq_other_types():
+    s = initial_state({"x": 0})
+    assert s.__eq__("nope") is NotImplemented
+
+
+def test_fast_eco_flag_propagates():
+    s = initial_state({"x": 0})
+    assert s.fast_eco
+    w = Event(1, wr("x", 1), 1)
+    s2 = s.add_event(w).insert_mo_after(s.last("x"), w)
+    assert s2.fast_eco
+    assert s2.restricted_to(s.events).fast_eco
+    # hand-built states default to the safe mode
+    assert not C11State(s.events).fast_eco
+
+
+def test_next_tag_on_empty_state():
+    s = C11State(frozenset())
+    assert s.next_tag() == 1
+
+
+# -- interpreter --------------------------------------------------------
+
+
+def test_interpreted_step_is_silent_detection():
+    model = RAMemoryModel()
+    config = initial_configuration(
+        Program.parallel(skip()), {"x": 0}, model
+    )
+    step = InterpretedStep(source=config, tid=1, target=config)
+    assert step.is_silent
+    step2 = InterpretedStep(source=config, tid=1, target=config, read_value=0)
+    assert not step2.is_silent
+
+
+def test_configuration_str():
+    model = RAMemoryModel()
+    config = initial_configuration(Program.parallel(assign("x", 1)), {"x": 0}, model)
+    assert "x := 1" in str(config)
+
+
+# -- event semantics errors ----------------------------------------------
+
+
+def test_ra_successors_rejects_tau():
+    from repro.c11.event_semantics import ra_successors
+
+    s = initial_state({"x": 0})
+    with pytest.raises(ValueError):
+        list(ra_successors(s, 1, ActionKind.TAU, "x"))
+
+
+# -- validity report ------------------------------------------------------
+
+
+def test_validity_report_bool_protocol():
+    from repro.axiomatic.validity import check_validity
+
+    report = check_validity(initial_state({"x": 0}))
+    assert bool(report) is True
+    assert report.violated == []
+
+
+def test_weak_canonical_report_bool_protocol():
+    from repro.axiomatic.canonical import weak_canonical_report
+
+    report = weak_canonical_report(initial_state({"x": 0}))
+    assert bool(report) is True
+
+
+# -- exploration result helpers -------------------------------------------
+
+
+def test_trace_to_initial_is_empty():
+    from repro.interp.explore import explore, _key_of
+
+    model = RAMemoryModel()
+    result = explore(Program.parallel(assign("x", 1)), {"x": 0}, model)
+    init_key = _key_of(result.initial, model)
+    assert result.trace_to(init_key) == []
+
+
+def test_counterexample_none_when_ok():
+    from repro.interp.explore import explore
+
+    result = explore(Program.parallel(assign("x", 1)), {"x": 0}, RAMemoryModel())
+    assert result.counterexample() is None

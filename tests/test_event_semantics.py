@@ -1,0 +1,223 @@
+"""Tests for the Figure 3 rules (Read / Write / RMW), incl. Example 3.6."""
+
+import pytest
+
+from repro.axiomatic.validity import is_valid
+from repro.c11.event_semantics import (
+    ra_read_targets,
+    ra_successors,
+    ra_transitions_for_action,
+    ra_transitions_for_event,
+    ra_write_targets,
+)
+from repro.c11.events import Event
+from repro.c11.state import initial_state
+from repro.lang.actions import ActionKind, rd, rda, upd, wr, wrr
+
+
+@pytest.fixture
+def sigma0():
+    return initial_state({"x": 0, "y": 0})
+
+
+def drive(state, tid, action):
+    """Apply the unique transition for an action (asserts uniqueness)."""
+    trs = list(ra_transitions_for_action(state, action, tid))
+    assert len(trs) == 1
+    return trs[0].target
+
+
+# ----------------------------------------------------------------------
+# Read rule
+# ----------------------------------------------------------------------
+
+
+def test_read_from_init(sigma0):
+    trs = list(ra_successors(sigma0, 1, ActionKind.RD, "x"))
+    assert len(trs) == 1
+    tr = trs[0]
+    assert tr.observed == sigma0.last("x")
+    assert tr.event.rdval == 0
+    assert (tr.observed, tr.event) in tr.target.rf.pairs
+
+
+def test_read_enumerates_observable_writes(sigma0):
+    s = drive(sigma0, 1, wr("x", 1))
+    # thread 2 has encountered nothing: may read init 0 or the new 1
+    values = {tr.event.rdval for tr in ra_successors(s, 2, ActionKind.RD, "x")}
+    assert values == {0, 1}
+
+
+def test_reader_cannot_go_backwards(sigma0):
+    """Once a thread reads the newer write, the older one is unobservable."""
+    s = drive(sigma0, 1, wr("x", 1))
+    s = drive(s, 2, rd("x", 1))  # thread 2 encounters wr(x,1)
+    values = {tr.event.rdval for tr in ra_successors(s, 2, ActionKind.RD, "x")}
+    assert values == {1}
+
+
+def test_own_writes_are_encountered(sigma0):
+    s = drive(sigma0, 1, wr("x", 1))
+    values = {tr.event.rdval for tr in ra_successors(s, 1, ActionKind.RD, "x")}
+    assert values == {1}
+
+
+def test_read_with_fixed_value_filters(sigma0):
+    s = drive(sigma0, 1, wr("x", 1))
+    trs = list(ra_transitions_for_action(s, rd("x", 0), 2))
+    assert len(trs) == 1 and trs[0].observed.is_init
+    assert list(ra_transitions_for_action(s, rd("x", 7), 2)) == []
+
+
+# ----------------------------------------------------------------------
+# Write rule
+# ----------------------------------------------------------------------
+
+
+def test_write_appends_or_intersperses(sigma0):
+    s = drive(sigma0, 1, wr("x", 1))
+    # thread 2 may insert after init (before wr(x,1)) or after wr(x,1)
+    trs = list(ra_successors(s, 2, ActionKind.WR, "x", wrval=2))
+    finals = {tr.target.last("x").wrval for tr in trs}
+    assert len(trs) == 2
+    assert finals == {1, 2}
+
+
+def test_write_cannot_insert_after_superseded(sigma0):
+    s = drive(sigma0, 1, wr("x", 1))
+    s = drive(s, 2, rd("x", 1))
+    # thread 2 has encountered wr(x,1): init is no longer a target
+    targets = ra_write_targets(s, 2, "x")
+    assert targets == [s.last("x")]
+
+
+def test_write_produces_valid_states(sigma0):
+    s = drive(sigma0, 1, wr("x", 1))
+    for tr in ra_successors(s, 2, ActionKind.WRR, "x", wrval=2):
+        assert is_valid(tr.target)
+
+
+# ----------------------------------------------------------------------
+# RMW rule
+# ----------------------------------------------------------------------
+
+
+def test_update_reads_and_modifies(sigma0):
+    trs = list(ra_successors(sigma0, 1, ActionKind.UPD, "x", wrval=5))
+    assert len(trs) == 1
+    tr = trs[0]
+    assert tr.event.rdval == 0 and tr.event.wrval == 5
+    assert (tr.observed, tr.event) in tr.target.rf.pairs
+    assert (tr.observed, tr.event) in tr.target.mo.pairs
+
+
+def test_update_covers_its_source(sigma0):
+    s = drive(sigma0, 1, upd("x", 0, 5))
+    # the init write is now covered: no write/update may follow it in mo
+    init_x = [w for w in s.writes_on("x") if w.is_init][0]
+    assert init_x not in ra_write_targets(s, 2, "x")
+    # but reads may still observe it (thread 2 encountered nothing)
+    assert init_x in ra_read_targets(s, 2, "x")
+
+
+def test_competing_updates_serialise(sigma0):
+    """Example 3.6's principle: the second swap must read the first."""
+    s = drive(sigma0, 1, upd("x", 0, 5))
+    trs = list(ra_successors(s, 2, ActionKind.UPD, "x", wrval=7))
+    assert len(trs) == 1
+    assert trs[0].event.rdval == 5  # forced to read thread 1's update
+
+
+def test_update_value_mismatch_blocks(sigma0):
+    s = drive(sigma0, 1, upd("x", 0, 5))
+    # an update insisting on reading 0 can no longer run on x
+    assert list(ra_transitions_for_action(s, upd("x", 0, 9), 2)) == []
+
+
+# ----------------------------------------------------------------------
+# Example 3.6: Peterson head state
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def example_3_6():
+    """flag1 := true; turn.swap(2) done by thread 1; flag2 := true by 2."""
+    s = initial_state({"flag1": 0, "flag2": 0, "turn": 1})
+    s = drive(s, 1, wr("flag1", 1))
+    s = drive(s, 1, upd("turn", 1, 2))
+    s = drive(s, 2, wr("flag2", 1))
+    return s
+
+
+def test_example_3_6_read_vs_update_on_turn(example_3_6):
+    s = example_3_6
+    # thread 2 *can read* the initial turn write ...
+    read_values = {
+        tr.event.rdval for tr in ra_successors(s, 2, ActionKind.RD, "turn")
+    }
+    assert read_values == {1, 2}
+    # ... but *cannot update* from it: wr0(turn,1) is covered
+    upd_trs = list(ra_successors(s, 2, ActionKind.UPD, "turn", wrval=1))
+    assert len(upd_trs) == 1
+    assert upd_trs[0].event.rdval == 2  # must read thread 1's update
+
+
+def test_example_3_6_thread2_spins(example_3_6):
+    """After thread 2's swap, its guard must evaluate to true (it spins)."""
+    s = example_3_6
+    trs = list(ra_successors(s, 2, ActionKind.UPD, "turn", wrval=1))
+    s = trs[0].target
+    # thread 2 has encountered wr1(flag1,true) (via rf-sw into its swap):
+    flag1_vals = {
+        tr.event.rdval for tr in ra_successors(s, 2, ActionKind.RDA, "flag1")
+    }
+    assert flag1_vals == {1}
+    # and encountered both updates on turn, so reads its own value 1:
+    turn_vals = {
+        tr.event.rdval for tr in ra_successors(s, 2, ActionKind.RD, "turn")
+    }
+    assert turn_vals == {1}
+
+
+def test_example_3_6_thread1_may_exit(example_3_6):
+    """Thread 1 hasn't encountered flag2 := true, so it may read either
+    value and could exit the busy loop."""
+    s = example_3_6
+    trs = list(ra_successors(s, 2, ActionKind.UPD, "turn", wrval=1))
+    s = trs[0].target
+    flag2_vals = {
+        tr.event.rdval for tr in ra_successors(s, 1, ActionKind.RDA, "flag2")
+    }
+    assert flag2_vals == {0, 1}
+    turn_vals = {
+        tr.event.rdval for tr in ra_successors(s, 1, ActionKind.RD, "turn")
+    }
+    assert turn_vals == {1, 2}  # both updates observable to thread 1
+
+
+# ----------------------------------------------------------------------
+# Replay variant
+# ----------------------------------------------------------------------
+
+
+def test_transitions_for_event_keeps_tag(sigma0):
+    e = Event(41, wr("x", 1), 1)
+    trs = list(ra_transitions_for_event(sigma0, e))
+    assert len(trs) == 1
+    assert trs[0].event is e
+    assert trs[0].target.event_by_tag(41) == e
+
+
+def test_all_rule_outputs_are_valid(sigma0):
+    """Every single-step successor of a valid state is valid (the
+    induction step of Theorem 4.4 in miniature)."""
+    s = drive(sigma0, 1, wrr("x", 1))
+    for kind, wv in (
+        (ActionKind.RD, None),
+        (ActionKind.RDA, None),
+        (ActionKind.WR, 3),
+        (ActionKind.WRR, 3),
+        (ActionKind.UPD, 3),
+    ):
+        for tr in ra_successors(s, 2, kind, "x", wrval=wv):
+            assert is_valid(tr.target), f"{kind} produced invalid state"

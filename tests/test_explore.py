@@ -1,0 +1,128 @@
+"""Tests for the bounded exhaustive explorer."""
+
+import pytest
+
+from repro.interp.explore import explore, reachable_states
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.lang.builder import assign, eq, neg, acq, seq, skip, var, while_
+from repro.lang.program import Program
+from repro.lang.syntax import Lit, While
+
+
+def test_single_write_program():
+    result = explore(Program.parallel(assign("x", 1)), {"x": 0}, RAMemoryModel())
+    # configs: initial + written
+    assert result.configs == 2
+    assert result.transitions == 1
+    assert len(result.terminal) == 1
+    assert not result.truncated
+    assert result.ok
+
+
+def test_dedup_collapses_interleavings():
+    program = Program.parallel(assign("x", 1), assign("y", 1))
+    result = explore(program, {"x": 0, "y": 0}, RAMemoryModel())
+    # 4 logical configurations (neither/either/both), not 1+2+2+... naive tree
+    assert result.configs == 4
+    assert len(result.terminal) == 1
+
+
+def test_truncation_flag_on_infinite_loop():
+    program = Program.parallel(while_(eq(var("x"), 0)))  # spins forever
+    result = explore(program, {"x": 0}, RAMemoryModel(), max_events=3)
+    assert result.truncated
+    assert result.terminal == []
+
+
+def test_tau_cycle_terminates_without_bound():
+    """while true do skip is a pure τ-cycle: dedup must close it."""
+    program = Program.parallel(While(Lit(1), skip()))
+    result = explore(program, {}, RAMemoryModel())
+    assert result.configs <= 3
+    assert not result.truncated
+
+
+def test_check_config_collects_violations():
+    program = Program.parallel(assign("x", 1))
+
+    def check(config):
+        return ["x written"] if config.state.last("x").wrval == 1 else []
+
+    result = explore(program, {"x": 0}, RAMemoryModel(), check_config=check)
+    assert len(result.violations) == 1
+    assert not result.ok
+
+
+def test_stop_on_violation_short_circuits():
+    program = Program.parallel(assign("x", 1), assign("y", 1))
+    result = explore(
+        program,
+        {"x": 0, "y": 0},
+        RAMemoryModel(),
+        check_config=lambda c: ["always"],
+        stop_on_violation=True,
+    )
+    assert len(result.violations) == 1
+    assert result.configs == 1
+
+
+def test_max_configs_bound():
+    program = Program.parallel(
+        seq(assign("x", 1), assign("x", 2)),
+        seq(assign("y", 1), assign("y", 2)),
+    )
+    result = explore(program, {"x": 0, "y": 0}, RAMemoryModel(), max_configs=3)
+    assert result.truncated
+    assert result.configs <= 3
+
+
+def test_counterexample_trace_reconstruction():
+    program = Program.parallel(seq(assign("x", 1), assign("x", 2)))
+
+    def check(config):
+        last = config.state.last("x")
+        return ["reached 2"] if last and last.wrval == 2 else []
+
+    result = explore(program, {"x": 0}, RAMemoryModel(), check_config=check)
+    trace = result.counterexample()
+    assert trace is not None
+    assert [s.event.wrval for s in trace if s.event] == [1, 2]
+
+
+def test_check_step_hook():
+    program = Program.parallel(assign("x", 1))
+    seen = []
+
+    def check(step):
+        if step.event is not None:
+            seen.append(step.event.wrval)
+        return []
+
+    explore(program, {"x": 0}, RAMemoryModel(), check_step=check)
+    assert seen == [1]
+
+
+def test_reachable_states_dedup():
+    program = Program.parallel(assign("x", 1), assign("y", 1))
+    states, result = reachable_states(program, {"x": 0, "y": 0}, RAMemoryModel())
+    assert len(states) == 4
+    assert result.configs == 4
+
+
+def test_sc_exploration_message_passing_is_strong():
+    program = Program.parallel(
+        seq(assign("d", 5), assign("f", 1)),
+        seq(while_(neg(var("f")), skip()), assign("r", var("d"))),
+    )
+    result = explore(program, {"d": 0, "f": 0, "r": 0}, SCMemoryModel(), max_events=None)
+    finals = {dict(c.state)["r"] for c in result.terminal}
+    assert finals == {5}
+
+
+def test_representatives_collection():
+    program = Program.parallel(assign("x", 1))
+    result = explore(
+        program, {"x": 0}, RAMemoryModel(), keep_representatives=True
+    )
+    assert len(result.representatives) == result.configs

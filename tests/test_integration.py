@@ -1,0 +1,160 @@
+"""Cross-module integration tests: whole pipelines, end to end.
+
+These trace the paper's own narrative arc: write a program in the
+command language → run it operationally → check it axiomatically →
+reason about it with the calculus.
+"""
+
+import pytest
+
+from repro.axiomatic.justify import justifications
+from repro.axiomatic.validity import check_validity, is_valid
+from repro.checking.completeness import (
+    check_completeness,
+    replay_justification,
+    terminal_pre_executions,
+)
+from repro.checking.soundness import check_soundness
+from repro.interp.canon import canonical_key
+from repro.interp.explore import explore, reachable_states
+from repro.interp.pe_model import PEMemoryModel
+from repro.interp.ra_model import RAMemoryModel
+from repro.lang.builder import acq, assign, label, neg, seq, skip, swap, var, while_
+from repro.lang.program import Program
+from repro.litmus.registry import final_values
+from repro.relations.linearize import is_linearization_of
+
+
+WRC = Program.parallel(
+    assign("x", 1),
+    seq(assign("r1", var("x")), assign("y", 1, release=True)),
+    seq(assign("r2", acq("y")), assign("r3", var("x"))),
+)
+WRC_INIT = {"x": 0, "y": 0, "r1": 0, "r2": 0, "r3": 0}
+
+
+def test_operational_states_equal_justified_prestates():
+    """The punchline of Section 4.2, computed: the set of final C11
+    states reachable operationally equals the set of justifications of
+    the terminal pre-executions (up to canonical renaming)."""
+    program = Program.parallel(
+        seq(assign("x", 1), assign("r1", var("y"))),
+        seq(assign("y", 1), assign("r2", var("x"))),
+    )
+    init = {"x": 0, "y": 0, "r1": 0, "r2": 0}
+
+    # operational side: terminal configurations under RA
+    result = explore(program, init, RAMemoryModel())
+    ra_final = {canonical_key(c.state) for c in result.terminal}
+
+    # axiomatic side: justify every terminal pre-execution
+    prestates, _ = terminal_pre_executions(program, init)
+    ax_final = set()
+    for pi in prestates:
+        for chi in justifications(pi):
+            ax_final.add(canonical_key(chi))
+
+    assert ra_final == ax_final
+    assert len(ra_final) >= 4
+
+
+def test_soundness_and_completeness_agree_on_wrc():
+    sound = check_soundness(WRC, WRC_INIT, name="WRC")
+    assert sound.sound
+    complete = check_completeness(WRC, WRC_INIT, name="WRC")
+    assert complete.complete
+    assert complete.justifications_total == complete.replays_ok > 0
+
+
+def test_replay_produces_prefix_valid_states():
+    """Every σ_i along a replay satisfies Definition 4.2 (Thm 4.8 gives
+    σ_i = χ ↾ {e₁..e_i}, and Thm 4.4 says each is valid)."""
+    program = Program.parallel(
+        seq(assign("d", 1), assign("f", 1, release=True)),
+        seq(assign("r1", acq("f")), assign("r2", var("d"))),
+    )
+    init = {"d": 0, "f": 0, "r1": 0, "r2": 0}
+    prestates, _ = terminal_pre_executions(program, init)
+    replayed = 0
+    for pi in prestates:
+        for chi in justifications(pi):
+            ok, failure, states = replay_justification(chi)
+            assert ok, failure
+            for sigma in states:
+                assert is_valid(sigma)
+            replayed += 1
+    assert replayed >= 3
+
+
+def test_replay_order_is_a_linearization_of_sb_rf():
+    program = Program.parallel(
+        seq(assign("d", 1), assign("f", 1, release=True)),
+        seq(assign("r1", acq("f")), assign("r2", var("d"))),
+    )
+    init = {"d": 0, "f": 0, "r1": 0, "r2": 0}
+    prestates, _ = terminal_pre_executions(program, init)
+    for pi in prestates:
+        for chi in justifications(pi):
+            ok, _, states = replay_justification(chi)
+            assert ok
+            order = []
+            prev = frozenset(chi.init_writes)
+            for sigma in states:
+                (new,) = sigma.events - prev
+                order.append(new)
+                prev = sigma.events
+            prog_events = frozenset(e for e in chi.events if not e.is_init)
+            rel = (chi.sb | chi.rf).restrict_to(prog_events)
+            assert is_linearization_of(order, rel)
+
+
+def test_swap_heavy_pipeline():
+    """Token-style swaps through every layer at once."""
+    program = Program.parallel(
+        seq(swap("t", 2), assign("r1", var("t"))),
+        seq(swap("t", 3), assign("r2", var("t"))),
+    )
+    init = {"t": 1, "r1": 0, "r2": 0}
+    sound = check_soundness(program, init, name="swap-pipeline")
+    assert sound.sound
+    complete = check_completeness(program, init, name="swap-pipeline")
+    assert complete.complete
+    result = explore(program, init, RAMemoryModel())
+    finals = {
+        (final_values(c)["t"], final_values(c)["r1"], final_values(c)["r2"])
+        for c in result.terminal
+    }
+    # updates serialise: final t is the later swap's value
+    assert {t for t, _, _ in finals} == {2, 3}
+
+
+def test_pe_exploration_superset_of_ra():
+    """Pre-executions over-approximate: every RA-terminal value vector
+    appears among PE terminals too (reads guess liberally)."""
+    program = Program.parallel(
+        seq(assign("x", 1), assign("r1", var("y"))),
+        seq(assign("y", 1), assign("r2", var("x"))),
+    )
+    init = {"x": 0, "y": 0, "r1": 0, "r2": 0}
+    ra = explore(program, init, RAMemoryModel())
+    ra_vals = {
+        (final_values(c)["r1"], final_values(c)["r2"]) for c in ra.terminal
+    }
+    pe_model = PEMemoryModel.for_program(program, init)
+    pe = explore(program, init, pe_model)
+    pe_vals = set()
+    for c in pe.terminal:
+        regs = {}
+        for e in c.state.events:
+            if e.is_write and not e.is_init and e.var in ("r1", "r2"):
+                regs[e.var] = e.wrval
+        pe_vals.add((regs.get("r1"), regs.get("r2")))
+    assert ra_vals <= pe_vals
+
+
+def test_full_public_api_importable():
+    import repro
+
+    assert repro.__version__
+    assert callable(repro.assign)
+    assert callable(repro.initial_state)

@@ -1,0 +1,135 @@
+"""Tests for the interpreted semantics: models, configurations, canon keys."""
+
+import pytest
+
+from repro.interp.canon import canonical_key
+from repro.interp.config import Configuration
+from repro.interp.interpreter import configuration_successors, initial_configuration
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.pe_model import PEMemoryModel
+from repro.interp.sc import SCMemoryModel, sc_lookup, sc_store, sc_update
+from repro.lang.builder import acq, assign, seq, skip, swap, var
+from repro.lang.program import Program
+
+
+def test_sc_store_roundtrip():
+    s = sc_store({"x": 1, "a": 2})
+    assert s == (("a", 2), ("x", 1))
+    assert sc_lookup(s, "x") == 1
+    s2 = sc_update(s, "x", 9)
+    assert sc_lookup(s2, "x") == 9 and sc_lookup(s, "x") == 1
+    with pytest.raises(KeyError):
+        sc_lookup(s, "zz")
+
+
+def test_sc_interleaving_semantics():
+    program = Program.parallel(assign("x", 1), assign("r", var("x")))
+    config = initial_configuration(program, {"x": 0, "r": 0}, SCMemoryModel())
+    steps = list(configuration_successors(config, SCMemoryModel()))
+    # thread 1: one write; thread 2: one read with THE current value only
+    reads = [s for s in steps if s.read_value is not None]
+    assert len(reads) == 1 and reads[0].read_value == 0
+
+
+def test_ra_read_enumerates_multiple_values():
+    program = Program.parallel(skip(), assign("r", var("x")))
+    model = RAMemoryModel()
+    config = initial_configuration(program, {"x": 0, "r": 0}, model)
+    # seed a competing write by thread 1 first
+    program2 = Program.parallel(assign("x", 1), assign("r", var("x")))
+    config2 = initial_configuration(program2, {"x": 0, "r": 0}, model)
+    w_step = [
+        s for s in configuration_successors(config2, model) if s.tid == 1
+    ][0]
+    reads = [
+        s
+        for s in configuration_successors(w_step.target, model)
+        if s.tid == 2 and s.read_value is not None
+    ]
+    assert sorted(s.read_value for s in reads) == [0, 1]
+
+
+def test_silent_steps_keep_state():
+    program = Program.parallel(seq(skip(), assign("x", 1)))
+    model = RAMemoryModel()
+    config = initial_configuration(program, {"x": 0}, model)
+    (step,) = list(configuration_successors(config, model))
+    assert step.is_silent
+    assert step.target.state is config.state
+
+
+def test_pe_model_successors_guess_values():
+    program = Program.parallel(assign("r", var("x")))
+    model = PEMemoryModel(frozenset({0, 9}))
+    config = initial_configuration(program, {"x": 0, "r": 0}, model)
+    reads = [
+        s for s in configuration_successors(config, model) if s.read_value is not None
+    ]
+    assert sorted(s.read_value for s in reads) == [0, 9]
+
+
+def test_configuration_pc_and_termination():
+    program = Program.parallel(skip())
+    config = initial_configuration(program, {}, SCMemoryModel())
+    assert config.is_terminated()
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+
+
+def _two_interleavings():
+    """Reach 'both threads wrote' via both orders; states must collapse."""
+    program = Program.parallel(assign("x", 1), assign("y", 1))
+    model = RAMemoryModel()
+    config = initial_configuration(program, {"x": 0, "y": 0}, model)
+    firsts = {s.tid: s for s in configuration_successors(config, model)}
+    path12 = [
+        s for s in configuration_successors(firsts[1].target, model) if s.tid == 2
+    ][0].target
+    path21 = [
+        s for s in configuration_successors(firsts[2].target, model) if s.tid == 1
+    ][0].target
+    return path12, path21
+
+
+def test_canonical_key_collapses_interleavings():
+    a, b = _two_interleavings()
+    assert a.state != b.state  # tags differ
+    assert canonical_key(a.state) == canonical_key(b.state)
+
+
+def test_canonical_key_distinguishes_values():
+    program1 = Program.parallel(assign("x", 1))
+    program2 = Program.parallel(assign("x", 2))
+    model = RAMemoryModel()
+    c1 = initial_configuration(program1, {"x": 0}, model)
+    c2 = initial_configuration(program2, {"x": 0}, model)
+    s1 = next(iter(configuration_successors(c1, model))).target.state
+    s2 = next(iter(configuration_successors(c2, model))).target.state
+    assert canonical_key(s1) != canonical_key(s2)
+
+
+def test_canonical_key_distinguishes_rf_choice():
+    program = Program.parallel(assign("x", 1), assign("r", var("x")))
+    model = RAMemoryModel()
+    config = initial_configuration(program, {"x": 0, "r": 0}, model)
+    after_w = [s for s in configuration_successors(config, model) if s.tid == 1][0]
+    reads = [
+        s
+        for s in configuration_successors(after_w.target, model)
+        if s.tid == 2 and s.read_value is not None
+    ]
+    keys = {canonical_key(s.target.state) for s in reads}
+    assert len(keys) == len(reads) == 2
+
+
+def test_canonical_key_works_for_prestates():
+    from repro.c11.prestate import initial_prestate
+    from repro.c11.events import Event
+    from repro.lang.actions import wr
+
+    a = initial_prestate({"x": 0}).add_event(Event(1, wr("x", 1), 1))
+    b = initial_prestate({"x": 0}).add_event(Event(7, wr("x", 1), 1))
+    assert canonical_key(a) == canonical_key(b)

@@ -1,0 +1,89 @@
+"""Tests for the invariant-checking engine."""
+
+import pytest
+
+from repro.interp.explore import explore
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.lang.builder import assign, label, seq, var
+from repro.lang.program import Program
+from repro.verify.assertions import DV, Implies, PCIn
+from repro.verify.invariants import (
+    Invariant,
+    check_inductive_step,
+    check_invariants,
+)
+
+
+def test_trivially_true_invariant():
+    program = Program.parallel(assign("x", 1))
+    inv = Invariant("x determinate for writer after write",
+                    Implies(PCIn(1, ()), DV("x", 1, 9)))  # vacuous premise
+    report = check_invariants(program, {"x": 0}, [inv], name="t")
+    assert report.all_hold
+    assert report.configs == 2
+
+
+def test_violated_invariant_reports_failures():
+    program = Program.parallel(assign("x", 1))
+    inv = Invariant("x always 0 for t1", DV("x", 1, 0))
+    report = check_invariants(program, {"x": 0}, [inv], name="t")
+    assert not report.all_hold
+    assert report.holds_everywhere["x always 0 for t1"] is False
+    assert report.failures
+    assert "FAILURES" in report.row()
+
+
+def test_stop_on_violation():
+    program = Program.parallel(seq(assign("x", 1), assign("x", 2)))
+    inv = Invariant("never", DV("x", 1, 99))
+    report = check_invariants(
+        program, {"x": 0}, [inv], name="t", stop_on_violation=True
+    )
+    assert len(report.failures) == 1
+
+
+def test_works_with_sc_model():
+    program = Program.parallel(label(3, assign("x", 1)))
+    inv = Invariant("pc visible", PCIn(1, (3,)) | PCIn(1, (0,)))
+    report = check_invariants(
+        program, {"x": 0}, [inv], model=SCMemoryModel(), name="t"
+    )
+    assert report.all_hold
+
+
+def test_inductive_step_obligation():
+    program = Program.parallel(assign("x", 1))
+    model = RAMemoryModel()
+    inv_src_true = Invariant("x=0 for t1", DV("x", 1, 0))
+    broken = []
+
+    def on_step(step):
+        broken.extend(check_inductive_step(step, [inv_src_true]))
+        return []
+
+    explore(program, {"x": 0}, model, check_step=on_step)
+    # the write destroys the invariant: the obligation fails exactly there
+    assert broken == ["x=0 for t1"]
+
+
+def test_inductive_step_vacuous_when_source_violates():
+    program = Program.parallel(seq(assign("x", 1), assign("x", 0)))
+    model = RAMemoryModel()
+    inv = Invariant("x=0 for t1", DV("x", 1, 0))
+    vacuous_count = 0
+
+    def on_step(step):
+        if not inv.holds(step.source):
+            assert check_inductive_step(step, [inv]) == []
+            nonlocal vacuous_count
+            vacuous_count += 1
+        return []
+
+    explore(program, {"x": 0}, model, check_step=on_step)
+    assert vacuous_count > 0
+
+
+def test_invariant_str():
+    inv = Invariant("name", DV("x", 1, 0))
+    assert "name" in str(inv)

@@ -1,0 +1,107 @@
+"""Tests for pre-execution justification (Definition 4.3)."""
+
+import pytest
+
+from repro.axiomatic.justify import count_justifications, is_justifiable, justifications
+from repro.axiomatic.validity import is_valid
+from repro.c11.events import Event
+from repro.c11.prestate import initial_prestate
+from repro.lang.actions import rd, rda, upd, wr, wrr
+
+
+@pytest.fixture
+def pi0():
+    return initial_prestate({"x": 0, "y": 0})
+
+
+def test_initial_prestate_has_one_justification(pi0):
+    justs = list(justifications(pi0))
+    assert len(justs) == 1
+    assert is_valid(justs[0])
+
+
+def test_unjustifiable_read_value(pi0):
+    r = Event(1, rd("x", 7), 1)  # 7 is never written
+    pi = pi0.add_event(r)
+    assert not is_justifiable(pi)
+    assert list(justifications(pi)) == []
+
+
+def test_simple_read_is_justified_by_init(pi0):
+    r = Event(1, rd("x", 0), 1)
+    pi = pi0.add_event(r)
+    justs = list(justifications(pi))
+    assert len(justs) == 1
+    assert (pi0.events and justs[0].rf)
+    ((w, r2),) = justs[0].rf.pairs
+    assert w.is_init and r2 == r
+
+
+def test_two_writes_two_mo_orders(pi0):
+    w1 = Event(1, wr("x", 1), 1)
+    w2 = Event(2, wr("x", 2), 2)
+    pi = pi0.add_event(w1).add_event(w2)
+    assert count_justifications(pi) == 2  # two interleavings of mo
+
+
+def test_justification_count_respects_limit(pi0):
+    w1 = Event(1, wr("x", 1), 1)
+    w2 = Event(2, wr("x", 2), 2)
+    pi = pi0.add_event(w1).add_event(w2)
+    assert len(list(justifications(pi, limit=1))) == 1
+
+
+def test_load_buffering_prestate_unjustifiable(pi0):
+    """Both LB reads returning 1 cannot be justified: sb ∪ rf is cyclic."""
+    rx = Event(1, rd("x", 1), 1)
+    wy = Event(2, wr("y", 1), 1)
+    ry = Event(3, rd("y", 1), 2)
+    wx = Event(4, wr("x", 1), 2)
+    pi = pi0.add_event(rx).add_event(wy).add_event(ry).add_event(wx)
+    assert not is_justifiable(pi)
+
+
+def test_store_buffering_prestate_justifiable(pi0):
+    """Both SB reads returning 0 *is* justifiable (the RA weak behaviour)."""
+    wx = Event(1, wr("x", 1), 1)
+    ry = Event(2, rd("y", 0), 1)
+    wy = Event(3, wr("y", 1), 2)
+    rx = Event(4, rd("x", 0), 2)
+    pi = pi0.add_event(wx).add_event(ry).add_event(wy).add_event(rx)
+    justs = list(justifications(pi))
+    assert len(justs) >= 1
+    for chi in justs:
+        assert is_valid(chi)
+
+
+def test_update_justification_requires_adjacency(pi0):
+    """An update reading 0 with an interposed write forces the update
+    mo-adjacent to the initialiser."""
+    u = Event(1, upd("x", 0, 5), 1)
+    w = Event(2, wr("x", 3), 2)
+    pi = pi0.add_event(u).add_event(w)
+    for chi in justifications(pi):
+        writes = chi.writes_on("x")
+        assert writes[1] == u  # always immediately after init
+        assert is_valid(chi)
+    assert count_justifications(pi) == 1
+
+
+def test_release_acquire_sync_constrains(pi0):
+    """MP shape: stale read of d after acquiring the flag is unjustifiable."""
+    wd = Event(1, wr("x", 5), 1)      # data
+    wf = Event(2, wrr("y", 1), 1)     # flag, releasing
+    rf_ = Event(3, rda("y", 1), 2)    # acquire the flag
+    stale = Event(4, rd("x", 0), 2)   # stale data read
+    pi = pi0.add_event(wd).add_event(wf).add_event(rf_).add_event(stale)
+    assert not is_justifiable(pi)
+
+
+def test_all_justifications_are_valid_and_share_events(pi0):
+    w = Event(1, wr("x", 1), 1)
+    r = Event(2, rd("x", 1), 2)
+    pi = pi0.add_event(w).add_event(r)
+    for chi in justifications(pi):
+        assert is_valid(chi)
+        assert chi.events == pi.events
+        assert chi.sb == pi.sb

@@ -1,0 +1,89 @@
+"""Lemmas 5.3/5.4/5.6 discharged over explored transitions."""
+
+from repro.interp.explore import explore
+from repro.interp.ra_model import RAMemoryModel
+from repro.lang.builder import acq, assign, neg, seq, skip, swap, var, while_
+from repro.lang.program import Program
+from repro.verify.lemmas import (
+    lemma_determinate_agreement,
+    lemma_determinate_read,
+    lemma_last_modification,
+)
+
+PROGRAMS = {
+    "MP": (
+        Program.parallel(
+            seq(assign("d", 5), assign("f", 1, release=True)),
+            seq(while_(neg(acq("f")), skip()), assign("r", var("d"))),
+        ),
+        {"d": 0, "f": 0, "r": 0},
+        8,
+    ),
+    "SB": (
+        Program.parallel(
+            seq(assign("x", 1), assign("r1", var("y"))),
+            seq(assign("y", 1), assign("r2", var("x"))),
+        ),
+        {"x": 0, "y": 0, "r1": 0, "r2": 0},
+        None,
+    ),
+    "swaps": (
+        Program.parallel(swap("t", 2), swap("t", 1)),
+        {"t": 1},
+        None,
+    ),
+}
+
+
+def _check_over(name, check_step):
+    program, init, bound = PROGRAMS[name]
+    failures = []
+
+    def on_step(step):
+        if not check_step(step):
+            failures.append(step)
+        return []
+
+    explore(program, init, RAMemoryModel(), max_events=bound, check_step=on_step)
+    return failures
+
+
+def test_lemma_5_3_determinate_read():
+    for name in PROGRAMS:
+        assert not _check_over(name, lemma_determinate_read), name
+
+
+def test_lemma_5_6_last_modification():
+    for name in PROGRAMS:
+        assert not _check_over(name, lemma_last_modification), name
+
+
+def test_lemma_5_4_agreement_over_reachable_states():
+    program, init, bound = PROGRAMS["MP"]
+    failures = []
+
+    def on_config(config):
+        state = config.state
+        for x in ("d", "f", "r"):
+            for t1 in (1, 2):
+                for t2 in (1, 2):
+                    if not lemma_determinate_agreement(state, x, t1, t2):
+                        failures.append((x, t1, t2))
+        return []
+
+    explore(program, init, RAMemoryModel(), max_events=bound, check_config=on_config)
+    assert not failures
+
+
+def test_lemma_5_6_update_only_forces_last():
+    """On an update-only variable, every swap lands mo-last."""
+    program, init, _ = PROGRAMS["swaps"]
+    seen = []
+
+    def on_step(step):
+        if step.event is not None and step.event.is_update:
+            seen.append(step.observed == step.source.state.last("t"))
+        return []
+
+    explore(program, init, RAMemoryModel(), check_step=on_step)
+    assert seen and all(seen)

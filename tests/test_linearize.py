@@ -1,0 +1,118 @@
+"""Tests for linearisation enumeration (needed by Theorem 4.8 / Lemma 4.7)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relations import Relation
+from repro.relations.linearize import (
+    CycleError,
+    all_linearizations,
+    count_linearizations,
+    is_linearization_of,
+    one_linearization,
+)
+
+
+def test_one_linearization_chain():
+    r = Relation.from_edges(("a", "b"), ("b", "c"))
+    assert one_linearization(r) == ("a", "b", "c")
+
+
+def test_one_linearization_respects_domain_order():
+    # No constraints: the explicit domain's order is the tie-break.
+    lin = one_linearization(Relation.empty(), domain=[3, 1, 2])
+    assert lin == (3, 1, 2)
+
+
+def test_one_linearization_cycle_raises():
+    r = Relation.from_edges((1, 2), (2, 1))
+    with pytest.raises(CycleError):
+        one_linearization(r)
+
+
+def test_all_linearizations_antichain_is_all_permutations():
+    lins = list(all_linearizations(Relation.empty(), domain=[1, 2, 3]))
+    assert len(lins) == 6
+    assert len(set(lins)) == 6
+
+
+def test_all_linearizations_total_order_is_unique():
+    r = Relation.total_order([1, 2, 3, 4])
+    lins = list(all_linearizations(r))
+    assert lins == [(1, 2, 3, 4)]
+
+
+def test_all_linearizations_v_shape():
+    # a < c, b < c: two linearisations
+    r = Relation.from_edges(("a", "c"), ("b", "c"))
+    lins = set(all_linearizations(r, domain=["a", "b", "c"]))
+    assert lins == {("a", "b", "c"), ("b", "a", "c")}
+
+
+def test_all_linearizations_cycle_raises():
+    r = Relation.from_edges((1, 2), (2, 1))
+    with pytest.raises(CycleError):
+        list(all_linearizations(r))
+
+
+def test_count_matches_enumeration():
+    r = Relation.from_edges((1, 2), (3, 4))
+    domain = [1, 2, 3, 4]
+    assert count_linearizations(r, domain) == len(
+        list(all_linearizations(r, domain))
+    )
+
+
+def test_count_empty_domain():
+    assert count_linearizations(Relation.empty(), domain=[]) == 1
+
+
+def test_count_antichain_is_factorial():
+    assert count_linearizations(Relation.empty(), domain=list(range(5))) == math.factorial(5)
+
+
+def test_is_linearization_of():
+    r = Relation.from_edges((1, 2), (2, 3))
+    assert is_linearization_of([1, 2, 3], r)
+    assert not is_linearization_of([2, 1, 3], r)
+    assert not is_linearization_of([1, 1, 2, 3], r)  # duplicates
+    assert not is_linearization_of([1, 2], r)  # missing element
+
+
+@st.composite
+def dags(draw):
+    """Random DAGs: edges only from lower to higher node ids."""
+    n = draw(st.integers(1, 6))
+    edges = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda p: p[0] < p[1]
+            ),
+            max_size=10,
+        )
+    )
+    return n, Relation(edges)
+
+
+@given(dags())
+@settings(max_examples=60)
+def test_every_enumerated_linearization_is_valid(case):
+    n, r = case
+    domain = list(range(n))
+    seen = set()
+    for lin in all_linearizations(r, domain):
+        assert is_linearization_of(lin, r)
+        assert set(lin) == set(domain)
+        seen.add(lin)
+    assert len(seen) == count_linearizations(r, domain)
+
+
+@given(dags())
+@settings(max_examples=60)
+def test_one_linearization_is_among_all(case):
+    n, r = case
+    domain = list(range(n))
+    assert one_linearization(r, domain) in set(all_linearizations(r, domain))

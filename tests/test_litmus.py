@@ -1,0 +1,46 @@
+"""The litmus suite: every verdict under RA and SC must match expectation."""
+
+import pytest
+
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.litmus.registry import final_values, run_litmus, run_suite
+from repro.litmus.suite import ALL_TESTS
+from repro.litmus.suite import test_by_name as lookup_test
+
+
+@pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+def test_ra_verdicts(test):
+    outcome = run_litmus(test, RAMemoryModel())
+    assert outcome.verdict_matches, outcome.row()
+
+
+@pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+def test_sc_verdicts(test):
+    outcome = run_litmus(test, SCMemoryModel())
+    assert outcome.verdict_matches, outcome.row()
+
+
+def test_sc_never_allows_more_than_ra():
+    """SC refines RA: any SC-reachable outcome is RA-reachable."""
+    for test in ALL_TESTS:
+        ra = run_litmus(test, RAMemoryModel())
+        sc = run_litmus(test, SCMemoryModel())
+        assert not (sc.reachable and not ra.reachable), test.name
+
+
+def test_lookup_by_name():
+    assert lookup_test("SB").name == "SB"
+    with pytest.raises(KeyError):
+        lookup_test("nope")
+
+
+def test_run_suite_covers_both_models():
+    outcomes = run_suite(ALL_TESTS[:2])
+    assert len(outcomes) == 4
+    assert {o.model_name for o in outcomes} == {"RA", "SC"}
+
+
+def test_rows_render():
+    outcome = run_litmus(ALL_TESTS[0])
+    assert "SB" in outcome.row()

@@ -1,0 +1,36 @@
+"""Verdicts for the extended litmus corpus."""
+
+import pytest
+
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.litmus.extra import EXTRA_TESTS
+from repro.litmus.registry import run_litmus
+
+
+@pytest.mark.parametrize("test", EXTRA_TESTS, ids=lambda t: t.name)
+def test_ra_verdicts(test):
+    outcome = run_litmus(test, RAMemoryModel())
+    assert outcome.verdict_matches, outcome.row()
+
+
+@pytest.mark.parametrize("test", EXTRA_TESTS, ids=lambda t: t.name)
+def test_sc_verdicts(test):
+    outcome = run_litmus(test, SCMemoryModel())
+    assert outcome.verdict_matches, outcome.row()
+
+
+def test_names_are_unique_across_corpora():
+    from repro.litmus.suite import ALL_TESTS
+
+    names = [t.name for t in ALL_TESTS + EXTRA_TESTS]
+    assert len(names) == len(set(names))
+
+
+def test_annotation_pairs_matter():
+    """The MP ladder: rel+acq forbidden, either alone allowed — the
+    synchronises-with definition needs *both* sides."""
+    by_name = {t.name: t for t in EXTRA_TESTS}
+    assert not run_litmus(by_name["MP+swap-flag"], RAMemoryModel()).reachable
+    assert run_litmus(by_name["MP+acq-only"], RAMemoryModel()).reachable
+    assert run_litmus(by_name["MP+rel-only"], RAMemoryModel()).reachable

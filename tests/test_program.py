@@ -1,0 +1,89 @@
+"""Tests for programs and the P-Step rule, incl. Propositions 2.2/2.3."""
+
+import pytest
+
+from repro.lang.actions import ActionKind
+from repro.lang.builder import assign, label, seq, skip, swap, var, while_, eq
+from repro.lang.program import INIT_TID, Program, apply_step, program_steps
+from repro.lang.semantics import command_steps
+
+
+def test_program_of_and_parallel():
+    p1 = Program.of({1: assign("x", 1), 2: assign("y", 2)})
+    p2 = Program.parallel(assign("x", 1), assign("y", 2))
+    assert p1 == p2
+    assert p1.tids == (1, 2)
+
+
+def test_reserved_thread_zero():
+    with pytest.raises(ValueError):
+        Program.of({INIT_TID: skip()})
+
+
+def test_command_lookup_and_update():
+    p = Program.parallel(assign("x", 1), assign("y", 2))
+    assert p.command(2) == assign("y", 2)
+    p2 = p.update(1, skip())
+    assert p2.command(1) == skip()
+    assert p.command(1) == assign("x", 1)  # immutable
+    with pytest.raises(KeyError):
+        p.command(9)
+
+
+def test_termination():
+    p = Program.parallel(skip(), skip())
+    assert p.is_terminated()
+    q = Program.parallel(skip(), assign("x", 1))
+    assert not q.is_terminated()
+    assert q.terminated_threads() == (1,)
+
+
+def test_pc_tracking():
+    p = Program.parallel(seq(label(2, assign("x", 1)), label(3, swap("t", 1))))
+    assert p.pc(1) == 2
+
+
+def test_program_steps_interleave_all_threads():
+    p = Program.parallel(assign("x", 1), assign("y", 2))
+    steps = list(program_steps(p))
+    assert {tid for tid, _ in steps} == {1, 2}
+
+
+def test_apply_step():
+    p = Program.parallel(assign("x", 1), assign("y", 2))
+    tid, step = next(iter(program_steps(p)))
+    p2 = apply_step(p, tid, step)
+    assert p2.command(tid) == skip()
+    assert p2.command(3 - tid) == p.command(3 - tid)
+
+
+def test_proposition_2_2_value_insensitivity():
+    """A read step reaches the same command shape for every value —
+    only the substituted literal differs."""
+    p = Program.parallel(assign("x", var("y")))
+    (tid, step), = list(program_steps(p))
+    assert step.kind is ActionKind.RD
+    shapes = {type(step.resume(v)) for v in (0, 1, 5)}
+    assert len(shapes) == 1
+
+
+def test_proposition_2_3_program_steps_commute():
+    """Steps of distinct threads commute in the uninterpreted semantics."""
+    p = Program.parallel(assign("x", 1), assign("y", 2))
+    steps = dict(program_steps(p))
+    # 1 then 2
+    p12 = apply_step(apply_step(p, 1, steps[1]), 2, next(command_steps(apply_step(p, 1, steps[1]).command(2))))
+    # 2 then 1
+    p21 = apply_step(apply_step(p, 2, steps[2]), 1, next(command_steps(apply_step(p, 2, steps[2]).command(1))))
+    assert p12 == p21
+
+
+def test_program_hashable_for_dedup():
+    p1 = Program.parallel(while_(eq(var("x"), 0)))
+    p2 = Program.parallel(while_(eq(var("x"), 0)))
+    assert hash(p1) == hash(p2) and p1 == p2
+
+
+def test_program_str():
+    p = Program.parallel(assign("x", 1))
+    assert "[1]" in str(p) and "x := 1" in str(p)

@@ -1,0 +1,286 @@
+"""Unit and property tests for the relation algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relations import Relation
+from repro.relations.closure import has_path, is_acyclic, reachable_from
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+
+def test_empty_relation_is_falsy():
+    assert not Relation.empty()
+    assert len(Relation.empty()) == 0
+
+
+def test_empty_is_shared_instance():
+    assert Relation.empty() is Relation.empty()
+
+
+def test_from_edges():
+    r = Relation.from_edges((1, 2), (2, 3))
+    assert (1, 2) in r and (2, 3) in r and (1, 3) not in r
+
+
+def test_identity():
+    r = Relation.identity([1, 2])
+    assert r.pairs == {(1, 1), (2, 2)}
+
+
+def test_total_order():
+    r = Relation.total_order(["a", "b", "c"])
+    assert r.pairs == {("a", "b"), ("a", "c"), ("b", "c")}
+
+
+def test_total_order_empty_and_singleton():
+    assert Relation.total_order([]).pairs == set()
+    assert Relation.total_order(["x"]).pairs == set()
+
+
+def test_cross():
+    r = Relation.cross([1, 2], [3])
+    assert r.pairs == {(1, 3), (2, 3)}
+
+
+# ----------------------------------------------------------------------
+# Basic protocol
+# ----------------------------------------------------------------------
+
+
+def test_equality_and_hash():
+    a = Relation.from_edges((1, 2))
+    b = Relation([(1, 2)])
+    assert a == b and hash(a) == hash(b)
+
+
+def test_equality_with_raw_set():
+    assert Relation.from_edges((1, 2)) == {(1, 2)}
+
+
+def test_iteration_and_len():
+    r = Relation.from_edges((1, 2), (3, 4))
+    assert sorted(r) == [(1, 2), (3, 4)]
+    assert len(r) == 2
+
+
+def test_domain_range_field():
+    r = Relation.from_edges((1, 2), (2, 3))
+    assert r.domain() == {1, 2}
+    assert r.range() == {2, 3}
+    assert r.field() == {1, 2, 3}
+
+
+def test_image_and_preimage():
+    r = Relation.from_edges((1, 2), (1, 3), (4, 2))
+    assert r.image(1) == {2, 3}
+    assert r.preimage(2) == {1, 4}
+    assert r.image(99) == frozenset()
+
+
+def test_image_of_set():
+    r = Relation.from_edges((1, 2), (3, 4))
+    assert r.image_of_set([1, 3]) == {2, 4}
+
+
+def test_downset():
+    r = Relation.from_edges((1, 3), (2, 3))
+    assert r.downset(3) == {1, 2, 3}
+    assert r.downset(1) == {1}
+
+
+# ----------------------------------------------------------------------
+# Algebra
+# ----------------------------------------------------------------------
+
+
+def test_union_intersect_difference():
+    a = Relation.from_edges((1, 2), (2, 3))
+    b = Relation.from_edges((2, 3), (3, 4))
+    assert (a | b).pairs == {(1, 2), (2, 3), (3, 4)}
+    assert (a & b).pairs == {(2, 3)}
+    assert (a - b).pairs == {(1, 2)}
+
+
+def test_union_short_circuits_on_empty():
+    a = Relation.from_edges((1, 2))
+    assert (a | Relation.empty()) is a
+    assert (Relation.empty() | a) is a
+
+
+def test_add_is_persistent():
+    a = Relation.from_edges((1, 2))
+    b = a.add((2, 3))
+    assert (2, 3) not in a and (2, 3) in b
+    assert a.add((1, 2)) is a  # no-op returns self
+
+
+def test_inverse():
+    r = Relation.from_edges((1, 2), (3, 4))
+    assert r.inverse().pairs == {(2, 1), (4, 3)}
+
+
+def test_compose():
+    r = Relation.from_edges((1, 2), (2, 4))
+    s = Relation.from_edges((2, 3), (4, 5))
+    assert r.compose(s).pairs == {(1, 3), (2, 5)}
+    assert (r @ s) == r.compose(s)
+
+
+def test_compose_empty():
+    r = Relation.from_edges((1, 2))
+    assert r.compose(Relation.empty()) == Relation.empty()
+
+
+def test_restrict_and_restrict_to():
+    r = Relation.from_edges((1, 2), (2, 3), (3, 4))
+    assert r.restrict(lambda x: x < 3).pairs == {(1, 2)}
+    assert r.restrict_to({2, 3}).pairs == {(2, 3)}
+
+
+def test_filter_pairs():
+    r = Relation.from_edges((1, 2), (2, 1))
+    assert r.filter_pairs(lambda a, b: a < b).pairs == {(1, 2)}
+
+
+def test_remove_identity():
+    r = Relation.from_edges((1, 1), (1, 2))
+    assert r.remove_identity().pairs == {(1, 2)}
+
+
+def test_reflexive():
+    r = Relation.from_edges((1, 2))
+    assert r.reflexive([1, 2, 3]).pairs == {(1, 2), (1, 1), (2, 2), (3, 3)}
+
+
+# ----------------------------------------------------------------------
+# Closures and order queries
+# ----------------------------------------------------------------------
+
+
+def test_transitive_closure_chain():
+    r = Relation.from_edges((1, 2), (2, 3), (3, 4))
+    assert (1, 4) in r.transitive_closure()
+    assert len(r.transitive_closure()) == 6
+
+
+def test_transitive_closure_cycle():
+    r = Relation.from_edges((1, 2), (2, 1))
+    tc = r.transitive_closure()
+    assert (1, 1) in tc and (2, 2) in tc
+
+
+def test_reflexive_transitive_closure():
+    r = Relation.from_edges((1, 2))
+    rtc = r.reflexive_transitive_closure([1, 2, 3])
+    assert rtc.pairs == {(1, 2), (1, 1), (2, 2), (3, 3)}
+
+
+def test_is_irreflexive():
+    assert Relation.from_edges((1, 2)).is_irreflexive()
+    assert not Relation.from_edges((1, 1)).is_irreflexive()
+
+
+def test_is_acyclic():
+    assert Relation.from_edges((1, 2), (2, 3)).is_acyclic()
+    assert not Relation.from_edges((1, 2), (2, 1)).is_acyclic()
+    assert not Relation.from_edges((1, 1)).is_acyclic()
+
+
+def test_is_transitive():
+    assert Relation.from_edges((1, 2), (2, 3), (1, 3)).is_transitive()
+    assert not Relation.from_edges((1, 2), (2, 3)).is_transitive()
+    assert Relation.empty().is_transitive()
+
+
+def test_strict_total_order_on():
+    r = Relation.total_order([1, 2, 3])
+    assert r.is_strict_total_order_on({1, 2, 3})
+    assert r.is_strict_total_order_on({1, 3})
+    assert not Relation.from_edges((1, 2)).is_strict_total_order_on({1, 2, 3})
+
+
+def test_toposort():
+    r = Relation.from_edges((1, 2), (2, 3))
+    assert r.toposort() == (1, 2, 3)
+
+
+# ----------------------------------------------------------------------
+# Graph helpers
+# ----------------------------------------------------------------------
+
+
+def test_reachable_from():
+    adj = {1: {2}, 2: {3}, 3: set()}
+    assert reachable_from(adj, 1) == {2, 3}
+    assert reachable_from(adj, 3) == set()
+
+
+def test_reachable_from_cycle_includes_self():
+    adj = {1: {2}, 2: {1}}
+    assert reachable_from(adj, 1) == {1, 2}
+
+
+def test_has_path():
+    adj = {1: {2}, 2: {3}}
+    assert has_path(adj, 1, 3)
+    assert not has_path(adj, 3, 1)
+    assert not has_path(adj, 1, 1)
+
+
+def test_is_acyclic_deep_chain_no_recursion_error():
+    # iterative DFS must handle long chains
+    adj = {i: {i + 1} for i in range(5000)}
+    assert is_acyclic(adj)
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+pairs_strategy = st.sets(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=20
+)
+
+
+@given(pairs_strategy)
+def test_inverse_is_involutive(pairs):
+    r = Relation(pairs)
+    assert r.inverse().inverse() == r
+
+
+@given(pairs_strategy)
+def test_transitive_closure_is_idempotent(pairs):
+    r = Relation(pairs)
+    tc = r.transitive_closure()
+    assert tc.transitive_closure() == tc
+
+
+@given(pairs_strategy)
+def test_transitive_closure_is_transitive_and_contains_r(pairs):
+    r = Relation(pairs)
+    tc = r.transitive_closure()
+    assert r.pairs <= tc.pairs
+    assert tc.is_transitive()
+
+
+@given(pairs_strategy, pairs_strategy, pairs_strategy)
+@settings(max_examples=50)
+def test_compose_is_associative(p1, p2, p3):
+    a, b, c = Relation(p1), Relation(p2), Relation(p3)
+    assert (a @ b) @ c == a @ (b @ c)
+
+
+@given(pairs_strategy, pairs_strategy)
+def test_inverse_distributes_over_compose(p1, p2):
+    a, b = Relation(p1), Relation(p2)
+    assert (a @ b).inverse() == b.inverse() @ a.inverse()
+
+
+@given(pairs_strategy)
+def test_acyclic_iff_closure_irreflexive(pairs):
+    r = Relation(pairs)
+    assert r.is_acyclic() == r.transitive_closure().is_irreflexive()

@@ -1,0 +1,157 @@
+"""Negative tests for Figure 4: rules must NOT fire when premises fail.
+
+The E9 experiment shows every fired rule is sound; these tests pin the
+*other* direction — the premise checks are not vacuously loose.  Each
+scenario removes exactly one premise and asserts the rule stays silent
+(or, where instructive, that the would-be conclusion is actually false,
+demonstrating why the premise exists).
+"""
+
+import pytest
+
+from repro.interp.interpreter import configuration_successors, initial_configuration
+from repro.interp.ra_model import RAMemoryModel
+from repro.lang.builder import acq, assign, seq, swap, var
+from repro.lang.program import Program
+from repro.verify.assertions import dv_holds, vo_holds
+from repro.verify.rules import rule_instances
+
+MODEL = RAMemoryModel()
+
+
+def steps_of(program, init):
+    config = initial_configuration(program, init, MODEL)
+    frontier = [config]
+    seen = set()
+    while frontier:
+        cfg = frontier.pop()
+        for step in configuration_successors(cfg, MODEL):
+            key = (step.target.program, step.target.state)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield step
+            frontier.append(step.target)
+
+
+def fired(step, rule, variables=("x", "y", "d", "f"), threads=(1, 2)):
+    return [
+        i for i in rule_instances(step, variables, threads) if i.rule == rule
+    ]
+
+
+def test_acqrd_does_not_fire_on_relaxed_read():
+    program = Program.parallel(
+        assign("x", 1, release=True), assign("y", var("x"))
+    )
+    for step in steps_of(program, {"x": 0, "y": 0}):
+        e = step.event
+        if e is not None and e.is_read and not e.is_acquire:
+            assert not fired(step, "AcqRd")
+
+
+def test_acqrd_does_not_fire_on_relaxed_source():
+    """Acquiring read of a *relaxed* write: premise m ∈ WrR fails, and
+    rightly so — the conclusion would be unsound (no hb edge)."""
+    program = Program.parallel(assign("x", 1), assign("y", acq("x")))
+    for step in steps_of(program, {"x": 0, "y": 0}):
+        e = step.event
+        if e is not None and e.is_read and e.rdval == 1:
+            assert not fired(step, "AcqRd")
+            # and indeed the determinate-value conclusion is false:
+            assert not dv_holds(step.target.state, "x", e.tid, 1)
+
+
+def test_acqrd_does_not_fire_on_stale_read():
+    """Premise m = σ.last(x) fails when reading an overwritten value."""
+    program = Program.parallel(
+        seq(assign("x", 1, release=True), assign("x", 2, release=True)),
+        assign("y", acq("x")),
+    )
+    for step in steps_of(program, {"x": 0, "y": 0}):
+        e = step.event
+        if e is not None and e.is_read and e.rdval == 1:
+            # wr(x,1) is not last once wr(x,2) exists
+            if step.source.state.last("x").wrval == 2:
+                assert not fired(step, "AcqRd")
+
+
+def test_modlast_does_not_fire_on_non_last_insertion():
+    """A write inserted mo-*before* another write fails m = σ.last(x)."""
+    program = Program.parallel(assign("x", 1), assign("x", 2))
+    saw_middle_insert = False
+    for step in steps_of(program, {"x": 0}):
+        e = step.event
+        if e is None or not e.is_write:
+            continue
+        if step.observed != step.source.state.last("x"):
+            saw_middle_insert = True
+            assert not fired(step, "ModLast")
+            # the conclusion would indeed be false: e is not last
+            assert step.target.state.last("x") != e
+    assert saw_middle_insert
+
+
+def test_transfer_needs_variable_order():
+    """Without x → y in the source, Transfer stays silent even though
+    every other premise holds.
+
+    (Note x → y *does* hold while last(x) is still the initialising
+    write — initialisers are sb-before everything — so breaking the
+    premise takes a third thread writing d without synchronisation.)
+    """
+    program = Program.parallel(
+        assign("f", 1, release=True),
+        assign("r", acq("f")),
+        assign("d", 1),  # unsynchronised: kills d -> f once executed
+    )
+    checked = 0
+    for step in steps_of(program, {"d": 0, "f": 0, "r": 0}):
+        e = step.event
+        if e is not None and e.is_read and e.rdval == 1:
+            if vo_holds(step.source.state, "d", "f"):
+                continue
+            checked += 1
+            instances = fired(step, "Transfer", variables=("d", "f", "r"))
+            assert not any(
+                i.description.split()[0] == "d" for i in instances
+            )
+    assert checked > 0
+
+
+def test_word_needs_writer_determinacy():
+    """WOrd requires x =_{tid(e)} v for the *writing* thread."""
+    # thread 2 writes y while x is NOT determinate for it (thread 1
+    # wrote x relaxed and thread 2 hasn't synchronised)
+    program = Program.parallel(assign("x", 1), assign("y", 1))
+    for step in steps_of(program, {"x": 0, "y": 0}):
+        e = step.event
+        if e is None or not e.is_write or e.var != "y":
+            continue
+        sigma = step.source.state
+        if not dv_holds(sigma, "x", 2, 0) and not dv_holds(sigma, "x", 2, 1):
+            assert not fired(step, "WOrd")
+            assert not vo_holds(step.target.state, "x", "y")
+
+
+def test_uord_needs_releasing_source():
+    """UOrd's premise m ∈ WrR|y: an update reading a relaxed write does
+    not preserve the ordering via this rule."""
+    program = Program.parallel(
+        seq(assign("a", 1), assign("t", 2)),  # relaxed write of t
+        swap("t", 9),
+    )
+    for step in steps_of(program, {"a": 0, "t": 0}):
+        e = step.event
+        if e is not None and e.is_update and step.observed is not None:
+            if not step.observed.is_release:
+                assert not fired(step, "UOrd", variables=("a", "t"))
+
+
+def test_nomod_does_not_preserve_across_same_variable_write():
+    program = Program.parallel(assign("x", 1), assign("x", 2))
+    for step in steps_of(program, {"x": 0}):
+        e = step.event
+        if e is not None and e.is_write and e.var == "x":
+            for i in fired(step, "NoMod", variables=("x",)):
+                raise AssertionError(f"NoMod fired across a write to x: {i}")

@@ -1,0 +1,191 @@
+"""Tests for the uninterpreted operational semantics (Figure 2)."""
+
+import pytest
+
+from repro.lang.actions import ActionKind, rd, rda, upd, wr, wrr
+from repro.lang.builder import (
+    acq,
+    and_,
+    assign,
+    eq,
+    if_,
+    label,
+    neg,
+    seq,
+    skip,
+    swap,
+    var,
+    while_,
+)
+from repro.lang.semantics import command_steps, is_terminated
+from repro.lang.syntax import Assign, Labeled, Seq, Skip, While
+
+
+def only_step(com):
+    steps = list(command_steps(com))
+    assert len(steps) == 1, f"expected deterministic step, got {len(steps)}"
+    return steps[0]
+
+
+def test_skip_has_no_steps():
+    assert list(command_steps(skip())) == []
+    assert is_terminated(skip())
+
+
+def test_closed_assign_emits_relaxed_write():
+    step = only_step(assign("x", 5))
+    assert step.kind is ActionKind.WR
+    assert step.action() == wr("x", 5)
+    assert step.resume(None) == Skip()
+
+
+def test_closed_assign_release_emits_wrR():
+    step = only_step(assign("x", 5, release=True))
+    assert step.action() == wrr("x", 5)
+
+
+def test_assign_evaluates_rhs_first():
+    step = only_step(assign("x", var("y")))
+    assert step.kind is ActionKind.RD
+    assert step.var == "y"
+    # after reading y = 3 the command becomes x := 3
+    assert step.resume(3) == Assign("x", __import__("repro.lang.syntax", fromlist=["Lit"]).Lit(3), False)
+
+
+def test_assign_acquire_read():
+    step = only_step(assign("x", acq("y")))
+    assert step.kind is ActionKind.RDA
+    assert step.action(3) == rda("y", 3)
+
+
+def test_read_hole_admits_any_value():
+    """Proposition 2.2: the uninterpreted semantics is value-agnostic."""
+    step = only_step(assign("x", var("y")))
+    for v in (0, 1, 42):
+        after = step.resume(v)
+        write = only_step(after)
+        assert write.action() == wr("x", v)
+
+
+def test_swap_emits_update():
+    step = only_step(swap("turn", 2))
+    assert step.kind is ActionKind.UPD
+    assert step.wrval == 2
+    assert step.action(7) == upd("turn", 7, 2)
+    assert step.resume(7) == Skip()  # swap discards the read value
+
+
+def test_seq_steps_first_component():
+    c = seq(assign("x", 1), assign("y", 2))
+    step = only_step(c)
+    assert step.action() == wr("x", 1)
+    after = step.resume(None)
+    assert after == assign("y", 2)
+
+
+def test_seq_skip_elimination_is_silent():
+    c = Seq(Skip(), assign("y", 2))
+    step = only_step(c)
+    assert step.is_silent
+    assert step.resume(None) == assign("y", 2)
+
+
+def test_if_evaluates_guard_then_branches():
+    c = if_(eq(var("x"), 1), assign("a", 1), assign("b", 2))
+    step = only_step(c)
+    assert step.kind is ActionKind.RD and step.var == "x"
+    then_side = step.resume(1)
+    tau = only_step(then_side)
+    assert tau.is_silent
+    assert tau.resume(None) == assign("a", 1)
+    else_side = only_step(c).resume(0)
+    tau2 = only_step(else_side)
+    assert tau2.resume(None) == assign("b", 2)
+
+
+def test_while_false_guard_terminates():
+    c = while_(eq(var("x"), 1))
+    step = only_step(c)
+    after_read = step.resume(0)  # guard now (0 == 1)
+    tau = only_step(after_read)
+    assert tau.is_silent
+    assert tau.resume(None) == Skip()
+
+
+def test_while_true_guard_unfolds_with_pristine_guard():
+    guard = eq(var("x"), 1)
+    c = while_(guard, assign("y", 2))
+    step = only_step(c)
+    after_read = step.resume(1)
+    tau = only_step(after_read)
+    unfolded = tau.resume(None)
+    # body ; while with the ORIGINAL guard (re-read next iteration)
+    assert unfolded == Seq(assign("y", 2), While(guard, assign("y", 2)))
+
+
+def test_while_busy_wait_rereads_each_iteration():
+    c = while_(eq(var("f"), 0))
+    # iteration 1: read f = 0 -> guard true -> unfold -> back to pristine while
+    s1 = only_step(c)
+    assert s1.var == "f"
+    c2 = only_step(s1.resume(0)).resume(None)
+    assert c2 == c  # skip body collapses straight back to the loop
+    # iteration 2: read f = 1 -> guard false -> skip
+    s2 = only_step(c2)
+    done = only_step(s2.resume(1)).resume(None)
+    assert done == Skip()
+
+
+def test_guard_conjunction_reads_left_to_right():
+    c = while_(and_(eq(acq("flag2"), 1), eq(var("turn"), 2)))
+    s1 = only_step(c)
+    assert s1.kind is ActionKind.RDA and s1.var == "flag2"
+    s2 = only_step(s1.resume(1))
+    assert s2.kind is ActionKind.RD and s2.var == "turn"
+
+
+def test_guard_conjunction_no_short_circuit():
+    """Figure 1 evaluates fully left-to-right: even a falsified left
+    conjunct is followed by the right conjunct's read."""
+    c = while_(and_(eq(acq("flag2"), 1), eq(var("turn"), 2)))
+    s1 = only_step(c)
+    s2 = only_step(s1.resume(0))  # left conjunct false
+    assert s2.kind is ActionKind.RD and s2.var == "turn"
+
+
+def test_labeled_transparent_stepping():
+    c = label(6, assign("x", 0, release=True))
+    step = only_step(c)
+    assert step.action() == wrr("x", 0)
+    assert step.resume(None) == Skip()  # label retires with the command
+
+
+def test_labeled_multi_step_keeps_label():
+    c = label(4, assign("x", var("y")))
+    step = only_step(c)
+    after = step.resume(1)
+    assert isinstance(after, Labeled) and after.pc == 4
+
+
+def test_labeled_skip_is_one_silent_step():
+    c = label(5, skip())
+    step = only_step(c)
+    assert step.is_silent
+    assert step.resume(None) == Skip()
+
+
+def test_not_a_command_raises():
+    with pytest.raises(TypeError):
+        list(command_steps("nonsense"))
+
+
+def test_negated_guard():
+    c = while_(neg(acq("f")))
+    s1 = only_step(c)
+    assert s1.kind is ActionKind.RDA
+    # f = 1: !1 is false -> loop exits
+    tau = only_step(s1.resume(1))
+    assert tau.is_silent and tau.resume(None) == Skip()
+    # f = 0: !0 is true -> spin
+    tau0 = only_step(s1.resume(0))
+    assert tau0.resume(None) == c

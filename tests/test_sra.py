@@ -1,0 +1,77 @@
+"""The SRA comparator model: strictly between RA and SC."""
+
+import pytest
+
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.interp.sra_model import SRAMemoryModel, sra_consistent
+from repro.interp.explore import explore
+from repro.litmus.registry import run_litmus
+from repro.litmus.suite import ALL_TESTS
+from repro.litmus.suite import test_by_name as lookup_test
+
+
+def _reachable(test, model):
+    return run_litmus(test, model).reachable
+
+
+def test_2p2w_separates_ra_from_sra():
+    """The paper's fragment admits 2+2W; the sb ∪ rf ∪ mo-acyclic model
+    does not — the two models are observably different."""
+    test = lookup_test("2+2W")
+    assert _reachable(test, RAMemoryModel())
+    assert not _reachable(test, SRAMemoryModel())
+
+
+def test_sb_stays_weak_under_sra():
+    """Store buffering needs SC fences; SRA does not forbid it."""
+    test = lookup_test("SB")
+    assert _reachable(test, SRAMemoryModel())
+
+
+def test_mp_still_forbidden_under_sra():
+    test = lookup_test("MP+rel-acq")
+    assert not _reachable(test, SRAMemoryModel())
+
+
+@pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+def test_sra_between_sc_and_ra(test):
+    """Every SC-reachable outcome is SRA-reachable, and every
+    SRA-reachable outcome is RA-reachable (model strength is a chain)."""
+    ra = _reachable(test, RAMemoryModel())
+    sra = _reachable(test, SRAMemoryModel())
+    sc = _reachable(test, SCMemoryModel())
+    assert not (sc and not sra)
+    assert not (sra and not ra)
+
+
+def test_sra_states_are_sra_consistent():
+    from repro.lang.builder import assign, seq, var
+    from repro.lang.program import Program
+
+    program = Program.parallel(
+        seq(assign("x", 1), assign("y", 2)),
+        seq(assign("y", 1), assign("x", 2)),
+    )
+    states = []
+
+    def record(config):
+        states.append(config.state)
+        return []
+
+    explore(program, {"x": 0, "y": 0}, SRAMemoryModel(), check_config=record)
+    assert states
+    assert all(sra_consistent(s) for s in states)
+
+
+def test_sra_explores_subset_of_ra():
+    from repro.lang.builder import assign, seq
+    from repro.lang.program import Program
+
+    program = Program.parallel(
+        seq(assign("x", 1), assign("y", 2)),
+        seq(assign("y", 1), assign("x", 2)),
+    )
+    ra = explore(program, {"x": 0, "y": 0}, RAMemoryModel())
+    sra = explore(program, {"x": 0, "y": 0}, SRAMemoryModel())
+    assert sra.configs < ra.configs

@@ -1,0 +1,235 @@
+"""Tests for C11 states and their derived orders (Definition 3.1, §3.1)."""
+
+import pytest
+
+from repro.c11.events import Event
+from repro.c11.state import C11State, initial_state
+from repro.lang.actions import rd, rda, upd, wr, wrr
+from repro.relations.relation import Relation
+
+
+def ev(tag, action, tid):
+    return Event(tag, action, tid)
+
+
+@pytest.fixture
+def sigma0():
+    return initial_state({"x": 0, "y": 0})
+
+
+def test_initial_state_shape(sigma0):
+    assert len(sigma0.events) == 2
+    assert all(e.is_init for e in sigma0.events)
+    assert sigma0.sb == Relation.empty()
+    assert sigma0.rf == Relation.empty()
+    assert sigma0.mo == Relation.empty()
+
+
+def test_initial_state_last(sigma0):
+    assert sigma0.last("x").wrval == 0
+    assert sigma0.last("z") is None
+
+
+def test_add_event_places_inits_before(sigma0):
+    e = ev(1, wr("x", 1), 1)
+    s = sigma0.add_event(e)
+    for i in s.init_writes:
+        assert (i, e) in s.sb.pairs
+
+
+def test_add_event_thread_order(sigma0):
+    e1, e2 = ev(1, wr("x", 1), 1), ev(2, wr("y", 2), 1)
+    s = sigma0.add_event(e1).add_event(e2)
+    assert (e1, e2) in s.sb.pairs
+    assert (e2, e1) not in s.sb.pairs
+
+
+def test_add_event_cross_thread_unordered(sigma0):
+    e1, e2 = ev(1, wr("x", 1), 1), ev(2, wr("y", 2), 2)
+    s = sigma0.add_event(e1).add_event(e2)
+    assert (e1, e2) not in s.sb.pairs
+    assert (e2, e1) not in s.sb.pairs
+
+
+def test_add_event_duplicate_tag_rejected(sigma0):
+    s = sigma0.add_event(ev(1, wr("x", 1), 1))
+    with pytest.raises(ValueError):
+        s.add_event(ev(1, wr("y", 2), 2))
+
+
+def test_next_tag(sigma0):
+    assert sigma0.next_tag() == 1  # init tags are negative
+    s = sigma0.add_event(ev(1, wr("x", 1), 1))
+    assert s.next_tag() == 2
+
+
+def test_event_classes(sigma0):
+    w = ev(1, wrr("x", 1), 1)
+    r = ev(2, rd("x", 1), 2)
+    u = ev(3, upd("y", 0, 5), 2)
+    s = sigma0.add_event(w).add_event(r).add_event(u)
+    assert w in s.writes and u in s.writes and r not in s.writes
+    assert r in s.reads and u in s.reads and w not in s.reads
+    assert s.updates == {u}
+    assert len(s.init_writes) == 2
+
+
+def test_event_by_tag(sigma0):
+    e = ev(1, wr("x", 1), 1)
+    s = sigma0.add_event(e)
+    assert s.event_by_tag(1) == e
+    with pytest.raises(KeyError):
+        s.event_by_tag(99)
+
+
+def test_insert_mo_after_end(sigma0):
+    init_x = sigma0.last("x")
+    w = ev(1, wr("x", 1), 1)
+    s = sigma0.add_event(w).insert_mo_after(init_x, w)
+    assert (init_x, w) in s.mo.pairs
+    assert s.last("x") == w
+
+
+def test_insert_mo_in_middle(sigma0):
+    """mo[w, e] = mo ∪ (mo+w × {e}) ∪ ({e} × mo[w])."""
+    init_x = sigma0.last("x")
+    w1, w2, w3 = ev(1, wr("x", 1), 1), ev(2, wr("x", 2), 1), ev(3, wr("x", 3), 2)
+    s = (
+        sigma0.add_event(w1)
+        .insert_mo_after(init_x, w1)
+        .add_event(w2)
+        .insert_mo_after(w1, w2)
+        .add_event(w3)
+        .insert_mo_after(w1, w3)  # squeeze w3 between w1 and w2
+    )
+    assert (init_x, w3) in s.mo.pairs
+    assert (w1, w3) in s.mo.pairs
+    assert (w3, w2) in s.mo.pairs
+    assert s.writes_on("x") == (init_x, w1, w3, w2)
+    assert s.last("x") == w2
+
+
+def test_sw_requires_release_acquire(sigma0):
+    rel_w = ev(1, wrr("x", 1), 1)
+    rlx_w = ev(2, wr("y", 1), 1)
+    acq_r = ev(3, rda("x", 1), 2)
+    rlx_r = ev(4, rd("y", 1), 2)
+    s = (
+        sigma0.add_event(rel_w)
+        .add_event(rlx_w)
+        .add_event(acq_r)
+        .with_rf(rel_w, acq_r)
+        .add_event(rlx_r)
+        .with_rf(rlx_w, rlx_r)
+    )
+    assert (rel_w, acq_r) in s.sw.pairs
+    assert (rlx_w, rlx_r) not in s.sw.pairs
+
+
+def test_hb_includes_sb_and_sw_transitively(sigma0):
+    w1 = ev(1, wr("d", 5), 1)       # d := 5
+    w2 = ev(2, wrr("f", 1), 1)      # f :=R 1
+    r = ev(3, rda("f", 1), 2)       # acquire read
+    s = sigma0.add_event(w1).add_event(w2).add_event(r).with_rf(w2, r)
+    # w1 -sb-> w2 -sw-> r gives w1 -hb-> r
+    assert (w1, r) in s.hb.pairs
+
+
+def test_fr_relates_reads_to_later_writes(sigma0):
+    init_x = sigma0.last("x")
+    r = ev(1, rd("x", 0), 1)
+    w = ev(2, wr("x", 1), 2)
+    s = (
+        sigma0.add_event(r)
+        .with_rf(init_x, r)
+        .add_event(w)
+        .insert_mo_after(init_x, w)
+    )
+    assert (r, w) in s.fr.pairs
+
+
+def test_fr_excludes_identity_for_updates(sigma0):
+    """An update reads its mo-predecessor; rf⁻¹;mo hits the update itself."""
+    init_x = sigma0.last("x")
+    u = ev(1, upd("x", 0, 1), 1)
+    s = (
+        sigma0.add_event(u)
+        .with_rf(init_x, u)
+        .insert_mo_after(init_x, u)
+    )
+    assert (u, u) not in s.fr.pairs
+
+
+def test_eco_example_3_3_shape(sigma0):
+    """Example 3.3: reads hang off writes; an update is rf/mo adjacent."""
+    init_x = sigma0.last("x")
+    w1 = ev(1, wr("x", 1), 1)
+    r1 = ev(2, rd("x", 1), 2)
+    u = ev(3, upd("x", 1, 2), 3)
+    w4 = ev(4, wr("x", 3), 1)
+    s = (
+        sigma0.add_event(w1)
+        .insert_mo_after(init_x, w1)
+        .add_event(r1)
+        .with_rf(w1, r1)
+        .add_event(u)
+        .with_rf(w1, u)
+        .insert_mo_after(w1, u)
+        .add_event(w4)
+        .insert_mo_after(u, w4)
+    )
+    eco = s.eco.pairs
+    assert (w1, r1) in eco          # rf
+    assert (r1, u) in eco           # fr: read before the next write
+    assert (r1, w4) in eco          # fr continues down mo
+    assert (w1, u) in eco and (u, w4) in eco  # mo
+    assert (w1, w4) in eco          # transitivity
+    assert all(a != b for a, b in eco)  # irreflexive here
+
+
+def test_update_only(sigma0):
+    init_x = sigma0.last("x")
+    u = ev(1, upd("x", 0, 1), 1)
+    s = sigma0.add_event(u).with_rf(init_x, u).insert_mo_after(init_x, u)
+    assert s.is_update_only("x")
+    w = ev(2, wr("x", 2), 2)
+    s2 = s.add_event(w).insert_mo_after(u, w)
+    assert not s2.is_update_only("x")
+    assert s2.is_update_only("y")  # only the initialiser
+
+
+def test_restricted_to(sigma0):
+    w1 = ev(1, wr("x", 1), 1)
+    w2 = ev(2, wr("x", 2), 2)
+    init_x = sigma0.last("x")
+    s = (
+        sigma0.add_event(w1)
+        .insert_mo_after(init_x, w1)
+        .add_event(w2)
+        .insert_mo_after(w1, w2)
+    )
+    keep = set(sigma0.events) | {w1}
+    restricted = s.restricted_to(keep)
+    assert w2 not in restricted.events
+    assert restricted.last("x") == w1
+    with pytest.raises(ValueError):
+        s.restricted_to({ev(99, wr("q", 1), 9)})
+
+
+def test_states_are_value_objects(sigma0):
+    e = ev(1, wr("x", 1), 1)
+    a = sigma0.add_event(e)
+    b = sigma0.add_event(e)
+    assert a == b and hash(a) == hash(b)
+    assert a != sigma0
+
+
+def test_events_of_orders_by_sb(sigma0):
+    e1, e2, e3 = ev(1, wr("x", 1), 1), ev(2, wr("y", 1), 1), ev(3, wr("x", 2), 1)
+    s = sigma0.add_event(e1).add_event(e2).add_event(e3)
+    assert s.events_of(1) == (e1, e2, e3)
+    assert s.events_of(2) == ()
+
+
+def test_variables(sigma0):
+    assert sigma0.variables() == {"x", "y"}

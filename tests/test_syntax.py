@@ -1,0 +1,191 @@
+"""Tests for the command-language AST and expression machinery."""
+
+import pytest
+
+from repro.lang.builder import (
+    acq,
+    add,
+    and_,
+    assign,
+    eq,
+    label,
+    lit,
+    loop_forever,
+    ne,
+    neg,
+    or_,
+    seq,
+    skip,
+    swap,
+    var,
+    while_,
+)
+from repro.lang.syntax import (
+    BINOPS,
+    BinOp,
+    If,
+    Labeled,
+    Lit,
+    Load,
+    Not,
+    PC_DONE,
+    Seq,
+    Skip,
+    While,
+    eval_closed,
+    leftmost_load,
+    program_counter,
+    substitute_leftmost,
+    truthy,
+)
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+def test_free_vars_literal():
+    assert lit(5).free_vars() == frozenset()
+
+
+def test_free_vars_load():
+    assert var("x").free_vars() == {"x"}
+    assert acq("x").free_vars() == {"x"}
+
+
+def test_free_vars_compound():
+    e = and_(eq(var("x"), 1), ne(var("y"), var("x")))
+    assert e.free_vars() == {"x", "y"}
+
+
+def test_eval_closed_literals_and_ops():
+    assert eval_closed(lit(5)) == 5
+    assert eval_closed(add(2, 3)) == 5
+    assert eval_closed(eq(2, 2)) == 1
+    assert eval_closed(eq(2, 3)) == 0
+    assert eval_closed(and_(1, 0)) == 0
+    assert eval_closed(or_(0, 7)) == 1
+    assert eval_closed(neg(0)) == 1
+    assert eval_closed(neg(3)) == 0
+
+
+def test_eval_closed_open_expression_raises():
+    with pytest.raises(ValueError):
+        eval_closed(var("x"))
+
+
+def test_truthy():
+    assert truthy(1) and truthy(-3)
+    assert not truthy(0)
+
+
+def test_unknown_binop_rejected():
+    with pytest.raises(ValueError):
+        BinOp("xor?", Lit(1), Lit(2))
+
+
+def test_all_binops_evaluate():
+    for op, fn in BINOPS.items():
+        assert eval_closed(BinOp(op, Lit(2), Lit(3))) == fn(2, 3)
+
+
+def test_substitute_leftmost_simple():
+    hit, e = substitute_leftmost(var("x"), 4)
+    assert hit == ("x", False)
+    assert e == Lit(4)
+
+
+def test_substitute_leftmost_acquire_flag():
+    hit, _ = substitute_leftmost(acq("x"), 4)
+    assert hit == ("x", True)
+
+
+def test_substitute_leftmost_is_left_to_right():
+    e = and_(var("x"), var("y"))
+    hit, e1 = substitute_leftmost(e, 1)
+    assert hit == ("x", False)
+    hit2, e2 = substitute_leftmost(e1, 0)
+    assert hit2 == ("y", False)
+    assert e2 == and_(1, 0)
+
+
+def test_substitute_leftmost_single_occurrence_only():
+    # x + x: each occurrence is a separate read
+    e = add(var("x"), var("x"))
+    _, e1 = substitute_leftmost(e, 7)
+    assert e1 == add(7, var("x"))
+
+
+def test_substitute_leftmost_closed_is_noop():
+    hit, e = substitute_leftmost(add(1, 2), 9)
+    assert hit is None
+    assert e == add(1, 2)
+
+
+def test_leftmost_load():
+    e = and_(eq(lit(1), acq("a")), var("b"))
+    load = leftmost_load(e)
+    assert load == Load("a", acquire=True)
+    assert leftmost_load(lit(3)) is None
+
+
+# ----------------------------------------------------------------------
+# Commands and labels
+# ----------------------------------------------------------------------
+
+
+def test_seq_builder_right_nested():
+    c = seq(skip(), skip(), skip())
+    assert isinstance(c, Seq)
+    assert c == Seq(Skip(), Seq(Skip(), Skip()))
+
+
+def test_seq_builder_degenerate():
+    assert seq() == Skip()
+    one = assign("x", 1)
+    assert seq(one) == one
+
+
+def test_commands_are_hashable():
+    c1 = seq(label(2, assign("x", 1)), while_(eq(var("x"), 1)))
+    c2 = seq(label(2, assign("x", 1)), while_(eq(var("x"), 1)))
+    assert c1 == c2 and hash(c1) == hash(c2)
+
+
+def test_while_test_prefers_current():
+    w = While(var("g"), Skip())
+    assert w.test == var("g")
+    w2 = While(var("g"), Skip(), current=Lit(1))
+    assert w2.test == Lit(1)
+
+
+def test_program_counter_on_labeled():
+    assert program_counter(label(4, assign("x", 1))) == 4
+
+
+def test_program_counter_through_seq():
+    c = seq(label(2, assign("x", 1)), label(3, swap("t", 1)))
+    assert program_counter(c) == 2
+
+
+def test_program_counter_done():
+    assert program_counter(Skip()) == PC_DONE
+    assert program_counter(assign("x", 1)) == PC_DONE  # unlabeled
+
+
+def test_program_counter_descends_into_pristine_loop():
+    c = loop_forever(seq(label(2, assign("x", 1)), label(3, skip())))
+    assert program_counter(c) == 2
+
+
+def test_program_counter_mid_guard_loop_is_done():
+    w = While(var("g"), label(9, skip()), current=Lit(0))
+    assert program_counter(w) == PC_DONE
+
+
+def test_str_renders_paper_notation():
+    assert str(acq("x")) == "x^A"
+    assert str(assign("x", 1, release=True)) == "x :=R 1"
+    assert str(swap("turn", 2)) == "turn.swap(2)^RA"
+    assert "while" in str(while_(eq(var("x"), 1)))
+    assert str(label(5, skip())) == "5: skip"

@@ -1,0 +1,104 @@
+"""The auxiliary metatheory: Propositions 4.1/2.3 and Lemma 4.7.
+
+These are the commutation/permutation facts the completeness proof
+leans on, checked concretely on pre-executions generated from programs.
+"""
+
+import itertools
+
+import pytest
+
+from repro.c11.events import Event
+from repro.c11.prestate import PreExecutionState, initial_prestate
+from repro.checking.completeness import terminal_pre_executions
+from repro.lang.actions import rd, wr
+from repro.lang.builder import acq, assign, seq, var
+from repro.lang.program import Program
+from repro.relations.linearize import all_linearizations, is_linearization_of
+
+
+def replay_prestate(base: PreExecutionState, ordering) -> PreExecutionState:
+    """Append the given events, in order, via the ``+`` operator.
+
+    Tags must be kept, so events are re-added verbatim.
+    """
+    state = base
+    for e in ordering:
+        state = state.add_event(e)
+    return state
+
+
+def test_proposition_4_1_pe_steps_commute():
+    """Steps of distinct threads commute in the PE semantics."""
+    base = initial_prestate({"x": 0})
+    e1 = Event(1, wr("x", 1), 1)
+    e2 = Event(2, rd("x", 7), 2)  # PE: any value is fine
+    one = base.add_event(e1).add_event(e2)
+    other = base.add_event(e2).add_event(e1)
+    assert one == other  # same events, same sb (cross-thread unordered)
+
+
+def test_same_thread_steps_do_not_commute():
+    base = initial_prestate({"x": 0})
+    e1 = Event(1, wr("x", 1), 1)
+    e2 = Event(2, wr("x", 2), 1)
+    one = base.add_event(e1).add_event(e2)
+    other = base.add_event(e2).add_event(e1)
+    assert one != other  # sb flips
+
+
+@pytest.mark.parametrize(
+    "program,init",
+    [
+        (
+            Program.parallel(
+                seq(assign("x", 1), assign("r1", var("y"))),
+                seq(assign("y", 1), assign("r2", var("x"))),
+            ),
+            {"x": 0, "y": 0, "r1": 0, "r2": 0},
+        ),
+        (
+            Program.parallel(
+                seq(assign("d", 1), assign("f", 1, release=True)),
+                seq(assign("r1", acq("f")), assign("r2", var("d"))),
+            ),
+            {"d": 0, "f": 0, "r1": 0, "r2": 0},
+        ),
+    ],
+    ids=["SB", "MP"],
+)
+def test_lemma_4_7_every_sb_linearization_replays(program, init):
+    """For every terminal pre-execution and every linearisation of its
+    sb (over program events), replaying the events in that order through
+    ``+`` reconstructs the same pre-execution state."""
+    prestates, truncated = terminal_pre_executions(program, init)
+    assert not truncated
+    for pi in prestates:
+        base = PreExecutionState(pi.init_writes)
+        prog_events = [e for e in pi.events if not e.is_init]
+        sb_prog = pi.sb.restrict_to(frozenset(prog_events))
+        count = 0
+        for ordering in all_linearizations(
+            sb_prog, domain=sorted(prog_events, key=lambda e: e.tag)
+        ):
+            assert is_linearization_of(ordering, sb_prog)
+            replayed = replay_prestate(base, ordering)
+            assert replayed == pi
+            count += 1
+            if count >= 24:
+                break  # plenty of permutations exercised per pre-execution
+        assert count >= 2  # cross-thread interleavings existed
+
+
+def test_tag_insensitivity_of_canonical_keys():
+    """The same logical pre-execution built with different tags has the
+    same canonical key (the dedup invariant exploration relies on)."""
+    from repro.interp.canon import canonical_key
+
+    base = initial_prestate({"x": 0})
+    a = base.add_event(Event(1, wr("x", 1), 1)).add_event(Event(2, rd("x", 1), 2))
+    b = base.add_event(Event(5, wr("x", 1), 1)).add_event(Event(9, rd("x", 1), 2))
+    assert canonical_key(a) == canonical_key(b)
+    # ... but flipping which thread did what changes it
+    c = base.add_event(Event(1, wr("x", 1), 2)).add_event(Event(2, rd("x", 1), 1))
+    assert canonical_key(a) != canonical_key(c)

@@ -1,0 +1,136 @@
+"""Round-trip property tests: parse(unparse(program)) == program."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.builder import acq, and_, assign, eq, if_, label, neg, seq, skip, swap, var, while_
+from repro.lang.parser import parse_command, parse_expression, parse_litmus
+from repro.lang.program import Program
+from repro.lang.syntax import BinOp, Lit, Load, Not
+from repro.lang.unparse import unparse_com, unparse_exp, unparse_litmus
+
+# ----------------------------------------------------------------------
+# Hand-picked round trips
+# ----------------------------------------------------------------------
+
+
+def test_exp_round_trips():
+    for e in (
+        Lit(7),
+        Lit(-2),
+        Load("x"),
+        Load("x", acquire=True),
+        Not(Load("f")),
+        and_(eq(acq("flag2"), 1), eq(var("turn"), 2)),
+    ):
+        assert parse_expression(unparse_exp(e)) == e
+
+
+def test_com_round_trips():
+    for c in (
+        skip(),
+        assign("x", 5),
+        assign("x", 5, release=True),
+        swap("turn", 2),
+        seq(assign("x", 1), assign("y", 2), skip()),
+        if_(eq(var("x"), 1), assign("a", 1), assign("b", 2)),
+        if_(eq(var("x"), 1), assign("a", 1)),
+        while_(and_(eq(acq("f"), 1), eq(var("t"), 2)), skip()),
+        label(4, while_(neg(acq("f")), skip())),
+        seq(label(2, assign("f", 1)), label(3, swap("t", 2))),
+    ):
+        assert parse_command(unparse_com(c)) == c
+
+
+def test_litmus_file_round_trip():
+    program = Program.parallel(
+        seq(assign("x", 1), assign("r1", var("y"))),
+        seq(assign("y", 1), assign("r2", var("x"))),
+    )
+    text = unparse_litmus(
+        "SB",
+        program,
+        {"x": 0, "y": 0, "r1": 0, "r2": 0},
+        outcome="(r1 == 0) && (r2 == 0)",
+        description="store buffering",
+    )
+    parsed = parse_litmus(text)
+    assert parsed.name == "SB"
+    assert parsed.program == program
+    assert parsed.init == {"x": 0, "y": 0, "r1": 0, "r2": 0}
+    assert parsed.outcome({"r1": 0, "r2": 0})
+
+
+# ----------------------------------------------------------------------
+# Property tests over random ASTs
+# ----------------------------------------------------------------------
+
+values = st.integers(-3, 9)
+names = st.sampled_from(["x", "y", "flag1", "turn"])
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3:
+        return draw(
+            st.one_of(
+                values.map(Lit),
+                st.builds(Load, names, st.booleans()),
+            )
+        )
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return Lit(draw(values))
+    if choice == 1:
+        return Load(draw(names), draw(st.booleans()))
+    if choice == 2:
+        return Not(draw(expressions(depth=depth + 1)))
+    op = draw(st.sampled_from(["eq", "ne", "lt", "le", "and", "or", "add", "mul"]))
+    return BinOp(
+        op,
+        draw(expressions(depth=depth + 1)),
+        draw(expressions(depth=depth + 1)),
+    )
+
+
+@st.composite
+def commands(draw, depth=0):
+    if depth >= 2:
+        return draw(
+            st.one_of(
+                st.builds(lambda: skip()),
+                st.builds(assign, names, values),
+                st.builds(swap, names, st.integers(0, 5)),
+            )
+        )
+    choice = draw(st.integers(0, 5))
+    if choice == 0:
+        return assign(draw(names), draw(expressions()), release=draw(st.booleans()))
+    if choice == 1:
+        return swap(draw(names), draw(st.integers(0, 5)))
+    if choice == 2:
+        return seq(
+            draw(commands(depth=depth + 1)), draw(commands(depth=depth + 1))
+        )
+    if choice == 3:
+        return if_(
+            draw(expressions()),
+            draw(commands(depth=depth + 1)),
+            draw(commands(depth=depth + 1)),
+        )
+    if choice == 4:
+        return while_(draw(expressions()), draw(commands(depth=depth + 1)))
+    return label(draw(st.integers(1, 9)), draw(commands(depth=depth + 1)))
+
+
+@given(expressions())
+@settings(max_examples=200, deadline=None)
+def test_expression_round_trip_property(e):
+    assert parse_expression(unparse_exp(e)) == e
+
+
+@given(commands())
+@settings(max_examples=200, deadline=None)
+def test_command_round_trip_property(c):
+    assert parse_command(unparse_com(c)) == c

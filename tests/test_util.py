@@ -1,0 +1,80 @@
+"""Tests for pretty-printing and dot export."""
+
+from repro.c11.events import Event
+from repro.c11.state import initial_state
+from repro.interp.explore import explore
+from repro.interp.ra_model import RAMemoryModel
+from repro.lang.actions import rd, rda, wr, wrr
+from repro.lang.builder import assign, seq, var
+from repro.lang.program import Program
+from repro.util.dot import state_to_dot
+from repro.util.pretty import format_observability, format_state, format_trace
+
+
+def _small_state():
+    s0 = initial_state({"x": 0})
+    init_x = s0.last("x")
+    w = Event(1, wrr("x", 1), 1)
+    r = Event(2, rda("x", 1), 2)
+    return (
+        s0.add_event(w)
+        .insert_mo_after(init_x, w)
+        .add_event(r)
+        .with_rf(w, r)
+    )
+
+
+def test_format_state_lists_events_and_edges():
+    text = format_state(_small_state(), derived=True)
+    assert "wrR(x,1)" in text
+    assert "rdA(x,1)" in text
+    assert "--rf-->" in text
+    assert "--mo-->" in text
+    assert "sw:" in text
+
+
+def test_format_observability_mentions_all_threads():
+    text = format_observability(_small_state())
+    assert "EW(t1)" in text and "OW(t2)" in text and "CW" in text
+
+
+def test_format_trace():
+    program = Program.parallel(seq(assign("x", 1), assign("r", var("x"))))
+    result = explore(program, {"x": 0, "r": 0}, RAMemoryModel())
+    # trace to some terminal config
+    from repro.interp.canon import canonical_key
+
+    config = result.terminal[0]
+    key = (config.program, canonical_key(config.state))
+    text = format_trace(result.trace_to(key))
+    assert "t1" in text and "wr(x,1)" in text
+
+
+def test_dot_export_structure():
+    dot = state_to_dot(_small_state())
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert "cluster_t1" in dot and "cluster_t0" in dot
+    assert '"rf"' in dot and '"sw"' in dot and '"mo"' in dot
+
+
+def test_dot_export_without_derived():
+    dot = state_to_dot(_small_state(), derived=False)
+    assert '"sw"' not in dot
+    assert '"rf"' in dot
+
+
+def test_dot_only_immediate_mo_edges():
+    s0 = initial_state({"x": 0})
+    init_x = s0.last("x")
+    w1 = Event(1, wr("x", 1), 1)
+    w2 = Event(2, wr("x", 2), 1)
+    s = (
+        s0.add_event(w1)
+        .insert_mo_after(init_x, w1)
+        .add_event(w2)
+        .insert_mo_after(w1, w2)
+    )
+    dot = state_to_dot(s)
+    # transitive init -> w2 mo edge is suppressed
+    assert dot.count('label="mo"') == 2

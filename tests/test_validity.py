@@ -1,0 +1,259 @@
+"""Tests for the Definition 4.2 axioms, on valid and deliberately broken states."""
+
+import pytest
+
+from repro.axiomatic.validity import (
+    axiom_coherence,
+    axiom_mo_valid,
+    axiom_no_thin_air,
+    axiom_rf_complete,
+    axiom_sb_total,
+    check_validity,
+    is_valid,
+)
+from repro.c11.events import Event
+from repro.c11.state import C11State, initial_state
+from repro.lang.actions import rd, rda, upd, wr, wrr
+from repro.relations.relation import Relation
+
+
+@pytest.fixture
+def sigma0():
+    return initial_state({"x": 0, "y": 0})
+
+
+def test_initial_state_is_valid(sigma0):
+    report = check_validity(sigma0)
+    assert report.valid
+    assert report.violated == []
+    assert str(report) == "valid"
+
+
+def test_simple_valid_execution(sigma0):
+    init_x = sigma0.last("x")
+    w = Event(1, wr("x", 1), 1)
+    r = Event(2, rd("x", 1), 2)
+    s = (
+        sigma0.add_event(w)
+        .insert_mo_after(init_x, w)
+        .add_event(r)
+        .with_rf(w, r)
+    )
+    assert is_valid(s)
+
+
+# ----------------------------------------------------------------------
+# SB-Total
+# ----------------------------------------------------------------------
+
+
+def test_sb_total_rejects_cross_thread_edges(sigma0):
+    e1, e2 = Event(1, wr("x", 1), 1), Event(2, wr("y", 1), 2)
+    s = sigma0.add_event(e1).add_event(e2)
+    broken = C11State(s.events, s.sb.add((e1, e2)), s.rf, s.mo)
+    assert axiom_sb_total(s)
+    assert not axiom_sb_total(broken)
+
+
+def test_sb_total_rejects_missing_init_edges(sigma0):
+    e = Event(1, wr("x", 1), 1)
+    s = sigma0.add_event(e)
+    # drop the init-before-e edges
+    broken = C11State(s.events, Relation.empty(), s.rf, s.mo)
+    assert not axiom_sb_total(broken)
+
+
+def test_sb_total_rejects_unordered_same_thread(sigma0):
+    e1, e2 = Event(1, wr("x", 1), 1), Event(2, wr("y", 1), 1)
+    inits = list(sigma0.events)
+    sb = Relation([(i, e) for i in inits for e in (e1, e2)])  # no e1-e2 edge
+    broken = C11State(set(inits) | {e1, e2}, sb, Relation.empty(), Relation.empty())
+    assert not axiom_sb_total(broken)
+
+
+def test_sb_total_rejects_reflexive(sigma0):
+    e = Event(1, wr("x", 1), 1)
+    s = sigma0.add_event(e)
+    broken = C11State(s.events, s.sb.add((e, e)), s.rf, s.mo)
+    assert not axiom_sb_total(broken)
+
+
+# ----------------------------------------------------------------------
+# MO-Valid
+# ----------------------------------------------------------------------
+
+
+def test_mo_valid_rejects_cross_variable(sigma0):
+    wx, wy = Event(1, wr("x", 1), 1), Event(2, wr("y", 1), 1)
+    s = sigma0.add_event(wx).add_event(wy)
+    broken = C11State(s.events, s.sb, s.rf, s.mo.add((wx, wy)))
+    assert not axiom_mo_valid(broken)
+
+
+def test_mo_valid_rejects_untotal(sigma0):
+    init_x = sigma0.last("x")
+    w1, w2 = Event(1, wr("x", 1), 1), Event(2, wr("x", 2), 2)
+    s = sigma0.add_event(w1).add_event(w2)
+    # both after init, but not ordered with each other
+    mo = Relation([(init_x, w1), (init_x, w2)])
+    broken = C11State(s.events, s.sb, s.rf, mo)
+    assert not axiom_mo_valid(broken)
+
+
+def test_mo_valid_rejects_program_write_before_init(sigma0):
+    init_x = sigma0.last("x")
+    w = Event(1, wr("x", 1), 1)
+    s = sigma0.add_event(w)
+    broken = C11State(s.events, s.sb, s.rf, Relation([(w, init_x)]))
+    assert not axiom_mo_valid(broken)
+
+
+def test_mo_valid_requires_init_first(sigma0):
+    init_x = sigma0.last("x")
+    w = Event(1, wr("x", 1), 1)
+    s = sigma0.add_event(w)
+    # empty mo: init not ordered before program write on x
+    broken = C11State(s.events, s.sb, s.rf, Relation.empty())
+    assert not axiom_mo_valid(broken)
+
+
+def test_mo_valid_rejects_reads_in_mo(sigma0):
+    init_x = sigma0.last("x")
+    r = Event(1, rd("x", 0), 1)
+    s = sigma0.add_event(r).with_rf(init_x, r)
+    broken = C11State(s.events, s.sb, s.rf, Relation([(init_x, r)]))
+    assert not axiom_mo_valid(broken)
+
+
+def test_mo_valid_rejects_intransitive(sigma0):
+    init_x = sigma0.last("x")
+    w1, w2 = Event(1, wr("x", 1), 1), Event(2, wr("x", 2), 1)
+    s = sigma0.add_event(w1).add_event(w2)
+    mo = Relation([(init_x, w1), (w1, w2)])  # missing (init_x, w2)
+    broken = C11State(s.events, s.sb, s.rf, mo)
+    assert not axiom_mo_valid(broken)
+
+
+# ----------------------------------------------------------------------
+# RF-Complete
+# ----------------------------------------------------------------------
+
+
+def test_rf_complete_requires_a_source(sigma0):
+    r = Event(1, rd("x", 0), 1)
+    s = sigma0.add_event(r)  # no rf edge
+    assert not axiom_rf_complete(s)
+
+
+def test_rf_complete_rejects_two_sources(sigma0):
+    init_x = sigma0.last("x")
+    w = Event(1, wr("x", 0), 1)  # also writes 0
+    r = Event(2, rd("x", 0), 2)
+    s = (
+        sigma0.add_event(w)
+        .insert_mo_after(init_x, w)
+        .add_event(r)
+        .with_rf(init_x, r)
+        .with_rf(w, r)
+    )
+    assert not axiom_rf_complete(s)
+
+
+def test_rf_complete_rejects_value_mismatch(sigma0):
+    init_x = sigma0.last("x")
+    r = Event(1, rd("x", 7), 1)
+    s = sigma0.add_event(r).with_rf(init_x, r)
+    assert not axiom_rf_complete(s)
+
+
+def test_rf_complete_rejects_variable_mismatch(sigma0):
+    init_y = sigma0.last("y")
+    r = Event(1, rd("x", 0), 1)
+    s = sigma0.add_event(r).with_rf(init_y, r)
+    assert not axiom_rf_complete(s)
+
+
+def test_rf_complete_rejects_read_source(sigma0):
+    init_x = sigma0.last("x")
+    r1 = Event(1, rd("x", 0), 1)
+    r2 = Event(2, rd("x", 0), 2)
+    s = sigma0.add_event(r1).with_rf(init_x, r1).add_event(r2).with_rf(r1, r2)
+    assert not axiom_rf_complete(s)
+
+
+# ----------------------------------------------------------------------
+# NoThinAir
+# ----------------------------------------------------------------------
+
+
+def test_no_thin_air_rejects_lb_cycle(sigma0):
+    """The load-buffering shape: r1 := x; y := 1  ||  r2 := y; x := 1
+    with both reads returning 1 creates an sb ∪ rf cycle."""
+    rx = Event(1, rd("x", 1), 1)
+    wy = Event(2, wr("y", 1), 1)
+    ry = Event(3, rd("y", 1), 2)
+    wx = Event(4, wr("x", 1), 2)
+    s = sigma0.add_event(rx).add_event(wy).add_event(ry).add_event(wx)
+    s = s.with_rf(wx, rx).with_rf(wy, ry)
+    init_x, init_y = sigma0.last("x"), sigma0.last("y")
+    s = s.insert_mo_after(init_x, wx).insert_mo_after(init_y, wy)
+    assert not axiom_no_thin_air(s)
+    # everything else is fine — NoThinAir is doing real work here
+    assert axiom_rf_complete(s) and axiom_mo_valid(s) and axiom_sb_total(s)
+
+
+# ----------------------------------------------------------------------
+# Coherence
+# ----------------------------------------------------------------------
+
+
+def test_coherence_rejects_reading_overwritten_value_after_sync(sigma0):
+    """hb;eco reflexivity: a reader hb-after a write reads an older one."""
+    init_x = sigma0.last("x")
+    w = Event(1, wrr("x", 1), 1)
+    r = Event(2, rda("x", 1), 2)
+    stale = Event(3, rd("x", 0), 2)  # same thread, after the acquire
+    s = (
+        sigma0.add_event(w)
+        .insert_mo_after(init_x, w)
+        .add_event(r)
+        .with_rf(w, r)
+        .add_event(stale)
+        .with_rf(init_x, stale)
+    )
+    assert not axiom_coherence(s)
+
+
+def test_coherence_rejects_self_rf_update(sigma0):
+    u = Event(1, upd("x", 1, 1), 1)
+    init_x = sigma0.last("x")
+    s = sigma0.add_event(u).insert_mo_after(init_x, u).with_rf(u, u)
+    assert not axiom_coherence(s)
+
+
+def test_coherence_rejects_update_not_adjacent(sigma0):
+    """An update reading a write that is not its mo-predecessor."""
+    init_x = sigma0.last("x")
+    w = Event(1, wr("x", 5), 1)
+    u = Event(2, upd("x", 0, 9), 2)  # reads init
+    s = (
+        sigma0.add_event(w)
+        .insert_mo_after(init_x, w)
+        .add_event(u)
+        .with_rf(init_x, u)
+    )
+    # place u after w in mo: init -> w -> u but u reads init
+    s = s.insert_mo_after(w, u)
+    assert not axiom_coherence(s)
+
+
+def test_check_validity_reports_all_violations(sigma0):
+    r = Event(1, rd("x", 7), 1)
+    broken = C11State(
+        sigma0.events | {r}, Relation.empty(), Relation.empty(), Relation.empty()
+    )
+    report = check_validity(broken)
+    assert not report.valid
+    assert "RF-Complete" in report.violated
+    assert "SB-Total" in report.violated
+    assert "invalid" in str(report)
