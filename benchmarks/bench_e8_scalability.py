@@ -62,6 +62,7 @@ def _run_series():
             f"justifications={justs:>4} time={pe_time*1e3:7.1f}ms   "
             f"speedup={pe_time/ra_time:4.1f}x"
         )
+        rows.append(f"      RA engine: {ra.stats.summary()}")
     return rows
 
 
@@ -70,7 +71,7 @@ def test_operational_vs_axiomatic_series(benchmark):
     table("E8: RA on-the-fly vs PE + post-hoc justification", rows)
 
 
-@pytest.mark.parametrize("bound", [6, 8, 10, 12])
+@pytest.mark.parametrize("bound", [6, 8, 10, 12], ids=lambda b: f"bound{b}")
 def test_peterson_state_space_growth(benchmark, bound):
     result = once(
         benchmark,
@@ -83,6 +84,11 @@ def test_peterson_state_space_growth(benchmark, bound):
     )
     table(
         f"E8: Peterson growth, bound={bound}",
-        [f"configs={result.configs} transitions={result.transitions}"],
+        [
+            f"configs={result.configs} transitions={result.transitions}",
+            f"engine: {result.stats.summary()}",
+        ],
     )
     benchmark.extra_info["configs"] = result.configs
+    benchmark.extra_info["key_cache_hit_rate"] = result.stats.key_rate
+    benchmark.extra_info["peak_frontier"] = result.stats.peak_frontier

@@ -37,6 +37,24 @@ class Event:
     action: Action
     tid: Tid
 
+    def __hash__(self) -> int:
+        # Events live in frozensets and relation pair-sets that are
+        # hashed constantly on the exploration hot path; the generated
+        # dataclass hash would recompute the field-tuple hash each time.
+        # (Defining __hash__ in the class body makes @dataclass keep it.)
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.tag, self.action, self.tid))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        # str hashing is salted per process (PYTHONHASHSEED), so a
+        # cached hash must never cross a pickle boundary.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     # -- paper accessors (lifted from the action) -----------------------
 
     @property

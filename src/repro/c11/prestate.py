@@ -25,12 +25,16 @@ from repro.relations.relation import Relation
 class PreExecutionState:
     """A pre-execution state ``π = (D, sb)``."""
 
-    __slots__ = ("events", "sb", "_hash")
+    __slots__ = ("events", "sb", "_hash", "_canon_key", "_canon_ids")
 
     def __init__(self, events: Iterable[Event], sb: Relation = Relation.empty()):
         self.events: FrozenSet[Event] = frozenset(events)
         self.sb: Relation = sb
         self._hash: Optional[int] = None
+        #: Canonical-key memoization slots (see repro.interp.canon and
+        #: repro.engine.keys), filled lazily / propagated by add_event.
+        self._canon_key = None
+        self._canon_ids = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PreExecutionState):
@@ -54,7 +58,18 @@ class PreExecutionState:
             for old in self.events
             if old.tid == e.tid or old.is_init
         )
-        return PreExecutionState(self.events | {e}, new_sb)
+        child = PreExecutionState(self.events | {e}, new_sb)
+        if self._canon_ids is not None and not e.is_init:
+            # Pre-execution identities order thread events by tag, so the
+            # parent's identities survive only when e's tag is maximal in
+            # its thread (always true for next_tag()-built exploration
+            # states; hand-built states fall back to a fresh computation).
+            mine = [old.tag for old in self.events if old.tid == e.tid]
+            if not mine or e.tag > max(mine):
+                ids = dict(self._canon_ids)
+                ids[e] = ("e", e.tid, len(mine))
+                child._canon_ids = ids
+        return child
 
     def next_tag(self) -> int:
         used = max((e.tag for e in self.events), default=0)

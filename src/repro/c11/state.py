@@ -47,6 +47,8 @@ class C11State:
         "_events_by_tid",
         "_last",
         "_hash",
+        "_canon_key",
+        "_canon_ids",
     )
 
     def __init__(
@@ -75,6 +77,12 @@ class C11State:
         self._events_by_tid: Optional[Dict[Tid, List[Event]]] = None
         self._last: Dict[Var, Optional[Event]] = {}
         self._hash: Optional[int] = None
+        #: Canonical-key memoization (see repro.interp.canon and
+        #: repro.engine.keys): the full key, computed at most once per
+        #: object, and the event-identity map, propagated incrementally
+        #: from parent to child by the successor constructors below.
+        self._canon_key: Optional[object] = None
+        self._canon_ids: Optional[Dict[Event, tuple]] = None
 
     # ------------------------------------------------------------------
     # Value-object protocol
@@ -260,15 +268,28 @@ class C11State:
             for old in self.events
             if old.tid == e.tid or old.is_init
         )
-        return C11State(
+        child = C11State(
             self.events | {e}, new_sb, self.rf, self.mo, self.fast_eco
         )
+        if self._canon_ids is not None:
+            # The appended event is sb-last in its thread, so every
+            # existing canonical identity survives; only e's is new.
+            ids = dict(self._canon_ids)
+            if e.is_init:
+                ids[e] = ("init", e.var)
+            else:
+                pos = sum(1 for old in self.events if old.tid == e.tid)
+                ids[e] = ("e", e.tid, pos)
+            child._canon_ids = ids
+        return child
 
     def with_rf(self, w: Event, r: Event) -> "C11State":
         """The state with an additional reads-from edge ``(w, r)``."""
-        return C11State(
+        child = C11State(
             self.events, self.sb, self.rf.add((w, r)), self.mo, self.fast_eco
         )
+        child._canon_ids = self._canon_ids  # identities depend on (D, sb) only
+        return child
 
     def insert_mo_after(self, w: Event, e: Event) -> "C11State":
         """``mo[w, e]`` — insert ``e`` immediately after ``w`` in ``mo``.
@@ -280,10 +301,12 @@ class C11State:
         before = self.mo.downset(w)  # {w} ∪ mo⁻¹[w]
         after = self.mo.image(w)
         new_pairs = {(b, e) for b in before} | {(e, a) for a in after}
-        return C11State(
+        child = C11State(
             self.events, self.sb, self.rf, self.mo.add_all(new_pairs),
             self.fast_eco,
         )
+        child._canon_ids = self._canon_ids  # identities depend on (D, sb) only
+        return child
 
     def restricted_to(self, keep: Iterable[Event]) -> "C11State":
         """``σ ↾ E`` — restriction to a subset of events (Thm 4.8)."""

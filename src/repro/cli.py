@@ -21,6 +21,13 @@ Commands
 ``soundness FILE``
     Explore the file's program under RA and check Definition 4.2 on
     every reachable state (Theorem 4.4 empirically, per program).
+
+``suite``
+    Run the full litmus suite (and, with ``--case-studies``, the case
+    studies) through the engine's parallel runner: one exploration per
+    (test, model) pair, fanned out over ``--jobs`` worker processes.
+    ``--strategy`` selects the search order (bfs / dfs / iddfs); the
+    verdicts are strategy- and parallelism-independent.
 """
 
 from __future__ import annotations
@@ -61,7 +68,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     parsed = _load(args.file)
     model = _model(args.model)
     reachable, result = run_parsed_litmus(
-        parsed, model=model, max_events=args.max_events
+        parsed, model=model, max_events=args.max_events, strategy=args.strategy
     )
     bound = " (bounded)" if result.truncated else ""
     print(
@@ -70,6 +77,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"{result.configs} configurations, {len(result.terminal)} terminal"
         f"{bound}"
     )
+    if args.stats:
+        print("engine:", result.stats.summary())
     if parsed.outcome_mode == "forbidden":
         ok = not reachable
     elif parsed.outcome_mode == "exists":
@@ -78,6 +87,49 @@ def cmd_run(args: argparse.Namespace) -> int:
         ok = True
     print("verdict:", "OK" if ok else "UNEXPECTED")
     return 0 if ok else 1
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine.parallel import (
+        ParallelRunner,
+        case_study_jobs,
+        litmus_jobs,
+    )
+
+    models = [m.strip().lower() for m in args.models.split(",")]
+    for name in models:
+        if name not in MODELS:
+            raise SystemExit(
+                f"unknown model {name!r}; choose from {sorted(MODELS)}"
+            )
+    work = litmus_jobs(models=models, extra=args.extra, strategy=args.strategy)
+    if args.case_studies:
+        work += case_study_jobs(strategy=args.strategy)
+
+    runner = ParallelRunner(jobs=args.jobs)
+    t0 = time.perf_counter()
+    results = runner.run(work)
+    wall = time.perf_counter() - t0
+
+    for r in results:
+        print(r.row())
+    totals = runner.aggregate(results)
+    print("-" * 72)
+    print(
+        f"{totals['jobs']} jobs, {totals['configs']} configurations, "
+        f"{totals['transitions']} transitions; "
+        f"key-cache hit rate {100.0 * totals['key_rate']:.0f}%"
+    )
+    print(
+        f"strategy={args.strategy} workers={args.jobs} "
+        f"wall={wall:.2f}s (worker time {totals['worker_time']:.2f}s)"
+    )
+    if totals["mismatches"]:
+        print(f"{totals['mismatches']} verdicts diverged from expectations")
+        return 1
+    return 0
 
 
 def cmd_table(args: argparse.Namespace) -> int:
@@ -166,7 +218,33 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("file")
     run.add_argument("--model", default="ra", help="ra | sra | sc")
     run.add_argument("--max-events", type=int, default=None)
+    run.add_argument(
+        "--strategy", default="bfs", choices=["bfs", "dfs", "iddfs"],
+        help="search order (verdict-neutral on uncapped runs)",
+    )
+    run.add_argument(
+        "--stats", action="store_true", help="print engine statistics"
+    )
     run.set_defaults(func=cmd_run)
+
+    suite = sub.add_parser(
+        "suite", help="run the litmus suite via the parallel engine runner"
+    )
+    suite.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = in-process sequential run)",
+    )
+    suite.add_argument(
+        "--strategy", default="bfs", choices=["bfs", "dfs", "iddfs"],
+        help="search order (verdict-neutral on uncapped runs)",
+    )
+    suite.add_argument("--models", default="ra,sc", help="comma list of models")
+    suite.add_argument("--extra", action="store_true", help="include extras")
+    suite.add_argument(
+        "--case-studies", action="store_true",
+        help="also run the case-study checks (peterson, dekker, token ring)",
+    )
+    suite.set_defaults(func=cmd_suite)
 
     table = sub.add_parser("table", help="print the litmus verdict table")
     table.add_argument("--models", default="ra,sc", help="comma list of models")

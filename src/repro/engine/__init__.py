@@ -1,0 +1,53 @@
+"""The exploration engine subsystem (DESIGN.md §5).
+
+The engine is everything between "here is a program and a memory model"
+and "here is what is reachable":
+
+* :mod:`repro.engine.frontier` — pluggable search strategies (BFS, DFS,
+  iterative deepening) behind a :class:`~repro.engine.frontier.Frontier`
+  abstraction;
+* :mod:`repro.engine.keys` — the canonical-key memoization layer, which
+  guarantees each state object is canonicalised at most once per
+  process;
+* :mod:`repro.engine.core` — the bounded exhaustive search itself,
+  instrumented with :class:`~repro.engine.stats.EngineStats`;
+* :mod:`repro.engine.parallel` — a multiprocessing runner fanning the
+  litmus suite and case studies across workers.
+
+:mod:`repro.interp.explore` re-exports the core entry points for
+backwards compatibility; new code may import from either.
+"""
+
+from repro.engine.frontier import (
+    BFSFrontier,
+    DFSFrontier,
+    Frontier,
+    STRATEGIES,
+    frontier_class,
+)
+from repro.engine.keys import KEY_CACHE, KeyCacheStats, cached_canonical_key
+from repro.engine.stats import EngineStats
+from repro.engine.core import (
+    ConfigKey,
+    ExplorationResult,
+    Violation,
+    explore,
+    reachable_states,
+)
+
+__all__ = [
+    "BFSFrontier",
+    "ConfigKey",
+    "DFSFrontier",
+    "EngineStats",
+    "ExplorationResult",
+    "Frontier",
+    "KEY_CACHE",
+    "KeyCacheStats",
+    "STRATEGIES",
+    "Violation",
+    "cached_canonical_key",
+    "explore",
+    "frontier_class",
+    "reachable_states",
+]

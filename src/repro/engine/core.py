@@ -1,0 +1,413 @@
+"""The exploration engine: bounded exhaustive search over ``(P, σ)``.
+
+This is the model-checking core of the reproduction (DESIGN.md §5): an
+exhaustive enumeration of every configuration reachable under a memory
+model, deduplicated by canonical keys (program syntax × state up to tag
+renaming), with a pluggable search strategy
+(:mod:`repro.engine.frontier`), memoized canonical keys
+(:mod:`repro.engine.keys`) and per-run statistics
+(:mod:`repro.engine.stats`).
+
+Busy-wait loops make weak-memory state spaces infinite (every loop
+iteration appends fresh read events), so exploration is *bounded* by the
+number of program events per state (``max_events``); hitting the bound
+is recorded (``truncated``) so results honestly distinguish "verified up
+to bound" from "verified".  τ-cycles (e.g. ``while true do skip``) are
+harmless: revisited configurations are not re-expanded.
+
+Hooks:
+
+* ``check_config(config)`` — return a list of violation messages for a
+  configuration (safety properties, e.g. mutual exclusion);
+* ``check_step(step)`` — likewise for transitions (used by the
+  verification-calculus soundness experiments, which are per-transition
+  statements).
+
+Counterexample traces are reconstructed from the parent map; a
+step-level violation's trace ends with the violating step itself.
+
+The public entry points :func:`explore` and :func:`reachable_states`
+are re-exported by :mod:`repro.interp.explore`, the historical home of
+this code — import from there unless you need engine internals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from repro.engine.frontier import frontier_class
+from repro.engine.keys import KEY_CACHE
+from repro.engine.stats import EngineStats
+from repro.lang.actions import Value, Var
+from repro.lang.program import Program
+
+if TYPE_CHECKING:  # runtime imports are deferred to break the
+    # repro.interp -> memory models -> repro.engine import cycle
+    from repro.interp.config import Configuration
+    from repro.interp.interpreter import InterpretedStep
+    from repro.interp.memory_model import MemoryModel
+
+S = TypeVar("S")
+
+ConfigKey = Tuple[Program, Hashable]
+
+
+@dataclass
+class Violation(Generic[S]):
+    """One failed check, with the configuration it failed at."""
+
+    message: str
+    config: Configuration[S]
+    step: Optional[InterpretedStep[S]] = None
+
+    def __str__(self) -> str:
+        return self.message
+
+
+@dataclass
+class ExplorationResult(Generic[S]):
+    """Everything a bounded exploration learned."""
+
+    initial: Configuration[S]
+    configs: int = 0
+    transitions: int = 0
+    terminal: List[Configuration[S]] = field(default_factory=list)
+    violations: List[Violation[S]] = field(default_factory=list)
+    truncated: bool = False
+    #: whether truncation was caused by the max_configs cap (as opposed
+    #: to the max_events bound) — deepening cannot recover from a cap
+    capped: bool = False
+    #: canonical key -> representative configuration
+    representatives: Dict[ConfigKey, Configuration[S]] = field(default_factory=dict)
+    #: child key -> (parent key, step) for trace reconstruction
+    parents: Dict[ConfigKey, Tuple[Optional[ConfigKey], Optional[InterpretedStep[S]]]] = field(
+        default_factory=dict
+    )
+    #: what the run cost (strategy, frontier, key cache, phase timings)
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    @property
+    def ok(self) -> bool:
+        """No violation found (within the explored bound)."""
+        return not self.violations
+
+    def trace_to(self, key: ConfigKey) -> List[InterpretedStep[S]]:
+        """The step sequence from the initial configuration to ``key``."""
+        steps: List[InterpretedStep[S]] = []
+        cursor: Optional[ConfigKey] = key
+        while cursor is not None:
+            parent, step = self.parents[cursor]
+            if step is not None:
+                steps.append(step)
+            cursor = parent
+        steps.reverse()
+        return steps
+
+    def counterexample(self) -> Optional[List[InterpretedStep[S]]]:
+        """A trace to the first violation, if any.
+
+        For a configuration-level violation this is the step sequence
+        reaching the violating configuration.  For a step-level
+        violation, ``Violation.config`` is the *source* of the violating
+        transition, so the violating step is appended — the returned
+        trace actually exhibits the violation.
+        """
+        if not self.violations:
+            return None
+        v = self.violations[0]
+        key = _key_of(v.config, self._model, self._canonicalize)
+        steps = self.trace_to(key)
+        if v.step is not None:
+            steps.append(v.step)
+        return steps
+
+    # Attached by `explore` so traces can be rebuilt.
+    _model: Optional[MemoryModel[S]] = None
+    _canonicalize: bool = True
+
+
+def _state_size(state) -> int:
+    """Number of program events in an event-based state (0 otherwise)."""
+    events = getattr(state, "events", None)
+    if events is None:
+        return 0
+    return sum(1 for e in events if not e.is_init)
+
+
+def _key_of(
+    config: Configuration[S], model: MemoryModel[S], canonicalize: bool = True
+) -> ConfigKey:
+    if canonicalize:
+        return (config.program, model.canonical_state_key(config.state))
+    return (config.program, config.state)
+
+
+def explore(
+    program: Program,
+    init_values: Mapping[Var, Value],
+    model: MemoryModel[S],
+    max_events: Optional[int] = None,
+    max_configs: Optional[int] = None,
+    check_config: Optional[Callable[[Configuration[S]], List[str]]] = None,
+    check_step: Optional[Callable[[InterpretedStep[S]], List[str]]] = None,
+    stop_on_violation: bool = False,
+    keep_representatives: bool = False,
+    canonicalize: bool = True,
+    strategy: str = "bfs",
+) -> ExplorationResult[S]:
+    """Bounded exhaustive exploration from ``(P, σ_0)``.
+
+    ``max_events`` bounds the number of program events per state — the
+    loop-unrolling bound; ``max_configs`` is a hard safety net on the
+    total number of distinct configurations.  ``canonicalize=False``
+    disables tag-renaming deduplication (states then only merge when
+    their tags coincide) — exists for the E10 ablation, which quantifies
+    what canonicalisation buys.
+
+    ``strategy`` selects the search order: ``"bfs"`` (default, shortest
+    counterexamples), ``"dfs"`` (smallest frontier) or ``"iddfs"``
+    (depth-first rounds under ``max_events`` bounds growing 1, 2, …,
+    ``max_events``; requires a bound, else it is plain DFS).  On runs
+    that explore to exhaustion, all strategies visit the same
+    configurations and report identical counts — exploration is a graph
+    search with canonical dedup, so the visit *order* cannot change the
+    visited *set*.  With ``max_configs`` or ``stop_on_violation`` the
+    run ends early and *which* subset was explored does depend on the
+    order; such results are strategy-dependent (and flagged
+    ``truncated`` in the capped case).
+    """
+    if strategy == "iddfs" and max_events is not None and max_events >= 1:
+        return _explore_deepening(
+            program,
+            init_values,
+            model,
+            max_events=max_events,
+            max_configs=max_configs,
+            check_config=check_config,
+            check_step=check_step,
+            stop_on_violation=stop_on_violation,
+            keep_representatives=keep_representatives,
+            canonicalize=canonicalize,
+        )
+    return _explore_once(
+        program,
+        init_values,
+        model,
+        max_events=max_events,
+        max_configs=max_configs,
+        check_config=check_config,
+        check_step=check_step,
+        stop_on_violation=stop_on_violation,
+        keep_representatives=keep_representatives,
+        canonicalize=canonicalize,
+        strategy=strategy,
+    )
+
+
+def _explore_deepening(
+    program: Program,
+    init_values: Mapping[Var, Value],
+    model: MemoryModel[S],
+    max_events: int,
+    **kwargs,
+) -> ExplorationResult[S]:
+    """Iterative deepening over the event bound.
+
+    Each round is a depth-first search truncated at a growing bound; a
+    round that never hits its bound has exhausted the state space, so
+    deeper rounds would revisit it verbatim and the loop stops early.
+    The final round's result is returned (it is exactly what a single
+    run at its bound computes); stats accumulate across rounds.
+    """
+    cumulative = EngineStats(strategy="iddfs")
+    rounds = 0
+    result: Optional[ExplorationResult[S]] = None
+    for bound in range(1, max_events + 1):
+        result = _explore_once(
+            program,
+            init_values,
+            model,
+            max_events=bound,
+            strategy="iddfs",
+            **kwargs,
+        )
+        rounds += 1
+        cumulative.merge_round(result.stats)
+        if kwargs.get("stop_on_violation") and result.violations:
+            break
+        if not result.truncated:
+            break
+        if result.capped:
+            # The config cap, not the event bound, cut the round short:
+            # deeper rounds would re-run the identical capped search.
+            break
+    assert result is not None  # max_events >= 1 guaranteed by range start
+    cumulative.iterations = rounds
+    result.stats = cumulative
+    return result
+
+
+def _explore_once(
+    program: Program,
+    init_values: Mapping[Var, Value],
+    model: MemoryModel[S],
+    max_events: Optional[int] = None,
+    max_configs: Optional[int] = None,
+    check_config: Optional[Callable[[Configuration[S]], List[str]]] = None,
+    check_step: Optional[Callable[[InterpretedStep[S]], List[str]]] = None,
+    stop_on_violation: bool = False,
+    keep_representatives: bool = False,
+    canonicalize: bool = True,
+    strategy: str = "bfs",
+) -> ExplorationResult[S]:
+    """One search run with a fixed frontier discipline and bounds."""
+    from repro.interp.config import Configuration
+    from repro.interp.interpreter import configuration_successors
+
+    initial = Configuration(program, model.initial(init_values))
+    result: ExplorationResult[S] = ExplorationResult(initial)
+    result._model = model
+    result._canonicalize = canonicalize
+    stats = result.stats
+    stats.strategy = strategy
+
+    clock = time.perf_counter
+    t_run = clock()
+    hits0, misses0, _ = KEY_CACHE.snapshot()
+
+    try:
+        t0 = clock()
+        init_key = _key_of(initial, model, canonicalize)
+        stats.time_keys += clock() - t0
+
+        seen = {init_key}
+        result.parents[init_key] = (None, None)
+        frontier = frontier_class(strategy)()
+        frontier.push((initial, init_key))
+        stats.peak_frontier = 1
+        # Once the max_configs cap is hit, nothing new can ever be
+        # enqueued, so canonical keying of successors becomes pure dead
+        # work and is skipped.  Remaining frontier entries are still
+        # popped, counted and checked exactly as before the cap — with
+        # one shortcut: when there is no step hook, generating their
+        # successors can observe nothing, so expansion is skipped too
+        # (which only makes `transitions` a count over *expanded*
+        # configurations on such capped runs).
+        capped = False
+
+        while frontier:
+            config, key = frontier.pop()
+            result.configs += 1
+            if keep_representatives:
+                result.representatives[key] = config
+
+            if check_config is not None:
+                t0 = clock()
+                messages = check_config(config)
+                stats.time_checks += clock() - t0
+                for message in messages:
+                    result.violations.append(Violation(message, config))
+                    if stop_on_violation:
+                        return result
+
+            if config.is_terminated():
+                result.terminal.append(config)
+                continue
+
+            if capped and check_step is None:
+                result.truncated = True
+                continue
+
+            at_bound = (
+                max_events is not None and _state_size(config.state) >= max_events
+            )
+
+            t0 = clock()
+            steps = list(configuration_successors(config, model))
+            stats.time_expand += clock() - t0
+
+            for step in steps:
+                if at_bound and step.event is not None:
+                    result.truncated = True
+                    continue
+                result.transitions += 1
+
+                if check_step is not None:
+                    t0 = clock()
+                    messages = check_step(step)
+                    stats.time_checks += clock() - t0
+                    for message in messages:
+                        result.violations.append(Violation(message, config, step))
+                        if stop_on_violation:
+                            return result
+
+                if capped:
+                    continue
+                t0 = clock()
+                child_key = _key_of(step.target, model, canonicalize)
+                stats.time_keys += clock() - t0
+                if child_key in seen:
+                    continue
+                if max_configs is not None and len(seen) >= max_configs:
+                    result.truncated = True
+                    result.capped = True
+                    capped = True
+                    continue
+                seen.add(child_key)
+                result.parents[child_key] = (key, step)
+                frontier.push((step.target, child_key))
+                if len(frontier) > stats.peak_frontier:
+                    stats.peak_frontier = len(frontier)
+    finally:
+        stats.time_total += clock() - t_run
+        hits1, misses1, _ = KEY_CACHE.snapshot()
+        stats.key_hits += hits1 - hits0
+        stats.key_misses += misses1 - misses0
+
+    return result
+
+
+def reachable_states(
+    program: Program,
+    init_values: Mapping[Var, Value],
+    model: MemoryModel[S],
+    max_events: Optional[int] = None,
+    max_configs: Optional[int] = None,
+    strategy: str = "bfs",
+) -> Tuple[List[S], ExplorationResult[S]]:
+    """All distinct memory states reachable (deduplicated by the model's
+    canonical key), plus the exploration result.
+
+    The ``record`` hook keys every state a second time; thanks to the
+    memoization layer that second keying is a cache hit, not a repeat of
+    the ``O(n log n)`` canonicalisation (DESIGN.md §4).
+    """
+    states: Dict[Hashable, S] = {}
+
+    def record(config: Configuration[S]) -> List[str]:
+        states.setdefault(model.canonical_state_key(config.state), config.state)
+        return []
+
+    result = explore(
+        program,
+        init_values,
+        model,
+        max_events=max_events,
+        max_configs=max_configs,
+        check_config=record,
+        strategy=strategy,
+    )
+    return list(states.values()), result

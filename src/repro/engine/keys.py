@@ -1,0 +1,86 @@
+"""The canonical-key memoization layer (DESIGN.md §4).
+
+Canonical keys are the single most expensive pure function on the
+exploration hot path (an ``O(n log n)`` renaming of every event, plus
+sorted ``rf``/``mo`` encodings), and the seed code recomputed them
+freely: once when a state was discovered by ``explore``, again when
+``reachable_states``' ``check_config`` hook recorded the same state,
+and again in the completeness/soundness checkers.  This module makes
+every canonical key a compute-once value:
+
+* :func:`cached_canonical_key` stores the key on the state object
+  itself (the ``_canon_key`` slot of :class:`~repro.c11.state.C11State`
+  and :class:`~repro.c11.prestate.PreExecutionState`) so that any later
+  keying of the same object is a dictionary-free attribute read;
+* the process-wide :data:`KEY_CACHE` counts hits and misses, which the
+  engine snapshots per run into
+  :class:`~repro.engine.stats.EngineStats`.
+
+All canonical-key consumers (the RA/SRA/PE models'
+``canonical_state_key``, and through them ``explore``,
+``reachable_states`` and the checking package) route through here.
+States without a ``_canon_key`` slot (hand-assembled test fixtures,
+foreign state types) fall back to a plain computation and are counted
+as ``uncached``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class KeyCacheStats:
+    """Process-wide canonical-key cache counters."""
+
+    __slots__ = ("hits", "misses", "uncached")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.uncached = 0
+
+    def snapshot(self) -> tuple:
+        return (self.hits, self.misses, self.uncached)
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyCacheStats(hits={self.hits}, misses={self.misses}, "
+            f"uncached={self.uncached})"
+        )
+
+
+#: The one cache-counter instance of this process.  Workers of the
+#: parallel runner each get their own copy (fork/spawn isolation).
+KEY_CACHE = KeyCacheStats()
+
+
+def cached_canonical_key(state) -> Hashable:
+    """``canonical_key(state)``, computed at most once per state object.
+
+    The canonical key of a state never changes (states are immutable
+    value objects), so the first computation is stored on the object and
+    every further call is a cache hit.  Note the cache is per *object*:
+    two differently-tagged states with the same canonical key each pay
+    one computation — collapsing those is exactly what the explorer's
+    ``seen`` set does with the returned keys.
+    """
+    # Imported at call time: repro.interp transitively imports this
+    # module (via the memory models), so a module-level import here
+    # would close an import cycle.
+    from repro.interp import canon
+
+    try:
+        cached = state._canon_key
+    except AttributeError:
+        KEY_CACHE.uncached += 1
+        return canon.canonical_key(state)
+    if cached is not None:
+        KEY_CACHE.hits += 1
+        return cached
+    KEY_CACHE.misses += 1
+    key = canon.canonical_key(state)
+    state._canon_key = key
+    return key

@@ -1,0 +1,290 @@
+"""Fan the litmus suite and case studies out across worker processes.
+
+Litmus tests and case-study checks are embarrassingly parallel — one
+exploration per (test, model) pair, no shared state — but the objects
+involved (programs, outcome lambdas) do not pickle.  The runner
+therefore ships *names*: a :class:`SuiteJob` carries only strings and
+bounds, each worker re-resolves the test/case study from the registries
+it imported itself, and ships back a flat :class:`SuiteJobResult` of
+verdicts and counters.  Verdicts are byte-identical to a sequential run
+because the sequential path (``jobs=1``) executes the very same
+:func:`run_suite_job` in-process (DESIGN.md §5).
+
+Heavy imports (litmus registries, case studies) happen lazily inside
+the worker so that importing :mod:`repro.engine` never drags the whole
+library in — and so no import cycle forms with
+:mod:`repro.litmus.registry`, which itself imports the engine's
+``explore``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+#: Case-study checks runnable as suite jobs: name -> (expected ok?).
+#: Bounds are modest so a suite run stays interactive; the dedicated
+#: benchmarks push the bounds instead.
+CASE_STUDIES = {
+    "peterson": True,
+    "peterson-relaxed-turn": False,
+    "dekker-entry": False,
+    "token-ring": True,
+}
+
+
+@dataclass(frozen=True)
+class SuiteJob:
+    """One unit of suite work, picklable by construction (names only)."""
+
+    kind: str  # "litmus" | "case-study"
+    name: str
+    model: str = "ra"  # litmus only; case studies fix their own model
+    strategy: str = "bfs"
+    max_configs: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        if self.kind == "litmus":
+            return f"{self.name} [{self.model}]"
+        return f"{self.name} (case study)"
+
+
+@dataclass(frozen=True)
+class SuiteJobResult:
+    """What one job reported back — flat, picklable counters."""
+
+    job: SuiteJob
+    #: litmus: outcome reachable?  case study: property violated?
+    observed: bool
+    #: the registry's expectation under the job's model
+    expected: bool
+    #: whether that expectation is pinned (litmus under SRA is not —
+    #: the paper gives no table for the comparator model)
+    pinned: bool
+    configs: int
+    transitions: int
+    terminal: int
+    truncated: bool
+    wall_time: float
+    key_hits: int
+    key_misses: int
+
+    @property
+    def verdict_matches(self) -> bool:
+        return (not self.pinned) or self.observed == self.expected
+
+    def row(self) -> str:
+        mark = "" if self.verdict_matches else "  ** MISMATCH **"
+        bound = " (bounded)" if self.truncated else ""
+        return (
+            f"{self.label:<28} {self.verdict:<10} configs={self.configs:>6} "
+            f"time={self.wall_time * 1e3:7.1f}ms{bound}{mark}"
+        )
+
+    @property
+    def label(self) -> str:
+        return self.job.label
+
+    @property
+    def verdict(self) -> str:
+        if self.job.kind == "litmus":
+            return "allowed" if self.observed else "forbidden"
+        return "violated" if self.observed else "ok"
+
+
+def litmus_jobs(
+    models: Sequence[str] = ("ra", "sc"),
+    extra: bool = False,
+    strategy: str = "bfs",
+) -> List[SuiteJob]:
+    """One job per (litmus test, model) over the built-in suite."""
+    from repro.litmus.extra import EXTRA_TESTS
+    from repro.litmus.suite import ALL_TESTS
+
+    tests = list(ALL_TESTS) + (list(EXTRA_TESTS) if extra else [])
+    return [
+        SuiteJob(kind="litmus", name=test.name, model=model, strategy=strategy)
+        for test in tests
+        for model in models
+    ]
+
+
+def case_study_jobs(strategy: str = "bfs") -> List[SuiteJob]:
+    """The case-study checks as suite jobs (RA model, modest bounds)."""
+    return [
+        SuiteJob(kind="case-study", name=name, strategy=strategy)
+        for name in CASE_STUDIES
+    ]
+
+
+def _litmus_by_name(name: str):
+    from repro.litmus.extra import EXTRA_TESTS
+    from repro.litmus.suite import ALL_TESTS
+
+    for test in list(ALL_TESTS) + list(EXTRA_TESTS):
+        if test.name == name:
+            return test
+    raise KeyError(f"unknown litmus test {name!r}")
+
+
+def _run_litmus_job(job: SuiteJob) -> SuiteJobResult:
+    from repro.interp.ra_model import RAMemoryModel
+    from repro.interp.sc import SCMemoryModel
+    from repro.interp.sra_model import SRAMemoryModel
+    from repro.litmus.registry import run_litmus
+
+    factories = {"ra": RAMemoryModel, "sra": SRAMemoryModel, "sc": SCMemoryModel}
+    try:
+        model = factories[job.model.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown model {job.model!r}; choose from {sorted(factories)}"
+        )
+    test = _litmus_by_name(job.name)
+    outcome = run_litmus(
+        test, model, max_configs=job.max_configs, strategy=job.strategy
+    )
+    stats = outcome.result.stats
+    return SuiteJobResult(
+        job=job,
+        observed=outcome.reachable,
+        expected=outcome.expected,
+        pinned=not isinstance(model, SRAMemoryModel),
+        configs=outcome.configs,
+        transitions=outcome.result.transitions,
+        terminal=outcome.terminal_states,
+        truncated=outcome.truncated,
+        wall_time=stats.time_total,
+        key_hits=stats.key_hits,
+        key_misses=stats.key_misses,
+    )
+
+
+def _case_study_exploration(name: str, strategy: str, max_configs):
+    from repro.casestudies.dekker import (
+        DEKKER_INIT,
+        dekker_entry_program,
+        dekker_violations,
+    )
+    from repro.casestudies.peterson import (
+        PETERSON_INIT,
+        mutual_exclusion_violations,
+        peterson_program,
+        peterson_relaxed_turn,
+    )
+    from repro.casestudies.token_ring import (
+        TOKEN_INIT,
+        token_ring_program,
+        token_ring_violations,
+    )
+    from repro.interp.explore import explore
+    from repro.interp.ra_model import RAMemoryModel
+
+    table = {
+        "peterson": (peterson_program(once=True), PETERSON_INIT,
+                     mutual_exclusion_violations, 8),
+        "peterson-relaxed-turn": (peterson_relaxed_turn(once=True),
+                                  PETERSON_INIT,
+                                  mutual_exclusion_violations, 8),
+        # Dekker's entry protocol is loop-free: no bound needed.
+        "dekker-entry": (dekker_entry_program(release_acquire=False),
+                         DEKKER_INIT, dekker_violations, None),
+        "token-ring": (token_ring_program(n_threads=2), TOKEN_INIT,
+                       token_ring_violations, 10),
+    }
+    try:
+        program, init, check, bound = table[name]
+    except KeyError:
+        raise ValueError(f"unknown case study {name!r}; choose from {sorted(table)}")
+    return explore(
+        program,
+        init,
+        RAMemoryModel(),
+        max_events=bound,
+        max_configs=max_configs,
+        check_config=check,
+        strategy=strategy,
+    )
+
+
+def _run_case_study_job(job: SuiteJob) -> SuiteJobResult:
+    result = _case_study_exploration(job.name, job.strategy, job.max_configs)
+    return SuiteJobResult(
+        job=job,
+        observed=not result.ok,
+        expected=not CASE_STUDIES[job.name],
+        pinned=True,
+        configs=result.configs,
+        transitions=result.transitions,
+        terminal=len(result.terminal),
+        truncated=result.truncated,
+        wall_time=result.stats.time_total,
+        key_hits=result.stats.key_hits,
+        key_misses=result.stats.key_misses,
+    )
+
+
+def run_suite_job(job: SuiteJob) -> SuiteJobResult:
+    """Execute one job — the worker entry point (must stay module-level
+    so it pickles by reference)."""
+    t0 = time.perf_counter()
+    if job.kind == "litmus":
+        result = _run_litmus_job(job)
+    elif job.kind == "case-study":
+        result = _run_case_study_job(job)
+    else:
+        raise ValueError(f"unknown job kind {job.kind!r}")
+    # Report whole-job wall time (exploration + registry resolution),
+    # not just the engine's in-loop time.
+    return dataclasses.replace(result, wall_time=time.perf_counter() - t0)
+
+
+class ParallelRunner:
+    """Run suite jobs across ``jobs`` worker processes.
+
+    ``jobs <= 1`` runs everything in-process through the identical code
+    path, which is both the degenerate case and the reference the
+    parallel verdicts are compared against in tests.  Results always
+    come back in submission order regardless of worker scheduling.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    def run(self, work: Sequence[SuiteJob]) -> List[SuiteJobResult]:
+        if not work:
+            return []
+        if self.jobs <= 1:
+            return [run_suite_job(job) for job in work]
+        processes = min(self.jobs, len(work))
+        with multiprocessing.Pool(processes=processes) as pool:
+            return pool.map(run_suite_job, list(work))
+
+    def aggregate(self, results: Sequence[SuiteJobResult]) -> dict:
+        """Suite-level totals for the CLI footer."""
+        keyed = sum(r.key_hits + r.key_misses for r in results)
+        hits = sum(r.key_hits for r in results)
+        return {
+            "jobs": len(results),
+            "configs": sum(r.configs for r in results),
+            "transitions": sum(r.transitions for r in results),
+            "mismatches": sum(1 for r in results if not r.verdict_matches),
+            "key_rate": (hits / keyed) if keyed else 0.0,
+            "worker_time": sum(r.wall_time for r in results),
+        }
+
+
+__all__ = [
+    "CASE_STUDIES",
+    "ParallelRunner",
+    "SuiteJob",
+    "SuiteJobResult",
+    "case_study_jobs",
+    "litmus_jobs",
+    "run_suite_job",
+]

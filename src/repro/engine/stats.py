@@ -1,0 +1,66 @@
+"""Engine statistics: what one exploration run cost, and where.
+
+Every :class:`~repro.engine.core.ExplorationResult` carries an
+:class:`EngineStats` describing the run that produced it: which search
+strategy ran, how large the frontier grew, how the canonical-key cache
+behaved and how wall time split across the engine's three phases
+(successor expansion, canonical keying, check hooks).  The CLI prints
+these with ``--stats`` and the E8 scalability benchmark reports them
+alongside its series (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineStats:
+    """Counters and phase timings of one exploration run."""
+
+    strategy: str = "bfs"
+    #: Largest number of configurations ever waiting in the frontier.
+    peak_frontier: int = 0
+    #: Canonical-key cache behaviour during this run (deltas of the
+    #: process-wide :data:`~repro.engine.keys.KEY_CACHE`).
+    key_hits: int = 0
+    key_misses: int = 0
+    #: Wall time of the whole run and of its phases, in seconds.  The
+    #: phases overlap nothing but do not cover queue bookkeeping, so
+    #: their sum is below ``time_total``.
+    time_total: float = 0.0
+    time_expand: float = 0.0
+    time_keys: float = 0.0
+    time_checks: float = 0.0
+    #: Number of deepening rounds (1 unless the strategy is ``iddfs``).
+    iterations: int = 1
+
+    @property
+    def key_rate(self) -> float:
+        """Cache hit rate over this run (0.0 when nothing was keyed)."""
+        keyed = self.key_hits + self.key_misses
+        return self.key_hits / keyed if keyed else 0.0
+
+    def merge_round(self, other: "EngineStats") -> None:
+        """Fold one deepening round's stats into a cumulative record."""
+        self.peak_frontier = max(self.peak_frontier, other.peak_frontier)
+        self.key_hits += other.key_hits
+        self.key_misses += other.key_misses
+        self.time_total += other.time_total
+        self.time_expand += other.time_expand
+        self.time_keys += other.time_keys
+        self.time_checks += other.time_checks
+
+    def summary(self) -> str:
+        """One human-readable line, used by the CLI and benchmarks."""
+        keyed = self.key_hits + self.key_misses
+        rate = f"{100.0 * self.key_rate:.0f}%" if keyed else "n/a"
+        rounds = f" rounds={self.iterations}" if self.iterations > 1 else ""
+        return (
+            f"strategy={self.strategy}{rounds} peak-frontier={self.peak_frontier} "
+            f"key-cache={self.key_hits}/{keyed} ({rate}) "
+            f"time={self.time_total * 1e3:.1f}ms "
+            f"(expand={self.time_expand * 1e3:.1f} "
+            f"keys={self.time_keys * 1e3:.1f} "
+            f"checks={self.time_checks * 1e3:.1f})"
+        )

@@ -13,7 +13,9 @@ instantiations are the paper's RA semantics, the pre-execution semantics
 ``PE``, and a sequentially-consistent baseline used for litmus-test
 comparison.  :mod:`repro.interp.explore` performs bounded exhaustive
 exploration of configurations ``(P, σ)`` with canonical deduplication
-(:mod:`repro.interp.canon`).
+(:mod:`repro.interp.canon`); the search itself — strategies, memoized
+keys, statistics, the parallel suite runner — lives in the engine
+subsystem (:mod:`repro.engine`, DESIGN.md §5).
 """
 
 from repro.interp.memory_model import MemoryModel, MemoryTransition

@@ -13,6 +13,16 @@ by their variable.  ``sb`` itself need not be part of the key — for every
 state built by ``(D, sb) + e`` it is exactly the canonical shape
 (initialisers first, per-thread total order), which the soundness checker
 verifies on every reachable state.
+
+Memoization (DESIGN.md §4): the event-identity map is cached on the
+state object (``_canon_ids``) and *propagated incrementally* — appending
+an event via ``(D, sb) + e`` places it sb-last in its thread, so the
+child's identity map is the parent's plus one entry, and adding ``rf`` /
+``mo`` edges changes no identities at all.  ``C11State.add_event`` /
+``with_rf`` / ``insert_mo_after`` exploit exactly this, which removes
+the dominant cost of keying from the exploration hot path.  The final
+key is additionally memoized per object by
+:func:`repro.engine.keys.cached_canonical_key`.
 """
 
 from __future__ import annotations
@@ -27,7 +37,10 @@ EventKey = Tuple
 
 
 def _event_ids(state) -> Dict[Event, EventKey]:
-    """Map each event to its canonical identity."""
+    """Map each event to its canonical identity (cached on the state)."""
+    cached = getattr(state, "_canon_ids", None)
+    if cached is not None:
+        return cached
     ids: Dict[Event, EventKey] = {}
     tids = sorted({e.tid for e in state.events})
     for tid in tids:
@@ -38,6 +51,10 @@ def _event_ids(state) -> Dict[Event, EventKey]:
             continue
         for pos, e in enumerate(_thread_events(state, tid)):
             ids[e] = ("e", tid, pos)
+    try:
+        state._canon_ids = ids
+    except AttributeError:  # foreign state types without the slot
+        pass
     return ids
 
 

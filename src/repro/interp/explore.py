@@ -1,234 +1,36 @@
 """Bounded exhaustive exploration of interpreted configurations.
 
-This is the model-checking engine of the reproduction: a breadth-first
-enumeration of every configuration ``(P, σ)`` reachable under a memory
-model, deduplicated by canonical keys (program syntax × state up to tag
-renaming).
+Historical home of the model-checking loop, kept as the stable public
+API: the implementation now lives in the engine subsystem
+(:mod:`repro.engine`, DESIGN.md §5), which adds pluggable search
+strategies (BFS / DFS / iterative deepening), a canonical-key
+memoization layer and per-run engine statistics.  Everything importable
+from here before the extraction is still importable from here:
 
-Busy-wait loops make weak-memory state spaces infinite (every loop
-iteration appends fresh read events), so exploration is *bounded* by the
-number of program events per state (``max_events``); hitting the bound
-is recorded (``truncated``) so results honestly distinguish "verified up
-to bound" from "verified".  τ-cycles (e.g. ``while true do skip``) are
-harmless: revisited configurations are not re-expanded.
+* :func:`explore` — bounded exhaustive search from ``(P, σ_0)``;
+* :func:`reachable_states` — distinct reachable memory states;
+* :class:`ExplorationResult`, :class:`Violation` — what a run learned;
+* ``ConfigKey``, ``_key_of``, ``_state_size`` — keying helpers.
 
-Hooks:
-
-* ``check_config(config)`` — return a list of violation messages for a
-  configuration (safety properties, e.g. mutual exclusion);
-* ``check_step(step)`` — likewise for transitions (used by the
-  verification-calculus soundness experiments, which are per-transition
-  statements).
-
-Counterexample traces are reconstructed from the parent map.
+See :mod:`repro.engine.core` for the engine's own documentation.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import (
-    Callable,
-    Dict,
-    Generic,
-    Hashable,
-    List,
-    Mapping,
-    Optional,
-    Tuple,
-    TypeVar,
+from repro.engine.core import (
+    ConfigKey,
+    ExplorationResult,
+    Violation,
+    _key_of,
+    _state_size,
+    explore,
+    reachable_states,
 )
 
-from repro.interp.config import Configuration
-from repro.interp.interpreter import InterpretedStep, configuration_successors
-from repro.interp.memory_model import MemoryModel
-from repro.lang.actions import Value, Var
-from repro.lang.program import Program
-
-S = TypeVar("S")
-
-ConfigKey = Tuple[Program, Hashable]
-
-
-@dataclass
-class Violation(Generic[S]):
-    """One failed check, with the configuration it failed at."""
-
-    message: str
-    config: Configuration[S]
-    step: Optional[InterpretedStep[S]] = None
-
-    def __str__(self) -> str:
-        return self.message
-
-
-@dataclass
-class ExplorationResult(Generic[S]):
-    """Everything a bounded exploration learned."""
-
-    initial: Configuration[S]
-    configs: int = 0
-    transitions: int = 0
-    terminal: List[Configuration[S]] = field(default_factory=list)
-    violations: List[Violation[S]] = field(default_factory=list)
-    truncated: bool = False
-    #: canonical key -> representative configuration
-    representatives: Dict[ConfigKey, Configuration[S]] = field(default_factory=dict)
-    #: child key -> (parent key, step) for trace reconstruction
-    parents: Dict[ConfigKey, Tuple[Optional[ConfigKey], Optional[InterpretedStep[S]]]] = field(
-        default_factory=dict
-    )
-
-    @property
-    def ok(self) -> bool:
-        """No violation found (within the explored bound)."""
-        return not self.violations
-
-    def trace_to(self, key: ConfigKey) -> List[InterpretedStep[S]]:
-        """The step sequence from the initial configuration to ``key``."""
-        steps: List[InterpretedStep[S]] = []
-        cursor: Optional[ConfigKey] = key
-        while cursor is not None:
-            parent, step = self.parents[cursor]
-            if step is not None:
-                steps.append(step)
-            cursor = parent
-        steps.reverse()
-        return steps
-
-    def counterexample(self) -> Optional[List[InterpretedStep[S]]]:
-        """A trace to the first violation, if any."""
-        if not self.violations:
-            return None
-        v = self.violations[0]
-        key = _key_of(v.config, self._model, self._canonicalize)
-        return self.trace_to(key)
-
-    # Attached by `explore` so traces can be rebuilt.
-    _model: Optional[MemoryModel[S]] = None
-    _canonicalize: bool = True
-
-
-def _state_size(state) -> int:
-    """Number of program events in an event-based state (0 otherwise)."""
-    events = getattr(state, "events", None)
-    if events is None:
-        return 0
-    return sum(1 for e in events if not e.is_init)
-
-
-def _key_of(
-    config: Configuration[S], model: MemoryModel[S], canonicalize: bool = True
-) -> ConfigKey:
-    if canonicalize:
-        return (config.program, model.canonical_state_key(config.state))
-    return (config.program, config.state)
-
-
-def explore(
-    program: Program,
-    init_values: Mapping[Var, Value],
-    model: MemoryModel[S],
-    max_events: Optional[int] = None,
-    max_configs: Optional[int] = None,
-    check_config: Optional[Callable[[Configuration[S]], List[str]]] = None,
-    check_step: Optional[Callable[[InterpretedStep[S]], List[str]]] = None,
-    stop_on_violation: bool = False,
-    keep_representatives: bool = False,
-    canonicalize: bool = True,
-) -> ExplorationResult[S]:
-    """Breadth-first bounded exploration from ``(P, σ_0)``.
-
-    ``max_events`` bounds the number of program events per state — the
-    loop-unrolling bound; ``max_configs`` is a hard safety net on the
-    total number of distinct configurations.  ``canonicalize=False``
-    disables tag-renaming deduplication (states then only merge when
-    their tags coincide) — exists for the E10 ablation, which quantifies
-    what canonicalisation buys.
-    """
-    initial = Configuration(program, model.initial(init_values))
-    result: ExplorationResult[S] = ExplorationResult(initial)
-    result._model = model
-    result._canonicalize = canonicalize
-
-    init_key = _key_of(initial, model, canonicalize)
-    seen = {init_key}
-    result.parents[init_key] = (None, None)
-    queue = deque([(initial, init_key)])
-
-    while queue:
-        config, key = queue.popleft()
-        result.configs += 1
-        if keep_representatives:
-            result.representatives[key] = config
-
-        if check_config is not None:
-            for message in check_config(config):
-                result.violations.append(Violation(message, config))
-                if stop_on_violation:
-                    return result
-
-        if config.is_terminated():
-            result.terminal.append(config)
-            continue
-
-        at_bound = (
-            max_events is not None and _state_size(config.state) >= max_events
-        )
-
-        expanded_any = False
-        for step in configuration_successors(config, model):
-            if at_bound and step.event is not None:
-                result.truncated = True
-                continue
-            result.transitions += 1
-            expanded_any = True
-
-            if check_step is not None:
-                for message in check_step(step):
-                    result.violations.append(Violation(message, config, step))
-                    if stop_on_violation:
-                        return result
-
-            child_key = _key_of(step.target, model, canonicalize)
-            if child_key in seen:
-                continue
-            if max_configs is not None and len(seen) >= max_configs:
-                result.truncated = True
-                continue
-            seen.add(child_key)
-            result.parents[child_key] = (key, step)
-            queue.append((step.target, child_key))
-
-        if not expanded_any and not config.is_terminated():
-            # Deadlocked or fully truncated configuration; nothing to do —
-            # `truncated` already records the latter.
-            pass
-
-    return result
-
-
-def reachable_states(
-    program: Program,
-    init_values: Mapping[Var, Value],
-    model: MemoryModel[S],
-    max_events: Optional[int] = None,
-    max_configs: Optional[int] = None,
-) -> Tuple[List[S], ExplorationResult[S]]:
-    """All distinct memory states reachable (deduplicated by the model's
-    canonical key), plus the exploration result."""
-    states: Dict[Hashable, S] = {}
-
-    def record(config: Configuration[S]) -> List[str]:
-        states.setdefault(model.canonical_state_key(config.state), config.state)
-        return []
-
-    result = explore(
-        program,
-        init_values,
-        model,
-        max_events=max_events,
-        max_configs=max_configs,
-        check_config=record,
-    )
-    return list(states.values()), result
+__all__ = [
+    "ConfigKey",
+    "ExplorationResult",
+    "Violation",
+    "explore",
+    "reachable_states",
+]

@@ -15,7 +15,7 @@ from typing import FrozenSet, Hashable, Iterator, Mapping, Optional
 
 from repro.c11.events import Event
 from repro.c11.prestate import PreExecutionState, initial_prestate
-from repro.interp.canon import canonical_key
+from repro.engine.keys import cached_canonical_key
 from repro.interp.memory_model import MemoryModel, MemoryTransition
 from repro.lang.actions import Value, Var
 from repro.lang.program import Program, Tid
@@ -69,7 +69,7 @@ class PEMemoryModel(MemoryModel[PreExecutionState]):
             )
 
     def canonical_state_key(self, state: PreExecutionState) -> Hashable:
-        return canonical_key(state)
+        return cached_canonical_key(state)
 
 
 def literals_written(com: Com) -> FrozenSet[Value]:

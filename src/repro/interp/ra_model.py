@@ -12,7 +12,7 @@ from typing import Hashable, Iterator, Mapping
 
 from repro.c11.event_semantics import ra_successors
 from repro.c11.state import C11State, initial_state
-from repro.interp.canon import canonical_key
+from repro.engine.keys import cached_canonical_key
 from repro.interp.memory_model import MemoryModel, MemoryTransition
 from repro.lang.actions import Value, Var
 from repro.lang.program import Tid
@@ -42,4 +42,4 @@ class RAMemoryModel(MemoryModel[C11State]):
             )
 
     def canonical_state_key(self, state: C11State) -> Hashable:
-        return canonical_key(state)
+        return cached_canonical_key(state)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Hashable, Iterator, Mapping
 
 from repro.c11.state import C11State, initial_state
-from repro.interp.canon import canonical_key
+from repro.engine.keys import cached_canonical_key
 from repro.interp.memory_model import MemoryModel, MemoryTransition
 from repro.interp.ra_model import RAMemoryModel
 from repro.lang.actions import Value, Var
@@ -54,4 +54,4 @@ class SRAMemoryModel(MemoryModel[C11State]):
                 yield mt
 
     def canonical_state_key(self, state: C11State) -> Hashable:
-        return canonical_key(state)
+        return cached_canonical_key(state)

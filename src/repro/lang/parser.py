@@ -454,14 +454,17 @@ def parse_litmus(text: str) -> ParsedLitmus:
     )
 
 
-def run_parsed_litmus(parsed: ParsedLitmus, model=None, max_events=None):
+def run_parsed_litmus(parsed: ParsedLitmus, model=None, max_events=None, strategy="bfs"):
     """Convenience: decide the parsed test's outcome reachability."""
     from repro.interp.explore import explore
     from repro.interp.ra_model import RAMemoryModel
     from repro.litmus.registry import final_values
 
     model = model if model is not None else RAMemoryModel()
-    result = explore(parsed.program, parsed.init, model, max_events=max_events)
+    result = explore(
+        parsed.program, parsed.init, model, max_events=max_events,
+        strategy=strategy,
+    )
     reachable = any(
         parsed.outcome(final_values(c)) for c in result.terminal
     )

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.c11.state import C11State
 from repro.interp.config import Configuration
-from repro.interp.explore import explore
+from repro.interp.explore import ExplorationResult, explore
 from repro.interp.memory_model import MemoryModel
 from repro.interp.ra_model import RAMemoryModel
 from repro.interp.sc import SCMemoryModel
@@ -69,6 +69,9 @@ class LitmusOutcome:
     terminal_states: int
     configs: int
     truncated: bool
+    #: the underlying exploration (counts, engine stats); ``None`` only
+    #: for outcomes reconstructed from a parallel worker's flat report
+    result: Optional["ExplorationResult"] = None
 
     @property
     def verdict_matches(self) -> bool:
@@ -88,6 +91,7 @@ def run_litmus(
     test: LitmusTest,
     model: Optional[MemoryModel] = None,
     max_configs: Optional[int] = None,
+    strategy: str = "bfs",
 ) -> LitmusOutcome:
     """Decide reachability of the test's outcome under ``model``."""
     model = model if model is not None else RAMemoryModel()
@@ -97,6 +101,7 @@ def run_litmus(
         model,
         max_events=test.max_events,
         max_configs=max_configs,
+        strategy=strategy,
     )
     reachable = any(
         test.outcome(final_values(config)) for config in result.terminal
@@ -112,17 +117,70 @@ def run_litmus(
         terminal_states=len(result.terminal),
         configs=result.configs,
         truncated=result.truncated,
+        result=result,
     )
 
 
 def run_suite(
     tests: List[LitmusTest],
     models: Optional[List[MemoryModel]] = None,
+    jobs: int = 1,
+    strategy: str = "bfs",
 ) -> List[LitmusOutcome]:
-    """The E7 table: every test under every model."""
+    """The E7 table: every test under every model.
+
+    With ``jobs > 1`` the (test, model) pairs fan out across worker
+    processes via :class:`repro.engine.parallel.ParallelRunner`; the
+    workers resolve tests by *name* from the built-in registries and
+    models from the ra/sra/sc factories, so fan-out is only attempted
+    when every test is the registry's own object and every model is one
+    of those three — anything else (modified test copies, custom
+    models) falls back to the sequential path rather than silently
+    computing verdicts for different inputs.  Parallel verdicts are
+    identical to the sequential run — the workers execute the same code
+    path.
+    """
     models = models if models is not None else [RAMemoryModel(), SCMemoryModel()]
-    outcomes = []
-    for test in tests:
-        for model in models:
-            outcomes.append(run_litmus(test, model))
-    return outcomes
+
+    def _parallelizable() -> bool:
+        from repro.engine.parallel import _litmus_by_name
+
+        names = [model.name.lower() for model in models]
+        if any(name not in ("ra", "sra", "sc") for name in names):
+            return False
+        if len(set(names)) != len(names):  # duplicates would collapse
+            return False
+        try:
+            return all(_litmus_by_name(test.name) is test for test in tests)
+        except KeyError:
+            return False
+
+    if jobs <= 1 or not _parallelizable():
+        return [
+            run_litmus(test, model, strategy=strategy)
+            for test in tests
+            for model in models
+        ]
+
+    from repro.engine.parallel import ParallelRunner, SuiteJob
+
+    model_keys = {model.name.lower(): model for model in models}
+    by_name = {test.name: test for test in tests}
+    work = [
+        SuiteJob(kind="litmus", name=test.name, model=key, strategy=strategy)
+        for test in tests
+        for key in model_keys
+    ]
+    results = ParallelRunner(jobs=jobs).run(work)
+    return [
+        LitmusOutcome(
+            test=by_name[r.job.name],
+            model_name=model_keys[r.job.model].name,
+            reachable=r.observed,
+            expected=r.expected,
+            terminal_states=r.terminal,
+            configs=r.configs,
+            truncated=r.truncated,
+        )
+        for r in results
+    ]

@@ -88,3 +88,43 @@ def test_dot_to_file(sb_file, tmp_path, capsys):
 def test_soundness_command(mp_file, capsys):
     assert main(["soundness", mp_file]) == 0
     assert "OK" in capsys.readouterr().out
+
+
+def test_run_with_stats_and_strategy(sb_file, capsys):
+    assert main(["run", sb_file, "--strategy", "dfs", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "engine:" in out and "strategy=dfs" in out
+
+
+def test_suite_sequential(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "SB [ra]" in out and "MP+await [sc]" in out
+    assert "key-cache hit rate" in out
+
+
+def test_suite_parallel_matches_sequential(capsys):
+    assert main(["suite", "--jobs", "1"]) == 0
+    sequential = capsys.readouterr().out
+    assert main(["suite", "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    # Verdict rows are identical modulo per-run wall times.
+    strip = lambda out: [
+        line.split("time=")[0].rstrip()
+        for line in out.splitlines()
+        if "configs=" in line
+    ]
+    assert strip(sequential) == strip(parallel)
+    assert strip(sequential)  # non-empty
+
+
+def test_suite_with_case_studies(capsys):
+    assert main(["suite", "--jobs", "2", "--case-studies"]) == 0
+    out = capsys.readouterr().out
+    assert "peterson (case study)" in out
+    assert "violated" in out  # the relaxed-turn mutant and dekker
+
+
+def test_suite_unknown_model():
+    with pytest.raises(SystemExit):
+        main(["suite", "--models", "ra,tso"])

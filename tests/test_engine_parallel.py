@@ -1,0 +1,154 @@
+"""Tests for the parallel suite runner (repro.engine.parallel)."""
+
+import pytest
+
+from repro.engine.parallel import (
+    CASE_STUDIES,
+    ParallelRunner,
+    SuiteJob,
+    case_study_jobs,
+    litmus_jobs,
+    run_suite_job,
+)
+
+SMALL = ["SB", "MP+rel-acq", "CoRR"]
+
+
+def _small_jobs(strategy="bfs"):
+    return [
+        SuiteJob(kind="litmus", name=name, model=model, strategy=strategy)
+        for name in SMALL
+        for model in ("ra", "sc")
+    ]
+
+
+def test_litmus_jobs_cover_suite_times_models():
+    from repro.litmus.suite import ALL_TESTS
+
+    jobs = litmus_jobs(models=("ra", "sc"))
+    assert len(jobs) == 2 * len(ALL_TESTS)
+    assert {j.model for j in jobs} == {"ra", "sc"}
+
+
+def test_jobs_and_results_are_picklable():
+    import pickle
+
+    job = _small_jobs()[0]
+    assert pickle.loads(pickle.dumps(job)) == job
+    result = run_suite_job(job)
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.observed == result.observed
+
+
+def test_run_suite_job_matches_registry_verdicts():
+    from repro.interp.ra_model import RAMemoryModel
+    from repro.litmus.registry import run_litmus
+    from repro.litmus.suite import test_by_name
+
+    for name in SMALL:
+        sequential = run_litmus(test_by_name(name), RAMemoryModel())
+        job_result = run_suite_job(
+            SuiteJob(kind="litmus", name=name, model="ra")
+        )
+        assert job_result.observed == sequential.reachable
+        assert job_result.configs == sequential.configs
+        assert job_result.verdict_matches
+
+
+def test_parallel_verdicts_identical_to_sequential():
+    work = _small_jobs()
+    sequential = ParallelRunner(jobs=1).run(work)
+    parallel = ParallelRunner(jobs=2).run(work)
+    assert [(r.job, r.observed, r.configs, r.transitions) for r in parallel] == [
+        (r.job, r.observed, r.configs, r.transitions) for r in sequential
+    ]
+
+
+def test_parallel_strategy_is_verdict_neutral():
+    bfs = ParallelRunner(jobs=2).run(_small_jobs("bfs"))
+    dfs = ParallelRunner(jobs=2).run(_small_jobs("dfs"))
+    assert [(r.job.name, r.job.model, r.observed, r.configs) for r in bfs] == [
+        (r.job.name, r.job.model, r.observed, r.configs) for r in dfs
+    ]
+
+
+def test_case_study_jobs_report_expected_verdicts():
+    results = ParallelRunner(jobs=2).run(case_study_jobs())
+    assert {r.job.name for r in results} == set(CASE_STUDIES)
+    for r in results:
+        assert r.verdict_matches, f"{r.job.name}: observed={r.observed}"
+
+
+def test_sra_litmus_jobs_are_unpinned():
+    result = run_suite_job(SuiteJob(kind="litmus", name="2+2W", model="sra"))
+    assert not result.pinned
+    assert result.verdict_matches  # unpinned never mismatches
+
+
+def test_unknown_job_kind_and_names_raise():
+    with pytest.raises(ValueError):
+        run_suite_job(SuiteJob(kind="fuzz", name="SB"))
+    with pytest.raises(KeyError):
+        run_suite_job(SuiteJob(kind="litmus", name="no-such-test"))
+    with pytest.raises(ValueError):
+        run_suite_job(SuiteJob(kind="litmus", name="SB", model="tso"))
+    with pytest.raises(ValueError):
+        run_suite_job(SuiteJob(kind="case-study", name="no-such-study"))
+
+
+def test_run_suite_parallel_path_matches_sequential():
+    from repro.litmus.registry import run_suite
+    from repro.litmus.suite import test_by_name
+
+    tests = [test_by_name(n) for n in SMALL]
+    sequential = run_suite(tests)
+    parallel = run_suite(tests, jobs=2)
+    assert [
+        (o.test.name, o.model_name, o.reachable, o.expected, o.configs)
+        for o in sequential
+    ] == [
+        (o.test.name, o.model_name, o.reachable, o.expected, o.configs)
+        for o in parallel
+    ]
+    assert all(o.verdict_matches for o in parallel)
+
+
+def test_run_suite_falls_back_for_non_registry_tests():
+    """A modified copy of a registry test must not be silently swapped
+    for the registry version by the name-resolving workers — run_suite
+    detects it and runs sequentially on the caller's objects."""
+    import dataclasses
+
+    from repro.litmus.registry import run_suite
+    from repro.litmus.suite import test_by_name
+
+    original = test_by_name("SB")
+    flipped = dataclasses.replace(
+        original, outcome=lambda v: False, outcome_text="never"
+    )
+    outcomes = run_suite([flipped], jobs=2)
+    assert all(not o.reachable for o in outcomes)  # ran the copy, not "SB"
+
+
+def test_run_suite_falls_back_for_duplicate_models():
+    """Duplicate models would collapse in the name-keyed parallel path;
+    the sequential fallback must preserve one outcome per pair."""
+    from repro.interp.ra_model import RAMemoryModel
+    from repro.litmus.registry import run_suite
+    from repro.litmus.suite import test_by_name
+
+    tests = [test_by_name("SB")]
+    outcomes = run_suite(
+        tests, models=[RAMemoryModel(), RAMemoryModel()], jobs=2
+    )
+    assert len(outcomes) == 2
+
+
+def test_runner_empty_work_and_aggregate():
+    runner = ParallelRunner(jobs=4)
+    assert runner.run([]) == []
+    results = runner.run(_small_jobs()[:2])
+    totals = runner.aggregate(results)
+    assert totals["jobs"] == 2
+    assert totals["configs"] == sum(r.configs for r in results)
+    assert totals["mismatches"] == 0

@@ -120,6 +120,109 @@ def test_sc_exploration_message_passing_is_strong():
     assert finals == {5}
 
 
+def test_step_violation_counterexample_includes_violating_step():
+    """Regression: a step-level violation records the *source* config,
+    so the trace must end with the violating step itself — dropping it
+    returned a trace that does not exhibit the violation."""
+    program = Program.parallel(seq(assign("x", 1), assign("x", 2)))
+
+    def check(step):
+        if step.event is not None and step.event.wrval == 2:
+            return ["wrote 2"]
+        return []
+
+    result = explore(program, {"x": 0}, RAMemoryModel(), check_step=check)
+    trace = result.counterexample()
+    assert trace is not None
+    assert trace[-1] is result.violations[0].step
+    assert [s.event.wrval for s in trace if s.event] == [1, 2]
+
+
+def test_config_violation_counterexample_unchanged():
+    program = Program.parallel(seq(assign("x", 1), assign("x", 2)))
+
+    def check(config):
+        last = config.state.last("x")
+        return ["reached 2"] if last and last.wrval == 2 else []
+
+    result = explore(program, {"x": 0}, RAMemoryModel(), check_config=check)
+    trace = result.counterexample()
+    assert [s.event.wrval for s in trace if s.event] == [1, 2]
+
+
+def test_max_configs_short_circuits_dead_work(monkeypatch):
+    """Regression: after the max_configs cap was hit, the explorer kept
+    draining the queue and canonicalising successors it could never
+    enqueue.  Count key computations to prove the dead work is gone."""
+    from repro.interp import canon
+
+    calls = []
+    real = canon.canonical_key
+
+    def counting(state):
+        calls.append(state)
+        return real(state)
+
+    monkeypatch.setattr(canon, "canonical_key", counting)
+    program = Program.parallel(
+        seq(assign("x", 1), assign("x", 2)),
+        seq(assign("y", 1), assign("y", 2)),
+    )
+    uncapped = explore(program, {"x": 0, "y": 0}, RAMemoryModel())
+    assert uncapped.configs > 5  # the space is big enough to bite
+
+    calls.clear()
+    result = explore(
+        program, {"x": 0, "y": 0}, RAMemoryModel(), max_configs=3
+    )
+    assert result.truncated
+    assert result.configs <= 3
+    # At most: the initial state, the children discovered within the
+    # cap, and the one discovery that trips the cap.  The seed code
+    # keyed every successor of every drained configuration.
+    assert len(calls) <= 3 + 1
+
+
+def test_max_configs_still_runs_step_checks_after_cap(monkeypatch):
+    """Capping must not silently drop per-transition checks: every
+    popped configuration's outgoing steps are still checked — only the
+    canonical keying of never-enqueued successors is skipped."""
+    from repro.interp import canon
+
+    program = Program.parallel(
+        seq(assign("x", 1), assign("x", 2)),
+        seq(assign("y", 1), assign("y", 2)),
+    )
+
+    def run(max_configs, key_calls=None):
+        checked = []
+        if key_calls is not None:
+            real = canon.canonical_key
+
+            def counting(state):
+                key_calls.append(state)
+                return real(state)
+
+            monkeypatch.setattr(canon, "canonical_key", counting)
+        result = explore(
+            program,
+            {"x": 0, "y": 0},
+            RAMemoryModel(),
+            max_configs=max_configs,
+            check_step=lambda step: checked.append(step) or [],
+        )
+        return result, checked
+
+    capped, checked = run(3)
+    assert capped.truncated and capped.configs <= 3
+    # All three popped configurations were expanded and step-checked.
+    assert len(checked) == capped.transitions > 2
+
+    key_calls = []
+    run(3, key_calls)
+    assert len(key_calls) <= 3 + 1  # keying stays short-circuited
+
+
 def test_representatives_collection():
     program = Program.parallel(assign("x", 1))
     result = explore(
