@@ -14,8 +14,8 @@ A complete Python reproduction of the paper's system:
 * litmus tests and the paper's case studies (:mod:`repro.litmus`,
   :mod:`repro.casestudies`).
 
-See DESIGN.md for the architecture (§1–§6) and its experiments index
-(§7) for the mapping from the paper's claims to regenerable results.
+See DESIGN.md for the architecture (§1–§7) and its experiments index
+(§8) for the mapping from the paper's claims to regenerable results.
 """
 
 __version__ = "1.0.0"

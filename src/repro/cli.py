@@ -28,6 +28,13 @@ Commands
     (test, model) pair, fanned out over ``--jobs`` worker processes.
     ``--strategy`` selects the search order (bfs / dfs / iddfs); the
     verdicts are strategy- and parallelism-independent.
+
+``fuzz``
+    Differential fuzzing (DESIGN.md §6): generate ``--iters`` random
+    programs from ``--seed``, run each under SC/SRA/RA and check the
+    refinement chain, soundness and axiomatic agreement.  Divergences
+    are delta-debugged to minimal reproducers and persisted under
+    ``--corpus-dir`` for pytest replay.  Exit code 1 iff any diverged.
 """
 
 from __future__ import annotations
@@ -71,9 +78,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         parsed, model=model, max_events=args.max_events, strategy=args.strategy
     )
     bound = " (bounded)" if result.truncated else ""
+    outcome = (
+        f"outcome {'reachable' if reachable else 'unreachable'}"
+        if parsed.outcome_mode is not None
+        else "no outcome clause"
+    )
     print(
-        f"{parsed.name} [{model.name}]: outcome "
-        f"{'reachable' if reachable else 'unreachable'}; "
+        f"{parsed.name} [{model.name}]: {outcome}; "
         f"{result.configs} configurations, {len(result.terminal)} terminal"
         f"{bound}"
     )
@@ -130,6 +141,54 @@ def cmd_suite(args: argparse.Namespace) -> int:
         print(f"{totals['mismatches']} verdicts diverged from expectations")
         return 1
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.fuzz.corpus import save_campaign
+    from repro.fuzz.generator import PROFILES
+    from repro.fuzz.runner import run_campaign
+
+    if args.profile not in PROFILES:
+        raise SystemExit(
+            f"unknown profile {args.profile!r}; choose from {sorted(PROFILES)}"
+        )
+    t0 = time.perf_counter()
+    report = run_campaign(
+        seed=args.seed,
+        iters=args.iters,
+        profile=args.profile,
+        jobs=args.jobs,
+        axiomatic=not args.no_axiomatic,
+        shrink=not args.no_shrink,
+    )
+    wall = time.perf_counter() - t0
+
+    for record in report.divergences:
+        print(f"DIVERGENCE [{record.kind}] case #{record.index}: {record.detail}")
+        if record.shrunk == record.original:
+            # --no-shrink, axiomatic (space-level) kinds, or nothing
+            # to remove: the program below is as generated, not minimal
+            print(f"  reproducer as generated "
+                  f"({record.shrunk_threads} thread(s), not minimised):")
+        else:
+            print(f"  shrunk to {record.shrunk_threads} thread(s) "
+                  f"in {record.shrink_attempts} attempts:")
+        for line in record.shrunk.rstrip().splitlines():
+            print(f"    {line}")
+    print(report.summary())
+    print(f"wall={wall:.2f}s workers={args.jobs}")
+    if report.divergences and not args.no_save:
+        paths = save_campaign(args.corpus_dir, report.divergences)
+        for path in paths:
+            print(f"wrote {path}")
+    if report.ok and args.iters > 0 and report.inconclusive == args.iters:
+        # Every iteration hit a bound: the campaign verified nothing,
+        # which must not read as a green run (CI vacuity guard).
+        print("every iteration was inconclusive; campaign is vacuous")
+        return 1
+    return 0 if report.ok else 1
 
 
 def cmd_table(args: argparse.Namespace) -> int:
@@ -245,6 +304,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the case-study checks (peterson, dekker, token ring)",
     )
     suite.set_defaults(func=cmd_suite)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of the memory models"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument(
+        "--iters", type=int, default=100, help="number of generated programs"
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = in-process sequential run)",
+    )
+    fuzz.add_argument(
+        "--profile", default="default",
+        help="generator size/shape preset (default | small | wide)",
+    )
+    fuzz.add_argument(
+        "--no-axiomatic", action="store_true",
+        help="skip the footprint axiomatic-equivalence oracle",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report divergences without delta debugging them",
+    )
+    fuzz.add_argument(
+        "--no-save", action="store_true",
+        help="do not persist reproducers to the corpus directory",
+    )
+    fuzz.add_argument(
+        "--corpus-dir", default="tests/fuzz_corpus",
+        help="where reproducers are persisted (default: tests/fuzz_corpus)",
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
 
     table = sub.add_parser("table", help="print the litmus verdict table")
     table.add_argument("--models", default="ra,sc", help="comma list of models")

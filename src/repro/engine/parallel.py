@@ -73,6 +73,9 @@ class SuiteJobResult:
     wall_time: float
     key_hits: int
     key_misses: int
+    #: kind-specific payload (fuzz jobs ship their divergence records
+    #: here as JSON; litmus and case-study jobs leave it empty)
+    detail: str = ""
 
     @property
     def verdict_matches(self) -> bool:
@@ -94,6 +97,8 @@ class SuiteJobResult:
     def verdict(self) -> str:
         if self.job.kind == "litmus":
             return "allowed" if self.observed else "forbidden"
+        if self.job.kind == "fuzz":
+            return "diverged" if self.observed else "ok"
         return "violated" if self.observed else "ok"
 
 
@@ -237,6 +242,12 @@ def run_suite_job(job: SuiteJob) -> SuiteJobResult:
         result = _run_litmus_job(job)
     elif job.kind == "case-study":
         result = _run_case_study_job(job)
+    elif job.kind == "fuzz":
+        # lazy for the same reason as the registries: the fuzz package
+        # imports the interpreters, which must not load with the engine
+        from repro.fuzz.runner import run_fuzz_job
+
+        result = run_fuzz_job(job)
     else:
         raise ValueError(f"unknown job kind {job.kind!r}")
     # Report whole-job wall time (exploration + registry resolution),

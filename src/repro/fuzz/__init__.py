@@ -1,0 +1,49 @@
+"""Differential litmus fuzzing (DESIGN.md §6).
+
+The hand-written litmus suite checks the semantics on a fixed corpus;
+this package turns the exploration engine into a *scenario factory*:
+
+* :mod:`repro.fuzz.generator` — a seeded random program generator
+  emitting well-formed :mod:`repro.lang` ASTs (size/shape knobs via
+  :class:`~repro.fuzz.generator.GeneratorConfig`);
+* :mod:`repro.fuzz.oracles` — differential oracles asserting the
+  refinement chain ``outcomes(SC) ⊆ outcomes(SRA) ⊆ outcomes(RA)``,
+  per-state operational-vs-axiomatic soundness, and the E1 equivalence
+  on small footprint spaces;
+* :mod:`repro.fuzz.shrink` — a delta-debugging shrinker minimising any
+  disagreeing program to a reproducer;
+* :mod:`repro.fuzz.runner` — the campaign driver behind
+  ``python -m repro fuzz``, fanned out over
+  :class:`~repro.engine.parallel.ParallelRunner` workers;
+* :mod:`repro.fuzz.corpus` — persistence and replay of discovered
+  divergences under ``tests/fuzz_corpus/``.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.generator import (
+    GeneratedCase,
+    GeneratorConfig,
+    PROFILES,
+    estimate_event_bound,
+    generate_case,
+)
+from repro.fuzz.oracles import ORACLE_MODELS, OracleReport, check_program
+from repro.fuzz.runner import CampaignReport, DivergenceRecord, FuzzJob, run_campaign
+from repro.fuzz.shrink import shrink_case
+
+__all__ = [
+    "CampaignReport",
+    "DivergenceRecord",
+    "FuzzJob",
+    "GeneratedCase",
+    "GeneratorConfig",
+    "ORACLE_MODELS",
+    "OracleReport",
+    "PROFILES",
+    "check_program",
+    "estimate_event_bound",
+    "generate_case",
+    "run_campaign",
+    "shrink_case",
+]

@@ -1,0 +1,412 @@
+"""Seeded random generation of well-formed command-language programs.
+
+The generator draws from the full grammar of :mod:`repro.lang.syntax`:
+relaxed and releasing stores, relaxed and acquiring loads, ``swap``
+RMWs, ``if``/``else``, bounded ``while`` loops and program-location
+labels.  (The language has no fence construct — release/acquire
+annotations and the RA ``swap`` are its only synchronisation — so the
+generator covers every access mode the grammar admits.)
+
+Two properties are enforced by construction:
+
+* **Termination.**  Every ``while`` loop is a counter idiom
+  ``while (c < k) { ...; c := c + 1 }`` over a *reserved* counter
+  variable written by no other statement, so each thread performs a
+  bounded number of actions under every memory model (each thread reads
+  its own writes coherently, so the counter strictly increases).
+* **Bounded footprint.**  :func:`estimate_event_bound` computes a static
+  upper bound on the program events any run can append; generated cases
+  are trimmed until the bound fits ``GeneratorConfig.event_budget``, and
+  the bound is stored on the case (``events_hint``) so oracles can pass
+  a non-truncating ``max_events`` to the engine.
+
+Generation is deterministic: ``generate_case(seed, index)`` depends only
+on its arguments and the config, never on global state — which is what
+lets :class:`~repro.fuzz.runner.FuzzJob` ship *(seed, index)* pairs to
+worker processes instead of unpicklable ASTs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.actions import Value, Var
+from repro.lang.program import Program
+from repro.lang.syntax import (
+    Assign,
+    BinOp,
+    Com,
+    Exp,
+    If,
+    Labeled,
+    Lit,
+    Load,
+    Not,
+    Seq,
+    Skip,
+    Swap,
+    While,
+)
+from repro.lang.unparse import unparse_litmus
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size and shape knobs for random program generation."""
+
+    name: str = "default"
+    min_threads: int = 2
+    max_threads: int = 3
+    #: top-level statements per thread (before budget trimming)
+    max_statements: int = 4
+    #: nesting depth for if/while
+    max_depth: int = 2
+    variables: Tuple[Var, ...] = ("x", "y", "z")
+    values: Tuple[Value, ...] = (0, 1, 2)
+    #: static cap on the total program events of one case
+    event_budget: int = 8
+    max_loop_iters: int = 2
+    max_exp_depth: int = 2
+    #: statement-kind weights: store / swap / if / while / labeled / skip
+    w_store: float = 0.62
+    w_swap: float = 0.12
+    w_if: float = 0.12
+    w_while: float = 0.06
+    w_label: float = 0.06
+    w_skip: float = 0.02
+    p_release: float = 0.3
+    p_acquire: float = 0.3
+
+
+#: Named presets for the CLI's ``--profile`` flag.
+PROFILES: Dict[str, GeneratorConfig] = {
+    "default": GeneratorConfig(),
+    #: tiny programs — the axiomatic footprint oracle fires often
+    "small": GeneratorConfig(
+        name="small",
+        max_threads=2,
+        max_statements=3,
+        max_depth=1,
+        variables=("x", "y"),
+        values=(0, 1),
+        event_budget=5,
+    ),
+    #: up to four threads with short bodies — shrinker exercise ground
+    "wide": GeneratorConfig(
+        name="wide",
+        min_threads=3,
+        max_threads=4,
+        max_statements=2,
+        max_depth=1,
+        event_budget=9,
+    ),
+}
+
+
+@dataclass
+class GeneratedCase:
+    """One generated program plus everything needed to run and replay it."""
+
+    name: str
+    program: Program
+    init: Dict[Var, Value]
+    #: static upper bound on program events of any run (see
+    #: :func:`estimate_event_bound`)
+    events_hint: int = 0
+    seed: int = 0
+    index: int = 0
+    profile: str = "default"
+    #: transformations applied by the shrinker, for provenance
+    history: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.program.threads)
+
+    def to_litmus(self, description: str = "") -> str:
+        """Render the case as parser-accepted ``.litmus`` text."""
+        return unparse_litmus(self.name, self.program, self.init,
+                              description=description)
+
+
+# ----------------------------------------------------------------------
+# Static event bound
+# ----------------------------------------------------------------------
+
+
+def _exp_loads(exp: Exp) -> int:
+    """Reads performed evaluating ``exp`` (one event per load)."""
+    if isinstance(exp, Lit):
+        return 0
+    if isinstance(exp, Load):
+        return 1
+    if isinstance(exp, Not):
+        return _exp_loads(exp.operand)
+    if isinstance(exp, BinOp):
+        return _exp_loads(exp.left) + _exp_loads(exp.right)
+    raise TypeError(f"not an expression: {exp!r}")
+
+
+def estimate_event_bound(com: Com, loop_iters: int = 4) -> int:
+    """A static upper bound on the events one run of ``com`` appends.
+
+    ``loop_iters`` bounds the assumed iterations of each loop; generated
+    loops iterate at most ``GeneratorConfig.max_loop_iters`` times by
+    construction, and corpus replays use a generous default.  The bound
+    is per *run*, so ``if`` contributes the larger branch.
+    """
+    if isinstance(com, Skip):
+        return 0
+    if isinstance(com, Assign):
+        return _exp_loads(com.exp) + 1
+    if isinstance(com, Swap):
+        return 1
+    if isinstance(com, Seq):
+        return (estimate_event_bound(com.first, loop_iters)
+                + estimate_event_bound(com.second, loop_iters))
+    if isinstance(com, If):
+        return _exp_loads(com.guard) + max(
+            estimate_event_bound(com.then_branch, loop_iters),
+            estimate_event_bound(com.else_branch, loop_iters),
+        )
+    if isinstance(com, While):
+        guard = _exp_loads(com.test)
+        body = estimate_event_bound(com.body, loop_iters)
+        return loop_iters * (guard + body) + guard
+    if isinstance(com, Labeled):
+        return estimate_event_bound(com.body, loop_iters)
+    raise TypeError(f"not a command: {com!r}")
+
+
+def program_event_bound(program: Program, loop_iters: int = 4) -> int:
+    """The static event bound summed over all threads."""
+    return sum(
+        estimate_event_bound(com, loop_iters) for _, com in program.threads
+    )
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+#: expression operators the generator draws from (all round-trippable)
+_EXP_OPS = ("add", "sub", "eq", "ne", "lt", "le", "and", "or")
+
+
+class _Gen:
+    """One generation run: a seeded RNG plus per-case bookkeeping."""
+
+    def __init__(self, rng: random.Random, config: GeneratorConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.counters: List[Var] = []
+        self.next_label = 1
+
+    def fresh_counter(self) -> Var:
+        c = f"c{len(self.counters) + 1}"
+        self.counters.append(c)
+        return c
+
+    def exp(self, depth: int, max_loads: int) -> Exp:
+        """A random expression with at most ``max_loads`` variable reads."""
+        rng, cfg = self.rng, self.config
+        if depth <= 0 or rng.random() < 0.45:
+            if max_loads > 0 and rng.random() < 0.7:
+                return Load(
+                    rng.choice(cfg.variables),
+                    acquire=rng.random() < cfg.p_acquire,
+                )
+            return Lit(rng.choice(cfg.values))
+        if rng.random() < 0.2:
+            return Not(self.exp(depth - 1, max_loads))
+        # split the load allowance between the operands
+        left_loads = rng.randint(0, max_loads)
+        left = self.exp(depth - 1, left_loads)
+        right = self.exp(depth - 1, max_loads - _exp_loads(left))
+        return BinOp(rng.choice(_EXP_OPS), left, right)
+
+    def statement(self, depth: int) -> Com:
+        rng, cfg = self.rng, self.config
+        kinds = ["store", "swap", "skip"]
+        weights = [cfg.w_store, cfg.w_swap, cfg.w_skip]
+        if depth < cfg.max_depth:
+            kinds += ["if", "while", "label"]
+            weights += [cfg.w_if, cfg.w_while, cfg.w_label]
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+
+        if kind == "store":
+            return Assign(
+                rng.choice(cfg.variables),
+                self.exp(cfg.max_exp_depth, max_loads=2),
+                release=rng.random() < cfg.p_release,
+            )
+        if kind == "swap":
+            return Swap(rng.choice(cfg.variables), rng.choice(cfg.values))
+        if kind == "skip":
+            return Skip()
+        if kind == "if":
+            guard = self.exp(1, max_loads=1)
+            then_branch = self.block(depth + 1, rng.randint(1, 2))
+            else_branch: Com = Skip()
+            if rng.random() < 0.5:
+                else_branch = self.block(depth + 1, 1)
+            return If(guard, then_branch, else_branch)
+        if kind == "while":
+            counter = self.fresh_counter()
+            # bias towards single-iteration loops: multi-iteration ones
+            # rarely fit the event budget alongside other threads
+            iters = 1 if rng.random() < 0.7 else rng.randint(
+                1, cfg.max_loop_iters
+            )
+            guard = BinOp("lt", Load(counter), Lit(iters))
+            step = Assign(counter, BinOp("add", Load(counter), Lit(1)))
+            if rng.random() < 0.5:
+                body: Com = Seq(self.statement(depth + 1), step)
+            else:
+                body = step
+            return While(guard, body)
+        # label: a fresh program-location label on a simple statement
+        pc = self.next_label
+        self.next_label += 1
+        return Labeled(pc, self.statement(depth + 1))
+
+    def block(self, depth: int, n_statements: int) -> Com:
+        parts = [self.statement(depth) for _ in range(n_statements)]
+        com = parts[-1]
+        for p in reversed(parts[:-1]):
+            com = Seq(p, com)
+        return com
+
+    def thread(self) -> Com:
+        return self.block(0, self.rng.randint(1, self.config.max_statements))
+
+
+def _flatten(com: Com) -> List[Com]:
+    """Top-level statements of a right- or left-nested ``Seq`` chain."""
+    if isinstance(com, Seq):
+        return _flatten(com.first) + _flatten(com.second)
+    return [com]
+
+
+def _rebuild(parts: List[Com]) -> Com:
+    if not parts:
+        return Skip()
+    com = parts[-1]
+    for p in reversed(parts[:-1]):
+        com = Seq(p, com)
+    return com
+
+
+def _used_vars(com: Com) -> frozenset:
+    """Every shared variable read or written by ``com``."""
+    if isinstance(com, Skip):
+        return frozenset()
+    if isinstance(com, Assign):
+        return com.exp.free_vars() | {com.var}
+    if isinstance(com, Swap):
+        return frozenset({com.var})
+    if isinstance(com, Seq):
+        return _used_vars(com.first) | _used_vars(com.second)
+    if isinstance(com, If):
+        return (com.guard.free_vars() | _used_vars(com.then_branch)
+                | _used_vars(com.else_branch))
+    if isinstance(com, While):
+        return com.test.free_vars() | _used_vars(com.body)
+    if isinstance(com, Labeled):
+        return _used_vars(com.body)
+    raise TypeError(f"not a command: {com!r}")
+
+
+def program_vars(program: Program) -> frozenset:
+    return frozenset().union(
+        *(_used_vars(com) for _, com in program.threads)
+    ) if program.threads else frozenset()
+
+
+def _case_seed(seed: int, index: int) -> int:
+    """Mix (campaign seed, case index) into one RNG seed."""
+    return seed * 1_000_003 + index
+
+
+def generate_case(
+    seed: int,
+    index: int,
+    config: Optional[GeneratorConfig] = None,
+) -> GeneratedCase:
+    """Deterministically generate case ``index`` of campaign ``seed``."""
+    config = config if config is not None else PROFILES["default"]
+    rng = random.Random(_case_seed(seed, index))
+    gen = _Gen(rng, config)
+
+    n_threads = rng.randint(config.min_threads, config.max_threads)
+    threads = {tid: gen.thread() for tid in range(1, n_threads + 1)}
+
+    # Trim top-level statements off the fattest thread until the static
+    # event bound fits the budget (termination: each pass removes one
+    # statement, and a thread reduced to nothing costs zero events).
+    # Loop statements go last: they are the costliest construct, so a
+    # blind pop would trim every loop out of the corpus.
+    def bound_of(com: Com) -> int:
+        return estimate_event_bound(com, loop_iters=config.max_loop_iters)
+
+    def contains_loop(com: Com) -> bool:
+        if isinstance(com, While):
+            return True
+        children = (
+            getattr(com, a, None)
+            for a in ("first", "second", "then_branch", "else_branch", "body")
+        )
+        return any(c is not None and contains_loop(c) for c in children)
+
+    while sum(bound_of(c) for c in threads.values()) > config.event_budget:
+        with_droppable = [
+            tid for tid, com in threads.items()
+            if any(not contains_loop(p) for p in _flatten(com)
+                   if not isinstance(p, Skip))
+        ]
+        pool = with_droppable or list(threads)
+        victim = max(pool, key=lambda t: bound_of(threads[t]))
+        parts = _flatten(threads[victim])
+        droppable = [
+            i for i, p in enumerate(parts)
+            if not contains_loop(p) and not isinstance(p, Skip)
+        ] if victim in with_droppable else []
+        parts.pop(droppable[-1] if droppable else len(parts) - 1)
+        threads[victim] = _rebuild(parts)
+
+    program = Program.of(threads)
+    init: Dict[Var, Value] = {
+        v: rng.choice((0, 0, 1)) for v in sorted(program_vars(program))
+    }
+    for counter in gen.counters:  # loop counters must start at 0
+        if counter in init:
+            init[counter] = 0
+    if not init:  # all-skip program: keep one variable so outcomes exist
+        init = {config.variables[0]: 0}
+
+    return GeneratedCase(
+        # the profile is part of the name so reproducers persisted from
+        # same-seed campaigns under different profiles cannot collide
+        name=f"fuzz_{config.name}_s{seed}_i{index}",
+        program=program,
+        init=init,
+        events_hint=sum(bound_of(c) for c in threads.values()),
+        seed=seed,
+        index=index,
+        profile=config.name,
+    )
+
+
+__all__ = [
+    "GeneratedCase",
+    "GeneratorConfig",
+    "PROFILES",
+    "estimate_event_bound",
+    "generate_case",
+    "program_event_bound",
+    "program_vars",
+    "_flatten",
+    "_rebuild",
+]

@@ -1,0 +1,231 @@
+"""Differential oracles: what makes a generated program *pass*.
+
+Three independent checks, cheapest first:
+
+1. **Refinement chain** — the outcome sets (final values of every
+   variable over terminal configurations) must nest along the model
+   hierarchy::
+
+       outcomes(SC)  ⊆  outcomes(SRA)  ⊆  outcomes(RA)
+
+   SC is an interleaving of atomic accesses, SRA is RA restricted to
+   ``sb ∪ rf ∪ mo``-acyclic states, RA is the paper's model — every
+   stronger model's behaviours must be reproducible by the weaker one.
+
+2. **Soundness agreement** (operational vs axiomatic, Theorem 4.4) —
+   every distinct C11 state reachable under the RA semantics must
+   satisfy Definition 4.2 (:func:`repro.axiomatic.validity.check_validity`).
+
+3. **Axiomatic equivalence on the footprint** — for programs whose
+   footprint is tiny, re-run the E1 comparison
+   (:func:`repro.axiomatic.equivalence.compare_axiomatisations`) on a
+   candidate space clamped to the program's shape (event count and
+   variables, capped; values clamped to ``(1,)``).  The space is
+   memoized per process, so each distinct space is enumerated once per
+   worker (once per campaign when ``jobs=1``).
+
+A run that hits an exploration bound (``max_events`` slack exceeded or
+the ``max_configs`` safety cap) is reported *inconclusive*, never
+divergent: a truncated outcome set could fail the subset check
+spuriously.  Generated cases carry an exact static bound
+(``events_hint``), so in practice fuzz runs never truncate.
+
+The model table :data:`ORACLE_MODELS` is module state on purpose: tests
+monkeypatch an intentionally broken model into it and assert the fuzzer
+catches and shrinks the divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.interp.explore import explore, reachable_states
+from repro.interp.memory_model import MemoryModel
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.interp.sra_model import SRAMemoryModel
+from repro.lang.actions import Value, Var
+from repro.litmus.registry import final_values
+
+from repro.fuzz.generator import GeneratedCase
+
+#: model name -> factory, in refinement order (strongest first).  Tests
+#: monkeypatch entries to plant deliberately broken models.
+ORACLE_MODELS: Dict[str, Callable[[], MemoryModel]] = {
+    "sc": SCMemoryModel,
+    "sra": SRAMemoryModel,
+    "ra": RAMemoryModel,
+}
+
+#: the subset chain asserted between consecutive entries
+REFINEMENT_CHAIN: Tuple[str, ...] = ("sc", "sra", "ra")
+
+#: hard safety net on any single exploration — a buggy model that stops
+#: terminating trips this cap and the run is reported inconclusive
+#: instead of hanging the fuzzer
+DEFAULT_MAX_CONFIGS = 50_000
+
+#: gates for the footprint equivalence oracle (cost is exponential in
+#: both; 1 var / 3 events ≈ 0.6 s, memoized per space)
+AXIOMATIC_MAX_EVENTS = 3
+AXIOMATIC_MAX_VARS = 2
+
+Outcome = Tuple[Tuple[Var, Value], ...]
+
+
+@dataclass
+class OracleReport:
+    """What the oracles concluded about one case."""
+
+    case: GeneratedCase
+    #: divergence kind ("refinement" / "soundness" / "axiomatic" /
+    #: "crash"), or ``None`` when every oracle passed
+    divergence: Optional[str] = None
+    detail: str = ""
+    #: a bound was hit; no divergence verdict is possible
+    inconclusive: bool = False
+    outcomes: Dict[str, FrozenSet[Outcome]] = field(default_factory=dict)
+    configs: int = 0
+    transitions: int = 0
+    terminal: int = 0
+    key_hits: int = 0
+    key_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+
+def _outcome_set(terminal_configs) -> FrozenSet[Outcome]:
+    return frozenset(
+        tuple(sorted(final_values(config).items()))
+        for config in terminal_configs
+    )
+
+
+def _format_outcome(outcome: Outcome) -> str:
+    return "{" + ", ".join(f"{x}={v}" for x, v in outcome) + "}"
+
+
+@lru_cache(maxsize=64)
+def _footprint_equivalence(n_events: int, n_variables: int) -> str:
+    """Run the E1 comparison on a clamped footprint space.
+
+    Returns a failure description ("" = the axiomatisations agree).
+    Candidate spaces are symbolic in variable names, so the footprint is
+    keyed by variable *count*; memoization then makes every program with
+    the same clamped shape share one enumeration.
+    """
+    from repro.axiomatic.candidates import CandidateSpace
+    from repro.axiomatic.equivalence import compare_axiomatisations
+
+    variables = ("x", "y")[:n_variables]
+    space = CandidateSpace(
+        n_events=n_events, variables=variables, values=(1,), max_threads=2
+    )
+    result = compare_axiomatisations(space, keep_mismatches=1)
+    if result.equivalent:
+        return ""
+    return (
+        f"axiomatisations disagree on {len(result.mismatches)} of "
+        f"{result.candidates} candidates (n={n_events}, vars={variables})"
+    )
+
+
+def check_program(
+    case: GeneratedCase,
+    axiomatic: bool = True,
+    max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
+    models: Optional[Dict[str, Callable[[], MemoryModel]]] = None,
+) -> OracleReport:
+    """Run every oracle on ``case`` and report the first divergence."""
+    models = models if models is not None else ORACLE_MODELS
+    report = OracleReport(case)
+    # +1 slack: the hint is an exact upper bound, so reaching it is
+    # legitimate and only *exceeding* it marks a runaway model
+    max_events = case.events_hint + 1
+
+    ra_states = []
+    for name in REFINEMENT_CHAIN:
+        try:
+            if name == "ra":
+                # one exploration yields both the outcome set and every
+                # distinct reachable state for the soundness oracle
+                ra_states, result = reachable_states(
+                    case.program, case.init, models[name](),
+                    max_events=max_events, max_configs=max_configs,
+                )
+            else:
+                result = explore(
+                    case.program, case.init, models[name](),
+                    max_events=max_events, max_configs=max_configs,
+                )
+        except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+            report.divergence = "crash"
+            report.detail = f"{name} exploration raised {type(exc).__name__}: {exc}"
+            return report
+        report.configs += result.configs
+        report.transitions += result.transitions
+        report.terminal += len(result.terminal)
+        report.key_hits += result.stats.key_hits
+        report.key_misses += result.stats.key_misses
+        if result.truncated:
+            report.inconclusive = True
+            report.detail = f"{name} exploration hit a bound; no verdict"
+            return report
+        report.outcomes[name] = _outcome_set(result.terminal)
+
+    # 1. the refinement chain
+    for weak, strong in zip(REFINEMENT_CHAIN, REFINEMENT_CHAIN[1:]):
+        missing = report.outcomes[weak] - report.outcomes[strong]
+        if missing:
+            witness = _format_outcome(sorted(missing)[0])
+            report.divergence = "refinement"
+            report.detail = (
+                f"outcome {witness} reachable under {weak} but not under "
+                f"{strong} ({len(missing)} such outcome(s))"
+            )
+            return report
+    if not report.outcomes["sc"]:
+        report.divergence = "refinement"
+        report.detail = "no terminal SC state: generated program does not terminate"
+        return report
+
+    # 2. operational-vs-axiomatic soundness (Theorem 4.4)
+    from repro.axiomatic.validity import check_validity
+
+    for state in ra_states:
+        validity = check_validity(state)
+        if not validity.valid:
+            report.divergence = "soundness"
+            report.detail = (
+                "RA-reachable state violates Definition 4.2: "
+                + ", ".join(validity.violated)
+            )
+            return report
+
+    # 3. axiomatic equivalence on tiny footprints
+    if axiomatic:
+        n_variables = len(case.init)
+        n = min(case.events_hint, AXIOMATIC_MAX_EVENTS)
+        if 1 <= n and 1 <= n_variables <= AXIOMATIC_MAX_VARS:
+            failure = _footprint_equivalence(n, n_variables)
+            if failure:
+                report.divergence = "axiomatic"
+                report.detail = failure
+                return report
+
+    return report
+
+
+__all__ = [
+    "AXIOMATIC_MAX_EVENTS",
+    "AXIOMATIC_MAX_VARS",
+    "DEFAULT_MAX_CONFIGS",
+    "ORACLE_MODELS",
+    "OracleReport",
+    "REFINEMENT_CHAIN",
+    "check_program",
+]

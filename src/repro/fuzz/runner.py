@@ -1,0 +1,273 @@
+"""The fuzz campaign driver behind ``python -m repro fuzz``.
+
+Campaigns fan out over the engine's existing
+:class:`~repro.engine.parallel.ParallelRunner`: a :class:`FuzzJob` is a
+picklable *recipe* — campaign seed, index range, profile name — not a
+program; each worker regenerates its cases deterministically from the
+seed (the same ship-names-not-objects discipline as the litmus suite
+jobs).  Divergences found in a worker are shrunk in-worker and shipped
+back as JSON in the flat result's ``detail`` field, so the parent
+process never needs to unpickle an AST.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.fuzz.generator import PROFILES, GeneratedCase, generate_case
+from repro.fuzz.oracles import DEFAULT_MAX_CONFIGS, OracleReport, check_program
+from repro.fuzz.shrink import shrink_case
+
+
+@dataclass(frozen=True)
+class FuzzJob:
+    """One worker-sized slice of a campaign (picklable by construction)."""
+
+    kind: str = "fuzz"
+    seed: int = 0
+    start: int = 0
+    count: int = 1
+    profile: str = "default"
+    axiomatic: bool = True
+    shrink: bool = True
+    strategy: str = "bfs"  # unused; parity with SuiteJob's interface
+    max_configs: Optional[int] = DEFAULT_MAX_CONFIGS
+
+    @property
+    def label(self) -> str:
+        last = self.start + self.count - 1
+        return f"fuzz[{self.seed}] #{self.start}..{last} ({self.profile})"
+
+
+@dataclass
+class DivergenceRecord:
+    """One divergence, as found and as shrunk — JSON-serialisable."""
+
+    name: str
+    kind: str
+    detail: str
+    seed: int
+    index: int
+    profile: str
+    original: str  # litmus text as generated
+    shrunk: str  # litmus text after delta debugging
+    shrunk_threads: int
+    shrink_attempts: int
+    history: List[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "DivergenceRecord":
+        return cls(**data)
+
+
+def _check(job: FuzzJob, case: GeneratedCase) -> OracleReport:
+    return check_program(
+        case, axiomatic=job.axiomatic, max_configs=job.max_configs
+    )
+
+
+def _diverges_like(job: FuzzJob, kind: str) -> Callable[[GeneratedCase], bool]:
+    """The shrinker predicate: candidate still fails the *same* oracle."""
+
+    def failing(candidate: GeneratedCase) -> bool:
+        report = _check(job, candidate)
+        return report.divergence == kind
+
+    return failing
+
+
+def run_fuzz_job(job: FuzzJob):
+    """Worker entry point: generate, check and shrink one index range.
+
+    Returns the engine's flat :class:`~repro.engine.parallel.SuiteJobResult`
+    with divergence records serialised into ``detail``.
+    """
+    from repro.engine.parallel import SuiteJobResult
+
+    records: List[DivergenceRecord] = []
+    inconclusive = 0
+    configs = transitions = terminal = key_hits = key_misses = 0
+    for index in range(job.start, job.start + job.count):
+        case = generate_case(job.seed, index, PROFILES[job.profile])
+        report = _check(job, case)
+        configs += report.configs
+        transitions += report.transitions
+        terminal += report.terminal
+        key_hits += report.key_hits
+        key_misses += report.key_misses
+        if report.inconclusive:
+            inconclusive += 1
+            continue
+        if report.ok:
+            continue
+        shrunk, attempts = case, 0
+        # An "axiomatic" divergence is a property of the clamped
+        # footprint *space*, not of this program — shrinking would grind
+        # through oracle runs only to minimise towards an unrelated
+        # trivial program, so the case is reported as generated.
+        if job.shrink and report.divergence != "axiomatic":
+            shrunk, attempts = shrink_case(
+                case, _diverges_like(job, report.divergence)
+            )
+        records.append(
+            DivergenceRecord(
+                name=shrunk.name,
+                kind=report.divergence,
+                detail=report.detail,
+                seed=job.seed,
+                index=index,
+                profile=job.profile,
+                original=case.to_litmus(),
+                shrunk=shrunk.to_litmus(),
+                shrunk_threads=shrunk.n_threads,
+                shrink_attempts=attempts,
+                history=list(shrunk.history),
+            )
+        )
+    payload = {
+        "inconclusive": inconclusive,
+        "divergences": [r.to_json() for r in records],
+    }
+    return SuiteJobResult(
+        job=job,
+        observed=bool(records),
+        expected=False,
+        pinned=True,
+        configs=configs,
+        transitions=transitions,
+        terminal=terminal,
+        truncated=bool(inconclusive),
+        wall_time=0.0,  # overwritten by run_suite_job with whole-job time
+        key_hits=key_hits,
+        key_misses=key_misses,
+        detail=json.dumps(payload),
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Everything one fuzz campaign learned."""
+
+    seed: int
+    iters: int
+    profile: str
+    divergences: List[DivergenceRecord] = field(default_factory=list)
+    inconclusive: int = 0
+    configs: int = 0
+    transitions: int = 0
+    wall_time: float = 0.0
+    key_hits: int = 0
+    key_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        verdict = (
+            "no divergences"
+            if self.ok
+            else f"{len(self.divergences)} DIVERGENCE(S)"
+        )
+        keyed = self.key_hits + self.key_misses
+        rate = (100.0 * self.key_hits / keyed) if keyed else 0.0
+        return (
+            f"fuzz seed={self.seed} iters={self.iters} "
+            f"profile={self.profile}: {verdict}, "
+            f"{self.inconclusive} inconclusive; {self.configs} configs, "
+            f"{self.transitions} transitions, key-cache {rate:.0f}%, "
+            f"worker time {self.wall_time:.2f}s"
+        )
+
+
+def fuzz_jobs(
+    seed: int,
+    iters: int,
+    profile: str = "default",
+    jobs: int = 1,
+    axiomatic: bool = True,
+    shrink: bool = True,
+    max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
+) -> List[FuzzJob]:
+    """Slice ``iters`` cases into worker-sized chunks.
+
+    Several chunks per worker keep the pool busy when case costs vary;
+    chunks stay coarse enough that per-job process overhead (registry
+    imports) is amortised.
+    """
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
+        )
+    if iters <= 0:
+        return []
+    chunk = max(1, math.ceil(iters / max(1, jobs * 4)))
+    return [
+        FuzzJob(
+            seed=seed,
+            start=start,
+            count=min(chunk, iters - start),
+            profile=profile,
+            axiomatic=axiomatic,
+            shrink=shrink,
+            max_configs=max_configs,
+        )
+        for start in range(0, iters, chunk)
+    ]
+
+
+def run_campaign(
+    seed: int,
+    iters: int,
+    profile: str = "default",
+    jobs: int = 1,
+    axiomatic: bool = True,
+    shrink: bool = True,
+    max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
+) -> CampaignReport:
+    """Run a whole campaign through the parallel runner."""
+    from repro.engine.parallel import ParallelRunner
+
+    work = fuzz_jobs(
+        seed, iters, profile=profile, jobs=jobs, axiomatic=axiomatic,
+        shrink=shrink, max_configs=max_configs,
+    )
+    results = ParallelRunner(jobs=jobs).run(work)
+    report = CampaignReport(seed=seed, iters=iters, profile=profile)
+    seen_spaces = set()
+    for result in results:
+        payload = json.loads(result.detail)
+        report.inconclusive += payload["inconclusive"]
+        for data in payload["divergences"]:
+            record = DivergenceRecord.from_json(data)
+            # space-level defects are reported once per campaign, not
+            # once per program that happens to share the footprint
+            if record.kind == "axiomatic":
+                if record.detail in seen_spaces:
+                    continue
+                seen_spaces.add(record.detail)
+            report.divergences.append(record)
+        report.configs += result.configs
+        report.transitions += result.transitions
+        report.wall_time += result.wall_time
+        report.key_hits += result.key_hits
+        report.key_misses += result.key_misses
+    report.divergences.sort(key=lambda r: r.index)
+    return report
+
+
+__all__ = [
+    "CampaignReport",
+    "DivergenceRecord",
+    "FuzzJob",
+    "fuzz_jobs",
+    "run_campaign",
+    "run_fuzz_job",
+]

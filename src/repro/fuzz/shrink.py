@@ -1,0 +1,257 @@
+"""Delta-debugging: minimise a program that fails an oracle.
+
+Classic greedy ddmin over the structure of a :class:`GeneratedCase`:
+candidate simplifications are tried coarsest-first, any candidate on
+which the failure predicate still holds is adopted, and the loop
+restarts until a fixpoint (no candidate is accepted) or the attempt
+budget runs out.  Transformations, in order:
+
+1. **drop a thread** (the biggest single reduction);
+2. **drop a top-level statement** of some thread;
+3. **structural unwrapping** — replace an ``if`` by one branch, a
+   ``while`` by its body or nothing, a labelled statement by its body;
+4. **weaken access modes** — releasing store → relaxed store, acquiring
+   load → relaxed load, ``swap`` → plain store of the same value;
+5. **simplify expressions** — replace a binop by one operand, a
+   negation by its operand, a load by ``0``;
+6. **shrink the init block** — drop entries for variables the program
+   no longer mentions, zero non-zero initial values.
+
+Every candidate is a *well-formed* case (init still covers every used
+variable), so the failure predicate can always run the full oracle
+stack.  Because each accepted step strictly reduces a finite measure
+(threads + nodes + non-zero inits), termination needs no budget — the
+budget only caps worst-case oracle invocations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.lang.program import Program
+from repro.lang.syntax import (
+    Assign,
+    BinOp,
+    Com,
+    Exp,
+    If,
+    Labeled,
+    Lit,
+    Load,
+    Not,
+    Seq,
+    Skip,
+    Swap,
+    While,
+)
+
+from repro.fuzz.generator import (
+    GeneratedCase,
+    _flatten,
+    _rebuild,
+    program_event_bound,
+    program_vars,
+)
+
+
+def _exp_variants(exp: Exp) -> Iterator[Exp]:
+    """Strictly simpler expressions (fewer nodes or weaker modes)."""
+    if isinstance(exp, Lit):
+        return
+    if isinstance(exp, Load):
+        if exp.acquire:
+            yield Load(exp.var, acquire=False)
+        yield Lit(0)
+        return
+    if isinstance(exp, Not):
+        yield exp.operand
+        for v in _exp_variants(exp.operand):
+            yield Not(v)
+        return
+    if isinstance(exp, BinOp):
+        yield exp.left
+        yield exp.right
+        for v in _exp_variants(exp.left):
+            yield BinOp(exp.op, v, exp.right)
+        for v in _exp_variants(exp.right):
+            yield BinOp(exp.op, exp.left, v)
+        return
+    raise TypeError(f"not an expression: {exp!r}")
+
+
+def _com_variants(com: Com) -> Iterator[Com]:
+    """Strictly simpler commands.
+
+    Loop guards are never replaced by literals (a constant-true guard
+    would make the program non-terminating); a loop simplifies to its
+    body, to ``skip``, or recursively within its body.
+    """
+    if isinstance(com, Skip):
+        return
+    if isinstance(com, Assign):
+        if com.release:
+            yield Assign(com.var, com.exp, release=False)
+        for v in _exp_variants(com.exp):
+            yield Assign(com.var, v, release=com.release)
+        return
+    if isinstance(com, Swap):
+        yield Assign(com.var, Lit(com.value))
+        return
+    if isinstance(com, Seq):
+        yield com.first
+        yield com.second
+        for v in _com_variants(com.first):
+            yield Seq(v, com.second)
+        for v in _com_variants(com.second):
+            yield Seq(com.first, v)
+        return
+    if isinstance(com, If):
+        yield com.then_branch
+        yield com.else_branch
+        for v in _exp_variants(com.guard):
+            yield If(v, com.then_branch, com.else_branch)
+        for v in _com_variants(com.then_branch):
+            yield If(com.guard, v, com.else_branch)
+        for v in _com_variants(com.else_branch):
+            yield If(com.guard, com.then_branch, v)
+        return
+    if isinstance(com, While):
+        yield com.body
+        yield Skip()
+        for v in _com_variants(com.body):
+            yield While(com.guard, v, com.current)
+        return
+    if isinstance(com, Labeled):
+        yield com.body
+        for v in _com_variants(com.body):
+            yield Labeled(com.pc, v)
+        return
+    raise TypeError(f"not a command: {com!r}")
+
+
+def _loop_iters_for(case: GeneratedCase) -> int:
+    """Loop bound for re-estimating a candidate's event hint.
+
+    The case's own profile knows how many iterations its counter loops
+    can run; unknown profiles (corpus replays, hand-built cases) get a
+    generous default.  Underestimating here would make every candidate
+    exploration truncate — and the shrinker silently stall."""
+    from repro.fuzz.generator import PROFILES
+
+    config = PROFILES.get(case.profile)
+    return max(4, config.max_loop_iters if config is not None else 4)
+
+
+def _with_program(
+    case: GeneratedCase, program: Program, note: str
+) -> GeneratedCase:
+    """A copy of ``case`` running ``program``, with init re-narrowed."""
+    used = program_vars(program)
+    init = {x: v for x, v in case.init.items() if x in used}
+    if not init:
+        init = {next(iter(sorted(case.init))): 0}
+    return dataclasses.replace(
+        case,
+        program=program,
+        init=init,
+        events_hint=program_event_bound(
+            program, loop_iters=_loop_iters_for(case)
+        ),
+        history=case.history + (note,),
+    )
+
+
+def _candidates(case: GeneratedCase) -> Iterator[GeneratedCase]:
+    """All one-step simplifications of ``case``, coarsest first.
+
+    Deduplicated: distinct transformations can coincide (dropping a
+    two-statement thread's second statement ≡ unwrapping its ``Seq`` to
+    the first), and each duplicate would cost a full three-model oracle
+    run in the caller's predicate.
+    """
+    threads: List[Tuple[int, Com]] = list(case.program.threads)
+    seen = set()
+
+    def fresh(candidate: GeneratedCase) -> bool:
+        key = (candidate.program, tuple(sorted(candidate.init.items())))
+        if key in seen:
+            return False
+        seen.add(key)
+        return True
+
+    # 1. drop a whole thread
+    if len(threads) > 1:
+        for i, (tid, _) in enumerate(threads):
+            remaining = dict(threads[:i] + threads[i + 1:])
+            candidate = _with_program(
+                case, Program.of(remaining), f"drop thread {tid}"
+            )
+            if fresh(candidate):
+                yield candidate
+
+    # 2. drop one top-level statement
+    for tid, com in threads:
+        parts = _flatten(com)
+        if len(parts) == 1 and isinstance(parts[0], Skip):
+            continue
+        for i in range(len(parts)):
+            kept = parts[:i] + parts[i + 1:]
+            program = case.program.update(tid, _rebuild(kept))
+            candidate = _with_program(
+                case, program, f"drop statement {i} of thread {tid}"
+            )
+            if fresh(candidate):
+                yield candidate
+
+    # 3–5. structural / mode / expression simplification
+    for tid, com in threads:
+        for variant in _com_variants(com):
+            program = case.program.update(tid, variant)
+            candidate = _with_program(case, program, f"simplify thread {tid}")
+            if fresh(candidate):
+                yield candidate
+
+    # 6. zero a non-zero init value
+    for x, v in sorted(case.init.items()):
+        if v != 0:
+            init = dict(case.init)
+            init[x] = 0
+            candidate = dataclasses.replace(
+                case, init=init, history=case.history + (f"zero init {x}",)
+            )
+            if fresh(candidate):
+                yield candidate
+
+
+def shrink_case(
+    case: GeneratedCase,
+    failing: Callable[[GeneratedCase], bool],
+    max_attempts: int = 600,
+) -> Tuple[GeneratedCase, int]:
+    """Greedily minimise ``case`` while ``failing`` stays true.
+
+    Returns ``(minimal case, predicate evaluations spent)``.  ``case``
+    itself is assumed failing; the result is a local minimum — no single
+    catalogued simplification of it still fails (unless the attempt
+    budget ran out first).
+    """
+    attempts = 0
+    current = case
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            if failing(candidate):
+                current = candidate
+                progress = True
+                break
+    if current is not case:
+        current = dataclasses.replace(current, name=case.name + "_min")
+    return current, attempts
+
+
+__all__ = ["shrink_case"]

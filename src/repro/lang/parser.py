@@ -465,7 +465,9 @@ def run_parsed_litmus(parsed: ParsedLitmus, model=None, max_events=None, strateg
         parsed.program, parsed.init, model, max_events=max_events,
         strategy=strategy,
     )
-    reachable = any(
+    # Files without an exists/forbidden clause (e.g. fuzz-corpus
+    # reproducers) are pure explorations: nothing to be reachable.
+    reachable = parsed.outcome_exp is not None and any(
         parsed.outcome(final_values(c)) for c in result.terminal
     )
     return reachable, result

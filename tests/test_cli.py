@@ -128,3 +128,75 @@ def test_suite_with_case_studies(capsys):
 def test_suite_unknown_model():
     with pytest.raises(SystemExit):
         main(["suite", "--models", "ra,tso"])
+
+
+def test_fuzz_clean_campaign(capsys, tmp_path):
+    assert main([
+        "fuzz", "--seed", "0", "--iters", "5", "--no-axiomatic",
+        "--corpus-dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "no divergences" in out
+    assert not list(tmp_path.iterdir())  # nothing to persist
+
+
+def test_fuzz_divergence_exit_code_and_corpus(capsys, tmp_path, monkeypatch):
+    from fuzz_helpers import BrokenSRA
+    from repro.fuzz import oracles
+
+    monkeypatch.setitem(oracles.ORACLE_MODELS, "sra", BrokenSRA)
+    assert main([
+        "fuzz", "--seed", "11", "--iters", "1", "--profile", "wide",
+        "--no-axiomatic", "--corpus-dir", str(tmp_path),
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "DIVERGENCE [refinement]" in out
+    assert "shrunk to 1 thread(s)" in out
+    written = list(tmp_path.glob("*.litmus"))
+    assert len(written) == 1
+    assert "fuzz_wide_s11_i0_min" in written[0].name
+
+
+def test_fuzz_no_save_skips_corpus(capsys, tmp_path, monkeypatch):
+    from fuzz_helpers import BrokenSRA
+    from repro.fuzz import oracles
+
+    monkeypatch.setitem(oracles.ORACLE_MODELS, "sra", BrokenSRA)
+    assert main([
+        "fuzz", "--seed", "11", "--iters", "1", "--profile", "wide",
+        "--no-axiomatic", "--no-save", "--corpus-dir", str(tmp_path),
+    ]) == 1
+    assert not list(tmp_path.iterdir())
+
+
+def test_fuzz_unknown_profile():
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--iters", "1", "--profile", "enormous"])
+
+
+def test_run_file_without_outcome_clause(tmp_path, capsys):
+    """Fuzz-corpus reproducers have no exists/forbidden clause; `run`
+    must explore them rather than crash (pure-exploration mode)."""
+    path = tmp_path / "repro.litmus"
+    path.write_text("C11 noclause\n{ x = 0 }\nP1: x := 1\n")
+    assert main(["run", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "no outcome clause" in out and "OK" in out
+
+
+def test_fuzz_all_inconclusive_campaign_is_vacuous(capsys, tmp_path, monkeypatch):
+    """A campaign where every iteration hit a bound verified nothing and
+    must fail, or the CI smoke job could go silently green."""
+    import repro.fuzz.runner as runner_mod
+
+    real = runner_mod.run_campaign
+    monkeypatch.setattr(
+        runner_mod,
+        "run_campaign",
+        lambda **kw: real(**{**kw, "max_configs": 1}),
+    )
+    assert main([
+        "fuzz", "--seed", "0", "--iters", "2", "--no-axiomatic",
+        "--no-save", "--corpus-dir", str(tmp_path),
+    ]) == 1
+    assert "vacuous" in capsys.readouterr().out

@@ -87,7 +87,7 @@ def test_sra_litmus_jobs_are_unpinned():
 
 def test_unknown_job_kind_and_names_raise():
     with pytest.raises(ValueError):
-        run_suite_job(SuiteJob(kind="fuzz", name="SB"))
+        run_suite_job(SuiteJob(kind="quux", name="SB"))
     with pytest.raises(KeyError):
         run_suite_job(SuiteJob(kind="litmus", name="no-such-test"))
     with pytest.raises(ValueError):
@@ -152,3 +152,61 @@ def test_runner_empty_work_and_aggregate():
     assert totals["jobs"] == 2
     assert totals["configs"] == sum(r.configs for r in results)
     assert totals["mismatches"] == 0
+
+
+# ----------------------------------------------------------------------
+# Sequential-fallback regressions (PR 1 paths): every scenario that
+# cannot be shipped to name-resolving workers must fall back to the
+# sequential path AND report verdicts identical to a jobs=1 run.
+# ----------------------------------------------------------------------
+
+
+def _outcome_rows(outcomes):
+    return [
+        (o.test.name, o.model_name, o.reachable, o.expected, o.configs)
+        for o in outcomes
+    ]
+
+
+def test_fallback_non_registry_tests_verdict_parity():
+    import dataclasses
+
+    from repro.litmus.registry import run_suite
+    from repro.litmus.suite import test_by_name
+
+    flipped = dataclasses.replace(
+        test_by_name("SB"), outcome=lambda v: False, outcome_text="never"
+    )
+    sequential = run_suite([flipped], jobs=1)
+    parallel = run_suite([flipped], jobs=2)  # silently falls back
+    assert _outcome_rows(parallel) == _outcome_rows(sequential)
+    assert all(not o.reachable for o in parallel)
+
+
+def test_fallback_unknown_model_verdict_parity():
+    from repro.interp.sc import SCMemoryModel
+    from repro.litmus.registry import run_suite
+    from repro.litmus.suite import test_by_name
+
+    class TSOish(SCMemoryModel):
+        """Not in the ra/sra/sc worker factory table."""
+
+        name = "TSOish"
+
+    tests = [test_by_name(n) for n in SMALL]
+    sequential = run_suite(tests, models=[TSOish()], jobs=1)
+    parallel = run_suite(tests, models=[TSOish()], jobs=2)
+    assert _outcome_rows(parallel) == _outcome_rows(sequential)
+    assert [o.model_name for o in parallel] == ["TSOish"] * len(SMALL)
+
+
+def test_fallback_duplicate_models_verdict_parity():
+    from repro.interp.ra_model import RAMemoryModel
+    from repro.litmus.registry import run_suite
+    from repro.litmus.suite import test_by_name
+
+    models = [RAMemoryModel(), RAMemoryModel()]
+    sequential = run_suite([test_by_name("SB")], models=models, jobs=1)
+    parallel = run_suite([test_by_name("SB")], models=models, jobs=2)
+    assert len(parallel) == 2  # one outcome per (test, model) pair
+    assert _outcome_rows(parallel) == _outcome_rows(sequential)

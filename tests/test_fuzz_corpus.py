@@ -1,0 +1,77 @@
+"""Replay of the persisted fuzz corpus as ordinary pytest cases.
+
+Every ``.litmus`` entry under ``tests/fuzz_corpus/`` — seed shapes and
+any divergence a campaign ever persisted — must pass the differential
+oracles: a divergence that was found and fixed stays fixed.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS_DIR,
+    case_from_parsed,
+    load_corpus,
+    replay_entry,
+    write_corpus_entry,
+)
+from repro.fuzz.runner import DivergenceRecord
+
+_HERE = os.path.dirname(__file__)
+CORPUS_DIR = os.path.join(_HERE, "fuzz_corpus")
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_directory_is_populated():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+    assert DEFAULT_CORPUS_DIR.endswith("fuzz_corpus")
+
+
+@pytest.mark.parametrize(
+    "path,parsed", ENTRIES, ids=[os.path.basename(p) for p, _ in ENTRIES]
+)
+def test_corpus_entry_passes_oracles(path, parsed):
+    report = replay_entry(parsed)
+    assert not report.inconclusive, f"{path}: exploration hit a bound"
+    assert report.ok, f"{path}: {report.divergence}: {report.detail}"
+
+
+@pytest.mark.parametrize(
+    "path,parsed", ENTRIES, ids=[os.path.basename(p) for p, _ in ENTRIES]
+)
+def test_corpus_entry_round_trips(path, parsed):
+    from repro.lang.parser import parse_litmus
+
+    case = case_from_parsed(parsed)
+    reparsed = parse_litmus(case.to_litmus())
+    assert reparsed.program == parsed.program
+    assert dict(reparsed.init) == dict(parsed.init)
+
+
+def test_write_and_reload_corpus_entry(tmp_path):
+    record = DivergenceRecord(
+        name="fuzz_s9_i4_min",
+        kind="refinement",
+        detail="outcome {x=1} reachable under sc but not under sra",
+        seed=9,
+        index=4,
+        profile="default",
+        original="C11 fuzz_s9_i4\n{ x = 0 }\nP1: x := 1\nP2: x := x\n",
+        shrunk="C11 fuzz_s9_i4_min\n{ x = 0 }\nP1: x := 1\n",
+        shrunk_threads=1,
+        shrink_attempts=5,
+        history=["drop thread 2"],
+    )
+    path = write_corpus_entry(str(tmp_path), record)
+    assert os.path.basename(path) == "fuzz_s9_i4_min.litmus"
+    entries = load_corpus(str(tmp_path))
+    assert len(entries) == 1
+    _, parsed = entries[0]
+    assert parsed.name == "fuzz_s9_i4_min"
+    # provenance header survives as comments; the entry replays cleanly
+    text = open(path, encoding="utf-8").read()
+    assert "# kind: refinement" in text
+    assert "# shrink: drop thread 2" in text
+    assert replay_entry(parsed).ok

@@ -1,0 +1,108 @@
+"""Generator tests: determinism, well-formedness and — the satellite —
+``unparse → parse`` round-trip over generated programs."""
+
+import pytest
+
+from repro.fuzz.generator import (
+    PROFILES,
+    estimate_event_bound,
+    generate_case,
+    program_event_bound,
+    program_vars,
+)
+from repro.lang.builder import acq, assign, if_, label, seq, swap, var
+from repro.lang.parser import parse_command, parse_litmus
+from repro.lang.syntax import Assign, BinOp, If, Labeled, Lit, Load, Seq, Skip, While
+from repro.lang.unparse import unparse_com
+
+#: enough seeds to exercise every statement kind, few enough to stay fast
+ROUND_TRIP_CASES = [(seed, index) for seed in (0, 1) for index in range(25)]
+
+
+def test_generation_is_deterministic():
+    a = generate_case(42, 7)
+    b = generate_case(42, 7)
+    assert a.program == b.program
+    assert a.init == b.init
+    assert a.events_hint == b.events_hint
+    # different indices give different programs (overwhelmingly)
+    assert any(
+        generate_case(42, i).program != a.program for i in range(8) if i != 7
+    )
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_generated_cases_are_well_formed(profile):
+    config = PROFILES[profile]
+    for index in range(15):
+        case = generate_case(5, index, config)
+        assert config.min_threads <= case.n_threads <= config.max_threads
+        # init covers every variable the program mentions
+        assert program_vars(case.program) <= set(case.init)
+        # the static bound was enforced by trimming and is recorded
+        bound = program_event_bound(
+            case.program, loop_iters=config.max_loop_iters
+        )
+        assert bound == case.events_hint
+        assert bound <= config.event_budget
+        # loop counters start at zero
+        for x, v in case.init.items():
+            if x.startswith("c") and x[1:].isdigit():
+                assert v == 0
+
+
+@pytest.mark.parametrize("seed,index", ROUND_TRIP_CASES)
+def test_generated_program_round_trips(seed, index):
+    """Satellite: parse(unparse(p)) == p over the generator's output."""
+    case = generate_case(seed, index)
+    reparsed = parse_litmus(case.to_litmus())
+    assert reparsed.program == case.program
+    assert dict(reparsed.init) == dict(case.init)
+
+
+@pytest.mark.parametrize(
+    "com",
+    [
+        # hand-picked grammar corners the random walk may undersample
+        label(3, seq(assign("x", 1), assign("y", acq("x")))),
+        if_(var("x"), Skip(), assign("y", 0)),
+        If(BinOp("le", Load("x"), Lit(1)), Skip(), Skip()),
+        While(BinOp("lt", Load("c1"), Lit(2)),
+              Seq(swap("x", 1), assign("c1", BinOp("add", Load("c1"), Lit(1))))),
+        Labeled(1, Labeled(2, assign("x", 0))),
+        Seq(Seq(assign("x", 0), assign("y", 1)), assign("z", 2)),
+        Assign("x", BinOp("or", BinOp("and", Load("y"), Lit(1)), Load("z")),
+               release=True),
+    ],
+)
+def test_grammar_corner_round_trips(com):
+    assert parse_command(unparse_com(com)) == com
+
+
+def test_event_bound_arithmetic():
+    # store reading two vars: 2 loads + 1 write
+    com = parse_command("x := y + z")
+    assert estimate_event_bound(com) == 3
+    # if: guard load + the larger branch
+    com = parse_command("if (x) { y := 1; z := 1 } else { y := 0 }")
+    assert estimate_event_bound(com) == 1 + 2
+    # loop: k * (guard + body) + final guard evaluation
+    com = parse_command("while (c1 < 2) { c1 := c1 + 1 }")
+    assert estimate_event_bound(com, loop_iters=2) == 2 * (1 + 2) + 1
+
+
+def test_all_statement_kinds_eventually_generated():
+    kinds = set()
+
+    def visit(com):
+        kinds.add(type(com).__name__)
+        for attr in ("first", "second", "then_branch", "else_branch", "body"):
+            child = getattr(com, attr, None)
+            if child is not None:
+                visit(child)
+
+    for index in range(120):
+        case = generate_case(0, index)
+        for _tid, com in case.program.threads:
+            visit(com)
+    assert {"Assign", "Swap", "If", "While", "Labeled", "Seq"} <= kinds

@@ -1,0 +1,96 @@
+"""Oracle tests: the refinement chain on known programs, divergence
+detection with deliberately broken models, and bound handling."""
+
+import pytest
+from fuzz_helpers import BrokenSRA
+
+from repro.fuzz import oracles
+from repro.fuzz.generator import PROFILES, GeneratedCase, generate_case
+from repro.fuzz.oracles import REFINEMENT_CHAIN, check_program
+from repro.interp.ra_model import RAMemoryModel
+from repro.lang.builder import assign, seq, var
+from repro.lang.program import Program
+
+
+class _CrashingRA(RAMemoryModel):
+    def transitions(self, state, tid, step):
+        raise RuntimeError("deliberately broken")
+
+
+def _sb_case() -> GeneratedCase:
+    """Store buffering as a fuzz case — the canonical chain witness."""
+    program = Program.parallel(
+        seq(assign("x", 1), assign("r1", var("y"))),
+        seq(assign("y", 1), assign("r2", var("x"))),
+    )
+    init = {"x": 0, "y": 0, "r1": 0, "r2": 0}
+    # 3 events per thread: wr(x,1), then rd(y)+wr(r1) for the copy
+    return GeneratedCase(name="sb", program=program, init=init, events_hint=6)
+
+
+def test_chain_holds_on_store_buffering():
+    report = check_program(_sb_case(), axiomatic=False)
+    assert report.ok and not report.inconclusive
+    sc, sra, ra = (report.outcomes[m] for m in REFINEMENT_CHAIN)
+    assert sc <= sra <= ra
+    # the weak outcome r1 = r2 = 0 exists under RA but not under SC
+    weak = (("r1", 0), ("r2", 0), ("x", 1), ("y", 1))
+    assert weak in ra and weak not in sc
+
+
+@pytest.mark.parametrize("profile", ["small", "default"])
+def test_generated_programs_pass_all_oracles(profile):
+    for index in range(10):
+        case = generate_case(1, index, PROFILES[profile])
+        report = check_program(case)
+        assert report.ok, f"#{index}: {report.divergence}: {report.detail}"
+        assert not report.inconclusive
+        assert report.outcomes["sc"], "generated program must terminate"
+
+
+def test_broken_model_triggers_refinement_divergence(monkeypatch):
+    monkeypatch.setitem(oracles.ORACLE_MODELS, "sra", BrokenSRA)
+    case = generate_case(11, 0, PROFILES["wide"])
+    report = check_program(case, axiomatic=False)
+    assert report.divergence == "refinement"
+    assert "reachable under sc but not under sra" in report.detail
+
+
+def test_crashing_model_is_a_finding_not_an_error(monkeypatch):
+    monkeypatch.setitem(oracles.ORACLE_MODELS, "ra", _CrashingRA)
+    report = check_program(_sb_case(), axiomatic=False)
+    assert report.divergence == "crash"
+    assert "deliberately broken" in report.detail
+
+
+def test_capped_exploration_is_inconclusive_not_divergent():
+    report = check_program(_sb_case(), axiomatic=False, max_configs=3)
+    assert report.inconclusive
+    assert report.divergence is None
+
+
+def test_nonterminating_replay_is_reported():
+    """An empty SC outcome set (program never terminates) is flagged as a
+    divergence — generated programs terminate by construction, so this
+    path only fires on hand-edited corpus entries."""
+    from repro.lang.builder import loop_forever, skip
+
+    case = GeneratedCase(
+        name="spin",
+        program=Program.parallel(loop_forever(skip())),
+        init={"x": 0},
+        events_hint=0,
+    )
+    report = check_program(case, axiomatic=False)
+    assert report.divergence == "refinement"
+    assert "does not terminate" in report.detail
+
+
+def test_footprint_equivalence_is_memoized():
+    from repro.fuzz.oracles import _footprint_equivalence
+
+    _footprint_equivalence.cache_clear()
+    assert _footprint_equivalence(2, 1) == ""
+    before = _footprint_equivalence.cache_info().hits
+    assert _footprint_equivalence(2, 1) == ""
+    assert _footprint_equivalence.cache_info().hits == before + 1

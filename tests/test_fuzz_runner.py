@@ -1,0 +1,100 @@
+"""Campaign runner tests: chunking, worker parity, and the engine's
+ParallelRunner carrying fuzz jobs."""
+
+import json
+
+from fuzz_helpers import BrokenSRA
+from repro.engine.parallel import ParallelRunner, run_suite_job
+from repro.fuzz import oracles
+from repro.fuzz.runner import FuzzJob, fuzz_jobs, run_campaign, run_fuzz_job
+
+ITERS = 12
+
+
+def test_fuzz_jobs_cover_the_range_exactly():
+    jobs = fuzz_jobs(seed=3, iters=10, jobs=2)
+    indices = sorted(
+        i for j in jobs for i in range(j.start, j.start + j.count)
+    )
+    assert indices == list(range(10))
+    assert fuzz_jobs(seed=3, iters=0) == []
+
+
+def test_fuzz_jobs_are_picklable():
+    import pickle
+
+    job = FuzzJob(seed=1, start=0, count=2)
+    assert pickle.loads(pickle.dumps(job)) == job
+    result = run_suite_job(job)
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.detail == result.detail
+
+
+def test_run_suite_job_dispatches_fuzz_kind():
+    result = run_suite_job(FuzzJob(seed=0, start=0, count=2))
+    assert result.job.kind == "fuzz"
+    assert not result.observed  # healthy models: no divergence
+    assert result.verdict == "ok"
+    assert result.verdict_matches
+    payload = json.loads(result.detail)
+    assert payload == {"inconclusive": 0, "divergences": []}
+    assert result.wall_time > 0  # whole-job time stamped by run_suite_job
+
+
+def test_campaign_parallel_matches_sequential():
+    sequential = run_campaign(seed=2, iters=ITERS, axiomatic=False)
+    parallel = run_campaign(seed=2, iters=ITERS, jobs=2, axiomatic=False)
+    assert sequential.ok and parallel.ok
+    assert sequential.configs == parallel.configs
+    assert sequential.transitions == parallel.transitions
+    assert sequential.inconclusive == parallel.inconclusive
+
+
+def test_campaign_reports_divergences_with_shrunk_reproducers(monkeypatch):
+    monkeypatch.setitem(oracles.ORACLE_MODELS, "sra", BrokenSRA)
+    report = run_campaign(
+        seed=11, iters=2, profile="wide", axiomatic=False
+    )
+    assert not report.ok
+    record = report.divergences[0]
+    assert record.kind == "refinement"
+    assert record.shrunk_threads <= 3
+    assert record.shrunk != record.original
+    assert "C11" in record.shrunk  # replayable litmus text
+    assert record.history
+
+
+def test_parallel_runner_mixes_fuzz_and_litmus_jobs():
+    from repro.engine.parallel import SuiteJob
+
+    work = [
+        SuiteJob(kind="litmus", name="SB", model="ra"),
+        FuzzJob(seed=0, start=0, count=1),
+    ]
+    results = ParallelRunner(jobs=1).run(work)
+    assert [r.job.kind for r in results] == ["litmus", "fuzz"]
+    totals = ParallelRunner(jobs=1).aggregate(results)
+    assert totals["jobs"] == 2
+    assert totals["mismatches"] == 0
+
+
+def test_unknown_profile_raises():
+    import pytest
+
+    with pytest.raises(ValueError):
+        fuzz_jobs(seed=0, iters=1, profile="enormous")
+
+
+def test_axiomatic_divergence_reported_once_and_unshrunk(monkeypatch):
+    """A footprint-space defect is campaign-level: one record, no
+    delta-debugging towards an unrelated trivial program."""
+    monkeypatch.setattr(
+        oracles, "_footprint_equivalence", lambda n, v: "forced space defect"
+    )
+    report = run_campaign(seed=0, iters=6, profile="small")
+    assert not report.ok
+    assert len(report.divergences) == 1
+    record = report.divergences[0]
+    assert record.kind == "axiomatic"
+    assert record.shrunk == record.original
+    assert record.shrink_attempts == 0

@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for the relation toolkit.
+
+Satellite of the fuzzing PR: the closure and linearisation routines are
+load-bearing for every axiom check, so their algebraic laws are pinned
+over random small digraphs — transitive closure is idempotent and
+monotone, and a linearisation exists exactly when the graph is acyclic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relations.closure import (
+    has_path,
+    is_acyclic,
+    is_irreflexive,
+    reachable_from,
+    transitive_closure_pairs,
+)
+from repro.relations.linearize import (
+    CycleError,
+    all_linearizations,
+    count_linearizations,
+    is_linearization_of,
+    one_linearization,
+)
+from repro.relations.relation import Relation
+
+MAX_NODES = 5
+
+
+@st.composite
+def digraphs(draw):
+    """A random digraph as (nodes, edge set) over a small domain."""
+    n = draw(st.integers(0, MAX_NODES))
+    nodes = list(range(n))
+    edges = draw(
+        st.frozensets(
+            st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+            max_size=n * n,
+        )
+        if nodes
+        else st.just(frozenset())
+    )
+    return nodes, edges
+
+
+def _adjacency(edges):
+    adj = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+    return adj
+
+
+@given(digraphs())
+def test_transitive_closure_is_idempotent(graph):
+    _, edges = graph
+    relation = Relation(edges)
+    closure = relation.transitive_closure()
+    assert closure.transitive_closure() == closure
+    assert closure.pairs == transitive_closure_pairs(_adjacency(edges))
+
+
+@given(digraphs())
+def test_transitive_closure_contains_relation_and_is_transitive(graph):
+    _, edges = graph
+    closure = Relation(edges).transitive_closure()
+    assert edges <= closure.pairs
+    assert closure.is_transitive()
+
+
+@given(digraphs())
+def test_closure_pairs_agree_with_reachability(graph):
+    nodes, edges = graph
+    adj = _adjacency(edges)
+    closure = transitive_closure_pairs(adj)
+    for a in nodes:
+        assert {b for b in nodes if (a, b) in closure} == (
+            reachable_from(adj, a) & set(nodes)
+        )
+        for b in nodes:
+            assert ((a, b) in closure) == has_path(adj, a, b)
+
+
+@given(digraphs())
+def test_acyclic_iff_some_linearization_exists(graph):
+    """The satellite's headline property: acyclicity ⇔ ∃ linearisation."""
+    nodes, edges = graph
+    relation = Relation(edges)
+    acyclic = is_acyclic(_adjacency(edges))
+    # a cycle is exactly a self-reachable node in the closure
+    assert acyclic == is_irreflexive(transitive_closure_pairs(_adjacency(edges)))
+    if acyclic:
+        order = one_linearization(relation, domain=nodes)
+        assert is_linearization_of(order, relation)
+        assert count_linearizations(relation, domain=nodes) >= 1
+    else:
+        for fn in (
+            lambda: one_linearization(relation, domain=nodes),
+            lambda: list(all_linearizations(relation, domain=nodes)),
+            lambda: count_linearizations(relation, domain=nodes),
+        ):
+            try:
+                fn()
+            except CycleError:
+                continue
+            raise AssertionError("cyclic relation linearised")
+
+
+@settings(max_examples=40)
+@given(digraphs())
+def test_all_linearizations_are_valid_and_counted(graph):
+    nodes, edges = graph
+    relation = Relation(edges)
+    if not is_acyclic(_adjacency(edges)):
+        return
+    seen = set()
+    for order in all_linearizations(relation, domain=nodes):
+        assert is_linearization_of(order, relation)
+        seen.add(order)
+    assert len(seen) == count_linearizations(relation, domain=nodes)
