@@ -5,11 +5,15 @@
 * The relaxed-turn mutant *violates* mutual exclusion (with a concrete
   counterexample trace), and is fine under SC — the bug is
   weak-memory-specific, which is the paper's motivation in one line.
+* Partial-order reduction (DESIGN.md §9): DPOR explores the same
+  outcomes and verdicts with a multi-× smaller configuration count;
+  recorded side by side with the unreduced run via ``--bench-json``.
 """
 
 import pytest
 
 from conftest import once, table
+from emit_json import engine_stats_payload
 from repro.casestudies.peterson import (
     PETERSON_INIT,
     mutual_exclusion_violations,
@@ -122,6 +126,105 @@ def test_relaxed_turn_mutant_safe_under_sc(benchmark):
         [f"configs={result.configs} violations={len(result.violations)} (expected 0)"],
     )
     assert result.ok
+
+
+def test_por_reduction_bound12(benchmark, bench_json):
+    """DPOR vs full exploration at bound 12: identical outcome set and
+    truncation, ≥2× fewer visited configurations (the E4 headline of
+    the reduction subsystem)."""
+    from repro.litmus.registry import final_values
+
+    model = RAMemoryModel()
+    program = peterson_program(once=True)
+
+    def runs():
+        full = explore(program, PETERSON_INIT, model, max_events=12)
+        reduced = explore(
+            program, PETERSON_INIT, model, max_events=12, reduction="dpor"
+        )
+        return full, reduced
+
+    full, reduced = once(benchmark, runs)
+    outcomes = lambda r: {  # noqa: E731 — local shorthand
+        tuple(sorted(final_values(c).items())) for c in r.terminal
+    }
+    ratio = full.configs / reduced.configs
+    table(
+        "E4: Peterson bound 12, DPOR vs none",
+        [
+            f"none: configs={full.configs} transitions={full.transitions} "
+            f"time={full.stats.time_total * 1e3:.1f}ms",
+            f"dpor: configs={reduced.configs} transitions={reduced.transitions} "
+            f"time={reduced.stats.time_total * 1e3:.1f}ms",
+            f"reduction: {ratio:.2f}x fewer configs; engine: "
+            f"{reduced.stats.summary()}",
+        ],
+    )
+    assert outcomes(full) == outcomes(reduced)
+    assert full.truncated == reduced.truncated
+    assert reduced.configs * 2 <= full.configs, (
+        f"expected >=2x reduction, got {ratio:.2f}x"
+    )
+    bench_json.record(
+        "e4_peterson_por_bound12",
+        {
+            "program": "peterson(once)",
+            "max_events": 12,
+            "none": {
+                "configs": full.configs,
+                "transitions": full.transitions,
+                "stats": engine_stats_payload(full.stats),
+            },
+            "dpor": {
+                "configs": reduced.configs,
+                "transitions": reduced.transitions,
+                "stats": engine_stats_payload(reduced.stats),
+            },
+            "config_ratio": ratio,
+            "outcome_parity": True,
+        },
+    )
+    benchmark.extra_info["config_ratio"] = ratio
+
+
+def test_por_mutant_verdict_parity(benchmark, bench_json):
+    """The relaxed-turn mutant's mutual-exclusion violation survives the
+    reduction: DPOR finds it too, and its counterexample replays as a
+    valid unreduced trace (control visibility at work)."""
+    program = peterson_relaxed_turn(once=True)
+
+    def runs():
+        full = explore(
+            program, PETERSON_INIT, RAMemoryModel(), max_events=10,
+            check_config=mutual_exclusion_violations,
+        )
+        reduced = explore(
+            program, PETERSON_INIT, RAMemoryModel(), max_events=10,
+            check_config=mutual_exclusion_violations, reduction="dpor",
+        )
+        return full, reduced
+
+    full, reduced = once(benchmark, runs)
+    table(
+        "E4: relaxed-turn mutant under DPOR",
+        [
+            f"none: configs={full.configs} violations={len(full.violations)}",
+            f"dpor: configs={reduced.configs} violations={len(reduced.violations)}",
+        ],
+    )
+    assert not full.ok and not reduced.ok
+    assert reduced.configs <= full.configs
+    assert reduced.counterexample() is not None
+    bench_json.record(
+        "e4_relaxed_turn_por_parity",
+        {
+            "program": "peterson_relaxed_turn(once)",
+            "max_events": 10,
+            "none_configs": full.configs,
+            "dpor_configs": reduced.configs,
+            "violated_both": True,
+        },
+    )
 
 
 def test_relaxed_flag_read_mutant_still_safe(benchmark):

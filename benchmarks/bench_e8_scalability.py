@@ -71,6 +71,64 @@ def test_operational_vs_axiomatic_series(benchmark):
     table("E8: RA on-the-fly vs PE + post-hoc justification", rows)
 
 
+def test_reduction_series(benchmark, bench_json):
+    """Reduction-on vs reduction-off across the Peterson bound series:
+    the scalability answer of `repro.engine.por` (DESIGN.md §9),
+    recorded to ``--bench-json`` for the perf trajectory."""
+    from repro.litmus.registry import final_values
+
+    def run_series():
+        series = []
+        for bound in (6, 8, 10, 12):
+            per_bound = {"bound": bound}
+            outcome_sets = {}
+            for reduction in ("none", "sleep", "dpor"):
+                result = explore(
+                    peterson_program(once=True),
+                    PETERSON_INIT,
+                    RAMemoryModel(),
+                    max_events=bound,
+                    reduction=reduction,
+                )
+                outcome_sets[reduction] = frozenset(
+                    tuple(sorted(final_values(c).items()))
+                    for c in result.terminal
+                )
+                per_bound[reduction] = {
+                    "configs": result.configs,
+                    "transitions": result.transitions,
+                    "truncated": result.truncated,
+                    "time_s": result.stats.time_total,
+                    "pruned": result.stats.pruned,
+                    "races": result.stats.races,
+                }
+            assert outcome_sets["none"] == outcome_sets["sleep"] == outcome_sets["dpor"]
+            per_bound["dpor_config_ratio"] = (
+                per_bound["none"]["configs"] / per_bound["dpor"]["configs"]
+            )
+            series.append(per_bound)
+        return series
+
+    series = once(benchmark, run_series)
+    rows = [
+        f"bound={s['bound']:>2}  none: configs={s['none']['configs']:>6} "
+        f"{s['none']['time_s'] * 1e3:7.1f}ms   "
+        f"sleep: transitions={s['sleep']['transitions']:>6}   "
+        f"dpor: configs={s['dpor']['configs']:>6} "
+        f"{s['dpor']['time_s'] * 1e3:7.1f}ms  ({s['dpor_config_ratio']:4.2f}x)"
+        for s in series
+    ]
+    table("E8: Peterson growth, reduction on vs off", rows)
+    assert series[-1]["dpor_config_ratio"] >= 2.0
+    bench_json.record(
+        "e8_peterson_reduction_series",
+        {"program": "peterson(once)", "series": series},
+    )
+    benchmark.extra_info["dpor_config_ratio_bound12"] = series[-1][
+        "dpor_config_ratio"
+    ]
+
+
 @pytest.mark.parametrize("bound", [6, 8, 10, 12], ids=lambda b: f"bound{b}")
 def test_peterson_state_space_growth(benchmark, bound):
     result = once(

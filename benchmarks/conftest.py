@@ -1,13 +1,51 @@
 """Shared helpers for the experiment benchmarks.
 
 Every benchmark regenerates one experiment from DESIGN.md's index
-(E1–E9) and prints its table/series to stdout (visible with
+(E1–E10) and prints its table/series to stdout (visible with
 ``pytest benchmarks/ --benchmark-only -s``); the headline numbers are
 also attached to ``benchmark.extra_info`` so they land in the JSON
 output of pytest-benchmark.
+
+With ``--bench-json PATH`` the session additionally writes the records
+collected through the ``bench_json`` fixture (see ``emit_json.py``) to
+``PATH`` — the machine-readable side of the experiment tables, used by
+CI to persist the E4/E8 perf trajectory as workflow artifacts.
 """
 
 from __future__ import annotations
+
+import pytest
+
+from emit_json import BenchRecorder
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write records collected via the bench_json fixture to PATH",
+    )
+
+
+def pytest_configure(config):
+    config._bench_recorder = BenchRecorder(config.getoption("--bench-json"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    recorder = getattr(session.config, "_bench_recorder", None)
+    if recorder is not None:
+        written = recorder.write()
+        if written:
+            print(f"\nbench-json: wrote {len(recorder.records)} record(s) to {written}")
+
+
+@pytest.fixture
+def bench_json(request):
+    """The session's :class:`~emit_json.BenchRecorder` (no-op without
+    ``--bench-json``)."""
+    return request.config._bench_recorder
 
 
 def once(benchmark, fn):

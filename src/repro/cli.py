@@ -26,15 +26,18 @@ Commands
     Run the full litmus suite (and, with ``--case-studies``, the case
     studies) through the engine's parallel runner: one exploration per
     (test, model) pair, fanned out over ``--jobs`` worker processes.
-    ``--strategy`` selects the search order (bfs / dfs / iddfs); the
-    verdicts are strategy- and parallelism-independent.
+    ``--strategy`` selects the search order (bfs / dfs / iddfs) and
+    ``--reduction`` a partial-order reduction (DESIGN.md §9); the
+    verdicts are strategy-, reduction- and parallelism-independent.
 
 ``fuzz``
     Differential fuzzing (DESIGN.md §6): generate ``--iters`` random
     programs from ``--seed``, run each under SC/SRA/RA and check the
-    refinement chain, soundness and axiomatic agreement.  Divergences
-    are delta-debugged to minimal reproducers and persisted under
-    ``--corpus-dir`` for pytest replay.  Exit code 1 iff any diverged.
+    refinement chain, soundness, axiomatic agreement and POR parity
+    (the ``--reduction`` search must be outcome-identical to the full
+    one).  Divergences are delta-debugged to minimal reproducers and
+    persisted under ``--corpus-dir`` for pytest replay.  Exit code 1
+    iff any diverged.
 """
 
 from __future__ import annotations
@@ -75,7 +78,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     parsed = _load(args.file)
     model = _model(args.model)
     reachable, result = run_parsed_litmus(
-        parsed, model=model, max_events=args.max_events, strategy=args.strategy
+        parsed, model=model, max_events=args.max_events, strategy=args.strategy,
+        reduction=args.reduction,
     )
     bound = " (bounded)" if result.truncated else ""
     outcome = (
@@ -115,9 +119,12 @@ def cmd_suite(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"unknown model {name!r}; choose from {sorted(MODELS)}"
             )
-    work = litmus_jobs(models=models, extra=args.extra, strategy=args.strategy)
+    work = litmus_jobs(
+        models=models, extra=args.extra, strategy=args.strategy,
+        reduction=args.reduction,
+    )
     if args.case_studies:
-        work += case_study_jobs(strategy=args.strategy)
+        work += case_study_jobs(strategy=args.strategy, reduction=args.reduction)
 
     runner = ParallelRunner(jobs=args.jobs)
     t0 = time.perf_counter()
@@ -133,6 +140,14 @@ def cmd_suite(args: argparse.Namespace) -> int:
         f"{totals['transitions']} transitions; "
         f"key-cache hit rate {100.0 * totals['key_rate']:.0f}%"
     )
+    candidates = totals["expanded"] + totals["pruned"]
+    if args.reduction != "none" and candidates:
+        print(
+            f"reduction={args.reduction}: pruned {totals['pruned']}/{candidates} "
+            f"thread-expansions ({100.0 * totals['pruned'] / candidates:.0f}%), "
+            f"sleep-hits={totals['sleep_hits']} races={totals['races']} "
+            f"revisits={totals['revisits']}"
+        )
     print(
         f"strategy={args.strategy} workers={args.jobs} "
         f"wall={wall:.2f}s (worker time {totals['worker_time']:.2f}s)"
@@ -162,6 +177,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         axiomatic=not args.no_axiomatic,
         shrink=not args.no_shrink,
+        reduction=args.reduction,
     )
     wall = time.perf_counter() - t0
 
@@ -284,6 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--stats", action="store_true", help="print engine statistics"
     )
+    run.add_argument(
+        "--reduction", default="none", choices=["none", "sleep", "dpor"],
+        help="partial-order reduction (outcome-identical, fewer configs)",
+    )
     run.set_defaults(func=cmd_run)
 
     suite = sub.add_parser(
@@ -303,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--case-studies", action="store_true",
         help="also run the case-study checks (peterson, dekker, token ring)",
     )
+    suite.add_argument(
+        "--reduction", default="none", choices=["none", "sleep", "dpor"],
+        help="partial-order reduction applied in every job "
+        "(verdict-identical by design; see DESIGN.md §9)",
+    )
     suite.set_defaults(func=cmd_suite)
 
     fuzz = sub.add_parser(
@@ -319,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--profile", default="default",
         help="generator size/shape preset (default | small | wide)",
+    )
+    fuzz.add_argument(
+        "--reduction", default="dpor", choices=["none", "sleep", "dpor"],
+        help="reduction the POR-parity oracle cross-validates against "
+        "the full search ('none' disables the oracle)",
     )
     fuzz.add_argument(
         "--no-axiomatic", action="store_true",

@@ -11,8 +11,11 @@ and "here is what is reachable":
   process;
 * :mod:`repro.engine.core` — the bounded exhaustive search itself,
   instrumented with :class:`~repro.engine.stats.EngineStats`;
+* :mod:`repro.engine.por` — partial-order reduction (sleep sets and
+  source-set DPOR) consulted by ``explore(..., reduction=...)``
+  (DESIGN.md §9);
 * :mod:`repro.engine.parallel` — a multiprocessing runner fanning the
-  litmus suite and case studies across workers.
+  litmus suite, case studies and fuzz campaigns across workers.
 
 :mod:`repro.interp.explore` re-exports the core entry points for
 backwards compatibility; new code may import from either.
@@ -34,6 +37,7 @@ from repro.engine.core import (
     explore,
     reachable_states,
 )
+from repro.engine.por.deps import REDUCTIONS
 
 __all__ = [
     "BFSFrontier",
@@ -44,6 +48,7 @@ __all__ = [
     "Frontier",
     "KEY_CACHE",
     "KeyCacheStats",
+    "REDUCTIONS",
     "STRATEGIES",
     "Violation",
     "cached_canonical_key",

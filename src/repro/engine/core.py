@@ -5,8 +5,9 @@ exhaustive enumeration of every configuration reachable under a memory
 model, deduplicated by canonical keys (program syntax × state up to tag
 renaming), with a pluggable search strategy
 (:mod:`repro.engine.frontier`), memoized canonical keys
-(:mod:`repro.engine.keys`) and per-run statistics
-(:mod:`repro.engine.stats`).
+(:mod:`repro.engine.keys`), per-run statistics
+(:mod:`repro.engine.stats`) and optional partial-order reduction
+(:mod:`repro.engine.por`, selected by ``explore(reduction=...)``).
 
 Busy-wait loops make weak-memory state spaces infinite (every loop
 iteration appends fresh read events), so exploration is *bounded* by the
@@ -167,6 +168,7 @@ def explore(
     keep_representatives: bool = False,
     canonicalize: bool = True,
     strategy: str = "bfs",
+    reduction: str = "none",
 ) -> ExplorationResult[S]:
     """Bounded exhaustive exploration from ``(P, σ_0)``.
 
@@ -188,7 +190,43 @@ def explore(
     run ends early and *which* subset was explored does depend on the
     order; such results are strategy-dependent (and flagged
     ``truncated`` in the capped case).
+
+    ``reduction`` selects a partial-order reduction (DESIGN.md §9):
+    ``"none"`` (this loop), ``"sleep"`` (sleep-set transition pruning —
+    visits the same configurations, hook-safe for any ``check_config``
+    property) or ``"dpor"`` (source-set DPOR — prunes configurations
+    while preserving terminal outcome sets, control-observable
+    violation verdicts and truncation flags; only ``configs`` may
+    shrink).  Reduced runs perform their own traversal: ``"dpor"`` is
+    inherently depth-first and ``"sleep"`` skips the deepening loop.
+    ``check_step`` hooks quantify over transitions — exactly what a
+    reduction prunes — so combining them raises ``ValueError``.
     """
+    from repro.engine.por import REDUCTIONS, explore_reduced
+
+    if reduction not in REDUCTIONS:
+        raise ValueError(
+            f"unknown reduction {reduction!r}; choose from {REDUCTIONS}"
+        )
+    if reduction != "none":
+        if check_step is not None:
+            raise ValueError(
+                "check_step hooks quantify over transitions, which a "
+                "partial-order reduction prunes; use reduction='none'"
+            )
+        return explore_reduced(
+            program,
+            init_values,
+            model,
+            reduction,
+            max_events=max_events,
+            max_configs=max_configs,
+            check_config=check_config,
+            stop_on_violation=stop_on_violation,
+            keep_representatives=keep_representatives,
+            canonicalize=canonicalize,
+            strategy=strategy,
+        )
     if strategy == "iddfs" and max_events is not None and max_events >= 1:
         return _explore_deepening(
             program,
@@ -387,6 +425,7 @@ def reachable_states(
     max_events: Optional[int] = None,
     max_configs: Optional[int] = None,
     strategy: str = "bfs",
+    reduction: str = "none",
 ) -> Tuple[List[S], ExplorationResult[S]]:
     """All distinct memory states reachable (deduplicated by the model's
     canonical key), plus the exploration result.
@@ -394,6 +433,13 @@ def reachable_states(
     The ``record`` hook keys every state a second time; thanks to the
     memoization layer that second keying is a cache hit, not a repeat of
     the ``O(n log n)`` canonicalisation (DESIGN.md §4).
+
+    ``reduction="sleep"`` still enumerates every reachable state (sleep
+    sets prune transitions, not configurations); ``"dpor"`` prunes
+    configurations and thus returns a *subset* of the reachable states —
+    fine for reaching terminal states fast, wrong for per-state
+    universal checks, which is why the soundness/completeness checkers
+    keep the default.
     """
     states: Dict[Hashable, S] = {}
 
@@ -409,5 +455,6 @@ def reachable_states(
         max_configs=max_configs,
         check_config=record,
         strategy=strategy,
+        reduction=reduction,
     )
     return list(states.values()), result

@@ -46,6 +46,9 @@ class SuiteJob:
     model: str = "ra"  # litmus only; case studies fix their own model
     strategy: str = "bfs"
     max_configs: Optional[int] = None
+    #: partial-order reduction applied by the worker's exploration
+    #: (DESIGN.md §9); verdicts are reduction-independent by design
+    reduction: str = "none"
 
     @property
     def label(self) -> str:
@@ -76,6 +79,12 @@ class SuiteJobResult:
     #: kind-specific payload (fuzz jobs ship their divergence records
     #: here as JSON; litmus and case-study jobs leave it empty)
     detail: str = ""
+    #: reduction counters (zero when the job ran unreduced)
+    expanded: int = 0
+    pruned: int = 0
+    sleep_hits: int = 0
+    races: int = 0
+    revisits: int = 0
 
     @property
     def verdict_matches(self) -> bool:
@@ -106,6 +115,7 @@ def litmus_jobs(
     models: Sequence[str] = ("ra", "sc"),
     extra: bool = False,
     strategy: str = "bfs",
+    reduction: str = "none",
 ) -> List[SuiteJob]:
     """One job per (litmus test, model) over the built-in suite."""
     from repro.litmus.extra import EXTRA_TESTS
@@ -113,16 +123,20 @@ def litmus_jobs(
 
     tests = list(ALL_TESTS) + (list(EXTRA_TESTS) if extra else [])
     return [
-        SuiteJob(kind="litmus", name=test.name, model=model, strategy=strategy)
+        SuiteJob(
+            kind="litmus", name=test.name, model=model, strategy=strategy,
+            reduction=reduction,
+        )
         for test in tests
         for model in models
     ]
 
 
-def case_study_jobs(strategy: str = "bfs") -> List[SuiteJob]:
+def case_study_jobs(strategy: str = "bfs", reduction: str = "none") -> List[SuiteJob]:
     """The case-study checks as suite jobs (RA model, modest bounds)."""
     return [
-        SuiteJob(kind="case-study", name=name, strategy=strategy)
+        SuiteJob(kind="case-study", name=name, strategy=strategy,
+                 reduction=reduction)
         for name in CASE_STUDIES
     ]
 
@@ -152,7 +166,8 @@ def _run_litmus_job(job: SuiteJob) -> SuiteJobResult:
         )
     test = _litmus_by_name(job.name)
     outcome = run_litmus(
-        test, model, max_configs=job.max_configs, strategy=job.strategy
+        test, model, max_configs=job.max_configs, strategy=job.strategy,
+        reduction=job.reduction,
     )
     stats = outcome.result.stats
     return SuiteJobResult(
@@ -167,10 +182,16 @@ def _run_litmus_job(job: SuiteJob) -> SuiteJobResult:
         wall_time=stats.time_total,
         key_hits=stats.key_hits,
         key_misses=stats.key_misses,
+        expanded=stats.expanded,
+        pruned=stats.pruned,
+        sleep_hits=stats.sleep_hits,
+        races=stats.races,
+        revisits=stats.revisits,
     )
 
 
-def _case_study_exploration(name: str, strategy: str, max_configs):
+def _case_study_exploration(name: str, strategy: str, max_configs,
+                            reduction: str = "none"):
     from repro.casestudies.dekker import (
         DEKKER_INIT,
         dekker_entry_program,
@@ -214,11 +235,14 @@ def _case_study_exploration(name: str, strategy: str, max_configs):
         max_configs=max_configs,
         check_config=check,
         strategy=strategy,
+        reduction=reduction,
     )
 
 
 def _run_case_study_job(job: SuiteJob) -> SuiteJobResult:
-    result = _case_study_exploration(job.name, job.strategy, job.max_configs)
+    result = _case_study_exploration(
+        job.name, job.strategy, job.max_configs, reduction=job.reduction
+    )
     return SuiteJobResult(
         job=job,
         observed=not result.ok,
@@ -231,6 +255,11 @@ def _run_case_study_job(job: SuiteJob) -> SuiteJobResult:
         wall_time=result.stats.time_total,
         key_hits=result.stats.key_hits,
         key_misses=result.stats.key_misses,
+        expanded=result.stats.expanded,
+        pruned=result.stats.pruned,
+        sleep_hits=result.stats.sleep_hits,
+        races=result.stats.races,
+        revisits=result.stats.revisits,
     )
 
 
@@ -277,17 +306,29 @@ class ParallelRunner:
             return pool.map(run_suite_job, list(work))
 
     def aggregate(self, results: Sequence[SuiteJobResult]) -> dict:
-        """Suite-level totals for the CLI footer."""
-        keyed = sum(r.key_hits + r.key_misses for r in results)
-        hits = sum(r.key_hits for r in results)
-        return {
-            "jobs": len(results),
-            "configs": sum(r.configs for r in results),
-            "transitions": sum(r.transitions for r in results),
-            "mismatches": sum(1 for r in results if not r.verdict_matches),
-            "key_rate": (hits / keyed) if keyed else 0.0,
-            "worker_time": sum(r.wall_time for r in results),
+        """Suite-level totals for the CLI footer.
+
+        Every integer counter field of :class:`SuiteJobResult` is summed
+        generically — a stat key added to the result type (reduction
+        counters, say) shows up here without aggregator surgery, instead
+        of being silently dropped.  Derived entries (``jobs``,
+        ``mismatches``, ``key_rate``, ``worker_time``) stay explicit.
+        """
+        import typing
+
+        hints = typing.get_type_hints(SuiteJobResult)
+        totals = {
+            name: sum(getattr(r, name) for r in results)
+            for f in dataclasses.fields(SuiteJobResult)
+            for name in (f.name,)
+            if hints.get(name) is int  # resolved type: excludes bool/str
         }
+        keyed = totals["key_hits"] + totals["key_misses"]
+        totals["jobs"] = len(results)
+        totals["mismatches"] = sum(1 for r in results if not r.verdict_matches)
+        totals["key_rate"] = (totals["key_hits"] / keyed) if keyed else 0.0
+        totals["worker_time"] = sum(r.wall_time for r in results)
+        return totals
 
 
 __all__ = [

@@ -1,0 +1,180 @@
+"""Sleep-set pruning over the graph search (reduction ``"sleep"``).
+
+Sleep sets (Godefroid) prune *transitions*, not *states*: after thread
+``p`` has been fully explored from a configuration, later sibling
+branches carry ``p`` in their sleep set and skip re-exploring it until
+some executed step conflicts with ``p``'s footprint — at which point
+``p`` wakes.  Every configuration reachable by the full search is still
+reached (the classic result that sleep sets alone do not shrink the
+state count), which makes this the *hook-safe* reduction tier: any
+``check_config`` property, including memory-reading invariants, sees
+exactly the states the unreduced search sees.  Only the transition
+count (and hence successor-expansion work) shrinks.
+
+Because the engine deduplicates by canonical key, a configuration can
+be reached with *different* sleep sets along different paths.  Plain
+seen-set dedup would be unsound (the first arrival's sleep set may have
+pruned a thread the second arrival needs), so dedup here follows the
+sleep-set *inclusion* discipline from the state-space-caching
+literature: each expansion of a key records its sleep set, and a new
+arrival is pruned only when its sleep set is a superset of a recorded
+one (its exploration would be a subset of work already done).
+Incomparable arrivals re-expand the configuration — counted in
+``EngineStats.revisits``; the per-key records form an antichain over a
+finite lattice, so re-expansion terminates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, FrozenSet, Hashable, List, Mapping, Optional
+
+from repro.engine.core import ExplorationResult, Violation, _key_of, _state_size
+from repro.engine.frontier import frontier_class
+from repro.engine.keys import KEY_CACHE
+from repro.engine.por.deps import StepFootprint, conflicts, pending_steps, step_footprint
+
+
+def explore_sleep(
+    program,
+    init_values: Mapping,
+    model,
+    max_events: Optional[int] = None,
+    max_configs: Optional[int] = None,
+    check_config: Optional[Callable] = None,
+    stop_on_violation: bool = False,
+    keep_representatives: bool = False,
+    canonicalize: bool = True,
+    strategy: str = "bfs",
+) -> ExplorationResult:
+    """Graph search with sleep-set transition pruning.
+
+    Honours ``strategy`` through the ordinary frontier abstraction
+    (``iddfs`` degrades to a single depth-first run — the deepening
+    loop lives above the reduction dispatch and is skipped).
+    """
+    from repro.interp.config import Configuration
+    from repro.interp.interpreter import thread_successors
+
+    initial = Configuration(program, model.initial(init_values))
+    result: ExplorationResult = ExplorationResult(initial)
+    result._model = model
+    result._canonicalize = canonicalize
+    stats = result.stats
+    stats.strategy = strategy
+    stats.reduction = "sleep"
+    track_control = check_config is not None
+
+    clock = time.perf_counter
+    t_run = clock()
+    hits0, misses0, _ = KEY_CACHE.snapshot()
+
+    #: key -> antichain of sleep-tid sets this key was expanded with
+    expanded: Dict[Hashable, List[FrozenSet[int]]] = {}
+
+    try:
+        t0 = clock()
+        init_key = _key_of(initial, model, canonicalize)
+        stats.time_keys += clock() - t0
+
+        result.parents[init_key] = (None, None)
+        frontier = frontier_class(strategy)()
+        frontier.push((initial, init_key, {}))
+        stats.peak_frontier = 1
+        known = {init_key}
+        capped = False
+
+        while frontier:
+            config, key, sleep = frontier.pop()
+            sleeping = frozenset(sleep)
+            records = expanded.get(key)
+            if records is not None:
+                if any(rec <= sleeping for rec in records):
+                    continue  # covered arrival: strictly less awake
+                stats.revisits += 1
+            expanded.setdefault(key, []).append(sleeping)
+
+            if records is None:  # first visit: hooks fire exactly once per key
+                result.configs += 1
+                if keep_representatives:
+                    result.representatives[key] = config
+                if check_config is not None:
+                    t0 = clock()
+                    messages = check_config(config)
+                    stats.time_checks += clock() - t0
+                    for message in messages:
+                        result.violations.append(Violation(message, config))
+                        if stop_on_violation:
+                            return result
+                if config.is_terminated():
+                    result.terminal.append(config)
+
+            if config.is_terminated():
+                continue
+
+            steps = pending_steps(config.program)
+            at_bound = (
+                max_events is not None and _state_size(config.state) >= max_events
+            )
+            awake_sleep = dict(sleep)
+            for tid in sorted(steps):
+                step = steps[tid]
+                if tid in sleep:
+                    stats.sleep_hits += 1
+                    stats.pruned += 1
+                    if at_bound and not step.is_silent:
+                        result.truncated = True
+                    continue
+                if at_bound and not step.is_silent:
+                    # Bound-blocked, exactly as the unreduced loop: the
+                    # eventful step is skipped and recorded, and the
+                    # thread does not join the sleep set (it was never
+                    # explored here).
+                    result.truncated = True
+                    continue
+                fp = step_footprint(
+                    model, config.state, config.program.command(tid), tid, step,
+                    track_control,
+                )
+                stats.expanded += 1
+                t0 = clock()
+                successors = list(thread_successors(config, model, tid, step))
+                stats.time_expand += clock() - t0
+                child_sleep = {
+                    q: fq for q, fq in awake_sleep.items()
+                    if q != tid and not conflicts(fq, fp)
+                }
+                for child in successors:
+                    result.transitions += 1
+                    if capped:
+                        continue
+                    t0 = clock()
+                    child_key = _key_of(child.target, model, canonicalize)
+                    stats.time_keys += clock() - t0
+                    if child_key not in known:
+                        if max_configs is not None and len(known) >= max_configs:
+                            result.truncated = True
+                            result.capped = True
+                            capped = True
+                            continue
+                        known.add(child_key)
+                    result.parents.setdefault(child_key, (key, child))
+                    recs = expanded.get(child_key)
+                    if recs is not None and any(
+                        rec <= frozenset(child_sleep) for rec in recs
+                    ):
+                        continue  # already expanded at least this awake
+                    frontier.push((child.target, child_key, child_sleep))
+                    if len(frontier) > stats.peak_frontier:
+                        stats.peak_frontier = len(frontier)
+                awake_sleep[tid] = fp  # sleeps for the remaining siblings
+    finally:
+        stats.time_total += clock() - t_run
+        hits1, misses1, _ = KEY_CACHE.snapshot()
+        stats.key_hits += hits1 - hits0
+        stats.key_misses += misses1 - misses0
+
+    return result
+
+
+__all__ = ["explore_sleep"]

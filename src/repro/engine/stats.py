@@ -2,11 +2,12 @@
 
 Every :class:`~repro.engine.core.ExplorationResult` carries an
 :class:`EngineStats` describing the run that produced it: which search
-strategy ran, how large the frontier grew, how the canonical-key cache
-behaved and how wall time split across the engine's three phases
-(successor expansion, canonical keying, check hooks).  The CLI prints
-these with ``--stats`` and the E8 scalability benchmark reports them
-alongside its series (see DESIGN.md §5).
+strategy and reduction ran, how large the frontier grew, how the
+canonical-key cache behaved, how wall time split across the engine's
+three phases (successor expansion, canonical keying, check hooks), and
+— under partial-order reduction (DESIGN.md §9) — how much the reduction
+pruned.  The CLI prints these with ``--stats``, the ``suite`` footer
+aggregates them across jobs and the E4/E8 benchmarks emit them as JSON.
 """
 
 from __future__ import annotations
@@ -19,7 +20,10 @@ class EngineStats:
     """Counters and phase timings of one exploration run."""
 
     strategy: str = "bfs"
-    #: Largest number of configurations ever waiting in the frontier.
+    #: Which partial-order reduction ran ("none" | "sleep" | "dpor").
+    reduction: str = "none"
+    #: Largest number of configurations ever waiting in the frontier
+    #: (for the DPOR depth-first traversal: the peak spine depth).
     peak_frontier: int = 0
     #: Canonical-key cache behaviour during this run (deltas of the
     #: process-wide :data:`~repro.engine.keys.KEY_CACHE`).
@@ -34,12 +38,32 @@ class EngineStats:
     time_checks: float = 0.0
     #: Number of deepening rounds (1 unless the strategy is ``iddfs``).
     iterations: int = 1
+    #: Thread-expansions performed / skipped by the reduction.  One
+    #: "expansion" is one thread's pending step resolved against the
+    #: memory model; ``pruned`` counts enabled threads a reduction chose
+    #: not to expand at some configuration (0 when reduction is "none").
+    expanded: int = 0
+    pruned: int = 0
+    #: How often a sleeping thread was skipped (subset of ``pruned``).
+    sleep_hits: int = 0
+    #: Races detected by DPOR (backtrack-point insertions attempted).
+    races: int = 0
+    #: Arrivals at an already-expanded configuration: covered prunes
+    #: plus re-expansions under an incomparable sleep set.
+    revisits: int = 0
 
     @property
     def key_rate(self) -> float:
         """Cache hit rate over this run (0.0 when nothing was keyed)."""
         keyed = self.key_hits + self.key_misses
         return self.key_hits / keyed if keyed else 0.0
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of enabled thread-expansions the reduction skipped
+        (0.0 for unreduced runs)."""
+        total = self.expanded + self.pruned
+        return self.pruned / total if total else 0.0
 
     def merge_round(self, other: "EngineStats") -> None:
         """Fold one deepening round's stats into a cumulative record."""
@@ -50,13 +74,18 @@ class EngineStats:
         self.time_expand += other.time_expand
         self.time_keys += other.time_keys
         self.time_checks += other.time_checks
+        self.expanded += other.expanded
+        self.pruned += other.pruned
+        self.sleep_hits += other.sleep_hits
+        self.races += other.races
+        self.revisits += other.revisits
 
     def summary(self) -> str:
         """One human-readable line, used by the CLI and benchmarks."""
         keyed = self.key_hits + self.key_misses
         rate = f"{100.0 * self.key_rate:.0f}%" if keyed else "n/a"
         rounds = f" rounds={self.iterations}" if self.iterations > 1 else ""
-        return (
+        line = (
             f"strategy={self.strategy}{rounds} peak-frontier={self.peak_frontier} "
             f"key-cache={self.key_hits}/{keyed} ({rate}) "
             f"time={self.time_total * 1e3:.1f}ms "
@@ -64,3 +93,12 @@ class EngineStats:
             f"keys={self.time_keys * 1e3:.1f} "
             f"checks={self.time_checks * 1e3:.1f})"
         )
+        if self.reduction != "none":
+            line += (
+                f" reduction={self.reduction} "
+                f"pruned={self.pruned}/{self.expanded + self.pruned} "
+                f"({100.0 * self.reduction_ratio:.0f}%) "
+                f"sleep-hits={self.sleep_hits} races={self.races} "
+                f"revisits={self.revisits}"
+            )
+        return line

@@ -1,6 +1,6 @@
 """Differential oracles: what makes a generated program *pass*.
 
-Three independent checks, cheapest first:
+Four independent checks, cheapest first:
 
 1. **Refinement chain** — the outcome sets (final values of every
    variable over terminal configurations) must nest along the model
@@ -23,6 +23,15 @@ Three independent checks, cheapest first:
    variables, capped; values clamped to ``(1,)``).  The space is
    memoized per process, so each distinct space is enumerated once per
    worker (once per campaign when ``jobs=1``).
+
+4. **POR parity** — re-explore the program under RA with the selected
+   partial-order reduction (``"dpor"`` by default, DESIGN.md §9) and
+   require the reduced search to be outcome-identical to the full one:
+   same terminal outcome set, same truncation flag, and a visited-
+   configuration count that can only shrink.  This is the continuous
+   soundness check of :mod:`repro.engine.por` — every fuzz campaign
+   cross-validates the reduction against exhaustive exploration on
+   every generated program, for free.
 
 A run that hits an exploration bound (``max_events`` slack exceeded or
 the ``max_configs`` safety cap) is reported *inconclusive*, never
@@ -81,7 +90,7 @@ class OracleReport:
 
     case: GeneratedCase
     #: divergence kind ("refinement" / "soundness" / "axiomatic" /
-    #: "crash"), or ``None`` when every oracle passed
+    #: "por-parity" / "crash"), or ``None`` when every oracle passed
     divergence: Optional[str] = None
     detail: str = ""
     #: a bound was hit; no divergence verdict is possible
@@ -92,6 +101,12 @@ class OracleReport:
     terminal: int = 0
     key_hits: int = 0
     key_misses: int = 0
+    #: reduction counters of the POR-parity run (0 when disabled)
+    expanded: int = 0
+    pruned: int = 0
+    sleep_hits: int = 0
+    races: int = 0
+    revisits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -139,8 +154,14 @@ def check_program(
     axiomatic: bool = True,
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
     models: Optional[Dict[str, Callable[[], MemoryModel]]] = None,
+    reduction: str = "dpor",
 ) -> OracleReport:
-    """Run every oracle on ``case`` and report the first divergence."""
+    """Run every oracle on ``case`` and report the first divergence.
+
+    ``reduction`` selects which partial-order reduction the POR-parity
+    oracle cross-validates against the full search (``"none"`` disables
+    the oracle).
+    """
     models = models if models is not None else ORACLE_MODELS
     report = OracleReport(case)
     # +1 slack: the hint is an exact upper bound, so reaching it is
@@ -171,6 +192,8 @@ def check_program(
         report.terminal += len(result.terminal)
         report.key_hits += result.stats.key_hits
         report.key_misses += result.stats.key_misses
+        if name == "ra":
+            ra_full = result
         if result.truncated:
             report.inconclusive = True
             report.detail = f"{name} exploration hit a bound; no verdict"
@@ -216,6 +239,57 @@ def check_program(
                 report.divergence = "axiomatic"
                 report.detail = failure
                 return report
+
+    # 4. POR parity: the reduced search must be outcome-identical
+    if reduction != "none":
+        try:
+            reduced = explore(
+                case.program, case.init, models["ra"](),
+                max_events=max_events, max_configs=max_configs,
+                reduction=reduction,
+            )
+        except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+            report.divergence = "crash"
+            report.detail = (
+                f"ra exploration under reduction={reduction} raised "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return report
+        report.configs += reduced.configs
+        report.transitions += reduced.transitions
+        report.key_hits += reduced.stats.key_hits
+        report.key_misses += reduced.stats.key_misses
+        report.expanded += reduced.stats.expanded
+        report.pruned += reduced.stats.pruned
+        report.sleep_hits += reduced.stats.sleep_hits
+        report.races += reduced.stats.races
+        report.revisits += reduced.stats.revisits
+        reduced_outcomes = _outcome_set(reduced.terminal)
+        if reduced_outcomes != report.outcomes["ra"]:
+            missing = report.outcomes["ra"] - reduced_outcomes
+            extra = reduced_outcomes - report.outcomes["ra"]
+            witness = _format_outcome(sorted(missing or extra)[0])
+            report.divergence = "por-parity"
+            report.detail = (
+                f"reduction={reduction}: outcome {witness} "
+                f"{'lost' if missing else 'invented'} by the reduced "
+                f"search ({len(missing)} missing, {len(extra)} extra)"
+            )
+            return report
+        if reduced.truncated != ra_full.truncated:
+            report.divergence = "por-parity"
+            report.detail = (
+                f"reduction={reduction}: truncation flag diverged "
+                f"({reduced.truncated} vs {ra_full.truncated})"
+            )
+            return report
+        if reduced.configs > ra_full.configs:
+            report.divergence = "por-parity"
+            report.detail = (
+                f"reduction={reduction}: visited {reduced.configs} distinct "
+                f"configurations, more than the full search's {ra_full.configs}"
+            )
+            return report
 
     return report
 

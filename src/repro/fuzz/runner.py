@@ -36,6 +36,8 @@ class FuzzJob:
     shrink: bool = True
     strategy: str = "bfs"  # unused; parity with SuiteJob's interface
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS
+    #: reduction the POR-parity oracle checks ("none" disables it)
+    reduction: str = "dpor"
 
     @property
     def label(self) -> str:
@@ -69,7 +71,8 @@ class DivergenceRecord:
 
 def _check(job: FuzzJob, case: GeneratedCase) -> OracleReport:
     return check_program(
-        case, axiomatic=job.axiomatic, max_configs=job.max_configs
+        case, axiomatic=job.axiomatic, max_configs=job.max_configs,
+        reduction=job.reduction,
     )
 
 
@@ -94,6 +97,7 @@ def run_fuzz_job(job: FuzzJob):
     records: List[DivergenceRecord] = []
     inconclusive = 0
     configs = transitions = terminal = key_hits = key_misses = 0
+    expanded = pruned = sleep_hits = races = revisits = 0
     for index in range(job.start, job.start + job.count):
         case = generate_case(job.seed, index, PROFILES[job.profile])
         report = _check(job, case)
@@ -102,6 +106,11 @@ def run_fuzz_job(job: FuzzJob):
         terminal += report.terminal
         key_hits += report.key_hits
         key_misses += report.key_misses
+        expanded += report.expanded
+        pruned += report.pruned
+        sleep_hits += report.sleep_hits
+        races += report.races
+        revisits += report.revisits
         if report.inconclusive:
             inconclusive += 1
             continue
@@ -148,6 +157,11 @@ def run_fuzz_job(job: FuzzJob):
         key_hits=key_hits,
         key_misses=key_misses,
         detail=json.dumps(payload),
+        expanded=expanded,
+        pruned=pruned,
+        sleep_hits=sleep_hits,
+        races=races,
+        revisits=revisits,
     )
 
 
@@ -165,6 +179,12 @@ class CampaignReport:
     wall_time: float = 0.0
     key_hits: int = 0
     key_misses: int = 0
+    #: summed POR-parity reduction counters (see DESIGN.md §9)
+    expanded: int = 0
+    pruned: int = 0
+    sleep_hits: int = 0
+    races: int = 0
+    revisits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -178,13 +198,21 @@ class CampaignReport:
         )
         keyed = self.key_hits + self.key_misses
         rate = (100.0 * self.key_hits / keyed) if keyed else 0.0
-        return (
+        line = (
             f"fuzz seed={self.seed} iters={self.iters} "
             f"profile={self.profile}: {verdict}, "
             f"{self.inconclusive} inconclusive; {self.configs} configs, "
             f"{self.transitions} transitions, key-cache {rate:.0f}%, "
             f"worker time {self.wall_time:.2f}s"
         )
+        candidates = self.expanded + self.pruned
+        if candidates:
+            line += (
+                f"; por-parity pruned {self.pruned}/{candidates} "
+                f"({100.0 * self.pruned / candidates:.0f}%), "
+                f"{self.races} races"
+            )
+        return line
 
 
 def fuzz_jobs(
@@ -195,6 +223,7 @@ def fuzz_jobs(
     axiomatic: bool = True,
     shrink: bool = True,
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
+    reduction: str = "dpor",
 ) -> List[FuzzJob]:
     """Slice ``iters`` cases into worker-sized chunks.
 
@@ -218,6 +247,7 @@ def fuzz_jobs(
             axiomatic=axiomatic,
             shrink=shrink,
             max_configs=max_configs,
+            reduction=reduction,
         )
         for start in range(0, iters, chunk)
     ]
@@ -231,13 +261,14 @@ def run_campaign(
     axiomatic: bool = True,
     shrink: bool = True,
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
+    reduction: str = "dpor",
 ) -> CampaignReport:
     """Run a whole campaign through the parallel runner."""
     from repro.engine.parallel import ParallelRunner
 
     work = fuzz_jobs(
         seed, iters, profile=profile, jobs=jobs, axiomatic=axiomatic,
-        shrink=shrink, max_configs=max_configs,
+        shrink=shrink, max_configs=max_configs, reduction=reduction,
     )
     results = ParallelRunner(jobs=jobs).run(work)
     report = CampaignReport(seed=seed, iters=iters, profile=profile)
@@ -259,6 +290,11 @@ def run_campaign(
         report.wall_time += result.wall_time
         report.key_hits += result.key_hits
         report.key_misses += result.key_misses
+        report.expanded += result.expanded
+        report.pruned += result.pruned
+        report.sleep_hits += result.sleep_hits
+        report.races += result.races
+        report.revisits += result.revisits
     report.divergences.sort(key=lambda r: r.index)
     return report
 

@@ -26,10 +26,12 @@ from repro.engine.core import (
     explore,
     reachable_states,
 )
+from repro.engine.por.deps import REDUCTIONS
 
 __all__ = [
     "ConfigKey",
     "ExplorationResult",
+    "REDUCTIONS",
     "Violation",
     "explore",
     "reachable_states",

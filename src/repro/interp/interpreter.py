@@ -47,29 +47,42 @@ class InterpretedStep(Generic[S]):
         )
 
 
+def thread_successors(
+    config: Configuration[S], model: MemoryModel[S], tid: Tid, step
+) -> Iterator[InterpretedStep[S]]:
+    """All interpreted transitions realising one thread's pending step.
+
+    The per-thread slice of :func:`configuration_successors`, exposed so
+    the partial-order reduction layer (:mod:`repro.engine.por`) can
+    expand a single selected thread without generating the memory
+    transitions of threads it prunes.
+    """
+    program, state = config.program, config.state
+    if step.is_silent:
+        yield InterpretedStep(
+            source=config,
+            tid=tid,
+            target=Configuration(program.update(tid, step.resume(None)), state),
+        )
+        return
+    for mt in model.transitions(state, tid, step):
+        next_program = program.update(tid, step.resume(mt.read_value))
+        yield InterpretedStep(
+            source=config,
+            tid=tid,
+            target=Configuration(next_program, mt.target),
+            event=mt.event,
+            observed=mt.observed,
+            read_value=mt.read_value,
+        )
+
+
 def configuration_successors(
     config: Configuration[S], model: MemoryModel[S]
 ) -> Iterator[InterpretedStep[S]]:
     """All interpreted transitions from ``config`` under ``model``."""
-    program, state = config.program, config.state
-    for tid, step in program_steps(program):
-        if step.is_silent:
-            yield InterpretedStep(
-                source=config,
-                tid=tid,
-                target=Configuration(program.update(tid, step.resume(None)), state),
-            )
-            continue
-        for mt in model.transitions(state, tid, step):
-            next_program = program.update(tid, step.resume(mt.read_value))
-            yield InterpretedStep(
-                source=config,
-                tid=tid,
-                target=Configuration(next_program, mt.target),
-                event=mt.event,
-                observed=mt.observed,
-                read_value=mt.read_value,
-            )
+    for tid, step in program_steps(config.program):
+        yield from thread_successors(config, model, tid, step)
 
 
 def initial_configuration(

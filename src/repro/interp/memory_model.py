@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Generic, Hashable, Iterator, Mapping, Optional, TypeVar
+from typing import FrozenSet, Generic, Hashable, Iterator, Mapping, Optional, Tuple, TypeVar
 
 from repro.c11.events import Event
 from repro.lang.actions import Value, Var
@@ -74,3 +74,30 @@ class MemoryModel(abc.ABC, Generic[S]):
         canonical, e.g. SC stores).
         """
         return state
+
+    def step_footprint(
+        self, state: S, tid: Tid, step: PendingStep
+    ) -> Tuple[FrozenSet[Var], FrozenSet[Var]]:
+        """The shared locations ``step`` would read and write.
+
+        The partial-order reduction layer (:mod:`repro.engine.por`)
+        derives its dependency relation from this: two steps of distinct
+        threads conflict when their footprints share a location with at
+        least one write (an RMW reads *and* writes its location, so it
+        conflicts with every access there).
+
+        The default reads the pending step's action: silent steps touch
+        nothing; reads/writes/updates touch exactly their variable.
+        This is exact for any model whose same-state transitions depend
+        only on same-location structure and on ``hb`` edges reaching the
+        acting thread — which covers SC, RA and SRA (see the per-model
+        overrides for the commutation arguments).  A model for which
+        disjoint-location steps do *not* commute must override this with
+        a wider footprint.
+        """
+        if step.is_silent or step.var is None:
+            return (frozenset(), frozenset())
+        var = frozenset((step.var,))
+        empty: FrozenSet[Var] = frozenset()
+        return (var if step.kind.is_read else empty,
+                var if step.kind.is_write else empty)

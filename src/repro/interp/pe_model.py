@@ -71,6 +71,18 @@ class PEMemoryModel(MemoryModel[PreExecutionState]):
     def canonical_state_key(self, state: PreExecutionState) -> Hashable:
         return cached_canonical_key(state)
 
+    def step_footprint(self, state: PreExecutionState, tid: Tid, step: PendingStep):
+        """Pre-execution steps of distinct threads commute *unconditionally*.
+
+        ``→PE`` only appends an event ``sb``-after the acting thread's
+        own events, and reads guess their value from a fixed domain
+        without consulting the state — Proposition 4.1 verbatim.  The
+        footprint is therefore empty even for same-location accesses:
+        under PE the reduction may commute everything across threads.
+        """
+        empty = frozenset()
+        return (empty, empty)
+
 
 def literals_written(com: Com) -> FrozenSet[Value]:
     """Every value literal the command can write to shared memory.

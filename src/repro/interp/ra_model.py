@@ -43,3 +43,17 @@ class RAMemoryModel(MemoryModel[C11State]):
 
     def canonical_state_key(self, state: C11State) -> Hashable:
         return cached_canonical_key(state)
+
+    def step_footprint(self, state: C11State, tid: Tid, step: PendingStep):
+        """Per-location footprints are exact for the RA event semantics.
+
+        Steps of distinct threads on disjoint locations commute: a new
+        event is placed ``sb``-after its own thread only, ``mo`` is
+        per-location, a write's admissible ``mo`` positions depend on the
+        ``hb`` edges *into its own thread* (which another thread's step
+        cannot create in one transition — ``sw`` edges point at the
+        reader), and a read's observable-write set on ``x`` is untouched
+        by events on ``y ≠ x``.  Same-location conflicts (≥ 1 write, and
+        the RA update reads *and* writes) are exactly the base relation.
+        """
+        return super().step_footprint(state, tid, step)

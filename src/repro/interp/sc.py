@@ -73,3 +73,13 @@ class SCMemoryModel(MemoryModel[SCState]):
             )
         else:  # pragma: no cover - defensive
             raise ValueError(f"unexpected step kind {kind}")
+
+    def step_footprint(self, state: SCState, tid: Tid, step: PendingStep):
+        """The textbook footprint: SC accesses touch exactly their cell.
+
+        Reads return the cell's value and writes overwrite it, so two
+        steps on distinct variables commute outright and two reads of the
+        same variable commute too — the default same-location/≥-1-write
+        relation is exact.
+        """
+        return super().step_footprint(state, tid, step)

@@ -55,3 +55,14 @@ class SRAMemoryModel(MemoryModel[C11State]):
 
     def canonical_state_key(self, state: C11State) -> Hashable:
         return cached_canonical_key(state)
+
+    def step_footprint(self, state: C11State, tid: Tid, step: PendingStep):
+        """RA footprints remain exact under the SRA filter.
+
+        ``sb ∪ rf ∪ mo`` only ever grows along a run and restrictions of
+        acyclic relations are acyclic, so an intermediate state of a
+        two-step sequence is never the cyclic one when the final state is
+        acyclic — both orders of commuting RA steps are pruned (or kept)
+        together, and the RA commutation argument carries over verbatim.
+        """
+        return self._ra.step_footprint(state, tid, step)

@@ -454,7 +454,8 @@ def parse_litmus(text: str) -> ParsedLitmus:
     )
 
 
-def run_parsed_litmus(parsed: ParsedLitmus, model=None, max_events=None, strategy="bfs"):
+def run_parsed_litmus(parsed: ParsedLitmus, model=None, max_events=None, strategy="bfs",
+                      reduction="none"):
     """Convenience: decide the parsed test's outcome reachability."""
     from repro.interp.explore import explore
     from repro.interp.ra_model import RAMemoryModel
@@ -463,7 +464,7 @@ def run_parsed_litmus(parsed: ParsedLitmus, model=None, max_events=None, strateg
     model = model if model is not None else RAMemoryModel()
     result = explore(
         parsed.program, parsed.init, model, max_events=max_events,
-        strategy=strategy,
+        strategy=strategy, reduction=reduction,
     )
     # Files without an exists/forbidden clause (e.g. fuzz-corpus
     # reproducers) are pure explorations: nothing to be reachable.

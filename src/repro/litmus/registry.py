@@ -92,8 +92,15 @@ def run_litmus(
     model: Optional[MemoryModel] = None,
     max_configs: Optional[int] = None,
     strategy: str = "bfs",
+    reduction: str = "none",
 ) -> LitmusOutcome:
-    """Decide reachability of the test's outcome under ``model``."""
+    """Decide reachability of the test's outcome under ``model``.
+
+    ``reduction`` selects a partial-order reduction (DESIGN.md §9);
+    litmus verdicts are outcome-set properties of the terminal states,
+    which every reduction preserves — the POR parity suite and CI job
+    assert exactly this, verdict for verdict.
+    """
     model = model if model is not None else RAMemoryModel()
     result = explore(
         test.program,
@@ -102,6 +109,7 @@ def run_litmus(
         max_events=test.max_events,
         max_configs=max_configs,
         strategy=strategy,
+        reduction=reduction,
     )
     reachable = any(
         test.outcome(final_values(config)) for config in result.terminal
@@ -126,6 +134,7 @@ def run_suite(
     models: Optional[List[MemoryModel]] = None,
     jobs: int = 1,
     strategy: str = "bfs",
+    reduction: str = "none",
 ) -> List[LitmusOutcome]:
     """The E7 table: every test under every model.
 
@@ -157,7 +166,7 @@ def run_suite(
 
     if jobs <= 1 or not _parallelizable():
         return [
-            run_litmus(test, model, strategy=strategy)
+            run_litmus(test, model, strategy=strategy, reduction=reduction)
             for test in tests
             for model in models
         ]
@@ -167,7 +176,10 @@ def run_suite(
     model_keys = {model.name.lower(): model for model in models}
     by_name = {test.name: test for test in tests}
     work = [
-        SuiteJob(kind="litmus", name=test.name, model=key, strategy=strategy)
+        SuiteJob(
+            kind="litmus", name=test.name, model=key, strategy=strategy,
+            reduction=reduction,
+        )
         for test in tests
         for key in model_keys
     ]

@@ -200,3 +200,23 @@ def test_fuzz_all_inconclusive_campaign_is_vacuous(capsys, tmp_path, monkeypatch
         "--no-save", "--corpus-dir", str(tmp_path),
     ]) == 1
     assert "vacuous" in capsys.readouterr().out
+
+
+def test_run_with_reduction(sb_file, capsys):
+    assert main(["run", sb_file, "--reduction", "dpor", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "reduction=dpor" in out
+    assert "verdict: OK" in out
+
+
+def test_suite_with_reduction_footer(capsys):
+    assert main(["suite", "--reduction", "dpor", "--case-studies"]) == 0
+    out = capsys.readouterr().out
+    assert "reduction=dpor: pruned" in out
+    assert "races=" in out
+
+
+def test_suite_reduction_matches_unreduced_verdicts(capsys):
+    assert main(["suite", "--reduction", "sleep"]) == 0
+    reduced_out = capsys.readouterr().out
+    assert "diverged" not in reduced_out

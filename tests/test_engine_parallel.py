@@ -210,3 +210,64 @@ def test_fallback_duplicate_models_verdict_parity():
     parallel = run_suite([test_by_name("SB")], models=models, jobs=2)
     assert len(parallel) == 2  # one outcome per (test, model) pair
     assert _outcome_rows(parallel) == _outcome_rows(sequential)
+
+
+# ----------------------------------------------------------------------
+# Partial-order reduction through the runner (PR 3)
+# ----------------------------------------------------------------------
+
+
+def test_reduction_jobs_verdict_parity():
+    """The same litmus jobs under reduction report identical verdicts
+    and never more configurations."""
+    for plain, reduced in zip(
+        [run_suite_job(j) for j in _small_jobs()],
+        [
+            run_suite_job(
+                SuiteJob(kind="litmus", name=j.name, model=j.model,
+                         strategy=j.strategy, reduction="dpor")
+            )
+            for j in _small_jobs()
+        ],
+    ):
+        assert reduced.observed == plain.observed
+        assert reduced.expected == plain.expected
+        assert reduced.truncated == plain.truncated
+        assert reduced.configs <= plain.configs
+
+
+def test_job_factories_carry_reduction():
+    assert all(j.reduction == "dpor" for j in litmus_jobs(reduction="dpor"))
+    assert all(
+        j.reduction == "sleep" for j in case_study_jobs(reduction="sleep")
+    )
+    assert all(j.reduction == "none" for j in litmus_jobs())
+
+
+def test_case_study_jobs_verdict_parity_under_reduction():
+    for name in CASE_STUDIES:
+        plain = run_suite_job(SuiteJob(kind="case-study", name=name))
+        reduced = run_suite_job(
+            SuiteJob(kind="case-study", name=name, reduction="dpor")
+        )
+        assert reduced.observed == plain.observed
+        assert reduced.verdict_matches and plain.verdict_matches
+        assert reduced.configs <= plain.configs
+
+
+def test_aggregate_surfaces_reduction_counters():
+    """The aggregator sums every integer stat field generically — the
+    reduction counters show up instead of being silently dropped."""
+    runner = ParallelRunner(jobs=1)
+    results = runner.run(
+        [
+            SuiteJob(kind="case-study", name="peterson", reduction="dpor"),
+            SuiteJob(kind="case-study", name="token-ring", reduction="dpor"),
+        ]
+    )
+    totals = runner.aggregate(results)
+    for key in ("pruned", "sleep_hits", "races", "revisits", "expanded"):
+        assert key in totals
+        assert totals[key] == sum(getattr(r, key) for r in results)
+    assert totals["pruned"] > 0  # the reduction actually pruned work
+    assert totals["races"] > 0

@@ -1,0 +1,121 @@
+"""POR parity: reduced exploration must be outcome-identical to full.
+
+The subsystem's contract (DESIGN.md §9), checked wholesale: the entire
+litmus registry under every model, all four case studies, and a slice
+of generated fuzz programs, each explored with ``reduction="none"``,
+``"sleep"`` and ``"dpor"`` — verdict for verdict, outcome set for
+outcome set, truncation flag for truncation flag.  CI runs this file as
+the POR parity smoke job.
+"""
+
+import pytest
+
+from repro.engine.parallel import CASE_STUDIES, _case_study_exploration
+from repro.fuzz.generator import PROFILES, generate_case
+from repro.fuzz.oracles import check_program
+from repro.interp.explore import explore
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sc import SCMemoryModel
+from repro.interp.sra_model import SRAMemoryModel
+from repro.litmus.extra import EXTRA_TESTS
+from repro.litmus.registry import final_values, run_litmus
+from repro.litmus.suite import ALL_TESTS
+
+MODELS = {"ra": RAMemoryModel, "sra": SRAMemoryModel, "sc": SCMemoryModel}
+REGISTRY = list(ALL_TESTS) + list(EXTRA_TESTS)
+
+
+def outcome_set(result):
+    return frozenset(
+        tuple(sorted(final_values(c).items())) for c in result.terminal
+    )
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+@pytest.mark.parametrize("reduction", ["sleep", "dpor"])
+def test_litmus_registry_verdict_parity(model_name, reduction):
+    """Every registry test, verdict for verdict, under one model."""
+    for test in REGISTRY:
+        full = run_litmus(test, MODELS[model_name]())
+        reduced = run_litmus(test, MODELS[model_name](), reduction=reduction)
+        assert reduced.reachable == full.reachable, (
+            f"{test.name} [{model_name}] verdict diverged under {reduction}"
+        )
+        assert reduced.truncated == full.truncated, (
+            f"{test.name} [{model_name}] truncation diverged under {reduction}"
+        )
+        assert reduced.configs <= full.configs, (
+            f"{test.name} [{model_name}] visited more configs under {reduction}"
+        )
+        assert outcome_set(reduced.result) == outcome_set(full.result), (
+            f"{test.name} [{model_name}] outcome set diverged under {reduction}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(CASE_STUDIES))
+@pytest.mark.parametrize("reduction", ["sleep", "dpor"])
+def test_case_study_verdict_parity(name, reduction):
+    full = _case_study_exploration(name, "bfs", None)
+    reduced = _case_study_exploration(name, "bfs", None, reduction=reduction)
+    assert full.ok == reduced.ok
+    assert full.truncated == reduced.truncated
+    assert reduced.configs <= full.configs
+    # The registry's expectation holds under reduction too.
+    assert (not reduced.ok) == (not CASE_STUDIES[name])
+
+
+@pytest.mark.parametrize("profile", ["default", "small"])
+def test_fuzz_sample_outcome_parity(profile):
+    """Generated programs: outcome sets identical under every model and
+    both reductions (a slice of what `repro fuzz` checks campaign-wide)."""
+    for index in range(12):
+        case = generate_case(0, index, PROFILES[profile])
+        bound = case.events_hint + 1
+        for model_name, factory in MODELS.items():
+            full = explore(
+                case.program, case.init, factory(),
+                max_events=bound, max_configs=50_000,
+            )
+            if full.truncated:
+                continue
+            for reduction in ("sleep", "dpor"):
+                reduced = explore(
+                    case.program, case.init, factory(),
+                    max_events=bound, max_configs=50_000, reduction=reduction,
+                )
+                assert outcome_set(reduced) == outcome_set(full), (
+                    f"case {profile}#{index} [{model_name}] diverged "
+                    f"under {reduction}"
+                )
+                assert reduced.configs <= full.configs
+                if reduction == "sleep":
+                    assert reduced.configs == full.configs
+
+
+def test_fuzz_oracle_reports_por_parity():
+    """The campaign oracle itself runs the parity check and passes on a
+    healthy engine."""
+    case = generate_case(0, 3, PROFILES["default"])
+    report = check_program(case, axiomatic=False, reduction="dpor")
+    assert report.ok, report.detail
+    assert report.expanded > 0  # the parity run actually happened
+
+
+def test_fuzz_oracle_catches_a_broken_reduction(monkeypatch):
+    """Plant a 'reduction' that drops terminal states; the parity oracle
+    must flag it as a por-parity divergence."""
+    import repro.engine.core as core
+    from repro.engine import por
+
+    real = por.explore_reduced
+
+    def broken(program, init_values, model, reduction, **kwargs):
+        result = real(program, init_values, model, reduction, **kwargs)
+        result.terminal.clear()  # lose every outcome
+        return result
+
+    monkeypatch.setattr(por, "explore_reduced", broken)
+    case = generate_case(0, 3, PROFILES["default"])
+    report = check_program(case, axiomatic=False, reduction="dpor")
+    assert report.divergence == "por-parity"
+    assert "lost" in report.detail
