@@ -1,0 +1,89 @@
+"""E11 — the verification workbench: registry sweep throughput.
+
+Discharges every registered (proof outline × model) pair (DESIGN.md
+§10) and reports obligations per second — the workbench's unit of work
+— plus the sleep-reduction effect on the discharge: identical
+configurations and verdicts, fewer transitions checked.  Recorded via
+``--bench-json`` so the proof-sweep cost rides the same perf trajectory
+as E4/E8.
+"""
+
+import time
+
+import pytest
+
+from conftest import once, table
+from emit_json import engine_stats_payload
+from repro.verify.registry import PROOFS
+
+
+def _sweep(reduction: str):
+    reports = []
+    t0 = time.perf_counter()
+    for entry, model in PROOFS.pairs():
+        reports.append(
+            (entry.name, model, entry.check(model, reduction=reduction))
+        )
+    return reports, time.perf_counter() - t0
+
+
+def test_registry_sweep_throughput(benchmark, bench_json):
+    reports, wall = once(benchmark, lambda: _sweep("none"))
+    obligations = sum(r.obligations_discharged for _, _, r in reports)
+    rows = [
+        f"{name:<22} [{model}] {report.row()}"
+        for name, model, report in reports
+    ]
+    rows.append(
+        f"total: {len(reports)} pairs, {obligations} obligations, "
+        f"{obligations / wall:,.0f} obligations/s"
+    )
+    table("E11: proof-registry sweep (reduction=none)", rows)
+    assert all(report.proved for _, _, report in reports)
+    benchmark.extra_info["obligations"] = obligations
+    bench_json.record(
+        "e11_registry_sweep",
+        {
+            "pairs": len(reports),
+            "obligations": obligations,
+            "wall_s": wall,
+            "per_pair": {
+                f"{name}[{model}]": {
+                    "configs": report.configs,
+                    "transitions": report.transitions,
+                    "obligations": report.obligations_discharged,
+                    "proved": report.proved,
+                    "engine": engine_stats_payload(report.stats),
+                }
+                for name, model, report in reports
+            },
+        },
+    )
+
+
+def test_sleep_reduction_discharge_parity(benchmark, bench_json):
+    """Sleep sets must keep every verdict and every configuration while
+    checking strictly fewer (or equal) transitions."""
+    full, _ = _sweep("none")
+    reduced, wall = once(benchmark, lambda: _sweep("sleep"))
+    rows = []
+    saved = 0
+    for (name, model, f), (_, _, r) in zip(full, reduced):
+        assert (f.proved, f.configs) == (r.proved, r.configs), (name, model)
+        assert r.transitions <= f.transitions
+        saved += f.transitions - r.transitions
+        rows.append(
+            f"{name:<22} [{model}] transitions {f.transitions} -> "
+            f"{r.transitions}"
+        )
+    rows.append(f"total transitions avoided: {saved}")
+    table("E11: discharge under sleep sets (config-identical)", rows)
+    bench_json.record(
+        "e11_sleep_parity",
+        {
+            "pairs": len(full),
+            "transitions_full": sum(f.transitions for _, _, f in full),
+            "transitions_sleep": sum(r.transitions for _, _, r in reduced),
+            "wall_s": wall,
+        },
+    )

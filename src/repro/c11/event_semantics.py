@@ -21,7 +21,7 @@ valid C11 state (Theorem 4.4; checked empirically by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Union
 
 from repro.c11.events import Event
 from repro.c11.observability import covered_writes, observable_writes
@@ -142,7 +142,7 @@ def ra_successors(
     tid: Tid,
     kind: ActionKind,
     var: Var,
-    wrval: Optional[Value] = None,
+    wrval: Union[Value, Callable[[Value], Value], None] = None,
 ) -> Iterator[RATransition]:
     """All RA transitions for a step whose read value (if any) is a hole.
 
@@ -151,6 +151,11 @@ def ra_successors(
     every observable resolution.  Read values are *derived from* the
     observed write (``rdval(e) = wrval(w)``), which is precisely the
     on-the-fly validation that distinguishes ``→RA`` from pre-executions.
+
+    For updates, ``wrval`` may be a *callable* mapping the value read to
+    the value written (fetch-and-add's ``m ↦ m + k``); a plain value is
+    the constant-write ``swap``.  Either way the event appended is an
+    ordinary ``updRA`` with both values concrete.
     """
     tag = state.next_tag()
 
@@ -174,7 +179,8 @@ def ra_successors(
     if kind is ActionKind.UPD:
         assert wrval is not None
         for w in ra_write_targets(state, tid, var):
-            action = Action(kind, var, rdval=w.wrval, wrval=wrval)
+            written = wrval(w.wrval) if callable(wrval) else wrval
+            action = Action(kind, var, rdval=w.wrval, wrval=written)
             event = Event(tag, action, tid)
             target = (
                 state.add_event(event)

@@ -1,0 +1,109 @@
+"""A flag-handshake barrier — symmetric message passing.
+
+Each thread publishes its contribution, raises an arrival flag with a
+release, spins on the *other* thread's flag with acquiring reads, then
+consumes the other's contribution::
+
+    Init: xa = xb = a = b = ra = rb = 0
+
+    thread 1:                        thread 2:
+    2: xa := 1                       2: xb := 1
+    3: a  :=^R 1                     3: b  :=^R 1
+    4: while ¬b^A do skip            4: while ¬a^A do skip
+    5: rb := xb                      5: ra := xa
+    6: skip  (past the barrier)      6: skip
+
+This is Example 5.7's message-passing idiom doubled back on itself, and
+the outline is the paper's proof twice over: after publishing, each
+thread's own datum is determinate (``xa =_1 1``) and ordered before its
+flag (``xa → a`` — the WOrd shape); crossing the barrier, the acquiring
+read of the other's released flag transfers the other's facts
+(``xb =_1 1`` — AcqRd/Transfer), so the consume at line 5 cannot read
+a stale 0 and each thread leaves the barrier holding the other's
+contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.interp.config import Configuration
+from repro.lang.actions import Value, Var
+from repro.lang.builder import acq, assign, label, neg, seq, skip, var, while_
+from repro.lang.program import Program, Tid
+
+#: Per-thread payload, arrival flag, and receive register.
+DATA: Dict[Tid, Var] = {1: "xa", 2: "xb"}
+FLAG: Dict[Tid, Var] = {1: "a", 2: "b"}
+RECV: Dict[Tid, Var] = {1: "rb", 2: "ra"}
+
+BARRIER_INIT: Dict[Var, Value] = {
+    "xa": 0, "xb": 0, "a": 0, "b": 0, "ra": 0, "rb": 0,
+}
+
+#: Label past the barrier, contribution consumed.
+DONE = 6
+
+
+def barrier_thread(t: Tid) -> object:
+    """Publish, announce (release), await the peer (acquire), consume."""
+    other = 3 - t
+    return seq(
+        label(2, assign(DATA[t], 1)),
+        label(3, assign(FLAG[t], 1, release=True)),
+        label(4, while_(neg(acq(FLAG[other])), skip())),
+        label(5, assign(RECV[t], var(DATA[other]))),
+        label(DONE, skip()),
+    )
+
+
+def barrier_program() -> Program:
+    """Two threads meeting at one flag-handshake barrier."""
+    return Program.of({1: barrier_thread(1), 2: barrier_thread(2)})
+
+
+def barrier_violations(config: Configuration) -> List[str]:
+    """Terminal check: both sides consumed the other's contribution."""
+    from repro.verify.assertions import current_value
+
+    if not config.is_terminated():
+        return []
+    out = []
+    for t in (1, 2):
+        got = current_value(config.state, RECV[t])
+        if got != 1:
+            out.append(f"barrier: thread {t} consumed {got}, expected 1")
+    return out
+
+
+def barrier_outline():
+    """The proof outline: message passing, symmetrically.
+
+    For each thread ``t`` (peer ``t̂``):
+
+    * past line 2, its datum is determinate: ``x_t =_t 1``;
+    * past line 3, the datum is ordered before the flag: ``x_t → f_t``
+      (the WOrd fact that makes the flag carry the datum);
+    * once the spin at 4 is passed, the *peer's* datum has transferred:
+      ``x_t̂ =_t 1`` — so line 5 must read 1, pinned at line 6 by
+      ``r =_t 1``.
+    """
+    from repro.verify.assertions import DV, VO
+    from repro.verify.outline import ProofOutline
+
+    outline = ProofOutline()
+    for t in (1, 2):
+        other = 3 - t
+        outline.at(
+            f"t{t} published", {t: (3, 4, 5, DONE)}, DV(DATA[t], t, 1)
+        )
+        outline.at(
+            f"t{t} datum before flag", {t: (4, 5, DONE)}, VO(DATA[t], FLAG[t])
+        )
+        outline.at(
+            f"t{t} received peer datum", {t: (5, DONE)}, DV(DATA[other], t, 1)
+        )
+        outline.at(
+            f"t{t} consumed 1", {t: (DONE,)}, DV(RECV[t], t, 1)
+        )
+    return outline

@@ -77,3 +77,38 @@ def dekker_violations(config: Configuration) -> List[str]:
     if in_critical_section(config, 1) and in_critical_section(config, 2):
         return ["mutual-exclusion: both Dekker threads entered"]
     return []
+
+
+def dekker_outline():
+    """The entry protocol's proof outline — *deliberately* model-bound.
+
+    The assertions are all model-agnostic (pc occupancy and current
+    values, no thread-indexed determinacy), so the same outline object
+    checks under both models — and the verdict flips:
+
+    * under **SC** every obligation discharges: a thread at the guard
+      (pc 3) has its flag up, so whichever thread reads *second* sees
+      the other's flag and backs off;
+    * under **RA** the store-buffering execution lets both threads read
+      the other's flag as 0 and the mutual-exclusion obligation fails —
+      the workbench localises the failing transition, which is exactly
+      the paper's "conventional reasoning is unsound here" point.
+
+    The registry therefore pins this outline to the SC model; the RA
+    refutation is a regression test (and the reason the protocol is a
+    *negative* case study above).
+    """
+    from repro.verify.assertions import And, Not_, PCIn, ValEq
+    from repro.verify.outline import ProofOutline
+
+    outline = ProofOutline()
+    outline.everywhere(
+        "mutual exclusion",
+        Not_(And(PCIn(1, (CRITICAL,)), PCIn(2, (CRITICAL,)))),
+    )
+    for t in (1, 2):
+        outline.at(
+            f"t{t} flag raised at the guard", {t: (3, CRITICAL, 6)},
+            ValEq(f"flag{t}", 1),
+        )
+    return outline

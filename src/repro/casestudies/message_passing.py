@@ -59,6 +59,38 @@ def mp_data_invariant() -> List[Invariant]:
     ]
 
 
+def mp_outline():
+    """Example 5.7 as a proof outline (the paper's proof, RA form).
+
+    The producer's facts: past line 1 the datum is determinate for
+    thread 1; past line 2 it is ordered before the flag (WOrd).  The
+    consumer's fact is the transfer: at line 2 of thread 2 the datum is
+    determinate *for the consumer* — the DV form of "no stale read".
+    """
+    from repro.verify.assertions import DV, VO
+    from repro.verify.outline import ProofOutline
+
+    outline = ProofOutline()
+    outline.at("producer wrote payload", {1: (2,)}, DV("d", 1, PAYLOAD))
+    outline.at("consumer sees payload", {2: (2,)}, DV("d", 2, PAYLOAD))
+    return outline
+
+
+def mp_outline_valonly():
+    """The model-agnostic weakening of :func:`mp_outline`.
+
+    ``value(d) = 5`` claims only that the globally newest write of ``d``
+    is the payload — no thread-indexed knowledge — so the same outline
+    checks under SC and RA alike (DESIGN.md §10's portability tier).
+    """
+    from repro.verify.assertions import ValEq
+    from repro.verify.outline import ProofOutline
+
+    outline = ProofOutline()
+    outline.at("payload written before consume", {2: (2,)}, ValEq("d", PAYLOAD))
+    return outline
+
+
 def mp_result_violations(config: Configuration) -> List[str]:
     """Terminal-state check: the consumer must have stored the payload.
 

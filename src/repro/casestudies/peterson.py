@@ -184,3 +184,30 @@ def peterson_invariants() -> List[Invariant]:
 def theorem_5_8(config: Configuration) -> bool:
     """``P.pc1 ≠ 5 ∨ P.pc2 ≠ 5`` — the mutual exclusion property."""
     return not (in_critical_section(config, 1) and in_critical_section(config, 2))
+
+
+def peterson_outline_sc():
+    """Peterson under *sequential consistency* — the coarse outline.
+
+    The paper's point is that invariants (4)–(10) need weak-memory
+    assertions; under SC the conventional argument suffices and is
+    phrased entirely in model-agnostic facts: flags are up throughout
+    the protocol, the turn stays in range, and mutual exclusion holds.
+    Checking the same algorithm under two models through one workbench
+    front door is what ``repro verify`` is for (DESIGN.md §10).
+    """
+    from repro.verify.assertions import And, Not_, Or, PCIn, ValEq
+    from repro.verify.outline import ProofOutline
+
+    outline = ProofOutline()
+    outline.everywhere(
+        "mutual exclusion",
+        Not_(And(PCIn(1, (CRITICAL,)), PCIn(2, (CRITICAL,)))),
+    )
+    outline.everywhere("turn in range", Or(ValEq(TURN, 1), ValEq(TURN, 2)))
+    for t in (1, 2):
+        outline.at(
+            f"t{t} flag up in protocol", {t: (4, CRITICAL, 6)},
+            ValEq(FLAG[t], TRUE),
+        )
+    return outline

@@ -1,0 +1,176 @@
+"""A seqlock reader/writer pair — consistent snapshots without blocking.
+
+The writer bumps a sequence number to odd, writes a two-word payload,
+then bumps back to even; a reader snapshots the payload between two
+reads of the sequence number and *accepts* only if both reads agree on
+an even value::
+
+    Init: seq = 0 ∧ d1 = 0 ∧ d2 = 0 ∧ s1 = s2 = v1 = v2 = ok = 0
+
+    writer:                         reader:
+    2: seq :=^R 1                   2: s1 := seq^A
+    3: d1  :=^R 5                   3: if s1 even:
+    4: d2  :=^R 5                   4:   v1 := d1^A
+    5: seq :=^R 2                   5:   v2 := d2^A
+                                    6:   s2 := seq^A
+                                    7:   if s2 = s1:
+                                    8:     ok := 1     (snapshot accepted)
+
+Under C11 the textbook recipe silently requires more than "seq is
+synchronised": with *relaxed* payload accesses a reader can observe
+``d1 = 5`` yet still read the stale ``seq = 0`` afterwards — nothing
+orders the two — and accept a torn ``(5, 0)`` snapshot.  In the RAR
+fragment the repair is to make the payload writes releasing and the
+payload reads acquiring: then reading a new datum synchronises, the
+reader's happens-before cone contains the writer's ``seq := 1``, the
+initial ``seq`` write becomes unobservable (covered), and the re-read
+at line 6 is forced to disagree with line 2 — the torn snapshot is
+*rejected* rather than prevented.  The proof outline pins exactly this:
+an accepted snapshot is determinately ``(0, 0)`` or ``(5, 5)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.interp.config import Configuration
+from repro.lang.actions import Value, Var
+from repro.lang.builder import acq, assign, eq, if_, label, or_, seq, var
+from repro.lang.program import Program
+
+SEQ: Var = "seq"
+PAYLOAD: Value = 5
+
+SEQLOCK_INIT: Dict[Var, Value] = {
+    SEQ: 0, "d1": 0, "d2": 0, "s1": 0, "s2": 0, "v1": 0, "v2": 0, "ok": 0,
+}
+
+#: Reader label at which the snapshot has been accepted.
+ACCEPTED = 8
+
+#: Writer tid / reader tid.
+WRITER, READER = 1, 2
+
+
+def seqlock_writer() -> object:
+    """One write round: odd, payload, even — payload writes releasing."""
+    return seq(
+        label(2, assign(SEQ, 1, release=True)),
+        label(3, assign("d1", PAYLOAD, release=True)),
+        label(4, assign("d2", PAYLOAD, release=True)),
+        label(5, assign(SEQ, 2, release=True)),
+    )
+
+
+def seqlock_reader() -> object:
+    """One snapshot attempt: accept only on an even, stable sequence."""
+    even = lambda s: or_(eq(var(s), 0), eq(var(s), 2))
+    return seq(
+        label(2, assign("s1", acq(SEQ))),
+        label(
+            3,
+            if_(
+                even("s1"),
+                seq(
+                    label(4, assign("v1", acq("d1"))),
+                    label(5, assign("v2", acq("d2"))),
+                    label(6, assign("s2", acq(SEQ))),
+                    label(
+                        7,
+                        if_(
+                            eq(var("s2"), var("s1")),
+                            label(ACCEPTED, assign("ok", 1)),
+                            label(9, None),  # unstable sequence: reject
+                        ),
+                    ),
+                ),
+                label(10, None),  # odd sequence: abandon immediately
+            ),
+        ),
+    )
+
+
+def seqlock_program() -> Program:
+    """The writer racing one snapshot attempt."""
+    return Program.of({WRITER: seqlock_writer(), READER: seqlock_reader()})
+
+
+def seqlock_relaxed_data() -> Program:
+    """The textbook-but-wrong variant: payload accesses left relaxed.
+
+    A reader can read ``d1 = 5`` (the writer's relaxed store creates no
+    synchronisation) and still observe the stale ``seq = 0`` at line 6,
+    accepting the torn snapshot ``(5, 0)`` — the config hook
+    :func:`seqlock_violations` exhibits it, and the E-gallery example
+    prints the counterexample trace.
+    """
+    relaxed_writer = seq(
+        label(2, assign(SEQ, 1, release=True)),
+        label(3, assign("d1", PAYLOAD)),
+        label(4, assign("d2", PAYLOAD)),
+        label(5, assign(SEQ, 2, release=True)),
+    )
+    even = lambda s: or_(eq(var(s), 0), eq(var(s), 2))
+    relaxed_reader = seq(
+        label(2, assign("s1", acq(SEQ))),
+        label(
+            3,
+            if_(
+                even("s1"),
+                seq(
+                    label(4, assign("v1", var("d1"))),
+                    label(5, assign("v2", var("d2"))),
+                    label(6, assign("s2", acq(SEQ))),
+                    label(
+                        7,
+                        if_(
+                            eq(var("s2"), var("s1")),
+                            label(ACCEPTED, assign("ok", 1)),
+                            label(9, None),
+                        ),
+                    ),
+                ),
+                label(10, None),
+            ),
+        ),
+    )
+    return Program.of({WRITER: relaxed_writer, READER: relaxed_reader})
+
+
+def seqlock_violations(config: Configuration) -> List[str]:
+    """An accepted snapshot must not be torn (config-hook form)."""
+    from repro.verify.assertions import current_value
+
+    if config.pc(READER) != ACCEPTED:
+        return []
+    v1 = current_value(config.state, "v1")
+    v2 = current_value(config.state, "v2")
+    if v1 != v2:
+        return [f"seqlock: accepted torn snapshot ({v1}, {v2})"]
+    return []
+
+
+def seqlock_outline():
+    """The proof outline: why an accepted snapshot is consistent.
+
+    * while the writer is mid-update its sequence number is odd
+      (``value(seq) = 1`` at writer pc ∈ {3, 4, 5});
+    * at the accept point the reader *determinately* read a consistent
+      pair — both words still initial, or both the new payload.
+    """
+    from repro.verify.assertions import DV, And, Or, ValEq
+    from repro.verify.outline import ProofOutline
+
+    outline = ProofOutline()
+    outline.at(
+        "writer mid-update keeps seq odd", {WRITER: (3, 4, 5)}, ValEq(SEQ, 1)
+    )
+    outline.at(
+        "accepted snapshot consistent",
+        {READER: (ACCEPTED,)},
+        Or(
+            And(DV("v1", READER, 0), DV("v2", READER, 0)),
+            And(DV("v1", READER, PAYLOAD), DV("v2", READER, PAYLOAD)),
+        ),
+    )
+    return outline

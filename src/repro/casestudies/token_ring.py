@@ -75,3 +75,29 @@ def token_ring_violations(config: Configuration) -> List[str]:
 def token_ring_invariants() -> List[Invariant]:
     """The update-only property the verification hinges on."""
     return [Invariant("token update-only", UpdateOnly(TOKEN))]
+
+
+def token_ring_outline(n_threads: int = 2):
+    """The hand-off argument as a proof outline (DESIGN.md §10).
+
+    * the token is update-only (Lemma 5.6: its updates are totally
+      ordered, so there is one coherent hand-off sequence);
+    * while a thread is in its critical section or handing off, the
+      token's current value is *its* id — the predecessor's release is
+      what let it in, and nobody else may swap until it does;
+    * mutual exclusion over the hold region {3, 4}, as pc occupancy.
+    """
+    from repro.verify.assertions import Not_, PCIn, UpdateOnly as UO, ValEq, all_of
+    from repro.verify.outline import ProofOutline
+
+    hold = (CRITICAL, 4)
+    outline = ProofOutline()
+    outline.everywhere("token update-only", UO(TOKEN))
+    for t in range(1, n_threads + 1):
+        outline.at(f"t{t} holds the token", {t: hold}, ValEq(TOKEN, t))
+        for u in range(t + 1, n_threads + 1):
+            outline.everywhere(
+                f"mutual exclusion t{t}/t{u}",
+                Not_(all_of([PCIn(t, hold), PCIn(u, hold)])),
+            )
+    return outline

@@ -38,6 +38,21 @@ Commands
     one).  Divergences are delta-debugged to minimal reproducers and
     persisted under ``--corpus-dir`` for pytest replay.  Exit code 1
     iff any diverged.
+
+``verify``
+    The verification workbench (DESIGN.md §10): mechanically discharge
+    a proof outline's obligations — initialisation plus per-transition
+    preservation, the paper's Fig. 4 / Appendix D structure — over the
+    engine's bounded exploration.  ``verify NAME...`` reports each
+    named case study per-obligation; ``verify --all`` sweeps every
+    registered (outline × model) pair through the parallel runner;
+    ``verify --file F.litmus --outline SPEC.py`` checks an ad-hoc
+    program against an outline built in a Python spec file.
+    ``--reduction sleep`` is verdict-preserving (sleep sets visit every
+    configuration); ``dpor`` prunes configurations — the very domain
+    the obligations quantify over — so the workbench falls back to the
+    unreduced search and says so.  Exit code 1 iff any obligation
+    failed.
 """
 
 from __future__ import annotations
@@ -207,6 +222,193 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _verify_reduction(args: argparse.Namespace) -> str:
+    """Resolve ``--reduction`` for obligation discharge.
+
+    Sleep sets visit every configuration the full search visits, so the
+    proof verdict is reduction-independent under ``sleep``.  DPOR prunes
+    configurations — the domain the obligations quantify over — so it
+    cannot discharge them; fall back loudly (DESIGN.md §10).
+    """
+    if args.reduction == "dpor":
+        print(
+            "note: dpor prunes configurations, which proof obligations "
+            "quantify over; falling back to --reduction none "
+            "(sleep is the verdict-preserving tier — DESIGN.md §10)"
+        )
+        return "none"
+    return args.reduction
+
+
+def _print_outline_report(label: str, outline, report) -> None:
+    """The per-obligation report: one line per named assertion."""
+    print(label)
+    for inv in outline.invariants:
+        ok, bad = report.per_invariant.get(inv.name, (0, 0))
+        verdict = "OK" if bad == 0 else f"{bad} FAILED"
+        print(f"  {inv.name:<42} {ok + bad:>8} obligations  {verdict}")
+    for failure in report.failures:
+        print(f"  !! {failure}")
+    print(f"  {report.row()}")
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.registry import PROOFS
+
+    if args.list:
+        print(f"{'case study':<22} {'models':<8} description")
+        print("-" * 72)
+        for entry in PROOFS.entries():
+            print(
+                f"{entry.name:<22} {','.join(entry.models):<8} "
+                f"{entry.description}"
+            )
+        return 0
+
+    reduction = _verify_reduction(args)
+    if args.file:
+        return _verify_file(args, reduction)
+    if args.all:
+        return _verify_all(args, reduction)
+    if not args.names:
+        raise SystemExit(
+            "verify needs case-study names, --all, --list, or --file; "
+            "see 'repro verify --list'"
+        )
+
+    requested = (
+        [m.strip().lower() for m in args.model.split(",")]
+        if args.model else None
+    )
+    if requested:
+        for name in requested:
+            if name not in ("ra", "sra", "sc"):
+                raise SystemExit(
+                    f"unknown model {name!r}; choose from ['ra', 'sc', 'sra']"
+                )
+    failed = 0
+    for name in args.names:
+        try:
+            entry = PROOFS.get(name)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0])
+        models = requested if requested else list(entry.models)
+        for model_name in models:
+            outline = entry.outline()
+            try:
+                report = entry.check(
+                    model_name, strategy=args.strategy, reduction=reduction,
+                    max_configs=args.max_configs,
+                )
+            except (AttributeError, TypeError) as exc:
+                # e.g. a DV/UpdateOnly outline forced onto SC stores:
+                # thread-indexed assertions only evaluate on C11 states
+                raise SystemExit(
+                    f"outline {name!r} is stated for models "
+                    f"{list(entry.models)}; its assertions could not be "
+                    f"evaluated under {model_name!r} ({exc})"
+                )
+            _print_outline_report(
+                f"{entry.name} [{model_name}] — {entry.description}",
+                outline, report,
+            )
+            failed += not report.proved
+    return 1 if failed else 0
+
+
+def _verify_all(args: argparse.Namespace, reduction: str) -> int:
+    import time
+
+    from repro.engine.parallel import ParallelRunner, verify_jobs
+
+    models = (
+        [m.strip().lower() for m in args.model.split(",")]
+        if args.model else None
+    )
+    work = verify_jobs(
+        models=models, strategy=args.strategy, reduction=reduction,
+    )
+    if not work:
+        raise SystemExit("no registered outline matches the requested models")
+    runner = ParallelRunner(jobs=args.jobs)
+    t0 = time.perf_counter()
+    results = runner.run(work)
+    wall = time.perf_counter() - t0
+
+    for r in results:
+        print(r.row())
+    totals = runner.aggregate(results)
+    print("-" * 72)
+    print(
+        f"{totals['jobs']} proof jobs, {totals['obligations']} obligations "
+        f"discharged, {totals['failed_obligations']} failed; "
+        f"{totals['configs']} configurations, "
+        f"key-cache hit rate {100.0 * totals['key_rate']:.0f}%"
+    )
+    print(
+        f"strategy={args.strategy} reduction={reduction} workers={args.jobs} "
+        f"wall={wall:.2f}s (worker time {totals['worker_time']:.2f}s)"
+    )
+    if totals["mismatches"]:
+        for r in results:
+            if not r.verdict_matches:
+                print(f"REFUTED: {r.label}: {r.detail}")
+        return 1
+    return 0
+
+
+def _verify_file(args: argparse.Namespace, reduction: str) -> int:
+    if not args.outline:
+        raise SystemExit("--file needs --outline SPEC.py (see DESIGN.md §10)")
+    parsed = _load(args.file)
+    outline = _load_outline_spec(args.outline)
+    model_name = args.model or "ra"
+    report = outline.check(
+        parsed.program,
+        parsed.init,
+        model=_model(model_name),
+        max_events=args.max_events,
+        max_configs=args.max_configs,
+        strategy=args.strategy,
+        reduction=reduction,
+    )
+    _print_outline_report(
+        f"{parsed.name} [{model_name}] — outline from {args.outline}",
+        outline, report,
+    )
+    return 0 if report.proved else 1
+
+
+def _load_outline_spec(path: str):
+    """Execute an outline spec file and extract its ``OUTLINE``.
+
+    The spec is ordinary Python run with the assertion language in
+    scope; it must bind ``OUTLINE`` to a :class:`ProofOutline` (or
+    define a zero-argument ``outline()`` returning one) — see
+    ``examples/spinlock_proof.py`` for the end-to-end shape.
+    """
+    import repro.verify as verify
+    from repro.verify.outline import ProofOutline
+
+    namespace = {
+        name: getattr(verify, name)
+        for name in verify.__all__
+    }
+    namespace["__file__"] = path
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    exec(compile(source, path, "exec"), namespace)  # noqa: S102 - spec file
+    outline = namespace.get("OUTLINE")
+    if outline is None and callable(namespace.get("outline")):
+        outline = namespace["outline"]()
+    if not isinstance(outline, ProofOutline):
+        raise SystemExit(
+            f"{path} must bind OUTLINE to a ProofOutline (or define "
+            "outline() returning one)"
+        )
+    return outline
+
+
 def cmd_table(args: argparse.Namespace) -> int:
     from repro.litmus.extra import EXTRA_TESTS
     from repro.litmus.registry import run_litmus
@@ -368,6 +570,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.set_defaults(func=cmd_fuzz)
 
+    verify = sub.add_parser(
+        "verify",
+        help="discharge proof-outline obligations (the verification workbench)",
+    )
+    verify.add_argument(
+        "names", nargs="*",
+        help="registered case studies to verify (see --list)",
+    )
+    verify.add_argument(
+        "--all", action="store_true",
+        help="sweep every registered (outline, model) pair in parallel",
+    )
+    verify.add_argument(
+        "--list", action="store_true", help="list the proof registry"
+    )
+    verify.add_argument(
+        "--file", default=None,
+        help=".litmus program to verify against --outline",
+    )
+    verify.add_argument(
+        "--outline", default=None,
+        help="Python spec binding OUTLINE to a ProofOutline (with --file)",
+    )
+    verify.add_argument(
+        "--model", default=None,
+        help="model override: single name (or comma list with --all); "
+        "default: each entry's pinned models",
+    )
+    verify.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --all (1 = in-process sequential run)",
+    )
+    verify.add_argument(
+        "--strategy", default="bfs", choices=["bfs", "dfs", "iddfs"],
+        help="search order (verdict-neutral on uncapped runs)",
+    )
+    verify.add_argument(
+        "--reduction", default="none", choices=["none", "sleep", "dpor"],
+        help="partial-order reduction; sleep is verdict-preserving for "
+        "obligations, dpor falls back to none (DESIGN.md §10)",
+    )
+    verify.add_argument(
+        "--max-events", type=int, default=None,
+        help="event bound for --file mode (registry entries pin their own)",
+    )
+    verify.add_argument(
+        "--max-configs", type=int, default=None,
+        help="hard cap on explored configurations",
+    )
+    verify.set_defaults(func=cmd_verify)
+
     table = sub.add_parser("table", help="print the litmus verdict table")
     table.add_argument("--models", default="ra,sc", help="comma list of models")
     table.add_argument("--extra", action="store_true", help="include extras")
@@ -390,7 +643,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # The stdout reader went away (`repro table | head`): finish
+        # quietly instead of tracebacking.  Redirect stdout to devnull
+        # so the interpreter's exit-time flush cannot re-raise, and
+        # report the conventional SIGPIPE status (a truncated run must
+        # not read as a green one under `set -o pipefail`).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 128 + 13
 
 
 if __name__ == "__main__":  # pragma: no cover

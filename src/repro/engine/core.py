@@ -199,8 +199,14 @@ def explore(
     violation verdicts and truncation flags; only ``configs`` may
     shrink).  Reduced runs perform their own traversal: ``"dpor"`` is
     inherently depth-first and ``"sleep"`` skips the deepening loop.
-    ``check_step`` hooks quantify over transitions — exactly what a
-    reduction prunes — so combining them raises ``ValueError``.
+    ``check_step`` hooks quantify over transitions.  Under ``"sleep"``
+    they fire only on the transitions the reduction keeps, but because
+    sleep sets visit every configuration the full search visits, an
+    *inductive* step property (one whose per-transition failures imply a
+    failure on some kept transition along an explored path — proof
+    outlines, DESIGN.md §10) reaches the same verdict; the hook is
+    therefore allowed.  ``"dpor"`` prunes configurations themselves, so
+    combining it with ``check_step`` raises ``ValueError``.
     """
     from repro.engine.por import REDUCTIONS, explore_reduced
 
@@ -209,11 +215,16 @@ def explore(
             f"unknown reduction {reduction!r}; choose from {REDUCTIONS}"
         )
     if reduction != "none":
-        if check_step is not None:
+        if check_step is not None and reduction != "sleep":
             raise ValueError(
-                "check_step hooks quantify over transitions, which a "
-                "partial-order reduction prunes; use reduction='none'"
+                "check_step hooks quantify over transitions, and the "
+                f"{reduction!r} reduction prunes configurations outright; "
+                "use reduction='sleep' (configuration-identical) or 'none'"
             )
+        if check_step is not None:
+            kwargs_step = {"check_step": check_step}
+        else:
+            kwargs_step = {}
         return explore_reduced(
             program,
             init_values,
@@ -226,6 +237,7 @@ def explore(
             keep_representatives=keep_representatives,
             canonicalize=canonicalize,
             strategy=strategy,
+            **kwargs_step,
         )
     if strategy == "iddfs" and max_events is not None and max_events >= 1:
         return _explore_deepening(

@@ -1,12 +1,14 @@
-"""Fan the litmus suite and case studies out across worker processes.
+"""Fan the litmus suite, case studies and proof sweeps across workers.
 
-Litmus tests and case-study checks are embarrassingly parallel — one
-exploration per (test, model) pair, no shared state — but the objects
-involved (programs, outcome lambdas) do not pickle.  The runner
-therefore ships *names*: a :class:`SuiteJob` carries only strings and
-bounds, each worker re-resolves the test/case study from the registries
-it imported itself, and ships back a flat :class:`SuiteJobResult` of
-verdicts and counters.  Verdicts are byte-identical to a sequential run
+Litmus tests, case-study checks and proof-outline discharges are
+embarrassingly parallel — one exploration per (test, model) pair, no
+shared state — but the objects involved (programs, outcome lambdas,
+outlines) do not pickle.  The runner therefore ships *names*: a
+:class:`SuiteJob` carries only strings and bounds, each worker
+re-resolves the test/case study/proof entry from the registries it
+imported itself, and ships back a flat :class:`SuiteJobResult` of
+verdicts and counters (verify jobs add obligation counts, which the
+generic aggregator folds into the footer like any other stat).  Verdicts are byte-identical to a sequential run
 because the sequential path (``jobs=1``) executes the very same
 :func:`run_suite_job` in-process (DESIGN.md §5).
 
@@ -34,6 +36,12 @@ CASE_STUDIES = {
     "peterson-relaxed-turn": False,
     "dekker-entry": False,
     "token-ring": True,
+    "spinlock-tas": True,
+    "spinlock-broken": False,
+    "ticket-lock": True,
+    "seqlock": True,
+    "seqlock-relaxed-data": False,
+    "barrier": True,
 }
 
 
@@ -41,19 +49,23 @@ CASE_STUDIES = {
 class SuiteJob:
     """One unit of suite work, picklable by construction (names only)."""
 
-    kind: str  # "litmus" | "case-study"
+    kind: str  # "litmus" | "case-study" | "fuzz" | "verify"
     name: str
-    model: str = "ra"  # litmus only; case studies fix their own model
+    model: str = "ra"  # litmus/verify; case studies fix their own model
     strategy: str = "bfs"
     max_configs: Optional[int] = None
     #: partial-order reduction applied by the worker's exploration
-    #: (DESIGN.md §9); verdicts are reduction-independent by design
+    #: (DESIGN.md §9); verdicts are reduction-independent by design.
+    #: Verify jobs admit only the configuration-identical "sleep" tier
+    #: and fall back to "none" under "dpor" (DESIGN.md §10).
     reduction: str = "none"
 
     @property
     def label(self) -> str:
         if self.kind == "litmus":
             return f"{self.name} [{self.model}]"
+        if self.kind == "verify":
+            return f"{self.name} [{self.model}] proof"
         return f"{self.name} (case study)"
 
 
@@ -85,6 +97,10 @@ class SuiteJobResult:
     sleep_hits: int = 0
     races: int = 0
     revisits: int = 0
+    #: proof-obligation counters (verify jobs only; summed generically
+    #: into the suite footer like every other integer stat)
+    obligations: int = 0
+    failed_obligations: int = 0
 
     @property
     def verdict_matches(self) -> bool:
@@ -108,6 +124,8 @@ class SuiteJobResult:
             return "allowed" if self.observed else "forbidden"
         if self.job.kind == "fuzz":
             return "diverged" if self.observed else "ok"
+        if self.job.kind == "verify":
+            return "REFUTED" if self.observed else "proved"
         return "violated" if self.observed else "ok"
 
 
@@ -138,6 +156,34 @@ def case_study_jobs(strategy: str = "bfs", reduction: str = "none") -> List[Suit
         SuiteJob(kind="case-study", name=name, strategy=strategy,
                  reduction=reduction)
         for name in CASE_STUDIES
+    ]
+
+
+def verify_jobs(
+    names: Optional[Sequence[str]] = None,
+    models: Optional[Sequence[str]] = None,
+    strategy: str = "bfs",
+    reduction: str = "none",
+) -> List[SuiteJob]:
+    """One job per (proof case study, model) pair over the registry.
+
+    ``names`` restricts to a subset of entries, ``models`` intersects
+    each entry's pinned models (an entry checked under no requested
+    model simply contributes no job).
+    """
+    from repro.verify.registry import PROOFS
+
+    entries = (
+        PROOFS.entries() if names is None else [PROOFS.get(n) for n in names]
+    )
+    return [
+        SuiteJob(
+            kind="verify", name=entry.name, model=model, strategy=strategy,
+            reduction=reduction,
+        )
+        for entry in entries
+        for model in entry.models
+        if models is None or model in models
     ]
 
 
@@ -208,6 +254,28 @@ def _case_study_exploration(name: str, strategy: str, max_configs,
         token_ring_program,
         token_ring_violations,
     )
+    from repro.casestudies.barrier import (
+        BARRIER_INIT,
+        barrier_program,
+        barrier_violations,
+    )
+    from repro.casestudies.seqlock import (
+        SEQLOCK_INIT,
+        seqlock_program,
+        seqlock_relaxed_data,
+        seqlock_violations,
+    )
+    from repro.casestudies.spinlock import (
+        SPINLOCK_INIT,
+        spinlock_broken,
+        spinlock_program,
+        spinlock_violations,
+    )
+    from repro.casestudies.ticket_lock import (
+        TICKET_INIT,
+        ticket_lock_program,
+        ticket_lock_violations,
+    )
     from repro.interp.explore import explore
     from repro.interp.ra_model import RAMemoryModel
 
@@ -222,6 +290,19 @@ def _case_study_exploration(name: str, strategy: str, max_configs,
                          DEKKER_INIT, dekker_violations, None),
         "token-ring": (token_ring_program(n_threads=2), TOKEN_INIT,
                        token_ring_violations, 10),
+        "spinlock-tas": (spinlock_program(), SPINLOCK_INIT,
+                         spinlock_violations, 8),
+        "spinlock-broken": (spinlock_broken(), SPINLOCK_INIT,
+                            spinlock_violations, 8),
+        "ticket-lock": (ticket_lock_program(), TICKET_INIT,
+                        ticket_lock_violations, 10),
+        # The seqlock attempts are loop-free: one snapshot per run.
+        "seqlock": (seqlock_program(), SEQLOCK_INIT,
+                    seqlock_violations, None),
+        "seqlock-relaxed-data": (seqlock_relaxed_data(), SEQLOCK_INIT,
+                                 seqlock_violations, None),
+        "barrier": (barrier_program(), BARRIER_INIT,
+                    barrier_violations, 8),
     }
     try:
         program, init, check, bound = table[name]
@@ -263,6 +344,49 @@ def _run_case_study_job(job: SuiteJob) -> SuiteJobResult:
     )
 
 
+def _run_verify_job(job: SuiteJob) -> SuiteJobResult:
+    """Discharge one proof case study's obligations under one model.
+
+    The obligations quantify over every reachable transition, so only
+    the configuration-identical ``"sleep"`` reduction is admissible;
+    ``"dpor"`` falls back to the unreduced search (DESIGN.md §10 — the
+    CLI prints the fallback note once, this keeps workers consistent
+    with it).
+    """
+    from repro.verify.registry import PROOFS
+
+    entry = PROOFS.get(job.name)
+    reduction = "none" if job.reduction == "dpor" else job.reduction
+    report = entry.check(
+        job.model, strategy=job.strategy, reduction=reduction,
+        max_configs=job.max_configs,
+    )
+    stats = report.stats
+    return SuiteJobResult(
+        job=job,
+        observed=not report.proved,
+        expected=False,  # every registered outline is expected to prove
+        pinned=True,
+        configs=report.configs,
+        transitions=report.transitions,
+        terminal=0,
+        truncated=report.truncated,
+        wall_time=stats.time_total,
+        key_hits=stats.key_hits,
+        key_misses=stats.key_misses,
+        expanded=stats.expanded,
+        pruned=stats.pruned,
+        sleep_hits=stats.sleep_hits,
+        races=stats.races,
+        revisits=stats.revisits,
+        obligations=report.obligations_discharged,
+        failed_obligations=sum(
+            bad for _, bad in report.per_invariant.values()
+        ),
+        detail="; ".join(str(f) for f in report.failures[:3]),
+    )
+
+
 def run_suite_job(job: SuiteJob) -> SuiteJobResult:
     """Execute one job — the worker entry point (must stay module-level
     so it pickles by reference)."""
@@ -271,6 +395,8 @@ def run_suite_job(job: SuiteJob) -> SuiteJobResult:
         result = _run_litmus_job(job)
     elif job.kind == "case-study":
         result = _run_case_study_job(job)
+    elif job.kind == "verify":
+        result = _run_verify_job(job)
     elif job.kind == "fuzz":
         # lazy for the same reason as the registries: the fuzz package
         # imports the interpreters, which must not load with the engine
@@ -339,4 +465,5 @@ __all__ = [
     "case_study_jobs",
     "litmus_jobs",
     "run_suite_job",
+    "verify_jobs",
 ]

@@ -42,6 +42,7 @@ def explore_sleep(
     max_events: Optional[int] = None,
     max_configs: Optional[int] = None,
     check_config: Optional[Callable] = None,
+    check_step: Optional[Callable] = None,
     stop_on_violation: bool = False,
     keep_representatives: bool = False,
     canonicalize: bool = True,
@@ -52,6 +53,16 @@ def explore_sleep(
     Honours ``strategy`` through the ordinary frontier abstraction
     (``iddfs`` degrades to a single depth-first run — the deepening
     loop lives above the reduction dispatch and is skipped).
+
+    ``check_step`` fires on every transition the reduction *keeps* —
+    pruned (commutation-redundant) transitions are not checked, and a
+    configuration re-expanded under an incomparable sleep set re-checks
+    its outgoing transitions.  Because sleep sets visit every
+    configuration of the full search, an inductive step property (the
+    proof-outline obligations of DESIGN.md §10: initialisation plus
+    preservation along explored paths) reaches the same proved/failed
+    verdict as the unreduced search; only the obligation *counts* and
+    the particular failing transitions reported may differ.
     """
     from repro.interp.config import Configuration
     from repro.interp.interpreter import thread_successors
@@ -146,6 +157,16 @@ def explore_sleep(
                 }
                 for child in successors:
                     result.transitions += 1
+                    if check_step is not None:
+                        t0 = clock()
+                        messages = check_step(child)
+                        stats.time_checks += clock() - t0
+                        for message in messages:
+                            result.violations.append(
+                                Violation(message, config, child)
+                            )
+                            if stop_on_violation:
+                                return result
                     if capped:
                         continue
                     t0 = clock()

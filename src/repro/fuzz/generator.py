@@ -1,11 +1,13 @@
 """Seeded random generation of well-formed command-language programs.
 
 The generator draws from the full grammar of :mod:`repro.lang.syntax`:
-relaxed and releasing stores, relaxed and acquiring loads, ``swap``
-RMWs, ``if``/``else``, bounded ``while`` loops and program-location
-labels.  (The language has no fence construct — release/acquire
-annotations and the RA ``swap`` are its only synchronisation — so the
-generator covers every access mode the grammar admits.)
+relaxed and releasing stores, relaxed and acquiring loads, the RMW
+family (``swap``, value-returning ``r := x.swap(n)``, ``faa`` with and
+without result capture — DESIGN.md §10), ``if``/``else``, bounded
+``while`` loops and program-location labels.  (The language has no
+fence construct — release/acquire annotations and the RA RMWs are its
+only synchronisation — so the generator covers every access mode the
+grammar admits.)
 
 Two properties are enforced by construction:
 
@@ -39,6 +41,7 @@ from repro.lang.syntax import (
     BinOp,
     Com,
     Exp,
+    Faa,
     If,
     Labeled,
     Lit,
@@ -161,8 +164,9 @@ def estimate_event_bound(com: Com, loop_iters: int = 4) -> int:
         return 0
     if isinstance(com, Assign):
         return _exp_loads(com.exp) + 1
-    if isinstance(com, Swap):
-        return 1
+    if isinstance(com, (Swap, Faa)):
+        # a value-returning RMW is two events: the update + the register store
+        return 1 if com.reg is None else 2
     if isinstance(com, Seq):
         return (estimate_event_bound(com.first, loop_iters)
                 + estimate_event_bound(com.second, loop_iters))
@@ -243,7 +247,19 @@ class _Gen:
                 release=rng.random() < cfg.p_release,
             )
         if kind == "swap":
-            return Swap(rng.choice(cfg.variables), rng.choice(cfg.values))
+            # the RMW family (DESIGN.md §10): bare exchange half the
+            # time, else a value-returning exchange or a fetch-and-add
+            # (with/without result capture) so the computed-write and
+            # register-store paths face every differential oracle
+            var = rng.choice(cfg.variables)
+            roll = rng.random()
+            if roll < 0.5:
+                return Swap(var, rng.choice(cfg.values))
+            reg = rng.choice(cfg.variables)
+            if roll < 0.75:
+                return Swap(var, rng.choice(cfg.values), reg)
+            return Faa(var, rng.choice(cfg.values),
+                       reg if roll < 0.875 else None)
         if kind == "skip":
             return Skip()
         if kind == "if":
@@ -305,8 +321,9 @@ def _used_vars(com: Com) -> frozenset:
         return frozenset()
     if isinstance(com, Assign):
         return com.exp.free_vars() | {com.var}
-    if isinstance(com, Swap):
-        return frozenset({com.var})
+    if isinstance(com, (Swap, Faa)):
+        regs = frozenset() if com.reg is None else frozenset({com.reg})
+        return frozenset({com.var}) | regs
     if isinstance(com, Seq):
         return _used_vars(com.first) | _used_vars(com.second)
     if isinstance(com, If):

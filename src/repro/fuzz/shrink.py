@@ -35,6 +35,7 @@ from repro.lang.syntax import (
     BinOp,
     Com,
     Exp,
+    Faa,
     If,
     Labeled,
     Lit,
@@ -96,7 +97,14 @@ def _com_variants(com: Com) -> Iterator[Com]:
             yield Assign(com.var, v, release=com.release)
         return
     if isinstance(com, Swap):
+        if com.reg is not None:
+            yield Swap(com.var, com.value)  # drop the result register
         yield Assign(com.var, Lit(com.value))
+        return
+    if isinstance(com, Faa):
+        if com.reg is not None:
+            yield Faa(com.var, com.add)  # drop the result register
+        yield Swap(com.var, com.add, com.reg)  # constant-write weakening
         return
     if isinstance(com, Seq):
         yield com.first

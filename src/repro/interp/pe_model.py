@@ -20,7 +20,7 @@ from repro.interp.memory_model import MemoryModel, MemoryTransition
 from repro.lang.actions import Value, Var
 from repro.lang.program import Program, Tid
 from repro.lang.semantics import PendingStep
-from repro.lang.syntax import Assign, Com, If, Labeled, Lit, Seq, Swap, While
+from repro.lang.syntax import Assign, Com, Faa, If, Labeled, Lit, Seq, Swap, While
 
 
 class PEMemoryModel(MemoryModel[PreExecutionState]):
@@ -110,6 +110,8 @@ def literals_written(com: Com) -> FrozenSet[Value]:
             walk_exp(c.exp)
         elif isinstance(c, Swap):
             out.add(c.value)
+        elif isinstance(c, Faa):
+            out.add(c.add)
         elif isinstance(c, Seq):
             walk(c.first)
             walk(c.second)

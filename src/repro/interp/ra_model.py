@@ -32,7 +32,10 @@ class RAMemoryModel(MemoryModel[C11State]):
     ) -> Iterator[MemoryTransition[C11State]]:
         assert not step.is_silent, "silent steps are handled by the interpreter"
         assert step.var is not None
-        for tr in ra_successors(state, tid, step.kind, step.var, step.wrval):
+        # Computed updates (fetch-and-add) ship their write value as a
+        # function of the value read; constants pass through unchanged.
+        wrval = step.wrval if step.wrfun is None else step.wrfun
+        for tr in ra_successors(state, tid, step.kind, step.var, wrval):
             read_value = tr.event.rdval if step.is_read_hole else None
             yield MemoryTransition(
                 target=tr.target,

@@ -66,10 +66,10 @@ class SCMemoryModel(MemoryModel[SCState]):
                 target=sc_update(state, step.var, step.wrval)
             )
         elif kind is ActionKind.UPD:
-            assert step.wrval is not None
+            read = sc_lookup(state, step.var)
             yield MemoryTransition(
-                target=sc_update(state, step.var, step.wrval),
-                read_value=sc_lookup(state, step.var),
+                target=sc_update(state, step.var, step.write_value(read)),
+                read_value=read,
             )
         else:  # pragma: no cover - defensive
             raise ValueError(f"unexpected step kind {kind}")

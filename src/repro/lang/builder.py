@@ -23,6 +23,7 @@ from repro.lang.syntax import (
     BinOp,
     Com,
     Exp,
+    Faa,
     If,
     Labeled,
     Lit,
@@ -121,9 +122,14 @@ def store_rel(x: Var, e: ExpLike) -> Assign:
     return Assign(x, _exp(e), release=True)
 
 
-def swap(x: Var, n: Value) -> Swap:
-    """``x.swap(n)^RA``."""
-    return Swap(x, n)
+def swap(x: Var, n: Value, reg: Union[Var, None] = None) -> Swap:
+    """``x.swap(n)^RA`` — or ``reg := x.swap(n)^RA`` keeping the old value."""
+    return Swap(x, n, reg)
+
+
+def faa(x: Var, k: Value, reg: Union[Var, None] = None) -> Faa:
+    """``x.faa(k)^RA`` — or ``reg := x.faa(k)^RA`` keeping the fetch."""
+    return Faa(x, k, reg)
 
 
 def seq(*commands: Com) -> Com:

@@ -20,6 +20,9 @@ Syntax:
   ``x := E``             relaxed store
   ``x :=R E``            releasing store
   ``x.swap(n)``          release-acquire RMW (the paper's ``swap``)
+  ``r := x.swap(n)``     exchange keeping the old value in ``r``
+  ``x.faa(k)``           fetch-and-add (write value = read value + k)
+  ``r := x.faa(k)``      fetch-and-add keeping the fetch in ``r``
   ``skip``               no-op
   ``if (B) { .. } else { .. }``  conditional (``else`` optional)
   ``while (B) { .. }``   loop (empty body = busy wait)
@@ -48,6 +51,7 @@ from repro.lang.syntax import (
     BinOp,
     Com,
     Exp,
+    Faa,
     If,
     Labeled,
     Lit,
@@ -279,20 +283,37 @@ def _parse_statement(cur: _Cursor) -> Com:
         nxt = cur.peek(skip_newlines=False)
         if nxt is not None and nxt.text == ".":
             cur.next(skip_newlines=False)
-            cur.expect("swap", skip_newlines=False)
-            cur.expect("(")
-            val = cur.next()
-            if val.kind != "num":
-                raise ParseError("swap takes a value literal", val)
-            cur.expect(")")
-            return Swap(t.text, int(val.text))
+            return _parse_rmw_call(cur, t.text, reg=None)
         op = cur.next()
         if op.kind == "assignR":
             return Assign(t.text, _parse_exp(cur), release=True)
         if op.kind == "assign":
+            # value-returning RMW:  r := x.swap(n)  /  r := x.faa(k)
+            save = cur.i
+            rhs = cur.peek(skip_newlines=True)
+            if rhs is not None and rhs.kind == "word":
+                word = cur.next(skip_newlines=True)
+                if cur.accept(".", skip_newlines=False):
+                    return _parse_rmw_call(cur, word.text, reg=t.text)
+                cur.i = save
             return Assign(t.text, _parse_exp(cur), release=False)
         raise ParseError("expected ':=', ':=R' or '.swap(..)'", op)
     raise ParseError("expected a statement", t)
+
+
+def _parse_rmw_call(cur: _Cursor, target: str, reg: Optional[str]) -> Com:
+    """Parse ``swap(n)`` / ``faa(k)`` after ``<target>.`` was consumed."""
+    op = cur.next(skip_newlines=False)
+    if op.text not in ("swap", "faa"):
+        raise ParseError("expected 'swap(..)' or 'faa(..)' after '.'", op)
+    cur.expect("(")
+    val = cur.next()
+    if val.kind != "num":
+        raise ParseError(f"{op.text} takes a value literal", val)
+    cur.expect(")")
+    if op.text == "swap":
+        return Swap(target, int(val.text), reg)
+    return Faa(target, int(val.text), reg)
 
 
 def _parse_statements(cur: _Cursor, stop: set) -> Com:

@@ -21,8 +21,10 @@ from repro.lang.actions import Action, ActionKind, TAU, Value, Var, rd, rda, upd
 from repro.lang.syntax import (
     Assign,
     Com,
+    Faa,
     If,
     Labeled,
+    Lit,
     Seq,
     Skip,
     Swap,
@@ -47,14 +49,25 @@ class PendingStep:
       ``resume(None)`` is the successor.
     * ``RD``/``RDA`` — a read of ``var`` whose value is a hole;
       ``resume(n)`` is the successor command after reading ``n``.
-    * ``UPD`` — a ``swap``: writes ``wrval`` to ``var``, reads a hole;
-      ``resume(m)`` is the successor (``swap`` discards the value read).
+    * ``UPD`` — an RMW: writes :meth:`write_value` to ``var``, reads a
+      hole; ``resume(m)`` is the successor (the bare ``swap`` discards
+      the value read; ``r := x.swap(n)`` / ``r := x.faa(k)`` resume into
+      the register store of ``m``).
+
+    For a ``swap`` the write value is the constant ``wrval``; for a
+    ``faa`` it *depends on the value read* and is carried as the
+    function ``wrfun`` (``m ↦ m + k``).  Memory models must therefore
+    resolve the write value through :meth:`write_value` once the read
+    hole is filled, never through ``wrval`` directly on updates.
     """
 
     kind: ActionKind
     var: Optional[Var] = None
     wrval: Optional[Value] = None
     resume: Callable[[Optional[Value]], Com] = field(default=lambda _v: SKIP)
+    #: For updates only: write value as a function of the value read
+    #: (``None`` means the constant ``wrval`` — the paper's ``swap``).
+    wrfun: Optional[Callable[[Value], Value]] = None
 
     @property
     def is_read_hole(self) -> bool:
@@ -64,6 +77,19 @@ class PendingStep:
     @property
     def is_silent(self) -> bool:
         return self.kind.is_silent
+
+    def write_value(self, read_value: Optional[Value] = None) -> Value:
+        """The value this step writes, given the value its hole reads.
+
+        Plain writes ignore ``read_value``; constant updates (``swap``)
+        do too; computed updates (``faa``) require it.
+        """
+        if self.wrfun is not None:
+            if read_value is None:
+                raise ValueError("computed update needs its read value")
+            return self.wrfun(read_value)
+        assert self.wrval is not None
+        return self.wrval
 
     def action(self, read_value: Optional[Value] = None) -> Action:
         """The action this step performs, given a value for the hole.
@@ -86,12 +112,29 @@ class PendingStep:
             return rd(self.var, read_value)
         if self.kind is ActionKind.RDA:
             return rda(self.var, read_value)
-        assert self.kind is ActionKind.UPD and self.wrval is not None
-        return upd(self.var, read_value, self.wrval)
+        assert self.kind is ActionKind.UPD
+        return upd(self.var, read_value, self.write_value(read_value))
 
 
 def _silent(successor: Com) -> PendingStep:
     return PendingStep(ActionKind.TAU, resume=lambda _v, _c=successor: _c)
+
+
+def _rmw_resume(reg: Optional[Var]) -> Callable[[Optional[Value]], Com]:
+    """Continuation of an RMW: done, or store the value read to ``reg``.
+
+    The register store is an ordinary relaxed write event of the same
+    thread — two events total, exactly what ``r = exchange(&x, n)``
+    compiles to; only the update itself is atomic.
+    """
+    if reg is None:
+        return lambda _v: SKIP
+
+    def resume(value: Optional[Value], _reg=reg) -> Com:
+        assert value is not None
+        return Assign(_reg, Lit(value))
+
+    return resume
 
 
 def _exp_step(exp, rebuild: Callable[[object], Com]) -> PendingStep:
@@ -143,7 +186,16 @@ def command_steps(com: Com) -> Iterator[PendingStep]:
             ActionKind.UPD,
             var=com.var,
             wrval=com.value,
-            resume=lambda _v: SKIP,
+            resume=_rmw_resume(com.reg),
+        )
+        return
+
+    if isinstance(com, Faa):
+        yield PendingStep(
+            ActionKind.UPD,
+            var=com.var,
+            wrfun=lambda m, _k=com.add: m + _k,
+            resume=_rmw_resume(com.reg),
         )
         return
 
@@ -157,6 +209,7 @@ def command_steps(com: Com) -> Iterator[PendingStep]:
                 step.kind,
                 var=step.var,
                 wrval=step.wrval,
+                wrfun=step.wrfun,
                 resume=lambda v, _r=old_resume, _s=com.second: _sequence(_r(v), _s),
             )
         return
@@ -200,6 +253,7 @@ def command_steps(com: Com) -> Iterator[PendingStep]:
                 step.kind,
                 var=step.var,
                 wrval=step.wrval,
+                wrfun=step.wrfun,
                 resume=lambda v, _r=old_resume, _pc=com.pc: _relabel(_pc, _r(v)),
             )
         return

@@ -6,7 +6,14 @@ Grammar::
     Com ::= skip | x.swap(n)^RA | x := Exp | x :=^R Exp
           | Com ; Com | if B then Com else Com | while B do Com
 
-plus one administrative form, :class:`Labeled`, which wraps a command
+plus two RMW extensions beyond the paper's grammar (DESIGN.md §10):
+``r := x.swap(n)^RA`` (exchange that keeps the value read, as C11's
+``atomic_exchange`` does) and ``x.faa(k)^RA`` / ``r := x.faa(k)^RA``
+(fetch-and-add).  Both generate the same ``updRA`` action flavour the
+paper's ``swap`` does — no new action kinds, no new synchronisation —
+so every Section 3–5 result about updates applies to them verbatim.
+
+There is also one administrative form, :class:`Labeled`, which wraps a command
 with a program-location label.  Labels have no semantic effect; they
 realise the paper's auxiliary program-counter function ``P.pc_t``
 (Section 5.2) that the Peterson invariants are phrased over.
@@ -183,17 +190,43 @@ class Assign(Com):
 
 @dataclass(frozen=True)
 class Swap(Com):
-    """``x.swap(n)^RA`` — atomically exchange ``x`` with ``n``.
+    """``x.swap(n)^RA`` or ``r := x.swap(n)^RA`` — atomic exchange.
 
     Generates a single ``updRA(x, m, n)`` action; the value ``m`` read is
-    unconstrained at this layer (the memory model resolves it).
+    unconstrained at this layer (the memory model resolves it).  With a
+    result register ``reg``, the value read is then stored to ``reg`` by
+    an ordinary relaxed write (C11's ``atomic_exchange`` returns the old
+    value; the paper's bare ``swap`` simply discards it) — this is what
+    makes a test-and-set lock expressible.
     """
 
     var: Var
     value: Value
+    reg: Optional[Var] = None
 
     def __str__(self) -> str:
-        return f"{self.var}.swap({self.value})^RA"
+        rmw = f"{self.var}.swap({self.value})^RA"
+        return rmw if self.reg is None else f"{self.reg} := {rmw}"
+
+
+@dataclass(frozen=True)
+class Faa(Com):
+    """``x.faa(k)^RA`` or ``r := x.faa(k)^RA`` — atomic fetch-and-add.
+
+    Generates a single ``updRA(x, m, m + k)`` action: the write value is
+    a *function of the value read*, unlike :class:`Swap`'s constant.
+    With a result register the value read (the "fetch") is stored to
+    ``reg`` by a subsequent relaxed write — the ticket-lock idiom
+    ``my := ticket.faa(1)``.
+    """
+
+    var: Var
+    add: Value
+    reg: Optional[Var] = None
+
+    def __str__(self) -> str:
+        rmw = f"{self.var}.faa({self.add})^RA"
+        return rmw if self.reg is None else f"{self.reg} := {rmw}"
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ from repro.lang.syntax import (
     BinOp,
     Com,
     Exp,
+    Faa,
     If,
     Labeled,
     Lit,
@@ -69,7 +70,11 @@ def unparse_com(com: Com) -> str:
         op = ":=R" if com.release else ":="
         return f"{com.var} {op} {unparse_exp(com.exp)}"
     if isinstance(com, Swap):
-        return f"{com.var}.swap({com.value})"
+        rmw = f"{com.var}.swap({com.value})"
+        return rmw if com.reg is None else f"{com.reg} := {rmw}"
+    if isinstance(com, Faa):
+        rmw = f"{com.var}.faa({com.add})"
+        return rmw if com.reg is None else f"{com.reg} := {rmw}"
     if isinstance(com, Seq):
         # ';' parses right-associated; brace a left-nested first component
         # so the round trip preserves the tree shape

@@ -14,6 +14,9 @@
   mirroring the paper's per-transition proofs (Appendix D).
 * :mod:`repro.verify.calculus` — a syntactic proof context that carries
   a set of assertions across transitions by applying Figure 4.
+* :mod:`repro.verify.registry` — the proof registry behind the
+  ``repro verify`` workbench (DESIGN.md §10): every case study paired
+  with its checked outline and the models it is stated for.
 """
 
 from repro.verify.assertions import (
@@ -25,7 +28,10 @@ from repro.verify.assertions import (
     Implies,
     Not_,
     UpdateOnly,
+    ValEq,
+    VarsEq,
     Assertion,
+    current_value,
     dv_holds,
     vo_holds,
     happens_before_cone,
@@ -39,6 +45,7 @@ from repro.verify.lemmas import (
 from repro.verify.invariants import Invariant, InvariantReport, check_invariants
 from repro.verify.calculus import AssertionContext
 from repro.verify.outline import ProofOutline, OutlineReport, peterson_outline
+from repro.verify.registry import PROOFS, ProofCaseStudy, ProofRegistry
 
 __all__ = [
     "DV",
@@ -49,10 +56,16 @@ __all__ = [
     "Implies",
     "Not_",
     "UpdateOnly",
+    "ValEq",
+    "VarsEq",
     "Assertion",
+    "current_value",
     "dv_holds",
     "vo_holds",
     "happens_before_cone",
+    "PROOFS",
+    "ProofCaseStudy",
+    "ProofRegistry",
     "RULES",
     "RuleCheckResult",
     "check_rules_on_step",

@@ -89,6 +89,24 @@ def vo_holds(state: C11State, x: Var, y: Var) -> bool:
     return (last_x, last_y) in state.hb.pairs
 
 
+def current_value(state, x: Var) -> Optional[Value]:
+    """The globally most recent value of ``x``, model-agnostically.
+
+    For event-based states this is ``wrval(σ.last(x))`` — the mo-maximal
+    write, with no determinacy claim attached (contrast :func:`dv_holds`,
+    which additionally demands the thread *know* it).  For SC stores it
+    is simply the store content.  This is what lets one proof outline be
+    checked under both the RA and the SC model (DESIGN.md §10): pc
+    guards and value facts transfer, thread-indexed determinate-value
+    facts do not.
+    """
+    last = getattr(state, "last", None)
+    if last is not None:
+        event = last(x)
+        return None if event is None else event.wrval
+    return dict(state).get(x)
+
+
 # ----------------------------------------------------------------------
 # Assertion language
 # ----------------------------------------------------------------------
@@ -138,6 +156,40 @@ class VO(Assertion):
 
     def __str__(self) -> str:
         return f"{self.x} -> {self.y}"
+
+
+@dataclass(frozen=True)
+class ValEq(Assertion):
+    """``value(x) = v`` — the current (mo-last / store) value of ``x``.
+
+    Weaker than :class:`DV`: no thread is claimed to *know* the value,
+    so the assertion is meaningful under any memory model — the shape
+    used by outlines that are checked under SC as well as RA.
+    """
+
+    x: Var
+    value: Value
+
+    def holds(self, config: Configuration) -> bool:
+        return current_value(config.state, self.x) == self.value
+
+    def __str__(self) -> str:
+        return f"value({self.x}) = {self.value}"
+
+
+@dataclass(frozen=True)
+class VarsEq(Assertion):
+    """``value(x) = value(y)`` — two current values agree (both defined)."""
+
+    x: Var
+    y: Var
+
+    def holds(self, config: Configuration) -> bool:
+        vx = current_value(config.state, self.x)
+        return vx is not None and vx == current_value(config.state, self.y)
+
+    def __str__(self) -> str:
+        return f"value({self.x}) = value({self.y})"
 
 
 @dataclass(frozen=True)

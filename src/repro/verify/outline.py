@@ -20,6 +20,15 @@ transition (Appendix D).  A :class:`ProofOutline` packages that shape:
 This is the semantic counterpart of the syntactic
 :class:`~repro.verify.calculus.AssertionContext`; use the outline to
 state *what* holds where, and the calculus to replay *why*.
+
+Outline checking is the core of the verification workbench
+(``python -m repro verify``, DESIGN.md §10): the named case studies of
+:mod:`repro.verify.registry` each pair a program with an outline built
+here, and :meth:`ProofOutline.check` accepts the engine's ``strategy``
+and ``reduction`` knobs — ``"sleep"`` is configuration-identical and
+therefore verdict-preserving for the obligations; ``"dpor"`` prunes
+configurations outright and is rejected (the CLI falls back to
+``"none"`` and says so).
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.engine.stats import EngineStats
 from repro.interp.config import Configuration
 from repro.interp.explore import explore
 from repro.interp.interpreter import InterpretedStep
@@ -38,6 +48,10 @@ from repro.verify.assertions import Assertion
 from repro.verify.invariants import Invariant
 
 
+def _pc_vector(config: Configuration) -> Tuple[int, ...]:
+    return tuple(config.pc(t) for t in config.program.tids)
+
+
 @dataclass
 class ObligationFailure:
     """One failed proof obligation."""
@@ -47,8 +61,17 @@ class ObligationFailure:
     step: Optional[InterpretedStep] = None
 
     def __str__(self) -> str:
-        via = f" across {self.step.event}" if self.step and self.step.event else ""
-        return f"{self.kind} of {self.invariant} failed{via}"
+        if self.step is None:
+            return f"{self.kind} of {self.invariant} failed"
+        label = str(self.step.event) if self.step.event is not None else "τ"
+        pcs = "⟨{}⟩ → ⟨{}⟩".format(
+            ",".join(map(str, _pc_vector(self.step.source))),
+            ",".join(map(str, _pc_vector(self.step.target))),
+        )
+        return (
+            f"{self.kind} of {self.invariant} failed across {label} "
+            f"by thread {self.step.tid} at pc {pcs}"
+        )
 
 
 @dataclass
@@ -60,6 +83,15 @@ class OutlineReport:
     obligations_discharged: int = 0
     truncated: bool = False
     failures: List[ObligationFailure] = field(default_factory=list)
+    #: per-invariant obligation counts: name -> (discharged, failed)
+    per_invariant: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: how the discharging exploration ran
+    strategy: str = "bfs"
+    reduction: str = "none"
+    #: the discharging exploration's engine statistics (key cache,
+    #: phase timings, reduction counters) — what the parallel runner's
+    #: verify jobs aggregate into the suite footer
+    stats: EngineStats = field(default_factory=EngineStats)
 
     @property
     def proved(self) -> bool:
@@ -72,6 +104,11 @@ class OutlineReport:
             f"configs={self.configs} transitions={self.transitions} "
             f"obligations={self.obligations_discharged} {verdict}{bound}"
         )
+
+    def _count(self, name: str, failed: bool) -> None:
+        ok, bad = self.per_invariant.get(name, (0, 0))
+        self.per_invariant[name] = (ok + (not failed), bad + failed)
+        self.obligations_discharged += 1
 
 
 class ProofOutline:
@@ -117,15 +154,36 @@ class ProofOutline:
         max_events: Optional[int] = None,
         max_configs: Optional[int] = None,
         keep_failures: int = 10,
+        strategy: str = "bfs",
+        reduction: str = "none",
     ) -> OutlineReport:
-        """Discharge initialisation + per-transition preservation."""
+        """Discharge initialisation + per-transition preservation.
+
+        ``strategy`` and ``reduction`` are the engine's knobs.  Only the
+        ``"sleep"`` reduction is admissible: it visits exactly the
+        configurations the full search visits, so the proved/failed
+        verdict is reduction-independent (obligation counts are not —
+        pruned commutation-redundant transitions are simply not
+        re-checked).  ``"dpor"`` prunes configurations, i.e. the very
+        domain the obligations quantify over, and raises ``ValueError``
+        here; callers wanting DPOR speed must fall back to ``"none"``
+        (see ``python -m repro verify`` and DESIGN.md §10).
+        """
+        if reduction not in ("none", "sleep"):
+            raise ValueError(
+                f"reduction {reduction!r} prunes configurations; proof "
+                "obligations quantify over every reachable transition, so "
+                "only the configuration-identical 'sleep' tier (or 'none') "
+                "is sound here — see DESIGN.md §10"
+            )
         model = model if model is not None else RAMemoryModel()
-        report = OutlineReport()
+        report = OutlineReport(strategy=strategy, reduction=reduction)
 
         initial = Configuration(program, model.initial(init_values))
         for inv in self._invariants:
-            report.obligations_discharged += 1
-            if not inv.holds(initial):
+            failed = not inv.holds(initial)
+            report._count(inv.name, failed)
+            if failed:
                 report.failures.append(
                     ObligationFailure("initialisation", inv.name)
                 )
@@ -134,12 +192,12 @@ class ProofOutline:
             if not self.holds(step.source):
                 return []  # vacuous: source outside the outline
             for inv in self._invariants:
-                report.obligations_discharged += 1
-                if not inv.holds(step.target):
-                    if len(report.failures) < keep_failures:
-                        report.failures.append(
-                            ObligationFailure("preservation", inv.name, step)
-                        )
+                failed = not inv.holds(step.target)
+                report._count(inv.name, failed)
+                if failed and len(report.failures) < keep_failures:
+                    report.failures.append(
+                        ObligationFailure("preservation", inv.name, step)
+                    )
             return []
 
         result = explore(
@@ -149,10 +207,13 @@ class ProofOutline:
             max_events=max_events,
             max_configs=max_configs,
             check_step=on_step,
+            strategy=strategy,
+            reduction=reduction,
         )
         report.configs = result.configs
         report.transitions = result.transitions
         report.truncated = result.truncated
+        report.stats = result.stats
         return report
 
 

@@ -1,0 +1,216 @@
+"""Tests for ``python -m repro verify`` (the verification workbench CLI)."""
+
+import pytest
+
+from repro.cli import main
+
+MP_TEXT = """
+C11 MPfile
+{ d = 0; f = 0; r = 0 }
+P1: d := 5; f :=R 1
+P2: 1: while (!(f^A)) { }; 2: r := d
+"""
+
+GOOD_SPEC = """
+OUTLINE = (
+    ProofOutline()
+    .at("consumer sees payload", {2: (2,)}, DV("d", 2, 5))
+)
+"""
+
+#: Deliberately wrong: claims the payload is 6.
+BROKEN_SPEC = """
+OUTLINE = (
+    ProofOutline()
+    .everywhere("d never becomes 5", Not_(ValEq("d", 5)))
+)
+"""
+
+FUNC_SPEC = """
+def outline():
+    return ProofOutline().at("consumer sees payload", {2: (2,)}, DV("d", 2, 5))
+"""
+
+
+@pytest.fixture
+def mp_file(tmp_path):
+    path = tmp_path / "mp.litmus"
+    path.write_text(MP_TEXT)
+    return str(path)
+
+
+def spec_file(tmp_path, text, name="spec.py"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# Named case studies
+# ----------------------------------------------------------------------
+
+
+def test_verify_named_case_study(capsys):
+    assert main(["verify", "peterson"]) == 0
+    out = capsys.readouterr().out
+    assert "peterson [ra]" in out
+    assert "(4) turn update-only" in out
+    assert "obligations" in out and "OK" in out
+
+
+def test_verify_multiple_names_and_models(capsys):
+    assert main(["verify", "dekker", "message-passing-val"]) == 0
+    out = capsys.readouterr().out
+    assert "dekker [sc]" in out
+    # message-passing-val is pinned to both models; both must report
+    assert "message-passing-val [ra]" in out
+    assert "message-passing-val [sc]" in out
+
+
+def test_verify_model_override_refutes_dekker_under_ra(capsys):
+    assert main(["verify", "dekker", "--model", "ra"]) == 1
+    out = capsys.readouterr().out
+    assert "FAILED" in out
+    assert "preservation of mutual exclusion failed across" in out
+    assert "by thread" in out  # the offending transition is localised
+
+
+def test_verify_unknown_name():
+    with pytest.raises(SystemExit, match="unknown case study"):
+        main(["verify", "peterzon"])
+
+
+def test_verify_named_with_model_list(capsys):
+    assert main(["verify", "message-passing-val", "--model", "ra,sc"]) == 0
+    out = capsys.readouterr().out
+    assert "message-passing-val [ra]" in out
+    assert "message-passing-val [sc]" in out
+
+
+def test_verify_named_unknown_model():
+    with pytest.raises(SystemExit, match="unknown model"):
+        main(["verify", "peterson", "--model", "tso"])
+
+
+def test_verify_incompatible_model_errors_cleanly():
+    """Forcing an RA-only outline (UpdateOnly/DV assertions) onto SC
+    stores must be a clean error naming the pinned models, not an
+    AttributeError traceback."""
+    with pytest.raises(SystemExit, match=r"stated for models \['ra'\]"):
+        main(["verify", "peterson", "--model", "sc"])
+
+
+def test_verify_without_arguments():
+    with pytest.raises(SystemExit, match="--list"):
+        main(["verify"])
+
+
+def test_verify_list(capsys):
+    assert main(["verify", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("peterson", "spinlock-tas", "ticket-lock", "seqlock",
+                 "barrier", "dekker"):
+        assert name in out
+
+
+# ----------------------------------------------------------------------
+# --all: the registry sweep through the parallel runner
+# ----------------------------------------------------------------------
+
+
+def test_verify_all_discharges_every_outline(capsys):
+    assert main(["verify", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "proved" in out and "REFUTED" not in out
+    assert " 0 failed" in out
+
+
+def test_verify_all_parallel_matches_sequential(capsys):
+    assert main(["verify", "--all", "--jobs", "1"]) == 0
+    sequential = capsys.readouterr().out
+    assert main(["verify", "--all", "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    strip = lambda out: [
+        line.split("time=")[0].rstrip()
+        for line in out.splitlines()
+        if "configs=" in line
+    ]
+    assert strip(sequential) == strip(parallel)
+    assert len(strip(sequential)) >= 8
+
+
+def test_verify_all_model_filter(capsys):
+    assert main(["verify", "--all", "--model", "sc"]) == 0
+    out = capsys.readouterr().out
+    assert "[sc] proof" in out and "[ra] proof" not in out
+
+
+def test_verify_all_unmatched_model_filter():
+    with pytest.raises(SystemExit, match="no registered outline"):
+        main(["verify", "--all", "--model", "sra"])
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+
+
+def test_verify_sleep_reduction_same_verdict(capsys):
+    assert main(["verify", "spinlock-tas"]) == 0
+    full = capsys.readouterr().out
+    assert main(["verify", "spinlock-tas", "--reduction", "sleep"]) == 0
+    reduced = capsys.readouterr().out
+    # same configuration count, same verdict — fewer transitions
+    config_count = lambda out: out.split("configs=")[1].split()[0]
+    assert config_count(full) == config_count(reduced)
+    assert "FAILED" not in reduced
+
+
+def test_verify_dpor_falls_back_with_note(capsys):
+    assert main(["verify", "message-passing", "--reduction", "dpor"]) == 0
+    out = capsys.readouterr().out
+    assert "falling back" in out
+    assert "OK" in out
+
+
+# ----------------------------------------------------------------------
+# --file / --outline: ad-hoc programs against spec outlines
+# ----------------------------------------------------------------------
+
+
+def test_verify_file_with_good_outline(mp_file, tmp_path, capsys):
+    spec = spec_file(tmp_path, GOOD_SPEC)
+    assert main([
+        "verify", "--file", mp_file, "--outline", spec, "--max-events", "10",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "consumer sees payload" in out and "OK" in out
+
+
+def test_verify_file_with_broken_outline_localises(mp_file, tmp_path, capsys):
+    spec = spec_file(tmp_path, BROKEN_SPEC)
+    assert main([
+        "verify", "--file", mp_file, "--outline", spec, "--max-events", "10",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "FAILED" in out
+    # the offending transition: the producer's write of 5 to d
+    assert "preservation of d never becomes 5 failed across wr(d,5)" in out
+
+
+def test_verify_file_outline_function_form(mp_file, tmp_path, capsys):
+    spec = spec_file(tmp_path, FUNC_SPEC)
+    assert main([
+        "verify", "--file", mp_file, "--outline", spec, "--max-events", "10",
+    ]) == 0
+
+
+def test_verify_file_without_outline(mp_file):
+    with pytest.raises(SystemExit, match="--outline"):
+        main(["verify", "--file", mp_file])
+
+
+def test_verify_file_spec_without_outline_binding(mp_file, tmp_path):
+    spec = spec_file(tmp_path, "x = 1\n")
+    with pytest.raises(SystemExit, match="OUTLINE"):
+        main(["verify", "--file", mp_file, "--outline", spec])

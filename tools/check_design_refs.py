@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Check that every ``DESIGN.md §N`` citation points at a real section.
+
+DESIGN.md warns that "renumbering requires a grep" — docstrings across
+``src/``, ``tests/``, ``benchmarks/`` and ``examples/`` cite sections by
+number, and a renumbering (or a section dropped in a refactor) silently
+strands them.  This script automates the grep: it collects the ``## §N``
+headers DESIGN.md actually defines, scans the tree for citations, and
+fails listing every dangling reference with its file and line.
+
+Run from the repository root (CI does, on every PR)::
+
+    python tools/check_design_refs.py
+
+Exit code 0 when every citation resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Directories scanned for citations, relative to the repository root.
+SCAN_DIRS = ("src", "tests", "benchmarks", "examples", "tools")
+
+#: File suffixes worth scanning (citations live in docstrings/comments).
+SUFFIXES = {".py", ".md", ".yml", ".yaml"}
+
+#: A citation: "DESIGN.md §9" / "DESIGN.md §10" (optionally "§9/§10").
+CITATION = re.compile(r"DESIGN\.md\s+§(\d+)")
+
+#: A definition: a DESIGN.md header like "## §9 Partial-order ...".
+HEADER = re.compile(r"^##\s+§(\d+)\b", re.MULTILINE)
+
+
+def defined_sections(design_path: Path) -> set:
+    return {int(n) for n in HEADER.findall(design_path.read_text(encoding="utf-8"))}
+
+
+def find_citations(root: Path):
+    """Yield (path, line_number, section) for every citation in the tree."""
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SUFFIXES or not path.is_file():
+                continue
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8", errors="replace").splitlines(), 1
+            ):
+                for match in CITATION.finditer(line):
+                    yield path, lineno, int(match.group(1))
+        # the workflow file cites sections in comments too
+    ci = root / ".github" / "workflows" / "ci.yml"
+    if ci.is_file():
+        for lineno, line in enumerate(ci.read_text(encoding="utf-8").splitlines(), 1):
+            for match in CITATION.finditer(line):
+                yield ci, lineno, int(match.group(1))
+
+
+def main(root: str = ".") -> int:
+    root_path = Path(root).resolve()
+    design = root_path / "DESIGN.md"
+    if not design.is_file():
+        print(f"error: {design} not found", file=sys.stderr)
+        return 1
+    sections = defined_sections(design)
+    if not sections:
+        print("error: DESIGN.md defines no '## §N' sections", file=sys.stderr)
+        return 1
+
+    citations = list(find_citations(root_path))
+    dangling = [
+        (path, lineno, section)
+        for path, lineno, section in citations
+        if section not in sections
+    ]
+    if dangling:
+        print(
+            f"DESIGN.md defines sections {sorted(sections)}; "
+            f"{len(dangling)} citation(s) dangle:"
+        )
+        for path, lineno, section in dangling:
+            rel = path.relative_to(root_path)
+            print(f"  {rel}:{lineno}: cites DESIGN.md §{section}")
+        return 1
+    print(
+        f"{len(citations)} DESIGN.md citations across {len(SCAN_DIRS)} trees, "
+        f"all resolve into sections {sorted(sections)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))
