@@ -1,0 +1,86 @@
+"""CI regression gate over the E12 hot-path benchmark.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json \
+        [--tolerance 0.25]
+
+Compares the ``e12_hotpath`` record of two ``repro-bench/1`` documents
+(the committed ``BENCH_e12_hotpath.json`` baseline vs a fresh CI run)
+and exits 1 when any case's *calibrated* throughput regressed by more
+than ``--tolerance`` (default 25%).
+
+Raw states/sec would measure the runner, not the engine: CI machines
+differ from the machine the baseline was committed on.  Both documents
+therefore carry a ``spin_score`` — iterations/sec of a fixed
+pure-Python loop recorded in the same session — and the gate compares
+``states_per_sec / spin_score``, in which machine speed cancels.  The
+in-session compact-vs-pair-set ``speedup`` column is machine-
+independent already and is gated directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    try:
+        record = document["records"]["e12_hotpath"]
+    except KeyError:
+        raise SystemExit(f"{path}: no e12_hotpath record (run bench_e12 with --bench-json)")
+    return record["spin_score"], record["cases"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="maximum allowed fractional regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    base_score, base_cases = load_cases(args.baseline)
+    cur_score, cur_cases = load_cases(args.current)
+
+    failures = []
+    print(f"{'case':<20} {'baseline':>12} {'current':>12} {'ratio':>7}  (calibrated st/s)")
+    for name, base in sorted(base_cases.items()):
+        cur = cur_cases.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        base_norm = base["states_per_sec"] / base_score
+        cur_norm = cur["states_per_sec"] / cur_score
+        ratio = cur_norm / base_norm
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            failures.append(
+                f"{name}: calibrated throughput fell to {ratio:.2f}x of the "
+                f"baseline (tolerance {1.0 - args.tolerance:.2f}x)"
+            )
+            flag = "  ** REGRESSION **"
+        print(f"{name:<20} {base_norm:>12.4f} {cur_norm:>12.4f} {ratio:>6.2f}x{flag}")
+        speedup = cur.get("speedup", 0.0)
+        if speedup < base["speedup"] * (1.0 - args.tolerance):
+            failures.append(
+                f"{name}: compact-vs-pair-set speedup fell to {speedup:.2f}x "
+                f"(baseline {base['speedup']:.2f}x, tolerance {args.tolerance:.0%})"
+            )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("\nno hot-path regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,13 +45,24 @@ class RATransition:
 
 
 def ra_read_targets(state: C11State, tid: Tid, var: Var) -> List[Event]:
-    """The writes a read of ``var`` by ``tid`` may observe (rule Read)."""
+    """The writes a read of ``var`` by ``tid`` may observe (rule Read).
+
+    Sequence-backed states (DESIGN.md §11) filter the candidates with
+    one bitmask pass over the variable's ``mo`` sequence against the
+    thread's cached encountered mask — no derived-order relation is
+    ever materialised on this path."""
+    c = state.compact
+    if c is not None:
+        return c.read_targets(tid, var)
     return sorted(observable_writes(state, tid, var), key=lambda w: w.tag)
 
 
 def ra_write_targets(state: C11State, tid: Tid, var: Var) -> List[Event]:
     """The writes a write/update may be mo-inserted after (Write/RMW):
     observable and not covered."""
+    c = state.compact
+    if c is not None:
+        return c.write_targets(tid, var)
     covered = covered_writes(state)
     return sorted(
         (w for w in observable_writes(state, tid, var) if w not in covered),

@@ -55,6 +55,18 @@ class Event:
         state.pop("_hash", None)
         return state
 
+    def described(self, identity) -> tuple:
+        """The canonical-key description of this event under a canonical
+        identity: ``(*identity, kind, var, rdval, wrval)``.
+
+        The single source of the key encoding — used by the fresh
+        derivation (:func:`repro.interp.canon.canonical_key`) and by the
+        incremental key propagation in both state kinds, which must
+        produce byte-identical tuples (DESIGN.md §11).
+        """
+        a = self.action
+        return (*identity, a.kind.value, a.var, a.rdval, a.wrval)
+
     # -- paper accessors (lifted from the action) -----------------------
 
     @property

@@ -28,10 +28,18 @@ def encountered_writes(state: C11State, tid: Tid) -> FrozenSet[Event]:
     """``EW_σ(t)`` — the writes thread ``t`` is aware of.
 
     ``(w, e) ∈ eco? ; hb?`` unfolds to: ``w = e``, or ``(w, e) ∈ eco``, or
-    ``(w, e) ∈ hb``, or ``∃z. (w, z) ∈ eco ∧ (z, e) ∈ hb``.  Computed by
-    one backward sweep from the events of ``t`` over ``hb`` then ``eco``
-    predecessor maps — O(edges), no closure composition materialised.
+    ``(w, e) ∈ hb``, or ``∃z. (w, z) ∈ eco ∧ (z, e) ∈ hb``.  Sequence-
+    backed states answer with one bitmask sweep (DESIGN.md §11): the
+    thread's ``hb`` cone, widened by cached eco-predecessor masks, then
+    intersected with the write mask.  Hand-assembled states run the
+    original backward sweep over ``hb``/``eco`` predecessor maps —
+    O(edges), no closure composition materialised.
     """
+    c = state.compact if isinstance(state, C11State) else None
+    if c is not None:
+        return frozenset(
+            c.events_from_mask(c.encountered_mask(tid) & c.write_mask)
+        )
     my_events = state.events_of(tid)
     if not my_events:
         return frozenset()
@@ -63,6 +71,9 @@ def observable_writes(
     A thread that has not executed any action has ``EW_σ(t) = ∅`` and so
     observes *every* write.
     """
+    c = state.compact if isinstance(state, C11State) else None
+    if c is not None:
+        return c.observable_set(tid, var)
     ew = encountered_writes(state, tid)
     mo_succ = state.mo.successors_map()
     candidates = (
@@ -74,7 +85,14 @@ def observable_writes(
 
 
 def covered_writes(state: C11State) -> FrozenSet[Event]:
-    """``CW_σ`` — writes immediately followed (in rf) by an update."""
+    """``CW_σ`` — writes immediately followed (in rf) by an update.
+
+    Maintained incrementally as a bitmask on sequence-backed states
+    (``with_rf`` sets the observed write's bit when the reader is an
+    update); recomputed from the ``rf`` adjacency otherwise."""
+    c = state.compact if isinstance(state, C11State) else None
+    if c is not None:
+        return frozenset(c.events_from_mask(c.covered))
     rf_succ = state.rf.successors_map()
     return frozenset(
         w

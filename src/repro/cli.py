@@ -35,9 +35,11 @@ Commands
     programs from ``--seed``, run each under SC/SRA/RA and check the
     refinement chain, soundness, axiomatic agreement and POR parity
     (the ``--reduction`` search must be outcome-identical to the full
-    one).  Divergences are delta-debugged to minimal reproducers and
-    persisted under ``--corpus-dir`` for pytest replay.  Exit code 1
-    iff any diverged.
+    one); ``--check-orders`` adds the derived-order oracle, replaying
+    the compact bitset representation against the definitional
+    closures on every reachable state (DESIGN.md §11).  Divergences
+    are delta-debugged to minimal reproducers and persisted under
+    ``--corpus-dir`` for pytest replay.  Exit code 1 iff any diverged.
 
 ``verify``
     The verification workbench (DESIGN.md §10): mechanically discharge
@@ -153,7 +155,8 @@ def cmd_suite(args: argparse.Namespace) -> int:
     print(
         f"{totals['jobs']} jobs, {totals['configs']} configurations, "
         f"{totals['transitions']} transitions; "
-        f"key-cache hit rate {100.0 * totals['key_rate']:.0f}%"
+        f"key-cache hit rate {100.0 * totals['key_rate']:.0f}%; "
+        f"order derivation {totals['time_orders']:.2f}s"
     )
     candidates = totals["expanded"] + totals["pruned"]
     if args.reduction != "none" and candidates:
@@ -193,6 +196,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         axiomatic=not args.no_axiomatic,
         shrink=not args.no_shrink,
         reduction=args.reduction,
+        check_orders=args.check_orders,
     )
     wall = time.perf_counter() - t0
 
@@ -343,7 +347,8 @@ def _verify_all(args: argparse.Namespace, reduction: str) -> int:
         f"{totals['jobs']} proof jobs, {totals['obligations']} obligations "
         f"discharged, {totals['failed_obligations']} failed; "
         f"{totals['configs']} configurations, "
-        f"key-cache hit rate {100.0 * totals['key_rate']:.0f}%"
+        f"key-cache hit rate {100.0 * totals['key_rate']:.0f}%, "
+        f"order derivation {totals['time_orders']:.2f}s"
     )
     print(
         f"strategy={args.strategy} reduction={reduction} workers={args.jobs} "
@@ -551,6 +556,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--reduction", default="dpor", choices=["none", "sleep", "dpor"],
         help="reduction the POR-parity oracle cross-validates against "
         "the full search ('none' disables the oracle)",
+    )
+    fuzz.add_argument(
+        "--check-orders", action="store_true",
+        help="cross-check the compact (interned/bitset) derived orders "
+        "against the definitional closures on every RA-reachable state "
+        "(DESIGN.md §11); slower, catches representation bugs",
     )
     fuzz.add_argument(
         "--no-axiomatic", action="store_true",

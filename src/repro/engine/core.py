@@ -142,6 +142,9 @@ class ExplorationResult(Generic[S]):
 
 def _state_size(state) -> int:
     """Number of program events in an event-based state (0 otherwise)."""
+    compact = getattr(state, "_compact", None)
+    if compact is not None:
+        return len(compact.events_seq) - len(compact.inits)
     events = getattr(state, "events", None)
     if events is None:
         return 0
@@ -324,6 +327,7 @@ def _explore_once(
     strategy: str = "bfs",
 ) -> ExplorationResult[S]:
     """One search run with a fixed frontier discipline and bounds."""
+    from repro.c11.compact import ORDER_TIMER
     from repro.interp.config import Configuration
     from repro.interp.interpreter import configuration_successors
 
@@ -337,6 +341,7 @@ def _explore_once(
     clock = time.perf_counter
     t_run = clock()
     hits0, misses0, _ = KEY_CACHE.snapshot()
+    orders0 = ORDER_TIMER.snapshot()
 
     try:
         t0 = clock()
@@ -426,6 +431,7 @@ def _explore_once(
         hits1, misses1, _ = KEY_CACHE.snapshot()
         stats.key_hits += hits1 - hits0
         stats.key_misses += misses1 - misses0
+        stats.time_orders += ORDER_TIMER.snapshot() - orders0
 
     return result
 

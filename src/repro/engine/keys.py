@@ -70,6 +70,7 @@ def cached_canonical_key(state) -> Hashable:
     # Imported at call time: repro.interp transitively imports this
     # module (via the memory models), so a module-level import here
     # would close an import cycle.
+    from repro.c11.compact import CachedKey
     from repro.interp import canon
 
     try:
@@ -82,5 +83,9 @@ def cached_canonical_key(state) -> Hashable:
         return cached
     KEY_CACHE.misses += 1
     key = canon.canonical_key(state)
+    if type(key) is tuple:
+        # Pre-hash the nested structure once; every seen-set/parent-map
+        # operation on the key reuses it (DESIGN.md §11).
+        key = CachedKey(key)
     state._canon_key = key
     return key

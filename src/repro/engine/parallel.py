@@ -101,6 +101,9 @@ class SuiteJobResult:
     #: into the suite footer like every other integer stat)
     obligations: int = 0
     failed_obligations: int = 0
+    #: derived-order wall time (DESIGN.md §11), aggregated generically
+    #: like the integer stats so footers can attribute closure work
+    time_orders: float = 0.0
 
     @property
     def verdict_matches(self) -> bool:
@@ -233,6 +236,7 @@ def _run_litmus_job(job: SuiteJob) -> SuiteJobResult:
         sleep_hits=stats.sleep_hits,
         races=stats.races,
         revisits=stats.revisits,
+        time_orders=stats.time_orders,
     )
 
 
@@ -341,6 +345,7 @@ def _run_case_study_job(job: SuiteJob) -> SuiteJobResult:
         sleep_hits=result.stats.sleep_hits,
         races=result.stats.races,
         revisits=result.stats.revisits,
+        time_orders=result.stats.time_orders,
     )
 
 
@@ -384,6 +389,7 @@ def _run_verify_job(job: SuiteJob) -> SuiteJobResult:
             bad for _, bad in report.per_invariant.values()
         ),
         detail="; ".join(str(f) for f in report.failures[:3]),
+        time_orders=stats.time_orders,
     )
 
 
@@ -434,11 +440,13 @@ class ParallelRunner:
     def aggregate(self, results: Sequence[SuiteJobResult]) -> dict:
         """Suite-level totals for the CLI footer.
 
-        Every integer counter field of :class:`SuiteJobResult` is summed
-        generically — a stat key added to the result type (reduction
-        counters, say) shows up here without aggregator surgery, instead
-        of being silently dropped.  Derived entries (``jobs``,
-        ``mismatches``, ``key_rate``, ``worker_time``) stay explicit.
+        Every numeric counter field of :class:`SuiteJobResult` — int or
+        float — is summed generically: a stat key added to the result
+        type (reduction counters, ``time_orders``, say) shows up here
+        without aggregator surgery, instead of being silently dropped.
+        ``wall_time`` is excluded (it is whole-job time, surfaced as the
+        derived ``worker_time``); the other derived entries (``jobs``,
+        ``mismatches``, ``key_rate``) stay explicit too.
         """
         import typing
 
@@ -447,7 +455,8 @@ class ParallelRunner:
             name: sum(getattr(r, name) for r in results)
             for f in dataclasses.fields(SuiteJobResult)
             for name in (f.name,)
-            if hints.get(name) is int  # resolved type: excludes bool/str
+            # resolved type: excludes bool/str; wall_time is derived
+            if hints.get(name) in (int, float) and name != "wall_time"
         }
         keyed = totals["key_hits"] + totals["key_misses"]
         totals["jobs"] = len(results)

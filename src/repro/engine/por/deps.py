@@ -52,6 +52,14 @@ class StepFootprint(NamedTuple):
 #: The footprint of a silent, control-invisible step.
 EMPTY_FOOTPRINT = StepFootprint(frozenset(), frozenset(), False)
 
+#: Interned footprints keyed by their content (the empty footprint is
+#: early-returned before the lookup, so it never appears here).  The
+#: reduction layer recomputes every pending step's footprint at every
+#: node; the location sets are already shared by the memory-model layer
+#: (DESIGN.md §11), so the composed footprint objects intern cheaply
+#: and node-to-node comparisons stay allocation-free.
+_FOOTPRINT_CACHE: dict = {}
+
 
 def conflicts(a: StepFootprint, b: StepFootprint) -> bool:
     """Whether two steps of *distinct* threads may fail to commute.
@@ -101,7 +109,12 @@ def step_footprint(
     visible = track_control and step_changes_control(com, step)
     if not (reads or writes or visible):
         return EMPTY_FOOTPRINT
-    return StepFootprint(reads, writes, visible)
+    key = (reads, writes, visible)
+    cached = _FOOTPRINT_CACHE.get(key)
+    if cached is None:
+        cached = StepFootprint(reads, writes, visible)
+        _FOOTPRINT_CACHE[key] = cached
+    return cached
 
 
 def pending_steps(program) -> "dict[int, PendingStep]":

@@ -151,6 +151,7 @@ def explore_dpor(
     visited, so it is directly comparable with — and never exceeds —
     the unreduced count.
     """
+    from repro.c11.compact import ORDER_TIMER
     from repro.interp.config import Configuration
     from repro.interp.interpreter import thread_successors
 
@@ -166,6 +167,7 @@ def explore_dpor(
     clock = time.perf_counter
     t_run = clock()
     hits0, misses0, _ = KEY_CACHE.snapshot()
+    orders0 = ORDER_TIMER.snapshot()
 
     #: key -> antichain of sleep-tid sets this key was expanded with
     expanded: Dict[Hashable, List[FrozenSet[int]]] = {}
@@ -494,6 +496,7 @@ def explore_dpor(
         hits1, misses1, _ = KEY_CACHE.snapshot()
         stats.key_hits += hits1 - hits0
         stats.key_misses += misses1 - misses0
+        stats.time_orders += ORDER_TIMER.snapshot() - orders0
 
     return result
 

@@ -64,6 +64,7 @@ def explore_sleep(
     verdict as the unreduced search; only the obligation *counts* and
     the particular failing transitions reported may differ.
     """
+    from repro.c11.compact import ORDER_TIMER
     from repro.interp.config import Configuration
     from repro.interp.interpreter import thread_successors
 
@@ -79,6 +80,7 @@ def explore_sleep(
     clock = time.perf_counter
     t_run = clock()
     hits0, misses0, _ = KEY_CACHE.snapshot()
+    orders0 = ORDER_TIMER.snapshot()
 
     #: key -> antichain of sleep-tid sets this key was expanded with
     expanded: Dict[Hashable, List[FrozenSet[int]]] = {}
@@ -194,6 +196,7 @@ def explore_sleep(
         hits1, misses1, _ = KEY_CACHE.snapshot()
         stats.key_hits += hits1 - hits0
         stats.key_misses += misses1 - misses0
+        stats.time_orders += ORDER_TIMER.snapshot() - orders0
 
     return result
 

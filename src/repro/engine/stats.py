@@ -36,6 +36,13 @@ class EngineStats:
     time_expand: float = 0.0
     time_keys: float = 0.0
     time_checks: float = 0.0
+    #: Wall time spent deriving orders (hb/eco bitset sweeps, SRA
+    #: acyclicity, and any fallback Relation closures) — the delta of
+    #: the process-wide :data:`repro.c11.compact.ORDER_TIMER` over this
+    #: run.  A *subset* of ``time_expand``/``time_checks`` (derivations
+    #: happen inside expansion and check hooks), reported separately so
+    #: footers can attribute time to closure work (DESIGN.md §11).
+    time_orders: float = 0.0
     #: Number of deepening rounds (1 unless the strategy is ``iddfs``).
     iterations: int = 1
     #: Thread-expansions performed / skipped by the reduction.  One
@@ -74,6 +81,7 @@ class EngineStats:
         self.time_expand += other.time_expand
         self.time_keys += other.time_keys
         self.time_checks += other.time_checks
+        self.time_orders += other.time_orders
         self.expanded += other.expanded
         self.pruned += other.pruned
         self.sleep_hits += other.sleep_hits
@@ -91,7 +99,8 @@ class EngineStats:
             f"time={self.time_total * 1e3:.1f}ms "
             f"(expand={self.time_expand * 1e3:.1f} "
             f"keys={self.time_keys * 1e3:.1f} "
-            f"checks={self.time_checks * 1e3:.1f})"
+            f"checks={self.time_checks * 1e3:.1f} "
+            f"orders={self.time_orders * 1e3:.1f})"
         )
         if self.reduction != "none":
             line += (

@@ -1,6 +1,6 @@
 """Differential oracles: what makes a generated program *pass*.
 
-Four independent checks, cheapest first:
+Five independent checks, cheapest first (the fifth is opt-in):
 
 1. **Refinement chain** — the outcome sets (final values of every
    variable over terminal configurations) must nest along the model
@@ -32,6 +32,16 @@ Four independent checks, cheapest first:
    soundness check of :mod:`repro.engine.por` — every fuzz campaign
    cross-validates the reduction against exhaustive exploration on
    every generated program, for free.
+
+5. **Derived-order parity** (``check_orders=True`` / ``repro fuzz
+   --check-orders``, off by default) — on every distinct RA-reachable
+   state, the compact representation's incremental ``hb``/``eco``
+   bitmasks, observability sets, tag tables and canonical key must
+   agree with the definitional closures recomputed from the
+   materialised relations
+   (:func:`repro.c11.compact.derived_order_divergences`, DESIGN.md
+   §11).  The continuous soundness check of the compact order engine,
+   run over whole campaigns.
 
 A run that hits an exploration bound (``max_events`` slack exceeded or
 the ``max_configs`` safety cap) is reported *inconclusive*, never
@@ -90,7 +100,8 @@ class OracleReport:
 
     case: GeneratedCase
     #: divergence kind ("refinement" / "soundness" / "axiomatic" /
-    #: "por-parity" / "crash"), or ``None`` when every oracle passed
+    #: "por-parity" / "orders" / "crash"), or ``None`` when every
+    #: oracle passed
     divergence: Optional[str] = None
     detail: str = ""
     #: a bound was hit; no divergence verdict is possible
@@ -107,6 +118,8 @@ class OracleReport:
     sleep_hits: int = 0
     races: int = 0
     revisits: int = 0
+    #: derived-order wall time summed over this case's explorations
+    time_orders: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -155,12 +168,15 @@ def check_program(
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
     models: Optional[Dict[str, Callable[[], MemoryModel]]] = None,
     reduction: str = "dpor",
+    check_orders: bool = False,
 ) -> OracleReport:
     """Run every oracle on ``case`` and report the first divergence.
 
     ``reduction`` selects which partial-order reduction the POR-parity
     oracle cross-validates against the full search (``"none"`` disables
-    the oracle).
+    the oracle).  ``check_orders`` additionally replays the compact
+    derived-order self-check over every distinct RA-reachable state
+    (DESIGN.md §11).
     """
     models = models if models is not None else ORACLE_MODELS
     report = OracleReport(case)
@@ -192,6 +208,7 @@ def check_program(
         report.terminal += len(result.terminal)
         report.key_hits += result.stats.key_hits
         report.key_misses += result.stats.key_misses
+        report.time_orders += result.stats.time_orders
         if name == "ra":
             ra_full = result
         if result.truncated:
@@ -229,6 +246,34 @@ def check_program(
             )
             return report
 
+    # 2b. derived-order parity: compact vs definitional (DESIGN.md §11)
+    if check_orders:
+        from repro.c11.compact import derived_order_divergences
+
+        checked = 0
+        for state in ra_states:
+            if getattr(state, "compact", None) is None:
+                continue  # no compact form: nothing to cross-check
+            checked += 1
+            problems = derived_order_divergences(state)
+            if problems:
+                report.divergence = "orders"
+                report.detail = (
+                    "compact derived orders diverge from the definitional "
+                    "closures: " + "; ".join(problems[:3])
+                )
+                return report
+        if checked == 0 and ra_states:
+            # No state carried the compact representation (REPRO_NO_COMPACT
+            # set?): the oracle verified nothing, which must not read as a
+            # green run — same vacuity discipline as the CLI campaign guard.
+            report.inconclusive = True
+            report.detail = (
+                "orders oracle vacuous: no explored state carries the "
+                "compact representation (is REPRO_NO_COMPACT set?)"
+            )
+            return report
+
     # 3. axiomatic equivalence on tiny footprints
     if axiomatic:
         n_variables = len(case.init)
@@ -259,6 +304,7 @@ def check_program(
         report.transitions += reduced.transitions
         report.key_hits += reduced.stats.key_hits
         report.key_misses += reduced.stats.key_misses
+        report.time_orders += reduced.stats.time_orders
         report.expanded += reduced.stats.expanded
         report.pruned += reduced.stats.pruned
         report.sleep_hits += reduced.stats.sleep_hits

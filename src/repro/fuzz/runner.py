@@ -38,6 +38,9 @@ class FuzzJob:
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS
     #: reduction the POR-parity oracle checks ("none" disables it)
     reduction: str = "dpor"
+    #: cross-check compact vs definitional derived orders per state
+    #: (the "orders" oracle, DESIGN.md §11)
+    check_orders: bool = False
 
     @property
     def label(self) -> str:
@@ -72,7 +75,7 @@ class DivergenceRecord:
 def _check(job: FuzzJob, case: GeneratedCase) -> OracleReport:
     return check_program(
         case, axiomatic=job.axiomatic, max_configs=job.max_configs,
-        reduction=job.reduction,
+        reduction=job.reduction, check_orders=job.check_orders,
     )
 
 
@@ -98,6 +101,7 @@ def run_fuzz_job(job: FuzzJob):
     inconclusive = 0
     configs = transitions = terminal = key_hits = key_misses = 0
     expanded = pruned = sleep_hits = races = revisits = 0
+    time_orders = 0.0
     for index in range(job.start, job.start + job.count):
         case = generate_case(job.seed, index, PROFILES[job.profile])
         report = _check(job, case)
@@ -106,6 +110,7 @@ def run_fuzz_job(job: FuzzJob):
         terminal += report.terminal
         key_hits += report.key_hits
         key_misses += report.key_misses
+        time_orders += report.time_orders
         expanded += report.expanded
         pruned += report.pruned
         sleep_hits += report.sleep_hits
@@ -162,6 +167,7 @@ def run_fuzz_job(job: FuzzJob):
         sleep_hits=sleep_hits,
         races=races,
         revisits=revisits,
+        time_orders=time_orders,
     )
 
 
@@ -224,6 +230,7 @@ def fuzz_jobs(
     shrink: bool = True,
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
     reduction: str = "dpor",
+    check_orders: bool = False,
 ) -> List[FuzzJob]:
     """Slice ``iters`` cases into worker-sized chunks.
 
@@ -248,6 +255,7 @@ def fuzz_jobs(
             shrink=shrink,
             max_configs=max_configs,
             reduction=reduction,
+            check_orders=check_orders,
         )
         for start in range(0, iters, chunk)
     ]
@@ -262,6 +270,7 @@ def run_campaign(
     shrink: bool = True,
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
     reduction: str = "dpor",
+    check_orders: bool = False,
 ) -> CampaignReport:
     """Run a whole campaign through the parallel runner."""
     from repro.engine.parallel import ParallelRunner
@@ -269,6 +278,7 @@ def run_campaign(
     work = fuzz_jobs(
         seed, iters, profile=profile, jobs=jobs, axiomatic=axiomatic,
         shrink=shrink, max_configs=max_configs, reduction=reduction,
+        check_orders=check_orders,
     )
     results = ParallelRunner(jobs=jobs).run(work)
     report = CampaignReport(seed=seed, iters=iters, profile=profile)

@@ -59,9 +59,9 @@ def _event_ids(state) -> Dict[Event, EventKey]:
 
 
 def _thread_events(state, tid) -> Tuple[Event, ...]:
-    if isinstance(state, C11State):
+    if isinstance(state, (C11State, PreExecutionState)):
         return state.events_of(tid)
-    # Pre-execution states: order thread events by sb (tags increase
+    # Foreign state types: order thread events by tag (tags increase
     # along sb for states built by +, so tag order is sb order).
     mine = sorted((e for e in state.events if e.tid == tid), key=lambda e: e.tag)
     return tuple(mine)
@@ -72,15 +72,44 @@ def canonical_key(state) -> Hashable:
 
     Works for both :class:`C11State` (events + rf + mo) and
     :class:`PreExecutionState` (events only).
+
+    ``rf`` and ``mo`` are encoded from their *sequence* forms
+    (DESIGN.md §11): ``rf`` as the sorted identity pairs of its
+    read→write map, ``mo`` as the sorted tuple of per-variable identity
+    sequences — no O(n²) pair-set detour.  States without a compact
+    representation derive the same sequences from their relations
+    (``writes_on`` orders each variable's writes by mo-predecessor
+    count), so compact-built and hand-assembled encodings of equal
+    states coincide; like the identity scheme itself, this assumes
+    MO-Valid states (``mo|_x`` total), which every keyed consumer
+    — exploration, candidates, justifications — guarantees.
     """
     ids = _event_ids(state)
 
     def describe(e: Event) -> Tuple:
-        return (*ids[e], e.action.kind.value, e.var, e.rdval, e.wrval)
+        return e.described(ids[e])
 
     events_part = tuple(sorted(describe(e) for e in state.events))
     if isinstance(state, PreExecutionState):
         return (events_part,)
-    rf_part = tuple(sorted((ids[w], ids[r]) for w, r in state.rf.pairs))
-    mo_part = tuple(sorted((ids[a], ids[b]) for a, b in state.mo.pairs))
+    compact = state.compact if isinstance(state, C11State) else None
+    if compact is not None:
+        seq = compact.events_seq
+        rf_part = tuple(
+            sorted((ids[seq[w]], ids[seq[r]]) for r, w in compact.rf.items())
+        )
+        mo_part = tuple(
+            sorted(
+                tuple(ids[w] for w in var_seq)
+                for var_seq in compact.mo.values()
+            )
+        )
+    else:
+        rf_part = tuple(sorted((ids[w], ids[r]) for w, r in state.rf.pairs))
+        mo_part = tuple(
+            sorted(
+                tuple(ids[w] for w in state.writes_on(x))
+                for x in state.variables()
+            )
+        )
     return (events_part, rf_part, mo_part)

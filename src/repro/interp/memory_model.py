@@ -27,6 +27,13 @@ from repro.lang.semantics import PendingStep
 
 S = TypeVar("S", bound=Hashable)
 
+#: Interned footprint pairs, keyed by ``(kind, var)``.  A step's default
+#: footprint depends only on its action shape, and the reduction layer
+#: recomputes footprints for every pending step at every node — sharing
+#: the frozensets keeps that loop allocation-free (DESIGN.md §11).
+_FOOTPRINTS: dict = {}
+_EMPTY_VARS: FrozenSet["Var"] = frozenset()
+
 
 @dataclass(frozen=True)
 class MemoryTransition(Generic[S]):
@@ -93,11 +100,17 @@ class MemoryModel(abc.ABC, Generic[S]):
         acting thread — which covers SC, RA and SRA (see the per-model
         overrides for the commutation arguments).  A model for which
         disjoint-location steps do *not* commute must override this with
-        a wider footprint.
+        a wider footprint.  Results are interned per ``(kind, var)``:
+        the footprints depend on nothing else, and the reduction layer
+        asks for them in its innermost loop.
         """
         if step.is_silent or step.var is None:
-            return (frozenset(), frozenset())
-        var = frozenset((step.var,))
-        empty: FrozenSet[Var] = frozenset()
-        return (var if step.kind.is_read else empty,
-                var if step.kind.is_write else empty)
+            return (_EMPTY_VARS, _EMPTY_VARS)
+        key = (step.kind, step.var)
+        cached = _FOOTPRINTS.get(key)
+        if cached is None:
+            var = frozenset((step.var,))
+            cached = (var if step.kind.is_read else _EMPTY_VARS,
+                      var if step.kind.is_write else _EMPTY_VARS)
+            _FOOTPRINTS[key] = cached
+        return cached

@@ -7,6 +7,11 @@ of values the program can ever put into memory — initialisation values
 plus every literal written anywhere — which is exactly the set of values
 some justification could validate (RF-Complete forces read values to be
 written values), so the restriction loses no justifiable pre-execution.
+
+The hot path rides the sequence-backed pre-execution representation
+(DESIGN.md §11): ``state.next_tag()`` is a carried counter and
+``add_event`` extends per-thread tuples, so no ``sb`` pair set is built
+until the justification search materialises one.
 """
 
 from __future__ import annotations

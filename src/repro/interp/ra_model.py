@@ -4,6 +4,12 @@ Thin adapter from :func:`repro.c11.event_semantics.ra_successors` to the
 :class:`~repro.interp.memory_model.MemoryModel` interface.  Read values
 are supplied by the observed write (``rdval(e) = wrval(w)``) — the
 on-the-fly validation at the heart of the paper.
+
+Reads-from candidates are filtered through the compact representation's
+``hb``/``eco`` bitmasks (DESIGN.md §11): ``ra_read_targets`` /
+``ra_write_targets`` answer from per-variable ``mo`` sequences against
+the acting thread's encountered mask, so resolving a read hole never
+materialises a derived-order relation.
 """
 
 from __future__ import annotations

@@ -31,7 +31,16 @@ from repro.lang.semantics import PendingStep
 
 
 def sra_consistent(state: C11State) -> bool:
-    """Whether ``sb ∪ rf ∪ mo`` is acyclic (the SRA strengthening)."""
+    """Whether ``sb ∪ rf ∪ mo`` is acyclic (the SRA strengthening).
+
+    Sequence-backed states (DESIGN.md §11) answer over the interned
+    immediate-successor graph — per-thread and per-variable chains plus
+    the ``rf`` edges, O(n) edges total — which has a cycle exactly when
+    the transitive union does.  Hand-assembled states materialise the
+    union as before."""
+    c = state.compact
+    if c is not None:
+        return c.union_acyclic()
     return (state.sb | state.rf | state.mo).is_acyclic()
 
 

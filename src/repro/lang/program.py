@@ -33,6 +33,27 @@ class Program:
 
     threads: Tuple[Tuple[Tid, Com], ...]
 
+    def __hash__(self) -> int:
+        # Programs sit inside every configuration key the engine stores,
+        # and the generated dataclass hash re-walks the whole command
+        # AST (a Python-level __hash__ per node) on every dict/set
+        # operation.  Compute it once per object — same discipline as
+        # Event.__hash__.  (Defining __hash__ in the class body makes
+        # @dataclass keep it.)
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(self.threads)
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        # str hashing is salted per process (PYTHONHASHSEED), and
+        # commands hash over variable names: a cached hash must never
+        # cross a pickle boundary.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     @classmethod
     def of(cls, mapping: Mapping[Tid, Com]) -> "Program":
         """Build a program from a ``{tid: command}`` mapping."""

@@ -42,8 +42,15 @@ def happens_before_cone(state: C11State, tid: Tid) -> FrozenSet[Event]:
     """``hbc_σ(t) = I_σ ∪ {e | ∃e'. tid(e') = t ∧ (e, e') ∈ hb?}``.
 
     (Appendix B.2.  The reflexive closure makes every event of ``t``
-    itself a member.)
+    itself a member.)  Sequence-backed states read the cone straight
+    off the incremental ``hb`` bitmasks (DESIGN.md §11) — this sits on
+    the ``verify`` obligation hot path; others materialise ``hb``.
     """
+    c = state.compact
+    if c is not None:
+        return frozenset(c.inits) | frozenset(
+            c.events_from_mask(c.thread_cone(tid))
+        )
     cone = set(state.init_writes)
     mine = state.events_of(tid)
     cone.update(mine)
@@ -53,12 +60,29 @@ def happens_before_cone(state: C11State, tid: Tid) -> FrozenSet[Event]:
     return frozenset(cone)
 
 
+def _hb_contains(state: C11State, a: Event, b: Event) -> bool:
+    """``(a, b) ∈ hb``, without materialising the relation when the
+    state carries bitmasks."""
+    c = state.compact
+    if c is not None:
+        return bool((c.hb[c.index[b]] >> c.index[a]) & 1)
+    return (a, b) in state.hb.pairs
+
+
+def _in_cone(state: C11State, e: Event, tid: Tid) -> bool:
+    """``e ∈ hbc_σ(t)`` without building the cone set on bitmask states."""
+    c = state.compact
+    if c is not None:
+        return e.is_init or bool((c.thread_cone(tid) >> c.index[e]) & 1)
+    return e in happens_before_cone(state, tid)
+
+
 def dv_holds(state: C11State, x: Var, tid: Tid, value: Value) -> bool:
     """Definition 5.1: ``x =_t v``."""
     last = state.last(x)
     if last is None or last.wrval != value:
         return False
-    return last in happens_before_cone(state, tid)
+    return _in_cone(state, last, tid)
 
 
 def dv_value(state: C11State, x: Var, tid: Tid) -> Optional[Value]:
@@ -66,7 +90,7 @@ def dv_value(state: C11State, x: Var, tid: Tid) -> Optional[Value]:
     last = state.last(x)
     if last is None:
         return None
-    if last in happens_before_cone(state, tid):
+    if _in_cone(state, last, tid):
         return last.wrval
     return None
 
@@ -86,7 +110,7 @@ def vo_holds(state: C11State, x: Var, y: Var) -> bool:
     last_x, last_y = state.last(x), state.last(y)
     if last_x is None or last_y is None:
         return False
-    return (last_x, last_y) in state.hb.pairs
+    return _hb_contains(state, last_x, last_y)
 
 
 def current_value(state, x: Var) -> Optional[Value]:

@@ -1,0 +1,266 @@
+"""The compact derived-order engine vs the definitional closures.
+
+DESIGN.md §11's contract, property-tested: on every state the
+exploration can reach, the incremental representation — interned
+indices, sequence-backed ``sb``/``mo``, the ``rf`` int map, bitmask
+``hb``/``eco``, the carried tag tables — must agree with the
+definitional relation algebra recomputed from scratch.  The comparison
+itself lives in :func:`repro.c11.compact.derived_order_divergences`
+(shared with the ``repro fuzz --check-orders`` oracle); these tests
+drive it over fuzz-generated programs under every event-based model,
+and pin the engine-level guarantees (exploration parity with the
+compact representation disabled, propagated canonical keys, O(1) tag
+lookups) separately.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.c11.compact import CompactOrders, derived_order_divergences
+from repro.c11.events import Event
+from repro.c11.state import C11State, initial_state
+from repro.fuzz.generator import PROFILES, generate_case
+from repro.interp.canon import canonical_key
+from repro.interp.explore import explore, reachable_states
+from repro.interp.pe_model import PEMemoryModel
+from repro.interp.ra_model import RAMemoryModel
+from repro.interp.sra_model import SRAMemoryModel, sra_consistent
+from repro.lang.actions import rd, rda, upd, wr, wrr
+from repro.lang.builder import assign, seq, var
+from repro.lang.program import Program
+from repro.litmus.registry import final_values
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: incremental derivations equal the definitional closures
+# on every reachable state of fuzz-generated programs
+# ----------------------------------------------------------------------
+
+
+def _explored_states(seed: int, index: int, model_factory):
+    case = generate_case(seed, index, PROFILES["small"])
+    states, _result = reachable_states(
+        case.program, case.init, model_factory(),
+        max_events=case.events_hint + 1, max_configs=2000,
+    )
+    return states
+
+
+@settings(max_examples=15, deadline=None)
+@given(index=st.integers(0, 400))
+def test_compact_orders_match_definitional_closures_ra(index):
+    for state in _explored_states(7, index, RAMemoryModel):
+        assert derived_order_divergences(state) == []
+
+
+@settings(max_examples=8, deadline=None)
+@given(index=st.integers(0, 400))
+def test_compact_orders_match_definitional_closures_sra(index):
+    for state in _explored_states(11, index, SRAMemoryModel):
+        assert derived_order_divergences(state) == []
+        # the SRA filter itself must agree with the materialised union
+        assert sra_consistent(state) == (
+            state.sb | state.rf | state.mo
+        ).is_acyclic()
+
+
+@settings(max_examples=8, deadline=None)
+@given(index=st.integers(0, 400))
+def test_pe_prestate_sequences_match_relations(index):
+    """Sequence-backed pre-executions materialise the same ``sb`` (and
+    key identically) as relation-built replays of the same events."""
+    case = generate_case(13, index, PROFILES["small"])
+    model = PEMemoryModel.for_program(case.program, case.init)
+    states, _ = reachable_states(
+        case.program, case.init, model,
+        max_events=min(case.events_hint, 4), max_configs=500,
+    )
+    for state in states:
+        from repro.c11.prestate import PreExecutionState
+
+        clone = PreExecutionState(state.events, state.sb)
+        assert clone == state
+        assert canonical_key(clone) == canonical_key(state)
+        assert state.next_tag() == clone.next_tag()
+        for e in state.events:
+            assert state.event_by_tag(e.tag) is e
+
+
+# ----------------------------------------------------------------------
+# Exploration parity: compact on vs off must be byte-identical
+# ----------------------------------------------------------------------
+
+
+def _outcomes(result):
+    return frozenset(
+        tuple(sorted(final_values(c).items())) for c in result.terminal
+    )
+
+
+@pytest.mark.parametrize("reduction", ["none", "sleep", "dpor"])
+@pytest.mark.parametrize("model_factory", [RAMemoryModel, SRAMemoryModel],
+                         ids=["ra", "sra"])
+def test_exploration_parity_with_compact_disabled(
+    monkeypatch, model_factory, reduction
+):
+    """REPRO_NO_COMPACT explorations agree configuration-for-
+    configuration with the compact representation — the A/B behind the
+    E12 speedup claim is a pure representation change."""
+    from repro.litmus.suite import ALL_TESTS
+
+    test = next(t for t in ALL_TESTS if t.name == "SB")
+    program, init = test.program, test.init
+
+    fast = explore(program, init, model_factory(), reduction=reduction)
+    monkeypatch.setenv("REPRO_NO_COMPACT", "1")
+    slow = explore(program, init, model_factory(), reduction=reduction)
+
+    assert fast.configs == slow.configs
+    assert fast.transitions == slow.transitions
+    assert _outcomes(fast) == _outcomes(slow)
+    assert fast.truncated == slow.truncated
+
+
+def test_compact_and_relational_states_share_canonical_keys():
+    """A compact-built state and a hand-assembled relational twin key
+    identically — the cross-representation property the axiomatic
+    integration (E3) relies on."""
+    states, _res = reachable_states(
+        Program.parallel(
+            seq(assign("x", 1), assign("r", var("y"))),
+            seq(assign("y", 1), assign("r2", var("x"))),
+        ),
+        {"x": 0, "y": 0, "r": 0, "r2": 0},
+        RAMemoryModel(),
+    )
+    for state in states:
+        clone = C11State(
+            state.events, state.sb, state.rf, state.mo, state.fast_eco
+        )
+        assert clone._compact is None  # hand-assembled: relational path
+        assert state == clone and clone == state
+        assert hash(state) == hash(clone)
+        assert canonical_key(state) == canonical_key(clone)
+
+
+# ----------------------------------------------------------------------
+# Tag tables and sequence-backed indices
+# ----------------------------------------------------------------------
+
+
+def test_event_by_tag_and_next_tag_carried_forward():
+    state = initial_state({"x": 0, "y": 0})
+    assert state.next_tag() == 1
+    e1 = Event(1, wr("x", 5), 1)
+    s1 = state.add_event(e1).insert_mo_after(state.last("x"), e1)
+    assert s1.next_tag() == 2
+    assert s1.event_by_tag(1) is e1
+    with pytest.raises(KeyError):
+        s1.event_by_tag(99)
+    # replayed (non-minimal) tags advance the carried counter past them
+    e7 = Event(7, wr("y", 1), 2)
+    s2 = s1.add_event(e7).insert_mo_after(s1.last("y"), e7)
+    assert s2.next_tag() == 8
+    assert s2.event_by_tag(7) is e7
+    # duplicate tags are rejected exactly as before
+    with pytest.raises(ValueError):
+        s2.add_event(Event(7, wr("x", 1), 1))
+
+
+def test_event_by_tag_on_relational_states_is_cached():
+    state = C11State([Event(1, wr("x", 0), 0), Event(2, rd("x", 0), 1)])
+    assert state.event_by_tag(2).tid == 1
+    assert state._by_tag is not None  # built once, reused
+    with pytest.raises(KeyError):
+        state.event_by_tag(3)
+
+
+def test_writes_on_and_events_of_read_the_sequences():
+    state = initial_state({"x": 0})
+    init = state.last("x")
+    w1 = Event(1, wrr("x", 1), 1)
+    s = state.add_event(w1).insert_mo_after(init, w1)
+    u = Event(2, upd("x", 1, 2), 2)
+    s = s.add_event(u).with_rf(w1, u).insert_mo_after(w1, u)
+    r = Event(3, rda("x", 2), 1)
+    s = s.add_event(r).with_rf(u, r)
+    assert s.writes_on("x") == (init, w1, u)
+    assert s.events_of(1) == (w1, r)
+    assert s.events_of(2) == (u,)
+    assert s.events_of(0) == (init,)
+    assert s.last("x") is u
+    # and the whole construction chain agrees with the definitions
+    assert derived_order_divergences(s) == []
+
+
+def test_mid_step_states_answer_via_the_fallback():
+    """A write appended but not yet mo-inserted (the transient middle of
+    a Write step) must not answer from the compact form — `writes_on`
+    still reports it, via the relational path, exactly as before."""
+    state = initial_state({"x": 0})
+    w = Event(1, wr("x", 1), 1)
+    mid = state.add_event(w)  # no insert_mo_after yet
+    assert mid.compact is None  # unplaced guard
+    assert mid._compact is not None and mid._compact.unplaced == (w,)
+    assert set(mid.writes_on("x")) == {state.last("x"), w}
+    done = mid.insert_mo_after(state.last("x"), w)
+    assert done.compact is not None
+    assert done.writes_on("x") == (state.last("x"), w)
+
+
+# ----------------------------------------------------------------------
+# Incremental canonical keys
+# ----------------------------------------------------------------------
+
+
+def test_propagated_keys_match_fresh_derivation_along_rf_mo_edits():
+    """`with_rf` and `insert_mo_after` propagate the canonical key by
+    tuple surgery; wiping the caches and re-deriving must agree at
+    every step of a Write/RMW construction chain."""
+    state = initial_state({"x": 0})
+    canonical_key(state)  # prime ids + key, as exploration does
+    state._canon_key = canonical_key(state)
+    init = state.last("x")
+    w = Event(1, wrr("x", 1), 1)
+    s1 = state.add_event(w).insert_mo_after(init, w)
+    u = Event(2, upd("x", 1, 3), 2)
+    s2 = s1.add_event(u).with_rf(w, u).insert_mo_after(w, u)
+    for s in (s1, s2):
+        propagated = s._canon_key
+        assert propagated is not None, "key was not propagated"
+        s._canon_key = None
+        s._canon_ids = None
+        assert canonical_key(s) == propagated
+
+
+# ----------------------------------------------------------------------
+# CompactOrders unit behaviour
+# ----------------------------------------------------------------------
+
+
+def test_compact_guards_fall_back_to_none():
+    state = initial_state({"x": 0})
+    c = state._compact
+    assert isinstance(c, CompactOrders)
+    init = state.last("x")
+    # appending an initialising write is outside the incremental form
+    assert c.add_event(Event(-9, wr("z", 0), 0)) is None
+    # unknown events cannot be rf/mo-linked
+    stranger = Event(5, rd("x", 0), 1)
+    assert c.with_rf(init, stranger) is None
+    assert c.insert_mo_after(init, stranger) is None
+
+
+def test_order_timer_accumulates_into_engine_stats():
+    result = explore(
+        Program.parallel(
+            seq(assign("x", 1), assign("r", var("y"))),
+            seq(assign("y", 1), assign("r2", var("x"))),
+        ),
+        {"x": 0, "y": 0, "r": 0, "r2": 0},
+        RAMemoryModel(),
+    )
+    assert result.stats.time_orders > 0.0
+    assert result.stats.time_orders <= result.stats.time_total
+    assert "orders=" in result.stats.summary()
