@@ -15,8 +15,19 @@ differ from the machine the baseline was committed on.  Both documents
 therefore carry a ``spin_score`` — iterations/sec of a fixed
 pure-Python loop recorded in the same session — and the gate compares
 ``states_per_sec / spin_score``, in which machine speed cancels.  The
-in-session compact-vs-pair-set ``speedup`` column is machine-
-independent already and is gated directly.
+in-session compact-vs-pair-set ``speedup`` and lowered-vs-walker
+``speedup_lower`` columns are machine-independent already and are gated
+directly.
+
+The engine's two optimised phases are additionally gated *separately*:
+``expand`` (successor expansion — the lowered-program IR's target,
+DESIGN.md §12) and ``orders`` (derived-order maintenance — the compact
+representation's target, §11).  Each phase's calibrated cost per
+configuration (``time * spin_score / configs``, i.e. spin-equivalent
+iterations per explored state) must not grow past tolerance, so a
+regression in one layer cannot hide behind an improvement in the other.
+Phases under 5 ms in the baseline are skipped — at that scale the ratio
+is timer noise.
 """
 
 from __future__ import annotations
@@ -73,6 +84,28 @@ def main(argv=None) -> int:
                 f"{name}: compact-vs-pair-set speedup fell to {speedup:.2f}x "
                 f"(baseline {base['speedup']:.2f}x, tolerance {args.tolerance:.0%})"
             )
+        base_lower = base.get("speedup_lower")
+        if base_lower is not None:
+            lower = cur.get("speedup_lower", 0.0)
+            if lower < base_lower * (1.0 - args.tolerance):
+                failures.append(
+                    f"{name}: lowered-vs-walker speedup fell to {lower:.2f}x "
+                    f"(baseline {base_lower:.2f}x, tolerance {args.tolerance:.0%})"
+                )
+        for phase in ("expand", "orders"):
+            base_t = base.get(f"time_{phase}_s")
+            cur_t = cur.get(f"time_{phase}_s")
+            if base_t is None or cur_t is None or base_t < 0.005:
+                continue
+            base_cost = base_t * base_score / base["configs"]
+            cur_cost = cur_t * cur_score / cur["configs"]
+            cost_ratio = cur_cost / base_cost
+            if cost_ratio > 1.0 + args.tolerance:
+                failures.append(
+                    f"{name}: calibrated {phase} cost grew to "
+                    f"{cost_ratio:.2f}x of the baseline "
+                    f"(tolerance {1.0 + args.tolerance:.2f}x)"
+                )
     if failures:
         print()
         for failure in failures:

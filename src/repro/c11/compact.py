@@ -116,20 +116,24 @@ class CompactOrders:
     Instances are value-shared between parent and child states: the
     successor constructors copy only the containers they change (tuples
     and dicts of tuples, O(n) pointer copies), never the pair sets the
-    legacy representation rebuilt.  The lazy caches (``_eco``, ``_enc``,
-    ``_acyclic``) are per-instance and never propagated.
+    legacy representation rebuilt.  The lazy caches ``_enc`` and
+    ``_acyclic`` are per-instance and never propagated; ``_eco`` is
+    extended parent-to-child by the fused constructors when the parent
+    has already swept (:meth:`_propagate_eco`), so the hot exploration
+    loop pays one full sweep per *root*, not per state.
     """
 
     __slots__ = (
         "events_seq",   # Tuple[Event, ...] — index order = append order
         "index",        # Dict[Event, int]
-        "by_tag",       # Dict[Tag, Event]
+        "by_tag",       # Optional[Dict[Tag, Event]] — lazy, see tag_table()
         "next_tag",     # int — smallest unused positive tag, carried forward
         "inits",        # Tuple[Event, ...] — initialising writes, tag order
         "init_mask",    # int — bits of the initialising writes
         "write_mask",   # int — bits of every write
         "threads",      # Dict[Tid, Tuple[Event, ...]] — sb order, no inits
         "mo",           # Dict[Var, Tuple[Event, ...]] — mo order per var
+        "mo_pos",       # Dict[Var, Tuple[int, ...]] — same order, as indices
         "rf",           # Dict[int, int] — read index -> write index
         "hb",           # Tuple[int, ...] — strict hb-predecessor masks
         "covered",      # int — mask of writes read by an update
@@ -160,6 +164,7 @@ class CompactOrders:
         self.write_mask = self.init_mask
         self.threads = {}
         self.mo = {e.var: (e,) for e in ordered}
+        self.mo_pos = {e.var: (i,) for i, e in enumerate(ordered)}
         self.rf = {}
         self.hb = (0,) * len(ordered)
         self.covered = 0
@@ -177,11 +182,26 @@ class CompactOrders:
         child.write_mask = self.write_mask
         child.threads = self.threads
         child.mo = self.mo
+        child.mo_pos = self.mo_pos
         child.rf = self.rf
         child.hb = self.hb
         child.covered = self.covered
         child.unplaced = self.unplaced
         return child
+
+    def tag_table(self) -> Dict[Tag, Event]:
+        """``tag → event`` for every interned event (lazy).
+
+        Successor construction no longer copies the table per child —
+        the exploration hot path guards freshness with ``next_tag``
+        alone — so descendants carry ``None`` until something actually
+        needs the map (``event_by_tag``, duplicate-tag validation).
+        """
+        tab = self.by_tag
+        if tab is None:
+            tab = {e.tag: e for e in self.events_seq}
+            self.by_tag = tab
+        return tab
 
     # ------------------------------------------------------------------
     # Incremental successor construction
@@ -206,9 +226,7 @@ class CompactOrders:
         index = dict(self.index)
         index[e] = n
         child.index = index
-        by_tag = dict(self.by_tag)
-        by_tag[e.tag] = e
-        child.by_tag = by_tag
+        child.by_tag = None  # lazy: rebuilt from events_seq on demand
         child.next_tag = max(self.next_tag, e.tag + 1)
         if e.is_write:
             child.write_mask = self.write_mask | (1 << n)
@@ -270,8 +288,166 @@ class CompactOrders:
         mo[e.var] = seq[: pos + 1] + (e,) + seq[pos + 1 :]
         child = self._clone()
         child.mo = mo
+        pseq = self.mo_pos[e.var]
+        mo_pos = dict(self.mo_pos)
+        mo_pos[e.var] = pseq[: pos + 1] + (self.index[e],) + pseq[pos + 1 :]
+        child.mo_pos = mo_pos
         if e in self.unplaced:
             child.unplaced = tuple(x for x in self.unplaced if x is not e)
+        return child
+
+    # -- fused successor construction (one clone per transition) -------
+    #
+    # The RA semantics builds every successor by a fixed 2–3 step chain
+    # (append the event, then wire rf and/or splice mo), and the chain's
+    # intermediate states are never observed — they exist only to be
+    # cloned again.  The three fused constructors below build the final
+    # state in ONE clone with the same container updates the chain would
+    # apply, checked against the sequential composition field for field.
+    # Each returns ``None`` for any shape its chain counterpart would
+    # refuse or fall back on, letting the caller compose the unfused
+    # methods (which carry the definitional fallbacks).
+
+    def _append(self, child: "CompactOrders", e: Event, extra_hb: int) -> int:
+        """Shared tail of the fused constructors: intern ``e`` at the
+        next index with ``extra_hb`` joined into its predecessor mask.
+        Returns the new index."""
+        n = len(self.events_seq)
+        child.events_seq = self.events_seq + (e,)
+        index = dict(self.index)
+        index[e] = n
+        child.index = index
+        child.by_tag = None  # lazy: rebuilt from events_seq on demand
+        child.next_tag = max(self.next_tag, e.tag + 1)
+        mine = self.threads.get(e.tid, ())
+        threads = dict(self.threads)
+        threads[e.tid] = mine + (e,)
+        child.threads = threads
+        mask = self.init_mask | extra_hb
+        if mine:
+            last = self.index[mine[-1]]
+            mask |= self.hb[last] | (1 << last)
+        child.hb = self.hb + (mask,)
+        return n
+
+    def _propagate_eco(
+        self, child: "CompactOrders", n: int, w_i: int, is_write: bool
+    ) -> None:
+        """Extend an already-computed eco sweep to the fused child.
+
+        The sweep is a pure function of ``mo``/``rf``, and a fused
+        append perturbs it in one known way: the new event's own mask
+        is the observed write's prefix (plus, for writes, the observed
+        write's readers), and the new bit joins exactly the events
+        strictly mo-after the observed write and their readers.  One
+        O(n) pass instead of the O(n·vars) full sweep — correctness is
+        pinned by :func:`derived_order_divergences` (the property tests
+        and the ``--check-orders`` fuzz oracle recompute the sweep from
+        scratch and compare).
+        """
+        p_eco = self._eco
+        if p_eco is None:
+            return  # parent never swept; the child stays lazy
+        t0 = _clock()
+        eco = list(p_eco)
+        nbit = 1 << n
+        wbit = 1 << w_i
+        entry = p_eco[w_i] | wbit
+        # ``mo`` sequences ARE mo order: the strict mo-successors of the
+        # observed write are exactly the suffix past it, and ``mo_pos``
+        # gives their interned indices without hashing a single event.
+        pseq = self.mo_pos.get(self.events_seq[w_i].var, ())
+        try:
+            pos = pseq.index(w_i)
+        except ValueError:
+            pos = len(pseq)
+        sufbits = 0
+        for v_i in pseq[pos + 1 :]:
+            eco[v_i] |= nbit
+            sufbits |= 1 << v_i
+        if sufbits or is_write:
+            for r_i, t_i in self.rf.items():
+                if (sufbits >> t_i) & 1:
+                    eco[r_i] |= nbit
+                elif is_write and t_i == w_i:
+                    entry |= 1 << r_i
+        eco.append(entry)
+        child._eco = eco
+        ORDER_TIMER.seconds += _clock() - t0
+
+    def add_read_event(self, e: Event, w: Event) -> Optional["CompactOrders"]:
+        """``add_event(e)`` then ``with_rf(w, e)`` in one clone — ``e``
+        a plain read observing the interned write ``w``."""
+        if e.is_init:
+            return None
+        w_i = self.index.get(w)
+        if w_i is None:
+            return None
+        sync = w.is_release and e.is_acquire
+        child = self._clone()
+        n = self._append(
+            child, e, (self.hb[w_i] | (1 << w_i)) if sync else 0
+        )
+        rf = dict(self.rf)
+        rf[n] = w_i
+        child.rf = rf
+        self._propagate_eco(child, n, w_i, is_write=False)
+        return child
+
+    def add_write_event(self, e: Event, w: Event) -> Optional["CompactOrders"]:
+        """``add_event(e)`` then ``insert_mo_after(w, e)`` in one clone
+        — ``e`` a plain write spliced immediately after ``w``.  The
+        event is mo-placed at birth, so it never enters ``unplaced``."""
+        if e.is_init or e.var is None:
+            return None
+        seq = self.mo.get(e.var, ())
+        if w not in seq:
+            return None
+        child = self._clone()
+        n = self._append(child, e, 0)
+        child.write_mask = self.write_mask | (1 << n)
+        pos = seq.index(w)
+        mo = dict(self.mo)
+        mo[e.var] = seq[: pos + 1] + (e,) + seq[pos + 1 :]
+        child.mo = mo
+        pseq = self.mo_pos[e.var]
+        mo_pos = dict(self.mo_pos)
+        mo_pos[e.var] = pseq[: pos + 1] + (n,) + pseq[pos + 1 :]
+        child.mo_pos = mo_pos
+        self._propagate_eco(child, n, self.index[w], is_write=True)
+        return child
+
+    def add_rmw_event(self, e: Event, w: Event) -> Optional["CompactOrders"]:
+        """``add_event(e)``, ``with_rf(w, e)`` and
+        ``insert_mo_after(w, e)`` in one clone — ``e`` an update reading
+        from and mo-following ``w``."""
+        if e.is_init or e.var is None:
+            return None
+        w_i = self.index.get(w)
+        if w_i is None:
+            return None
+        seq = self.mo.get(e.var, ())
+        if w not in seq:
+            return None
+        sync = w.is_release and e.is_acquire
+        child = self._clone()
+        n = self._append(
+            child, e, (self.hb[w_i] | (1 << w_i)) if sync else 0
+        )
+        child.write_mask = self.write_mask | (1 << n)
+        rf = dict(self.rf)
+        rf[n] = w_i
+        child.rf = rf
+        child.covered = self.covered | (1 << w_i)
+        pos = seq.index(w)
+        mo = dict(self.mo)
+        mo[e.var] = seq[: pos + 1] + (e,) + seq[pos + 1 :]
+        child.mo = mo
+        pseq = self.mo_pos[e.var]
+        mo_pos = dict(self.mo_pos)
+        mo_pos[e.var] = pseq[: pos + 1] + (n,) + pseq[pos + 1 :]
+        child.mo_pos = mo_pos
+        self._propagate_eco(child, n, w_i, is_write=True)
         return child
 
     # ------------------------------------------------------------------
@@ -348,24 +524,33 @@ class CompactOrders:
         self._enc[tid] = mask
         return mask
 
-    def observable_on(self, tid: Tid, var: Var) -> List[Event]:
-        """``OW_σ(t)|_x`` in modification order.
+    def _observable(self, tid: Tid, var: Var) -> List[tuple]:
+        """``OW_σ(t)|_x`` as ``(event, index)`` pairs in modification
+        order.
 
         A write is observable unless an encountered write mo-supersedes
-        it; the suffix mask makes the whole sequence one backward pass.
+        it; the suffix mask makes the whole sequence one backward pass,
+        and ``mo_pos`` supplies the bit positions without hashing.
         """
         seq = self.mo.get(var)
         if not seq:
             return []
+        pseq = self.mo_pos[var]
         enc = self.encountered_mask(tid)
-        out: List[Event] = []
+        if not enc:  # thread saw nothing yet: everything is observable
+            return list(zip(seq, pseq))
+        out: List[tuple] = []
         suffix = 0  # strict mo-successors seen so far
-        for w in reversed(seq):
+        for i in range(len(seq) - 1, -1, -1):
             if not (suffix & enc):
-                out.append(w)
-            suffix |= 1 << self.index[w]
+                out.append((seq[i], pseq[i]))
+            suffix |= 1 << pseq[i]
         out.reverse()
         return out
+
+    def observable_on(self, tid: Tid, var: Var) -> List[Event]:
+        """``OW_σ(t)|_x`` in modification order."""
+        return [w for w, _ in self._observable(tid, var)]
 
     def read_targets(self, tid: Tid, var: Var) -> List[Event]:
         """Rule Read's candidates, sorted by tag (the enumeration order
@@ -375,12 +560,11 @@ class CompactOrders:
     def write_targets(self, tid: Tid, var: Var) -> List[Event]:
         """Rule Write/RMW's candidates: observable and not covered."""
         covered = self.covered
-        index = self.index
         return sorted(
             (
                 w
-                for w in self.observable_on(tid, var)
-                if not (covered >> index[w]) & 1
+                for w, w_i in self._observable(tid, var)
+                if not (covered >> w_i) & 1
             ),
             key=lambda w: w.tag,
         )
@@ -639,7 +823,7 @@ def derived_order_divergences(state) -> List[str]:
         out.append("sb ∪ rf ∪ mo acyclicity diverges")
 
     for e in state.events:
-        if compact.by_tag.get(e.tag) is not e:
+        if compact.tag_table().get(e.tag) is not e:
             out.append(f"tag index diverges at {e}")
             break
     legacy_next = max([e.tag for e in state.events] + [0]) + 1

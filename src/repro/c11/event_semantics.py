@@ -20,25 +20,36 @@ valid C11 state (Theorem 4.4; checked empirically by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Union
 
 from repro.c11.events import Event
 from repro.c11.observability import covered_writes, observable_writes
 from repro.c11.state import C11State
-from repro.lang.actions import Action, ActionKind, Value, Var
+from repro.lang.actions import Action, ActionKind, Value, Var, intern_action
 from repro.lang.program import Tid
 
 
-@dataclass(frozen=True)
 class RATransition:
     """One step ``σ --(observed, event)-->RA target`` of the event
-    semantics."""
+    semantics.  Slotted plain class: one is built per transition on the
+    exploration hot path (see ``InterpretedStep``)."""
 
-    source: C11State
-    observed: Event
-    event: Event
-    target: C11State
+    __slots__ = ("source", "observed", "event", "target")
+
+    def __init__(
+        self, source: C11State, observed: Event, event: Event,
+        target: C11State,
+    ) -> None:
+        self.source = source
+        self.observed = observed
+        self.event = event
+        self.target = target
+
+    def __repr__(self) -> str:
+        return (
+            f"RATransition(observed={self.observed!r}, "
+            f"event={self.event!r})"
+        )
 
     def __str__(self) -> str:
         return f"--[{self.observed}] {self.event}-->"
@@ -172,18 +183,18 @@ def ra_successors(
 
     if kind in (ActionKind.RD, ActionKind.RDA):
         for w in ra_read_targets(state, tid, var):
-            action = Action(kind, var, rdval=w.wrval)
+            action = intern_action(kind, var, rdval=w.wrval)
             event = Event(tag, action, tid)
-            target = state.add_event(event).with_rf(w, event)
+            target = state.read_successor(event, w)
             yield RATransition(state, w, event, target)
         return
 
     if kind in (ActionKind.WR, ActionKind.WRR):
         assert wrval is not None
-        action = Action(kind, var, wrval=wrval)
+        action = intern_action(kind, var, wrval=wrval)
         event = Event(tag, action, tid)
         for w in ra_write_targets(state, tid, var):
-            target = state.add_event(event).insert_mo_after(w, event)
+            target = state.write_successor(event, w)
             yield RATransition(state, w, event, target)
         return
 
@@ -191,13 +202,9 @@ def ra_successors(
         assert wrval is not None
         for w in ra_write_targets(state, tid, var):
             written = wrval(w.wrval) if callable(wrval) else wrval
-            action = Action(kind, var, rdval=w.wrval, wrval=written)
+            action = intern_action(kind, var, rdval=w.wrval, wrval=written)
             event = Event(tag, action, tid)
-            target = (
-                state.add_event(event)
-                .with_rf(w, event)
-                .insert_mo_after(w, event)
-            )
+            target = state.rmw_successor(event, w)
             yield RATransition(state, w, event, target)
         return
 

@@ -42,11 +42,12 @@ class Event:
         # hashed constantly on the exploration hot path; the generated
         # dataclass hash would recompute the field-tuple hash each time.
         # (Defining __hash__ in the class body makes @dataclass keep it.)
-        h = self.__dict__.get("_hash")
-        if h is None:
+        try:
+            return self._hash
+        except AttributeError:
             h = hash((self.tag, self.action, self.tid))
             object.__setattr__(self, "_hash", h)
-        return h
+            return h
 
     def __getstate__(self):
         # str hashing is salted per process (PYTHONHASHSEED), so a

@@ -68,6 +68,7 @@ class C11State:
         "_hash",
         "_canon_key",
         "_canon_ids",
+        "_ra_trans",
     )
 
     def __init__(
@@ -109,6 +110,9 @@ class C11State:
         #: from parent to child by the successor constructors below.
         self._canon_key: Optional[object] = None
         self._canon_ids: Optional[Dict[Event, tuple]] = None
+        #: Per-object memo of the RA model's transition lists, keyed by
+        #: ``(tid, interned step)`` (see RAMemoryModel.transitions_list).
+        self._ra_trans: Optional[dict] = None
 
     @classmethod
     def _from_compact(
@@ -286,7 +290,7 @@ class C11State:
         c = self._compact
         if c is not None:
             try:
-                return c.by_tag[tag]
+                return c.tag_table()[tag]
             except KeyError:
                 raise KeyError(tag) from None
         if self._by_tag is None:
@@ -407,7 +411,7 @@ class C11State:
         and all previous events of its own thread (Section 3.2)."""
         c = self._compact
         if c is not None:
-            if e.tag in c.by_tag:
+            if e.tag in c.tag_table():
                 raise ValueError(f"tag {e.tag} already used")
             child_c = c.add_event(e)
             if child_c is not None:
@@ -503,6 +507,90 @@ class C11State:
             return
         insort(merged, tuple(ids[x] for x in new_seq))
         child._canon_key = CachedKey((events_part, rf_part, tuple(merged)))
+
+    # -- fused successor constructors (DESIGN.md §12) ------------------
+    #
+    # The RA semantics never observes the intermediate states of its
+    # add_event/with_rf/insert_mo_after chains; these build the final
+    # state in one compact clone with one fused key surgery.  Each falls
+    # back to composing the unfused constructors (which carry the
+    # definitional pair-set paths and validation) whenever the compact
+    # fast path declines.
+
+    def read_successor(self, e: Event, w: Event) -> "C11State":
+        """``(self + e).with_rf(w, e)`` — ``e`` a fresh plain read."""
+        c = self._compact
+        # ``tag >= next_tag`` certifies freshness without a tag table —
+        # sparse unused tags (hand-built states) take the chained path,
+        # which validates duplicates definitionally.
+        if c is not None and e.tag >= c.next_tag:
+            child_c = c.add_read_event(e, w)
+            if child_c is not None:
+                child = C11State._from_compact(None, child_c, self.fast_eco)
+                self._propagate_canon_ids(child, e)
+                self._propagate_key_fused(child, e, w, rf=True, new_mo=None)
+                return child
+        return self.add_event(e).with_rf(w, e)
+
+    def write_successor(self, e: Event, w: Event) -> "C11State":
+        """``(self + e).insert_mo_after(w, e)`` — ``e`` a fresh write."""
+        c = self._compact
+        if c is not None and e.tag >= c.next_tag:
+            child_c = c.add_write_event(e, w)
+            if child_c is not None:
+                child = C11State._from_compact(None, child_c, self.fast_eco)
+                self._propagate_canon_ids(child, e)
+                self._propagate_key_fused(
+                    child, e, w, rf=False,
+                    new_mo=(c.mo.get(e.var, ()), child_c.mo[e.var]),
+                )
+                return child
+        return self.add_event(e).insert_mo_after(w, e)
+
+    def rmw_successor(self, e: Event, w: Event) -> "C11State":
+        """``(self + e).with_rf(w, e).insert_mo_after(w, e)`` — ``e`` a
+        fresh update reading from and mo-following ``w``."""
+        c = self._compact
+        if c is not None and e.tag >= c.next_tag:
+            child_c = c.add_rmw_event(e, w)
+            if child_c is not None:
+                child = C11State._from_compact(None, child_c, self.fast_eco)
+                self._propagate_canon_ids(child, e)
+                self._propagate_key_fused(
+                    child, e, w, rf=True,
+                    new_mo=(c.mo.get(e.var, ()), child_c.mo[e.var]),
+                )
+                return child
+        return self.add_event(e).with_rf(w, e).insert_mo_after(w, e)
+
+    def _propagate_key_fused(
+        self, child: "C11State", e: Event, w: Event,
+        rf: bool, new_mo,
+    ) -> None:
+        """One key surgery for a fused successor: the event insertion,
+        plus the rf pair and/or the mo-sequence replacement, producing
+        the same parts the chained propagations compose."""
+        parts = self._key_parts()
+        ids = child._canon_ids
+        if parts is None or ids is None:
+            return
+        events_part, rf_part, mo_part = parts
+        merged_e = list(events_part)
+        insort(merged_e, e.described(ids[e]))
+        if rf:
+            merged_rf = list(rf_part)
+            insort(merged_rf, (ids[w], ids[e]))
+            rf_part = tuple(merged_rf)
+        if new_mo is not None:
+            old_seq, new_seq = new_mo
+            merged_mo = list(mo_part)
+            try:
+                merged_mo.remove(tuple(ids[x] for x in old_seq))
+            except (ValueError, KeyError):  # foreign shape: recompute lazily
+                return
+            insort(merged_mo, tuple(ids[x] for x in new_seq))
+            mo_part = tuple(merged_mo)
+        child._canon_key = CachedKey((tuple(merged_e), rf_part, mo_part))
 
     def with_rf(self, w: Event, r: Event) -> "C11State":
         """The state with an additional reads-from edge ``(w, r)``."""

@@ -37,7 +37,10 @@ Commands
     (the ``--reduction`` search must be outcome-identical to the full
     one); ``--check-orders`` adds the derived-order oracle, replaying
     the compact bitset representation against the definitional
-    closures on every reachable state (DESIGN.md §11).  Divergences
+    closures on every reachable state (DESIGN.md §11), and
+    ``--check-lowering`` the lowering oracle, replaying every program
+    with the compiled step tables on and off and diffing the full
+    transition streams (DESIGN.md §12).  Divergences
     are delta-debugged to minimal reproducers and persisted under
     ``--corpus-dir`` for pytest replay.  Exit code 1 iff any diverged.
 
@@ -89,6 +92,39 @@ def _load(path: str):
         return parse_litmus(handle.read())
 
 
+def _profile_lines(configs: int, stats) -> List[str]:
+    """The ``--profile`` / suite footer: phase split + calibrated rate.
+
+    ``expand`` is the phase the lowered-program IR (DESIGN.md §12)
+    targets and ``orders`` the phase the compact representation
+    (DESIGN.md §11) targets, so the split shows which layer a
+    performance change actually moved.  The states/sec figure is also
+    reported per million spin iterations (``repro.engine.calibrate``),
+    which is comparable across machines and against the committed
+    E12 baselines.
+    """
+    from repro.engine.calibrate import per_mspin, spin_score
+
+    total = stats.time_total
+    rate = configs / total if total else 0.0
+    score = spin_score()
+    return [
+        (
+            f"profile: expand={stats.time_expand * 1e3:.1f}ms "
+            f"(model={stats.time_model * 1e3:.1f}ms "
+            f"step={(stats.time_expand - stats.time_model) * 1e3:.1f}ms) "
+            f"keys={stats.time_keys * 1e3:.1f}ms "
+            f"orders={stats.time_orders * 1e3:.1f}ms "
+            f"checks={stats.time_checks * 1e3:.1f}ms "
+            f"total={total * 1e3:.1f}ms"
+        ),
+        (
+            f"profile: {rate:,.0f} states/sec; spin {score / 1e6:.1f}M ops/s "
+            f"-> {per_mspin(rate, score):,.0f} states/Mspin"
+        ),
+    ]
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.lang.parser import run_parsed_litmus
 
@@ -111,6 +147,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     if args.stats:
         print("engine:", result.stats.summary())
+    if args.profile:
+        for line in _profile_lines(result.configs, result.stats):
+            print(line)
     if parsed.outcome_mode == "forbidden":
         ok = not reachable
     elif parsed.outcome_mode == "exists":
@@ -158,6 +197,20 @@ def cmd_suite(args: argparse.Namespace) -> int:
         f"key-cache hit rate {100.0 * totals['key_rate']:.0f}%; "
         f"order derivation {totals['time_orders']:.2f}s"
     )
+    from repro.engine.calibrate import per_mspin, spin_score
+
+    worker_time = totals["worker_time"]
+    rate = totals["configs"] / worker_time if worker_time else 0.0
+    score = spin_score()
+    print(
+        f"phase split: expand={totals['time_expand']:.2f}s "
+        f"(model={totals['time_model']:.2f}s "
+        f"step={totals['time_expand'] - totals['time_model']:.2f}s) "
+        f"orders={totals['time_orders']:.2f}s "
+        f"(of {worker_time:.2f}s worker time); "
+        f"{rate:,.0f} states/sec = {per_mspin(rate, score):,.0f} states/Mspin "
+        f"(spin {score / 1e6:.1f}M ops/s)"
+    )
     candidates = totals["expanded"] + totals["pruned"]
     if args.reduction != "none" and candidates:
         print(
@@ -197,6 +250,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         reduction=args.reduction,
         check_orders=args.check_orders,
+        check_lowering=args.check_lowering,
     )
     wall = time.perf_counter() - t0
 
@@ -508,6 +562,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print engine statistics"
     )
     run.add_argument(
+        "--profile", action="store_true",
+        help="print the engine phase split (expand / keys / orders / "
+        "checks) and spin-calibrated states/sec (DESIGN.md §12)",
+    )
+    run.add_argument(
         "--reduction", default="none", choices=["none", "sleep", "dpor"],
         help="partial-order reduction (outcome-identical, fewer configs)",
     )
@@ -562,6 +621,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-check the compact (interned/bitset) derived orders "
         "against the definitional closures on every RA-reachable state "
         "(DESIGN.md §11); slower, catches representation bugs",
+    )
+    fuzz.add_argument(
+        "--check-lowering", action="store_true",
+        help="replay each program with the lowered-program IR on and "
+        "off and require identical transition streams at every "
+        "reachable configuration (DESIGN.md §12); slower, catches "
+        "compiler bugs",
     )
     fuzz.add_argument(
         "--no-axiomatic", action="store_true",

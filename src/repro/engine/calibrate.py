@@ -1,0 +1,43 @@
+"""Machine calibration for cross-run performance comparisons.
+
+Raw states/sec measures the host as much as the engine: the same build
+explores Peterson at half the rate on a busy CI runner.  Dividing by
+:func:`spin_score` — iterations/sec of a fixed pure-Python loop measured
+on the same machine at the same moment — cancels the machine out, giving
+a dimensionless efficiency figure (*states per million spin iterations*)
+that is stable across hosts.  The E12 benchmark records it next to every
+baseline (``BENCH_e12_hotpath.json``), ``benchmarks/check_regression.py``
+gates on the calibrated ratio, and the CLI's ``run --profile`` /
+``suite`` footers print it so an interactive run can be read against the
+committed baselines.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def spin_score(duration: float = 0.1) -> float:
+    """Iterations/sec of a fixed pure-Python loop on this machine, now.
+
+    The loop shape is frozen — changing it re-bases every recorded
+    baseline.  Callers comparing against a stored measurement must use
+    the score stored *with* that measurement, never a fresh one.
+    """
+    deadline = time.perf_counter() + duration
+    count = 0
+    acc = 0
+    while time.perf_counter() < deadline:
+        for i in range(1000):
+            acc += i * 3
+        count += 1000
+    return count / duration
+
+
+def per_mspin(states_per_sec: float, score: float) -> float:
+    """States explored per million spin iterations — the calibrated,
+    machine-independent throughput figure."""
+    return states_per_sec / score * 1e6 if score else 0.0
+
+
+__all__ = ["per_mspin", "spin_score"]

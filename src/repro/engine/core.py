@@ -212,6 +212,14 @@ def explore(
     combining it with ``check_step`` raises ``ValueError``.
     """
     from repro.engine.por import REDUCTIONS, explore_reduced
+    from repro.interp.compiled import maybe_lower
+
+    # Compile once per run: every representation decision happens here,
+    # so the deepening loop, the reduced traversals and the plain search
+    # all see the same (possibly lowered) program.  A pass-through when
+    # the gate is off, the program is already lowered, or the compiler
+    # refuses (DESIGN.md §12).
+    program = maybe_lower(program)
 
     if reduction not in REDUCTIONS:
         raise ValueError(
@@ -328,8 +336,9 @@ def _explore_once(
 ) -> ExplorationResult[S]:
     """One search run with a fixed frontier discipline and bounds."""
     from repro.c11.compact import ORDER_TIMER
+    from repro.interp.memory_model import MODEL_TIMER
     from repro.interp.config import Configuration
-    from repro.interp.interpreter import configuration_successors
+    from repro.interp.interpreter import successor_list
 
     initial = Configuration(program, model.initial(init_values))
     result: ExplorationResult[S] = ExplorationResult(initial)
@@ -342,6 +351,7 @@ def _explore_once(
     t_run = clock()
     hits0, misses0, _ = KEY_CACHE.snapshot()
     orders0 = ORDER_TIMER.snapshot()
+    model0 = MODEL_TIMER.snapshot()
 
     try:
         t0 = clock()
@@ -391,7 +401,7 @@ def _explore_once(
             )
 
             t0 = clock()
-            steps = list(configuration_successors(config, model))
+            steps = successor_list(config, model)
             stats.time_expand += clock() - t0
 
             for step in steps:
@@ -432,6 +442,7 @@ def _explore_once(
         stats.key_hits += hits1 - hits0
         stats.key_misses += misses1 - misses0
         stats.time_orders += ORDER_TIMER.snapshot() - orders0
+        stats.time_model += MODEL_TIMER.snapshot() - model0
 
     return result
 

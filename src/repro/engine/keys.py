@@ -56,6 +56,10 @@ class KeyCacheStats:
 #: parallel runner each get their own copy (fork/spawn isolation).
 KEY_CACHE = KeyCacheStats()
 
+# Lazily-bound import-cycle breakers (see cached_canonical_key).
+_compact_mod = None
+_canon_mod = None
+
 
 def cached_canonical_key(state) -> Hashable:
     """``canonical_key(state)``, computed at most once per state object.
@@ -67,22 +71,29 @@ def cached_canonical_key(state) -> Hashable:
     one computation — collapsing those is exactly what the explorer's
     ``seen`` set does with the returned keys.
     """
-    # Imported at call time: repro.interp transitively imports this
+    # Imported at first call: repro.interp transitively imports this
     # module (via the memory models), so a module-level import here
-    # would close an import cycle.
-    from repro.c11.compact import CachedKey
-    from repro.interp import canon
+    # would close an import cycle.  The *modules* are memoized in
+    # globals (the import machinery's fromlist handling is measurable
+    # at once-per-configuration rates) but the attributes are looked up
+    # per call, so monkeypatched instrumentation still takes effect.
+    global _compact_mod, _canon_mod
+    if _canon_mod is None:
+        from repro.c11 import compact as _compact_mod
+        from repro.interp import canon as _canon_mod
+    CachedKey = _compact_mod.CachedKey
+    canonical_key = _canon_mod.canonical_key
 
     try:
         cached = state._canon_key
     except AttributeError:
         KEY_CACHE.uncached += 1
-        return canon.canonical_key(state)
+        return canonical_key(state)
     if cached is not None:
         KEY_CACHE.hits += 1
         return cached
     KEY_CACHE.misses += 1
-    key = canon.canonical_key(state)
+    key = canonical_key(state)
     if type(key) is tuple:
         # Pre-hash the nested structure once; every seen-set/parent-map
         # operation on the key reuses it (DESIGN.md §11).

@@ -104,6 +104,12 @@ class SuiteJobResult:
     #: derived-order wall time (DESIGN.md §11), aggregated generically
     #: like the integer stats so footers can attribute closure work
     time_orders: float = 0.0
+    #: successor-expansion wall time — the engine phase the lowered IR
+    #: (DESIGN.md §12) targets; footers print it against ``time_orders``
+    time_expand: float = 0.0
+    #: memory-model share of ``time_expand`` (lowered path only) —
+    #: ``expand - model`` is the program-stepping cost lowering removes
+    time_model: float = 0.0
 
     @property
     def verdict_matches(self) -> bool:
@@ -237,6 +243,8 @@ def _run_litmus_job(job: SuiteJob) -> SuiteJobResult:
         races=stats.races,
         revisits=stats.revisits,
         time_orders=stats.time_orders,
+        time_expand=stats.time_expand,
+        time_model=stats.time_model,
     )
 
 
@@ -346,6 +354,8 @@ def _run_case_study_job(job: SuiteJob) -> SuiteJobResult:
         races=result.stats.races,
         revisits=result.stats.revisits,
         time_orders=result.stats.time_orders,
+        time_expand=result.stats.time_expand,
+        time_model=result.stats.time_model,
     )
 
 
@@ -390,6 +400,8 @@ def _run_verify_job(job: SuiteJob) -> SuiteJobResult:
         ),
         detail="; ".join(str(f) for f in report.failures[:3]),
         time_orders=stats.time_orders,
+        time_expand=stats.time_expand,
+        time_model=stats.time_model,
     )
 
 

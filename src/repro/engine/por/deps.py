@@ -98,15 +98,27 @@ def step_changes_control(com: Com, step: PendingStep) -> bool:
 def step_footprint(
     model,
     state,
-    com: Com,
+    program,
     tid: int,
-    step: PendingStep,
+    step,
     track_control: bool = False,
 ) -> StepFootprint:
     """The full footprint of ``step``: model-reported locations plus the
-    control-visibility bit (only computed when a config hook is live)."""
+    control-visibility bit (only computed when a config hook is live).
+
+    For a lowered step (DESIGN.md §12) visibility is read straight off
+    the compiled table entry — the legacy path used to re-``resume`` the
+    command at *every* node the reduction visits, even though the answer
+    is a function of the instruction alone.  The legacy path still
+    probes, but builds the thread's command only when the bit is
+    actually tracked."""
     reads, writes = model.step_footprint(state, tid, step)
-    visible = track_control and step_changes_control(com, step)
+    if track_control:
+        visible = getattr(step, "control_visible", None)
+        if visible is None:
+            visible = step_changes_control(program.command(tid), step)
+    else:
+        visible = False
     if not (reads or writes or visible):
         return EMPTY_FOOTPRINT
     key = (reads, writes, visible)
@@ -124,9 +136,13 @@ def pending_steps(program) -> "dict[int, PendingStep]":
     (``repro.lang.semantics``): each command yields at most one step, so
     thread-granular reduction is well-defined — choosing a thread
     chooses its step, and only the memory model branches below it.
+    Lowered programs answer from their cached per-node step table.
     """
+    from repro.interp.compiled import LoweredProgram
     from repro.lang.program import program_steps
 
+    if type(program) is LoweredProgram:
+        return program.pending_steps()
     steps = {}
     for tid, step in program_steps(program):
         assert tid not in steps, "command semantics yields one step"

@@ -152,8 +152,9 @@ def explore_dpor(
     the unreduced count.
     """
     from repro.c11.compact import ORDER_TIMER
+    from repro.interp.memory_model import MODEL_TIMER
     from repro.interp.config import Configuration
-    from repro.interp.interpreter import thread_successors
+    from repro.interp.interpreter import thread_successor_list
 
     initial = Configuration(program, model.initial(init_values))
     result: ExplorationResult = ExplorationResult(initial)
@@ -168,6 +169,7 @@ def explore_dpor(
     t_run = clock()
     hits0, misses0, _ = KEY_CACHE.snapshot()
     orders0 = ORDER_TIMER.snapshot()
+    model0 = MODEL_TIMER.snapshot()
 
     #: key -> antichain of sleep-tid sets this key was expanded with
     expanded: Dict[Hashable, List[FrozenSet[int]]] = {}
@@ -268,7 +270,7 @@ def explore_dpor(
         for tid in sorted(steps):
             step = steps[tid]
             fps[tid] = step_footprint(
-                model, config.state, config.program.command(tid), tid, step,
+                model, config.state, config.program, tid, step,
                 track_control,
             )
             if step.is_silent or not at_bound:
@@ -385,8 +387,8 @@ def explore_dpor(
                 node.active_ctx = (step_clock, thread_clock, last_write,
                                    last_reads, last_visible)
                 t0 = clock()
-                node.active_steps = list(
-                    thread_successors(node.config, model, pick, node.steps[pick])
+                node.active_steps = thread_successor_list(
+                    node.config, model, pick, node.steps[pick]
                 )
                 stats.time_expand += clock() - t0
                 stats.expanded += 1
@@ -497,6 +499,7 @@ def explore_dpor(
         stats.key_hits += hits1 - hits0
         stats.key_misses += misses1 - misses0
         stats.time_orders += ORDER_TIMER.snapshot() - orders0
+        stats.time_model += MODEL_TIMER.snapshot() - model0
 
     return result
 

@@ -65,8 +65,9 @@ def explore_sleep(
     the particular failing transitions reported may differ.
     """
     from repro.c11.compact import ORDER_TIMER
+    from repro.interp.memory_model import MODEL_TIMER
     from repro.interp.config import Configuration
-    from repro.interp.interpreter import thread_successors
+    from repro.interp.interpreter import thread_successor_list
 
     initial = Configuration(program, model.initial(init_values))
     result: ExplorationResult = ExplorationResult(initial)
@@ -81,6 +82,7 @@ def explore_sleep(
     t_run = clock()
     hits0, misses0, _ = KEY_CACHE.snapshot()
     orders0 = ORDER_TIMER.snapshot()
+    model0 = MODEL_TIMER.snapshot()
 
     #: key -> antichain of sleep-tid sets this key was expanded with
     expanded: Dict[Hashable, List[FrozenSet[int]]] = {}
@@ -146,12 +148,12 @@ def explore_sleep(
                     result.truncated = True
                     continue
                 fp = step_footprint(
-                    model, config.state, config.program.command(tid), tid, step,
+                    model, config.state, config.program, tid, step,
                     track_control,
                 )
                 stats.expanded += 1
                 t0 = clock()
-                successors = list(thread_successors(config, model, tid, step))
+                successors = thread_successor_list(config, model, tid, step)
                 stats.time_expand += clock() - t0
                 child_sleep = {
                     q: fq for q, fq in awake_sleep.items()
@@ -197,6 +199,7 @@ def explore_sleep(
         stats.key_hits += hits1 - hits0
         stats.key_misses += misses1 - misses0
         stats.time_orders += ORDER_TIMER.snapshot() - orders0
+        stats.time_model += MODEL_TIMER.snapshot() - model0
 
     return result
 

@@ -43,6 +43,13 @@ class EngineStats:
     #: happen inside expansion and check hooks), reported separately so
     #: footers can attribute time to closure work (DESIGN.md §11).
     time_orders: float = 0.0
+    #: Wall time spent inside memory-model ``transitions_list`` calls —
+    #: the delta of :data:`repro.interp.memory_model.MODEL_TIMER`.  On
+    #: the lowered dispatch path ``time_orders ⊆ time_model ⊆
+    #: time_expand``; ``time_expand - time_model`` is the program-side
+    #: stepping cost the lowering IR (DESIGN.md §12) targets.  The
+    #: legacy walker answers through generators and leaves this zero.
+    time_model: float = 0.0
     #: Number of deepening rounds (1 unless the strategy is ``iddfs``).
     iterations: int = 1
     #: Thread-expansions performed / skipped by the reduction.  One
@@ -82,6 +89,7 @@ class EngineStats:
         self.time_keys += other.time_keys
         self.time_checks += other.time_checks
         self.time_orders += other.time_orders
+        self.time_model += other.time_model
         self.expanded += other.expanded
         self.pruned += other.pruned
         self.sleep_hits += other.sleep_hits
@@ -98,6 +106,7 @@ class EngineStats:
             f"key-cache={self.key_hits}/{keyed} ({rate}) "
             f"time={self.time_total * 1e3:.1f}ms "
             f"(expand={self.time_expand * 1e3:.1f} "
+            f"model={self.time_model * 1e3:.1f} "
             f"keys={self.time_keys * 1e3:.1f} "
             f"checks={self.time_checks * 1e3:.1f} "
             f"orders={self.time_orders * 1e3:.1f})"

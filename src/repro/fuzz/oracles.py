@@ -1,6 +1,6 @@
 """Differential oracles: what makes a generated program *pass*.
 
-Five independent checks, cheapest first (the fifth is opt-in):
+Six independent checks, cheapest first (the fifth and sixth are opt-in):
 
 1. **Refinement chain** — the outcome sets (final values of every
    variable over terminal configurations) must nest along the model
@@ -42,6 +42,17 @@ Five independent checks, cheapest first (the fifth is opt-in):
    (:func:`repro.c11.compact.derived_order_divergences`, DESIGN.md
    §11).  The continuous soundness check of the compact order engine,
    run over whole campaigns.
+
+6. **Lowering parity** (``check_lowering=True`` / ``repro fuzz
+   --check-lowering``, off by default) — replay the program under each
+   model with the lowered-program IR on and off (DESIGN.md §12) in a
+   lock-step paired search and require the *full*
+   :class:`~repro.interp.interpreter.InterpretedStep` streams to agree
+   transition-for-transition at every reachable configuration — tids,
+   events (tags included), observed writes, read values, silent steps
+   and terminal outcomes.  Strictly stronger than outcome equality:
+   the continuous soundness check of the compiler in
+   :mod:`repro.lang.lower`.
 
 A run that hits an exploration bound (``max_events`` slack exceeded or
 the ``max_configs`` safety cap) is reported *inconclusive*, never
@@ -100,8 +111,8 @@ class OracleReport:
 
     case: GeneratedCase
     #: divergence kind ("refinement" / "soundness" / "axiomatic" /
-    #: "por-parity" / "orders" / "crash"), or ``None`` when every
-    #: oracle passed
+    #: "por-parity" / "orders" / "lowering" / "crash"), or ``None``
+    #: when every oracle passed
     divergence: Optional[str] = None
     detail: str = ""
     #: a bound was hit; no divergence verdict is possible
@@ -120,6 +131,10 @@ class OracleReport:
     revisits: int = 0
     #: derived-order wall time summed over this case's explorations
     time_orders: float = 0.0
+    #: successor-expansion wall time summed over this case's explorations
+    time_expand: float = 0.0
+    #: memory-model share of ``time_expand`` (lowered path only)
+    time_model: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -162,6 +177,99 @@ def _footprint_equivalence(n_events: int, n_variables: int) -> str:
     )
 
 
+def lowering_step_parity(
+    program,
+    init,
+    model_factory: Callable[[], MemoryModel],
+    max_events: Optional[int] = None,
+    max_configs: Optional[int] = None,
+) -> Tuple[Optional[str], bool]:
+    """Oracle 6's worker: lock-step replay, lowered IR vs AST walker.
+
+    Explores the lowered and the legacy interpretation of ``program``
+    *in pairs*: the two initial configurations are matched, and each
+    matched pair must produce :class:`InterpretedStep` batches that
+    agree signature-for-signature — ``(tid, event, observed,
+    read_value)``, with tags, so silent steps and every memory-model
+    choice are compared, not just outcomes.  Matching successors extend
+    the pairing; terminal pairs must agree on their final values.
+
+    Returns ``(detail, inconclusive)``: ``detail`` describes the first
+    divergence (``None`` = parity holds on every reachable pair);
+    ``inconclusive`` is set when the program was not lowered (aliasing
+    fallback, ``REPRO_NO_LOWER``) or a bound was hit, in which case the
+    oracle verified nothing and must not read as green.
+    """
+    from repro.engine.core import _state_size
+    from repro.interp.compiled import LoweredProgram, lowering_disabled
+    from repro.interp.interpreter import initial_configuration, successor_list
+
+    model = model_factory()
+    low0 = initial_configuration(program, init, model)
+    if type(low0.program) is not LoweredProgram:
+        return None, True
+    with lowering_disabled():
+        leg0 = initial_configuration(program, init, model)
+
+    def sig(s):
+        return (s.tid, s.event, s.observed, s.read_value)
+
+    seen = {(low0, leg0)}
+    frontier = [(low0, leg0)]
+    while frontier:
+        low, leg = frontier.pop()
+        if low.is_terminated() != leg.is_terminated():
+            return (
+                f"termination disagrees at a paired configuration "
+                f"(lowered={low.is_terminated()}, legacy={leg.is_terminated()})",
+                False,
+            )
+        if low.is_terminated():
+            if final_values(low) != final_values(leg):
+                return (
+                    f"terminal values disagree: lowered "
+                    f"{final_values(low)} vs legacy {final_values(leg)}",
+                    False,
+                )
+            continue
+        at_bound = (
+            max_events is not None and _state_size(low.state) >= max_events
+        )
+        steps_low = successor_list(low, model)
+        with lowering_disabled():
+            steps_leg = successor_list(leg, model)
+        by_low: Dict[tuple, list] = {}
+        for s in steps_low:
+            by_low.setdefault(sig(s), []).append(s)
+        by_leg: Dict[tuple, list] = {}
+        for s in steps_leg:
+            by_leg.setdefault(sig(s), []).append(s)
+        if by_low.keys() != by_leg.keys() or any(
+            len(by_low[k]) != len(by_leg[k]) for k in by_low
+        ):
+            only_low = sorted(set(by_low) - set(by_leg))
+            only_leg = sorted(set(by_leg) - set(by_low))
+            return (
+                f"step streams diverge: {len(steps_low)} lowered vs "
+                f"{len(steps_leg)} legacy transitions "
+                f"(lowered-only signatures: {only_low[:2]}; "
+                f"legacy-only: {only_leg[:2]})",
+                False,
+            )
+        for key, group in by_low.items():
+            if at_bound and key[1] is not None:
+                continue  # both sides truncate this event identically
+            for s_low, s_leg in zip(group, by_leg[key]):
+                pair = (s_low.target, s_leg.target)
+                if pair in seen:
+                    continue
+                if max_configs is not None and len(seen) >= max_configs:
+                    return None, True
+                seen.add(pair)
+                frontier.append(pair)
+    return None, False
+
+
 def check_program(
     case: GeneratedCase,
     axiomatic: bool = True,
@@ -169,6 +277,7 @@ def check_program(
     models: Optional[Dict[str, Callable[[], MemoryModel]]] = None,
     reduction: str = "dpor",
     check_orders: bool = False,
+    check_lowering: bool = False,
 ) -> OracleReport:
     """Run every oracle on ``case`` and report the first divergence.
 
@@ -176,7 +285,9 @@ def check_program(
     oracle cross-validates against the full search (``"none"`` disables
     the oracle).  ``check_orders`` additionally replays the compact
     derived-order self-check over every distinct RA-reachable state
-    (DESIGN.md §11).
+    (DESIGN.md §11).  ``check_lowering`` replays the program under each
+    model with the lowered IR on and off and diffs the full step
+    streams (DESIGN.md §12).
     """
     models = models if models is not None else ORACLE_MODELS
     report = OracleReport(case)
@@ -209,6 +320,8 @@ def check_program(
         report.key_hits += result.stats.key_hits
         report.key_misses += result.stats.key_misses
         report.time_orders += result.stats.time_orders
+        report.time_expand += result.stats.time_expand
+        report.time_model += result.stats.time_model
         if name == "ra":
             ra_full = result
         if result.truncated:
@@ -274,6 +387,27 @@ def check_program(
             )
             return report
 
+    # 2c. lowering parity: the compiled step tables must replay the AST
+    # walker's full InterpretedStep stream exactly (DESIGN.md §12)
+    if check_lowering:
+        for name in REFINEMENT_CHAIN:
+            detail, vacuous = lowering_step_parity(
+                case.program, case.init, models[name],
+                max_events=max_events, max_configs=max_configs,
+            )
+            if detail is not None:
+                report.divergence = "lowering"
+                report.detail = f"{name}: {detail}"
+                return report
+            if vacuous:
+                report.inconclusive = True
+                report.detail = (
+                    f"lowering oracle vacuous under {name}: program was "
+                    "not lowered (aliasing fallback or REPRO_NO_LOWER "
+                    "set?) or the pair cap was hit"
+                )
+                return report
+
     # 3. axiomatic equivalence on tiny footprints
     if axiomatic:
         n_variables = len(case.init)
@@ -305,6 +439,8 @@ def check_program(
         report.key_hits += reduced.stats.key_hits
         report.key_misses += reduced.stats.key_misses
         report.time_orders += reduced.stats.time_orders
+        report.time_expand += reduced.stats.time_expand
+        report.time_model += reduced.stats.time_model
         report.expanded += reduced.stats.expanded
         report.pruned += reduced.stats.pruned
         report.sleep_hits += reduced.stats.sleep_hits
@@ -348,4 +484,5 @@ __all__ = [
     "OracleReport",
     "REFINEMENT_CHAIN",
     "check_program",
+    "lowering_step_parity",
 ]

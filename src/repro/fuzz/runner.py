@@ -41,6 +41,9 @@ class FuzzJob:
     #: cross-check compact vs definitional derived orders per state
     #: (the "orders" oracle, DESIGN.md §11)
     check_orders: bool = False
+    #: replay lowered vs legacy interpretation step-for-step
+    #: (the "lowering" oracle, DESIGN.md §12)
+    check_lowering: bool = False
 
     @property
     def label(self) -> str:
@@ -76,6 +79,7 @@ def _check(job: FuzzJob, case: GeneratedCase) -> OracleReport:
     return check_program(
         case, axiomatic=job.axiomatic, max_configs=job.max_configs,
         reduction=job.reduction, check_orders=job.check_orders,
+        check_lowering=job.check_lowering,
     )
 
 
@@ -101,7 +105,7 @@ def run_fuzz_job(job: FuzzJob):
     inconclusive = 0
     configs = transitions = terminal = key_hits = key_misses = 0
     expanded = pruned = sleep_hits = races = revisits = 0
-    time_orders = 0.0
+    time_orders = time_expand = time_model = 0.0
     for index in range(job.start, job.start + job.count):
         case = generate_case(job.seed, index, PROFILES[job.profile])
         report = _check(job, case)
@@ -111,6 +115,8 @@ def run_fuzz_job(job: FuzzJob):
         key_hits += report.key_hits
         key_misses += report.key_misses
         time_orders += report.time_orders
+        time_expand += report.time_expand
+        time_model += report.time_model
         expanded += report.expanded
         pruned += report.pruned
         sleep_hits += report.sleep_hits
@@ -168,6 +174,8 @@ def run_fuzz_job(job: FuzzJob):
         races=races,
         revisits=revisits,
         time_orders=time_orders,
+        time_expand=time_expand,
+        time_model=time_model,
     )
 
 
@@ -231,6 +239,7 @@ def fuzz_jobs(
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
     reduction: str = "dpor",
     check_orders: bool = False,
+    check_lowering: bool = False,
 ) -> List[FuzzJob]:
     """Slice ``iters`` cases into worker-sized chunks.
 
@@ -256,6 +265,7 @@ def fuzz_jobs(
             max_configs=max_configs,
             reduction=reduction,
             check_orders=check_orders,
+            check_lowering=check_lowering,
         )
         for start in range(0, iters, chunk)
     ]
@@ -271,6 +281,7 @@ def run_campaign(
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
     reduction: str = "dpor",
     check_orders: bool = False,
+    check_lowering: bool = False,
 ) -> CampaignReport:
     """Run a whole campaign through the parallel runner."""
     from repro.engine.parallel import ParallelRunner
@@ -278,7 +289,7 @@ def run_campaign(
     work = fuzz_jobs(
         seed, iters, profile=profile, jobs=jobs, axiomatic=axiomatic,
         shrink=shrink, max_configs=max_configs, reduction=reduction,
-        check_orders=check_orders,
+        check_orders=check_orders, check_lowering=check_lowering,
     )
     results = ParallelRunner(jobs=jobs).run(work)
     report = CampaignReport(seed=seed, iters=iters, profile=profile)

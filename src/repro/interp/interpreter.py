@@ -8,36 +8,68 @@ Given a configuration ``(P, σ)`` and a memory model ``M``,
 * any other program step is paired with every memory transition the
   model allows for it (second rule) — in particular a read hole is
   resolved once per admissible value.
+
+Two program representations dispatch here (DESIGN.md §12).  A legacy
+:class:`~repro.lang.program.Program` is stepped by walking command ASTs
+through ``resume``; a :class:`~repro.interp.compiled.LoweredProgram` is
+stepped by indexing its compiled table with integer pcs — the successor
+program is a tuple update ``pcs[slot] ← (next_pc, keep(vals, read))``,
+no AST is touched, and the engine consumes the whole successor batch as
+a list (:func:`successor_list`) instead of hopping through generator
+frames.  Both paths produce byte-identical :class:`InterpretedStep`
+streams; only the type of ``config.program`` differs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Generic, Iterator, Optional, TypeVar
+import time
+from typing import Generic, Iterator, List, Optional, TypeVar
 
 from repro.c11.events import Event
+from repro.interp.compiled import LoweredProgram, maybe_lower
 from repro.interp.config import Configuration
-from repro.interp.memory_model import MemoryModel
+from repro.interp.memory_model import MODEL_TIMER, MemoryModel
 from repro.lang.actions import Value
 from repro.lang.program import Tid, program_steps
 
 S = TypeVar("S")
 
+_clock = time.perf_counter
 
-@dataclass(frozen=True)
+
 class InterpretedStep(Generic[S]):
     """One transition of the interpreted semantics.
 
     ``event``/``observed`` are populated by event-based models (RA, PE);
-    ``None`` for τ steps and for SC.
+    ``None`` for τ steps and for SC.  A slotted plain class rather than
+    a frozen dataclass: the engine constructs one per transition on the
+    hot path, where the generated ``__init__``'s guarded
+    ``object.__setattr__`` per field is measurable.
     """
 
-    source: Configuration[S]
-    tid: Tid
-    target: Configuration[S]
-    event: Optional[Event] = None
-    observed: Optional[Event] = None
-    read_value: Optional[Value] = None
+    __slots__ = ("source", "tid", "target", "event", "observed", "read_value")
+
+    def __init__(
+        self,
+        source: Configuration[S],
+        tid: Tid,
+        target: Configuration[S],
+        event: Optional[Event] = None,
+        observed: Optional[Event] = None,
+        read_value: Optional[Value] = None,
+    ) -> None:
+        self.source = source
+        self.tid = tid
+        self.target = target
+        self.event = event
+        self.observed = observed
+        self.read_value = read_value
+
+    def __repr__(self) -> str:
+        return (
+            f"InterpretedStep(tid={self.tid}, event={self.event!r}, "
+            f"observed={self.observed!r}, read_value={self.read_value!r})"
+        )
 
     @property
     def is_silent(self) -> bool:
@@ -47,16 +79,77 @@ class InterpretedStep(Generic[S]):
         )
 
 
+def _lowered_thread_successors(
+    config: Configuration[S], model: MemoryModel[S], tid: Tid, step,
+    out: List[InterpretedStep[S]],
+) -> None:
+    """Append all transitions realising one lowered thread state's step."""
+    program, state = config.program, config.state
+    instr = step.instr
+    slot = instr.slot
+    vals = step.vals
+    if step.is_silent:
+        if instr.is_branch:
+            if step.taken:
+                pc2, keep = instr.then_pc, instr.then_keep
+            else:
+                pc2, keep = instr.else_pc, instr.else_keep
+        else:
+            pc2, keep = instr.next_pc, instr.keep
+        nvals = tuple(vals[j] for j in keep) if keep else ()
+        out.append(InterpretedStep(
+            source=config,
+            tid=tid,
+            target=Configuration(program.update_slot(slot, pc2, nvals), state),
+        ))
+        return
+    pc2 = instr.next_pc
+    keep = instr.keep
+    t0 = _clock()
+    mts = model.transitions_list(state, tid, step)
+    MODEL_TIMER.seconds += _clock() - t0
+    for mt in mts:
+        rv = mt.read_value
+        nvals = tuple(rv if j < 0 else vals[j] for j in keep) if keep else ()
+        out.append(InterpretedStep(
+            source=config,
+            tid=tid,
+            target=Configuration(program.update_slot(slot, pc2, nvals), mt.target),
+            event=mt.event,
+            observed=mt.observed,
+            read_value=rv,
+        ))
+
+
+def thread_successor_list(
+    config: Configuration[S], model: MemoryModel[S], tid: Tid, step
+) -> List[InterpretedStep[S]]:
+    """All interpreted transitions realising one thread's pending step.
+
+    The per-thread slice of :func:`successor_list`, exposed so the
+    partial-order reduction layer (:mod:`repro.engine.por`) can expand a
+    single selected thread without generating the memory transitions of
+    threads it prunes.  Batched: the caller gets the whole list at once.
+    """
+    if type(config.program) is LoweredProgram:
+        out: List[InterpretedStep[S]] = []
+        _lowered_thread_successors(config, model, tid, step, out)
+        return out
+    return list(_legacy_thread_successors(config, model, tid, step))
+
+
 def thread_successors(
     config: Configuration[S], model: MemoryModel[S], tid: Tid, step
 ) -> Iterator[InterpretedStep[S]]:
-    """All interpreted transitions realising one thread's pending step.
+    """Iterator form of :func:`thread_successor_list` (compatibility)."""
+    if type(config.program) is LoweredProgram:
+        return iter(thread_successor_list(config, model, tid, step))
+    return _legacy_thread_successors(config, model, tid, step)
 
-    The per-thread slice of :func:`configuration_successors`, exposed so
-    the partial-order reduction layer (:mod:`repro.engine.por`) can
-    expand a single selected thread without generating the memory
-    transitions of threads it prunes.
-    """
+
+def _legacy_thread_successors(
+    config: Configuration[S], model: MemoryModel[S], tid: Tid, step
+) -> Iterator[InterpretedStep[S]]:
     program, state = config.program, config.state
     if step.is_silent:
         yield InterpretedStep(
@@ -77,16 +170,36 @@ def thread_successors(
         )
 
 
+def successor_list(
+    config: Configuration[S], model: MemoryModel[S]
+) -> List[InterpretedStep[S]]:
+    """All interpreted transitions from ``config``, as one batch.
+
+    The engine's expansion loop consumes this list directly; the lowered
+    path builds it without a single generator frame or AST node.
+    """
+    program = config.program
+    if type(program) is LoweredProgram:
+        out: List[InterpretedStep[S]] = []
+        for tid, step in program.pending_steps().items():
+            _lowered_thread_successors(config, model, tid, step, out)
+        return out
+    return [
+        s
+        for tid, step in program_steps(program)
+        for s in _legacy_thread_successors(config, model, tid, step)
+    ]
+
+
 def configuration_successors(
     config: Configuration[S], model: MemoryModel[S]
 ) -> Iterator[InterpretedStep[S]]:
     """All interpreted transitions from ``config`` under ``model``."""
-    for tid, step in program_steps(config.program):
-        yield from thread_successors(config, model, tid, step)
+    return iter(successor_list(config, model))
 
 
 def initial_configuration(
     program, init_values, model: MemoryModel[S]
 ) -> Configuration[S]:
-    """``(P, σ_0)`` for the given model."""
-    return Configuration(program, model.initial(init_values))
+    """``(P, σ_0)`` for the given model (lowered when the gate allows)."""
+    return Configuration(maybe_lower(program), model.initial(init_values))

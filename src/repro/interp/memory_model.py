@@ -17,7 +17,6 @@ implement this interface:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 from typing import FrozenSet, Generic, Hashable, Iterator, Mapping, Optional, Tuple, TypeVar
 
 from repro.c11.events import Event
@@ -27,6 +26,37 @@ from repro.lang.semantics import PendingStep
 
 S = TypeVar("S", bound=Hashable)
 
+class ModelTimerStats:
+    """Process-wide accumulator of time spent inside memory models.
+
+    The same discipline as :data:`repro.c11.compact.ORDER_TIMER`: the
+    lowered dispatch path (DESIGN.md §12) charges every
+    ``transitions_list`` call here, the engine snapshots the delta
+    around a run as ``EngineStats.time_model``, and footers subtract it
+    from ``time_expand`` to expose what lowering actually removed — the
+    *program-stepping* share of expansion.  Order derivations happen
+    inside model calls, so ``time_orders ⊆ time_model ⊆ time_expand``
+    on the lowered path; the legacy walker answers through generators
+    and leaves this timer untouched.
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def reset(self) -> None:
+        self.seconds = 0.0
+
+    def snapshot(self) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:
+        return f"ModelTimerStats(seconds={self.seconds:.3f})"
+
+
+MODEL_TIMER = ModelTimerStats()
+
 #: Interned footprint pairs, keyed by ``(kind, var)``.  A step's default
 #: footprint depends only on its action shape, and the reduction layer
 #: recomputes footprints for every pending step at every node — sharing
@@ -35,7 +65,6 @@ _FOOTPRINTS: dict = {}
 _EMPTY_VARS: FrozenSet["Var"] = frozenset()
 
 
-@dataclass(frozen=True)
 class MemoryTransition(Generic[S]):
     """One memory-model answer to a pending program step.
 
@@ -43,12 +72,32 @@ class MemoryTransition(Generic[S]):
     ``event`` is the event appended (``None`` for models without events,
     i.e. SC); ``observed`` is the paper's explicit observed write ``w``
     (``None`` for PE — the paper writes its first component as ``⊥``).
+
+    A slotted plain class rather than a frozen dataclass: the models
+    build one per transition on the exploration hot path, where the
+    generated ``__init__``'s guarded ``object.__setattr__`` per field
+    is measurable.
     """
 
-    target: S
-    read_value: Optional[Value] = None
-    event: Optional[Event] = None
-    observed: Optional[Event] = None
+    __slots__ = ("target", "read_value", "event", "observed")
+
+    def __init__(
+        self,
+        target: S,
+        read_value: Optional[Value] = None,
+        event: Optional[Event] = None,
+        observed: Optional[Event] = None,
+    ) -> None:
+        self.target = target
+        self.read_value = read_value
+        self.event = event
+        self.observed = observed
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryTransition(read_value={self.read_value!r}, "
+            f"event={self.event!r}, observed={self.observed!r})"
+        )
 
 
 class MemoryModel(abc.ABC, Generic[S]):
@@ -72,6 +121,17 @@ class MemoryModel(abc.ABC, Generic[S]):
         the default implementation of that case lives in the interpreter,
         so implementations only see non-silent steps.
         """
+
+    def transitions_list(
+        self, state: S, tid: Tid, step: PendingStep
+    ) -> "list[MemoryTransition[S]]":
+        """:meth:`transitions` as a materialised list.
+
+        The lowered dispatch path (DESIGN.md §12) expands successors in
+        batches; models override this to build the list directly and
+        skip the generator frame per expansion.
+        """
+        return list(self.transitions(state, tid, step))
 
     def canonical_state_key(self, state: S) -> Hashable:
         """A key identifying ``state`` up to irrelevant naming.

@@ -73,6 +73,24 @@ class PEMemoryModel(MemoryModel[PreExecutionState]):
                 observed=None,
             )
 
+    def transitions_list(self, state: PreExecutionState, tid: Tid, step: PendingStep):
+        # Route subclasses that override `transitions` through it.
+        if type(self) is not PEMemoryModel:
+            return super().transitions_list(state, tid, step)
+        tag = state.next_tag()
+        if step.is_read_hole:
+            return [
+                MemoryTransition(
+                    target=state.add_event(event),
+                    read_value=value,
+                    event=event,
+                )
+                for value in sorted(self.read_values)
+                for event in (Event(tag, step.action(value), tid),)
+            ]
+        event = Event(tag, step.action(), tid)
+        return [MemoryTransition(target=state.add_event(event), event=event)]
+
     def canonical_state_key(self, state: PreExecutionState) -> Hashable:
         return cached_canonical_key(state)
 

@@ -19,6 +19,7 @@ from typing import Hashable, Iterator, Mapping
 from repro.c11.event_semantics import ra_successors
 from repro.c11.state import C11State, initial_state
 from repro.engine.keys import cached_canonical_key
+from repro.interp.compiled import LoweredStep
 from repro.interp.memory_model import MemoryModel, MemoryTransition
 from repro.lang.actions import Value, Var
 from repro.lang.program import Tid
@@ -49,6 +50,48 @@ class RAMemoryModel(MemoryModel[C11State]):
                 event=tr.event,
                 observed=tr.observed,
             )
+
+    def transitions_list(self, state: C11State, tid: Tid, step: PendingStep):
+        # Route subclasses that override `transitions` through it.
+        if type(self) is not RAMemoryModel:
+            return super().transitions_list(state, tid, step)
+        # Memoize per state *object* and interned step: a silent program
+        # step leaves the memory state untouched, so exploration asks
+        # the same (state, tid, step) question from several program
+        # points — the answer is a pure function of the three, and
+        # lowered steps are interned so the key is two pointers.  (Keyed
+        # by object identity, not state equality: structural hashing
+        # would force the materialised pair-set relations.)
+        memo = None
+        if type(step) is LoweredStep:
+            memo = state._ra_trans
+            if memo is None:
+                memo = {}
+                state._ra_trans = memo
+            cached = memo.get((tid, step))
+            if cached is not None:
+                return cached
+        wrval = step.wrval if step.wrfun is None else step.wrfun
+        if step.is_read_hole:
+            out = [
+                MemoryTransition(
+                    target=tr.target,
+                    read_value=tr.event.rdval,
+                    event=tr.event,
+                    observed=tr.observed,
+                )
+                for tr in ra_successors(state, tid, step.kind, step.var, wrval)
+            ]
+        else:
+            out = [
+                MemoryTransition(
+                    target=tr.target, event=tr.event, observed=tr.observed
+                )
+                for tr in ra_successors(state, tid, step.kind, step.var, wrval)
+            ]
+        if memo is not None:
+            memo[(tid, step)] = out
+        return out
 
     def canonical_state_key(self, state: C11State) -> Hashable:
         return cached_canonical_key(state)

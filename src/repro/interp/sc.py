@@ -74,6 +74,27 @@ class SCMemoryModel(MemoryModel[SCState]):
         else:  # pragma: no cover - defensive
             raise ValueError(f"unexpected step kind {kind}")
 
+    def transitions_list(self, state: SCState, tid: Tid, step: PendingStep):
+        # Every SC step is deterministic: build the singleton directly.
+        # Subclasses that override `transitions` (test doubles) must keep
+        # being routed through it.
+        if type(self) is not SCMemoryModel:
+            return super().transitions_list(state, tid, step)
+        kind = step.kind
+        if kind in (ActionKind.RD, ActionKind.RDA):
+            return [MemoryTransition(
+                target=state, read_value=sc_lookup(state, step.var)
+            )]
+        if kind in (ActionKind.WR, ActionKind.WRR):
+            return [MemoryTransition(
+                target=sc_update(state, step.var, step.wrval)
+            )]
+        read = sc_lookup(state, step.var)
+        return [MemoryTransition(
+            target=sc_update(state, step.var, step.write_value(read)),
+            read_value=read,
+        )]
+
     def step_footprint(self, state: SCState, tid: Tid, step: PendingStep):
         """The textbook footprint: SC accesses touch exactly their cell.
 

@@ -62,6 +62,16 @@ class SRAMemoryModel(MemoryModel[C11State]):
             if sra_consistent(mt.target):
                 yield mt
 
+    def transitions_list(self, state: C11State, tid: Tid, step: PendingStep):
+        # Route subclasses that override `transitions` through it.
+        if type(self) is not SRAMemoryModel:
+            return super().transitions_list(state, tid, step)
+        return [
+            mt
+            for mt in self._ra.transitions_list(state, tid, step)
+            if sra_consistent(mt.target)
+        ]
+
     def canonical_state_key(self, state: C11State) -> Hashable:
         return cached_canonical_key(state)
 

@@ -145,27 +145,51 @@ class Action:
 
 TAU = Action(ActionKind.TAU)
 
+#: Process-wide action interner.  Every explored transition constructs
+#: an action, state spaces repeat the same few action shapes millions of
+#: times, and ``Action.__post_init__`` validation plus per-field hashing
+#: is measurable on the hot path — the constructors below hand out one
+#: shared instance per distinct action instead.  Actions are immutable
+#: value objects, so interning is observationally silent (equality and
+#: hashing are unchanged; ``is`` gets faster as a bonus).
+_INTERNED: dict = {}
+
+
+def intern_action(
+    kind: ActionKind,
+    var: Optional[Var] = None,
+    rdval: Optional[Value] = None,
+    wrval: Optional[Value] = None,
+) -> Action:
+    """The shared :class:`Action` instance for the given components."""
+    key = (kind, var, rdval, wrval)
+    action = _INTERNED.get(key)
+    if action is None:
+        action = Action(kind, var, rdval, wrval)
+        _INTERNED[key] = action
+    return action
+
 
 def rd(x: Var, n: Value) -> Action:
     """Relaxed read ``rd(x, n)``."""
-    return Action(ActionKind.RD, x, rdval=n)
+    return intern_action(ActionKind.RD, x, rdval=n)
 
 
 def rda(x: Var, n: Value) -> Action:
     """Acquiring read ``rdA(x, n)``."""
-    return Action(ActionKind.RDA, x, rdval=n)
+    return intern_action(ActionKind.RDA, x, rdval=n)
 
 
 def wr(x: Var, n: Value) -> Action:
     """Relaxed write ``wr(x, n)``."""
-    return Action(ActionKind.WR, x, wrval=n)
+    return intern_action(ActionKind.WR, x, wrval=n)
 
 
 def wrr(x: Var, n: Value) -> Action:
     """Releasing write ``wrR(x, n)``."""
-    return Action(ActionKind.WRR, x, wrval=n)
+    return intern_action(ActionKind.WRR, x, wrval=n)
 
 
 def upd(x: Var, m: Value, n: Value) -> Action:
     """Release-acquire update ``updRA(x, m, n)`` (reads ``m``, writes ``n``)."""
-    return Action(ActionKind.UPD, x, rdval=m, wrval=n)
+    return intern_action(ActionKind.UPD, x, rdval=m, wrval=n)

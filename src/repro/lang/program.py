@@ -49,9 +49,13 @@ class Program:
     def __getstate__(self):
         # str hashing is salted per process (PYTHONHASHSEED), and
         # commands hash over variable names: a cached hash must never
-        # cross a pickle boundary.
+        # cross a pickle boundary.  The cached step table
+        # (``repro.interp.compiled``) embeds that hash and holds
+        # unpicklable interners, so it stays behind too — the receiving
+        # process re-lowers on first use.
         state = dict(self.__dict__)
         state.pop("_hash", None)
+        state.pop("_lowered", None)
         return state
 
     @classmethod

@@ -220,3 +220,29 @@ def test_suite_reduction_matches_unreduced_verdicts(capsys):
     assert main(["suite", "--reduction", "sleep"]) == 0
     reduced_out = capsys.readouterr().out
     assert "diverged" not in reduced_out
+
+
+def test_run_with_profile_footer(sb_file, capsys):
+    assert main(["run", sb_file, "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: expand=" in out
+    assert "states/Mspin" in out
+
+
+def test_suite_footer_has_phase_split(capsys):
+    assert main(["suite", "--extra"]) == 0
+    out = capsys.readouterr().out
+    assert "phase split: expand=" in out
+    assert "states/Mspin" in out
+
+
+def test_fuzz_check_lowering_flag(tmp_path, capsys, monkeypatch):
+    # Pin the gate open: under CI's no-lower job every iteration would
+    # be inconclusive (nothing to compare) and the campaign vacuous.
+    monkeypatch.delenv("REPRO_NO_LOWER", raising=False)
+    assert main([
+        "fuzz", "--seed", "3", "--iters", "2", "--profile", "small",
+        "--check-lowering", "--no-save",
+        "--corpus-dir", str(tmp_path),
+    ]) == 0
+    assert "no divergences" in capsys.readouterr().out

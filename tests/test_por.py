@@ -16,7 +16,11 @@ from repro.engine.por.deps import (
     step_footprint,
 )
 from repro.interp.explore import explore
-from repro.interp.interpreter import configuration_successors, thread_successors
+from repro.interp.interpreter import (
+    configuration_successors,
+    initial_configuration,
+    thread_successors,
+)
 from repro.interp.config import Configuration
 from repro.interp.pe_model import PEMemoryModel
 from repro.interp.ra_model import RAMemoryModel
@@ -111,8 +115,8 @@ def test_footprint_tracks_control_only_when_asked():
     program = Program.parallel(com)
     (tid, step), = pending_steps(program).items()
     model = RAMemoryModel()
-    assert not step_footprint(model, None, com, tid, step, False).visible
-    assert step_footprint(model, None, com, tid, step, True).visible
+    assert not step_footprint(model, None, program, tid, step, False).visible
+    assert step_footprint(model, None, program, tid, step, True).visible
 
 
 # ----------------------------------------------------------------------
@@ -259,8 +263,10 @@ def test_dpor_mutant_violation_found_and_replays_unreduced():
     assert not result.ok
     trace = result.counterexample()
     assert trace, "violation must come with a trace"
-    cursor = Configuration(
-        peterson_relaxed_turn(once=True), model.initial(PETERSON_INIT)
+    # The canonical entry point applies the same program lowering the
+    # engine applied, so trace programs and replay programs compare.
+    cursor = initial_configuration(
+        peterson_relaxed_turn(once=True), PETERSON_INIT, model
     )
     for step in trace:
         candidates = list(configuration_successors(cursor, model))
