@@ -131,56 +131,69 @@ def test_relaxed_turn_mutant_safe_under_sc(benchmark):
 def test_por_reduction_bound12(benchmark, bench_json):
     """DPOR vs full exploration at bound 12: identical outcome set and
     truncation, ≥2× fewer visited configurations (the E4 headline of
-    the reduction subsystem)."""
+    the reduction subsystem) — and the parsimonious ``optimal`` tier
+    (DESIGN.md §13) strictly below DPOR, under both state equivalences."""
     from repro.litmus.registry import final_values
 
     model = RAMemoryModel()
     program = peterson_program(once=True)
 
     def runs():
-        full = explore(program, PETERSON_INIT, model, max_events=12)
-        reduced = explore(
-            program, PETERSON_INIT, model, max_events=12, reduction="dpor"
-        )
-        return full, reduced
+        per_reduction = {}
+        for label, reduction, equivalence in (
+            ("none", "none", "shasha-snir"),
+            ("dpor", "dpor", "shasha-snir"),
+            ("optimal", "optimal", "shasha-snir"),
+            ("optimal+rf", "optimal", "reads-from"),
+        ):
+            per_reduction[label] = explore(
+                program, PETERSON_INIT, model, max_events=12,
+                reduction=reduction, equivalence=equivalence,
+            )
+        return per_reduction
 
-    full, reduced = once(benchmark, runs)
+    results = once(benchmark, runs)
+    full, reduced = results["none"], results["dpor"]
     outcomes = lambda r: {  # noqa: E731 — local shorthand
         tuple(sorted(final_values(c).items())) for c in r.terminal
     }
     ratio = full.configs / reduced.configs
     table(
-        "E4: Peterson bound 12, DPOR vs none",
+        "E4: Peterson bound 12, reductions vs none",
         [
-            f"none: configs={full.configs} transitions={full.transitions} "
-            f"time={full.stats.time_total * 1e3:.1f}ms",
-            f"dpor: configs={reduced.configs} transitions={reduced.transitions} "
-            f"time={reduced.stats.time_total * 1e3:.1f}ms",
-            f"reduction: {ratio:.2f}x fewer configs; engine: "
+            f"{label}: configs={r.configs} transitions={r.transitions} "
+            f"time={r.stats.time_total * 1e3:.1f}ms"
+            for label, r in results.items()
+        ]
+        + [
+            f"reduction: {ratio:.2f}x fewer configs (dpor); engine: "
             f"{reduced.stats.summary()}",
         ],
     )
-    assert outcomes(full) == outcomes(reduced)
-    assert full.truncated == reduced.truncated
+    for label, r in results.items():
+        assert outcomes(full) == outcomes(r), f"{label} outcome set diverged"
+        assert full.truncated == r.truncated, f"{label} truncation diverged"
     assert reduced.configs * 2 <= full.configs, (
         f"expected >=2x reduction, got {ratio:.2f}x"
     )
+    # The parsimonious explorer's acceptance bar: strictly below DPOR.
+    assert results["optimal"].configs < reduced.configs
+    assert results["optimal+rf"].configs <= results["optimal"].configs
     bench_json.record(
         "e4_peterson_por_bound12",
         {
             "program": "peterson(once)",
             "max_events": 12,
-            "none": {
-                "configs": full.configs,
-                "transitions": full.transitions,
-                "stats": engine_stats_payload(full.stats),
-            },
-            "dpor": {
-                "configs": reduced.configs,
-                "transitions": reduced.transitions,
-                "stats": engine_stats_payload(reduced.stats),
+            **{
+                label: {
+                    "configs": r.configs,
+                    "transitions": r.transitions,
+                    "stats": engine_stats_payload(r.stats),
+                }
+                for label, r in results.items()
             },
             "config_ratio": ratio,
+            "optimal_config_ratio": full.configs / results["optimal+rf"].configs,
             "outcome_parity": True,
         },
     )

@@ -82,19 +82,26 @@ def test_reduction_series(benchmark, bench_json):
         for bound in (6, 8, 10, 12):
             per_bound = {"bound": bound}
             outcome_sets = {}
-            for reduction in ("none", "sleep", "dpor"):
+            for label, reduction, equivalence in (
+                ("none", "none", "shasha-snir"),
+                ("sleep", "sleep", "shasha-snir"),
+                ("dpor", "dpor", "shasha-snir"),
+                ("optimal", "optimal", "shasha-snir"),
+                ("optimal+rf", "optimal", "reads-from"),
+            ):
                 result = explore(
                     peterson_program(once=True),
                     PETERSON_INIT,
                     RAMemoryModel(),
                     max_events=bound,
                     reduction=reduction,
+                    equivalence=equivalence,
                 )
-                outcome_sets[reduction] = frozenset(
+                outcome_sets[label] = frozenset(
                     tuple(sorted(final_values(c).items()))
                     for c in result.terminal
                 )
-                per_bound[reduction] = {
+                per_bound[label] = {
                     "configs": result.configs,
                     "transitions": result.transitions,
                     "truncated": result.truncated,
@@ -102,9 +109,16 @@ def test_reduction_series(benchmark, bench_json):
                     "pruned": result.stats.pruned,
                     "races": result.stats.races,
                 }
-            assert outcome_sets["none"] == outcome_sets["sleep"] == outcome_sets["dpor"]
+            assert all(
+                outcome_sets[label] == outcome_sets["none"]
+                for label in outcome_sets
+            ), "reduced outcome set diverged"
             per_bound["dpor_config_ratio"] = (
                 per_bound["none"]["configs"] / per_bound["dpor"]["configs"]
+            )
+            per_bound["optimal_config_ratio"] = (
+                per_bound["none"]["configs"]
+                / per_bound["optimal+rf"]["configs"]
             )
             series.append(per_bound)
         return series
@@ -115,17 +129,27 @@ def test_reduction_series(benchmark, bench_json):
         f"{s['none']['time_s'] * 1e3:7.1f}ms   "
         f"sleep: transitions={s['sleep']['transitions']:>6}   "
         f"dpor: configs={s['dpor']['configs']:>6} "
-        f"{s['dpor']['time_s'] * 1e3:7.1f}ms  ({s['dpor_config_ratio']:4.2f}x)"
+        f"{s['dpor']['time_s'] * 1e3:7.1f}ms  ({s['dpor_config_ratio']:4.2f}x)   "
+        f"optimal+rf: configs={s['optimal+rf']['configs']:>6} "
+        f"({s['optimal_config_ratio']:4.2f}x)"
         for s in series
     ]
     table("E8: Peterson growth, reduction on vs off", rows)
     assert series[-1]["dpor_config_ratio"] >= 2.0
+    # The parsimonious tier never falls behind DPOR, and strictly beats
+    # it at the deepest bound (DESIGN.md §13).
+    for s in series:
+        assert s["optimal+rf"]["configs"] <= s["dpor"]["configs"]
+    assert series[-1]["optimal+rf"]["configs"] < series[-1]["dpor"]["configs"]
     bench_json.record(
         "e8_peterson_reduction_series",
         {"program": "peterson(once)", "series": series},
     )
     benchmark.extra_info["dpor_config_ratio_bound12"] = series[-1][
         "dpor_config_ratio"
+    ]
+    benchmark.extra_info["optimal_config_ratio_bound12"] = series[-1][
+        "optimal_config_ratio"
     ]
 
 

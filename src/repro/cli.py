@@ -26,9 +26,11 @@ Commands
     Run the full litmus suite (and, with ``--case-studies``, the case
     studies) through the engine's parallel runner: one exploration per
     (test, model) pair, fanned out over ``--jobs`` worker processes.
-    ``--strategy`` selects the search order (bfs / dfs / iddfs) and
-    ``--reduction`` a partial-order reduction (DESIGN.md §9); the
-    verdicts are strategy-, reduction- and parallelism-independent.
+    ``--strategy`` selects the search order (bfs / dfs / iddfs),
+    ``--reduction`` a partial-order reduction (DESIGN.md §9; the
+    parsimonious ``optimal`` tier is §13) and ``--equivalence`` the
+    abstraction dpor/optimal key configurations by; the verdicts are
+    strategy-, reduction- and parallelism-independent.
 
 ``fuzz``
     Differential fuzzing (DESIGN.md §6): generate ``--iters`` random
@@ -54,10 +56,10 @@ Commands
     ``verify --file F.litmus --outline SPEC.py`` checks an ad-hoc
     program against an outline built in a Python spec file.
     ``--reduction sleep`` is verdict-preserving (sleep sets visit every
-    configuration); ``dpor`` prunes configurations — the very domain
-    the obligations quantify over — so the workbench falls back to the
-    unreduced search and says so.  Exit code 1 iff any obligation
-    failed.
+    configuration); ``dpor`` and ``optimal`` prune configurations — the
+    very domain the obligations quantify over — so the workbench falls
+    back to the unreduced search and says so.  Exit code 1 iff any
+    obligation failed.
 """
 
 from __future__ import annotations
@@ -125,14 +127,28 @@ def _profile_lines(configs: int, stats) -> List[str]:
     ]
 
 
+def _check_equivalence(args: argparse.Namespace) -> None:
+    """A non-default equivalence only means something to the keyed
+    reductions — fail up front instead of tracebacking in explore()."""
+    if args.equivalence != "shasha-snir" and args.reduction not in (
+        "dpor", "optimal",
+    ):
+        raise SystemExit(
+            f"--equivalence {args.equivalence} requires --reduction "
+            "dpor or optimal (the tiers that key visited configurations "
+            "— DESIGN.md §13)"
+        )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.lang.parser import run_parsed_litmus
 
+    _check_equivalence(args)
     parsed = _load(args.file)
     model = _model(args.model)
     reachable, result = run_parsed_litmus(
         parsed, model=model, max_events=args.max_events, strategy=args.strategy,
-        reduction=args.reduction,
+        reduction=args.reduction, equivalence=args.equivalence,
     )
     bound = " (bounded)" if result.truncated else ""
     outcome = (
@@ -169,6 +185,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         litmus_jobs,
     )
 
+    _check_equivalence(args)
     models = [m.strip().lower() for m in args.models.split(",")]
     for name in models:
         if name not in MODELS:
@@ -177,10 +194,13 @@ def cmd_suite(args: argparse.Namespace) -> int:
             )
     work = litmus_jobs(
         models=models, extra=args.extra, strategy=args.strategy,
-        reduction=args.reduction,
+        reduction=args.reduction, equivalence=args.equivalence,
     )
     if args.case_studies:
-        work += case_study_jobs(strategy=args.strategy, reduction=args.reduction)
+        work += case_study_jobs(
+            strategy=args.strategy, reduction=args.reduction,
+            equivalence=args.equivalence,
+        )
 
     runner = ParallelRunner(jobs=args.jobs)
     t0 = time.perf_counter()
@@ -213,8 +233,11 @@ def cmd_suite(args: argparse.Namespace) -> int:
     )
     candidates = totals["expanded"] + totals["pruned"]
     if args.reduction != "none" and candidates:
+        tier = args.reduction
+        if args.equivalence != "shasha-snir":
+            tier += f" equivalence={args.equivalence}"
         print(
-            f"reduction={args.reduction}: pruned {totals['pruned']}/{candidates} "
+            f"reduction={tier}: pruned {totals['pruned']}/{candidates} "
             f"thread-expansions ({100.0 * totals['pruned'] / candidates:.0f}%), "
             f"sleep-hits={totals['sleep_hits']} races={totals['races']} "
             f"revisits={totals['revisits']}"
@@ -223,6 +246,12 @@ def cmd_suite(args: argparse.Namespace) -> int:
         f"strategy={args.strategy} workers={args.jobs} "
         f"wall={wall:.2f}s (worker time {totals['worker_time']:.2f}s)"
     )
+    if totals["failures"]:
+        print(f"{totals['failures']} job(s) crashed in a worker:")
+        for r in results:
+            if r.failed:
+                last = r.detail.strip().splitlines()[-1] if r.detail else "?"
+                print(f"  ERROR {r.label}: {last}")
     if totals["mismatches"]:
         print(f"{totals['mismatches']} verdicts diverged from expectations")
         return 1
@@ -236,6 +265,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz.generator import PROFILES
     from repro.fuzz.runner import run_campaign
 
+    _check_equivalence(args)
     if args.profile not in PROFILES:
         raise SystemExit(
             f"unknown profile {args.profile!r}; choose from {sorted(PROFILES)}"
@@ -249,6 +279,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         axiomatic=not args.no_axiomatic,
         shrink=not args.no_shrink,
         reduction=args.reduction,
+        equivalence=args.equivalence,
         check_orders=args.check_orders,
         check_lowering=args.check_lowering,
     )
@@ -284,14 +315,15 @@ def _verify_reduction(args: argparse.Namespace) -> str:
     """Resolve ``--reduction`` for obligation discharge.
 
     Sleep sets visit every configuration the full search visits, so the
-    proof verdict is reduction-independent under ``sleep``.  DPOR prunes
-    configurations — the domain the obligations quantify over — so it
-    cannot discharge them; fall back loudly (DESIGN.md §10).
+    proof verdict is reduction-independent under ``sleep``.  DPOR and
+    the parsimonious tier prune configurations — the domain the
+    obligations quantify over — so they cannot discharge them; fall
+    back loudly (DESIGN.md §10).
     """
-    if args.reduction == "dpor":
+    if args.reduction in ("dpor", "optimal"):
         print(
-            "note: dpor prunes configurations, which proof obligations "
-            "quantify over; falling back to --reduction none "
+            f"note: {args.reduction} prunes configurations, which proof "
+            "obligations quantify over; falling back to --reduction none "
             "(sleep is the verdict-preserving tier — DESIGN.md §10)"
         )
         return "none"
@@ -542,6 +574,17 @@ def cmd_soundness(args: argparse.Namespace) -> int:
     return 0 if report.sound else 1
 
 
+def _add_equivalence_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--equivalence", default="shasha-snir",
+        choices=["shasha-snir", "reads-from"],
+        help="abstraction dpor/optimal key visited configurations by: "
+        "'shasha-snir' is the canonical per-location order key, "
+        "'reads-from' additionally quotients dead modification-order "
+        "runs (RA only — SRA keeps the canonical key; DESIGN.md §13)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -567,9 +610,12 @@ def build_parser() -> argparse.ArgumentParser:
         "checks) and spin-calibrated states/sec (DESIGN.md §12)",
     )
     run.add_argument(
-        "--reduction", default="none", choices=["none", "sleep", "dpor"],
-        help="partial-order reduction (outcome-identical, fewer configs)",
+        "--reduction", default="none",
+        choices=["none", "sleep", "dpor", "optimal"],
+        help="partial-order reduction (outcome-identical, fewer configs; "
+        "'optimal' is the parsimonious tier, DESIGN.md §13)",
     )
+    _add_equivalence_flag(run)
     run.set_defaults(func=cmd_run)
 
     suite = sub.add_parser(
@@ -590,10 +636,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the case-study checks (peterson, dekker, token ring)",
     )
     suite.add_argument(
-        "--reduction", default="none", choices=["none", "sleep", "dpor"],
+        "--reduction", default="none",
+        choices=["none", "sleep", "dpor", "optimal"],
         help="partial-order reduction applied in every job "
-        "(verdict-identical by design; see DESIGN.md §9)",
+        "(verdict-identical by design; see DESIGN.md §9 and §13)",
     )
+    _add_equivalence_flag(suite)
     suite.set_defaults(func=cmd_suite)
 
     fuzz = sub.add_parser(
@@ -612,10 +660,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="generator size/shape preset (default | small | wide)",
     )
     fuzz.add_argument(
-        "--reduction", default="dpor", choices=["none", "sleep", "dpor"],
+        "--reduction", default="dpor",
+        choices=["none", "sleep", "dpor", "optimal"],
         help="reduction the POR-parity oracle cross-validates against "
-        "the full search ('none' disables the oracle)",
+        "the full search ('none' disables the oracle; 'optimal' also "
+        "replays the dpor baseline tier)",
     )
+    _add_equivalence_flag(fuzz)
     fuzz.add_argument(
         "--check-orders", action="store_true",
         help="cross-check the compact (interned/bitset) derived orders "
@@ -684,9 +735,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="search order (verdict-neutral on uncapped runs)",
     )
     verify.add_argument(
-        "--reduction", default="none", choices=["none", "sleep", "dpor"],
+        "--reduction", default="none",
+        choices=["none", "sleep", "dpor", "optimal"],
         help="partial-order reduction; sleep is verdict-preserving for "
-        "obligations, dpor falls back to none (DESIGN.md §10)",
+        "obligations, dpor/optimal fall back to none (DESIGN.md §10)",
     )
     verify.add_argument(
         "--max-events", type=int, default=None,

@@ -129,7 +129,7 @@ class ExplorationResult(Generic[S]):
         if not self.violations:
             return None
         v = self.violations[0]
-        key = _key_of(v.config, self._model, self._canonicalize)
+        key = _key_of(v.config, self._model, self._canonicalize, self._equivalence)
         steps = self.trace_to(key)
         if v.step is not None:
             steps.append(v.step)
@@ -138,6 +138,9 @@ class ExplorationResult(Generic[S]):
     # Attached by `explore` so traces can be rebuilt.
     _model: Optional[MemoryModel[S]] = None
     _canonicalize: bool = True
+    #: the state equivalence the parent map was keyed under — trace
+    #: reconstruction must rekey violations with the same function
+    _equivalence: str = "shasha-snir"
 
 
 def _state_size(state) -> int:
@@ -152,11 +155,19 @@ def _state_size(state) -> int:
 
 
 def _key_of(
-    config: Configuration[S], model: MemoryModel[S], canonicalize: bool = True
+    config: Configuration[S],
+    model: MemoryModel[S],
+    canonicalize: bool = True,
+    equivalence: str = "shasha-snir",
 ) -> ConfigKey:
-    if canonicalize:
-        return (config.program, model.canonical_state_key(config.state))
-    return (config.program, config.state)
+    if not canonicalize:
+        return (config.program, config.state)
+    if equivalence == "reads-from":
+        from repro.engine.por.deps import pending_steps
+
+        live = pending_steps(config.program).keys()
+        return (config.program, model.reads_from_state_key(config.state, live))
+    return (config.program, model.canonical_state_key(config.state))
 
 
 def explore(
@@ -172,6 +183,7 @@ def explore(
     canonicalize: bool = True,
     strategy: str = "bfs",
     reduction: str = "none",
+    equivalence: str = "shasha-snir",
 ) -> ExplorationResult[S]:
     """Bounded exhaustive exploration from ``(P, σ_0)``.
 
@@ -208,10 +220,20 @@ def explore(
     *inductive* step property (one whose per-transition failures imply a
     failure on some kept transition along an explored path — proof
     outlines, DESIGN.md §10) reaches the same verdict; the hook is
-    therefore allowed.  ``"dpor"`` prunes configurations themselves, so
-    combining it with ``check_step`` raises ``ValueError``.
+    therefore allowed.  ``"dpor"``/``"optimal"`` prune configurations
+    themselves, so combining them with ``check_step`` raises
+    ``ValueError``.
+
+    ``equivalence`` selects the state abstraction the reducing
+    explorers key their prune store by (DESIGN.md §13):
+    ``"shasha-snir"`` (default, the canonical key) or ``"reads-from"``
+    (the observation quotient — states differing only in the ``mo`` of
+    dead writes merge).  Only ``"dpor"`` and ``"optimal"`` consult it;
+    the unreduced and sleep searches enumerate configurations
+    themselves, so a coarser key would change *what* they visit, and a
+    non-default equivalence raises ``ValueError`` there.
     """
-    from repro.engine.por import REDUCTIONS, explore_reduced
+    from repro.engine.por import EQUIVALENCES, REDUCTIONS, explore_reduced
     from repro.interp.compiled import maybe_lower
 
     # Compile once per run: every representation decision happens here,
@@ -225,6 +247,16 @@ def explore(
         raise ValueError(
             f"unknown reduction {reduction!r}; choose from {REDUCTIONS}"
         )
+    if equivalence not in EQUIVALENCES:
+        raise ValueError(
+            f"unknown equivalence {equivalence!r}; choose from {EQUIVALENCES}"
+        )
+    if equivalence != "shasha-snir" and reduction not in ("dpor", "optimal"):
+        raise ValueError(
+            f"equivalence {equivalence!r} only applies to the 'dpor' and "
+            f"'optimal' reductions; reduction={reduction!r} enumerates "
+            "configurations itself and must key them exactly"
+        )
     if reduction != "none":
         if check_step is not None and reduction != "sleep":
             raise ValueError(
@@ -232,10 +264,11 @@ def explore(
                 f"{reduction!r} reduction prunes configurations outright; "
                 "use reduction='sleep' (configuration-identical) or 'none'"
             )
+        kwargs_step = {}
         if check_step is not None:
-            kwargs_step = {"check_step": check_step}
-        else:
-            kwargs_step = {}
+            kwargs_step["check_step"] = check_step
+        if reduction in ("dpor", "optimal"):
+            kwargs_step["equivalence"] = equivalence
         return explore_reduced(
             program,
             init_values,

@@ -57,8 +57,12 @@ class SuiteJob:
     #: partial-order reduction applied by the worker's exploration
     #: (DESIGN.md §9); verdicts are reduction-independent by design.
     #: Verify jobs admit only the configuration-identical "sleep" tier
-    #: and fall back to "none" under "dpor" (DESIGN.md §10).
+    #: and fall back to "none" under "dpor"/"optimal" (DESIGN.md §10).
     reduction: str = "none"
+    #: state equivalence keying the reduction's visited store
+    #: (DESIGN.md §13); consulted only by "dpor"/"optimal" and reset to
+    #: the default whenever a job falls back to another tier.
+    equivalence: str = "shasha-snir"
 
     @property
     def label(self) -> str:
@@ -110,9 +114,14 @@ class SuiteJobResult:
     #: memory-model share of ``time_expand`` (lowered path only) —
     #: ``expand - model`` is the program-stepping cost lowering removes
     time_model: float = 0.0
+    #: the worker raised instead of reporting: ``detail`` carries the
+    #: traceback and the job counts as a mismatch, never as a pass
+    failed: bool = False
 
     @property
     def verdict_matches(self) -> bool:
+        if self.failed:
+            return False
         return (not self.pinned) or self.observed == self.expected
 
     def row(self) -> str:
@@ -129,6 +138,8 @@ class SuiteJobResult:
 
     @property
     def verdict(self) -> str:
+        if self.failed:
+            return "ERROR"
         if self.job.kind == "litmus":
             return "allowed" if self.observed else "forbidden"
         if self.job.kind == "fuzz":
@@ -143,6 +154,7 @@ def litmus_jobs(
     extra: bool = False,
     strategy: str = "bfs",
     reduction: str = "none",
+    equivalence: str = "shasha-snir",
 ) -> List[SuiteJob]:
     """One job per (litmus test, model) over the built-in suite."""
     from repro.litmus.extra import EXTRA_TESTS
@@ -152,18 +164,22 @@ def litmus_jobs(
     return [
         SuiteJob(
             kind="litmus", name=test.name, model=model, strategy=strategy,
-            reduction=reduction,
+            reduction=reduction, equivalence=equivalence,
         )
         for test in tests
         for model in models
     ]
 
 
-def case_study_jobs(strategy: str = "bfs", reduction: str = "none") -> List[SuiteJob]:
+def case_study_jobs(
+    strategy: str = "bfs",
+    reduction: str = "none",
+    equivalence: str = "shasha-snir",
+) -> List[SuiteJob]:
     """The case-study checks as suite jobs (RA model, modest bounds)."""
     return [
         SuiteJob(kind="case-study", name=name, strategy=strategy,
-                 reduction=reduction)
+                 reduction=reduction, equivalence=equivalence)
         for name in CASE_STUDIES
     ]
 
@@ -222,7 +238,7 @@ def _run_litmus_job(job: SuiteJob) -> SuiteJobResult:
     test = _litmus_by_name(job.name)
     outcome = run_litmus(
         test, model, max_configs=job.max_configs, strategy=job.strategy,
-        reduction=job.reduction,
+        reduction=job.reduction, equivalence=job.equivalence,
     )
     stats = outcome.result.stats
     return SuiteJobResult(
@@ -249,7 +265,8 @@ def _run_litmus_job(job: SuiteJob) -> SuiteJobResult:
 
 
 def _case_study_exploration(name: str, strategy: str, max_configs,
-                            reduction: str = "none"):
+                            reduction: str = "none",
+                            equivalence: str = "shasha-snir"):
     from repro.casestudies.dekker import (
         DEKKER_INIT,
         dekker_entry_program,
@@ -329,12 +346,14 @@ def _case_study_exploration(name: str, strategy: str, max_configs,
         check_config=check,
         strategy=strategy,
         reduction=reduction,
+        equivalence=equivalence,
     )
 
 
 def _run_case_study_job(job: SuiteJob) -> SuiteJobResult:
     result = _case_study_exploration(
-        job.name, job.strategy, job.max_configs, reduction=job.reduction
+        job.name, job.strategy, job.max_configs, reduction=job.reduction,
+        equivalence=job.equivalence,
     )
     return SuiteJobResult(
         job=job,
@@ -364,14 +383,16 @@ def _run_verify_job(job: SuiteJob) -> SuiteJobResult:
 
     The obligations quantify over every reachable transition, so only
     the configuration-identical ``"sleep"`` reduction is admissible;
-    ``"dpor"`` falls back to the unreduced search (DESIGN.md §10 — the
-    CLI prints the fallback note once, this keeps workers consistent
-    with it).
+    ``"dpor"`` and ``"optimal"`` fall back to the unreduced search
+    (DESIGN.md §10 — the CLI prints the fallback note once, this keeps
+    workers consistent with it).
     """
     from repro.verify.registry import PROOFS
 
     entry = PROOFS.get(job.name)
-    reduction = "none" if job.reduction == "dpor" else job.reduction
+    reduction = (
+        "none" if job.reduction in ("dpor", "optimal") else job.reduction
+    )
     report = entry.check(
         job.model, strategy=job.strategy, reduction=reduction,
         max_configs=job.max_configs,
@@ -428,6 +449,37 @@ def run_suite_job(job: SuiteJob) -> SuiteJobResult:
     return dataclasses.replace(result, wall_time=time.perf_counter() - t0)
 
 
+def _run_suite_job_safely(job: SuiteJob) -> SuiteJobResult:
+    """Worker entry point that never raises.
+
+    An exception escaping a pool worker would abort ``Pool.map`` and
+    lose every other job's verdict, so a crash is reported *as a
+    result*: a failed :class:`SuiteJobResult` carrying the traceback in
+    ``detail``.  It counts as a mismatch in every footer — a crashed
+    job must never read as a pass (or silently vanish)."""
+    import traceback
+
+    t0 = time.perf_counter()
+    try:
+        return run_suite_job(job)
+    except Exception:
+        return SuiteJobResult(
+            job=job,
+            observed=False,
+            expected=False,
+            pinned=True,
+            configs=0,
+            transitions=0,
+            terminal=0,
+            truncated=False,
+            wall_time=time.perf_counter() - t0,
+            key_hits=0,
+            key_misses=0,
+            detail=traceback.format_exc(),
+            failed=True,
+        )
+
+
 class ParallelRunner:
     """Run suite jobs across ``jobs`` worker processes.
 
@@ -444,10 +496,10 @@ class ParallelRunner:
         if not work:
             return []
         if self.jobs <= 1:
-            return [run_suite_job(job) for job in work]
+            return [_run_suite_job_safely(job) for job in work]
         processes = min(self.jobs, len(work))
         with multiprocessing.Pool(processes=processes) as pool:
-            return pool.map(run_suite_job, list(work))
+            return pool.map(_run_suite_job_safely, list(work))
 
     def aggregate(self, results: Sequence[SuiteJobResult]) -> dict:
         """Suite-level totals for the CLI footer.
@@ -473,6 +525,7 @@ class ParallelRunner:
         keyed = totals["key_hits"] + totals["key_misses"]
         totals["jobs"] = len(results)
         totals["mismatches"] = sum(1 for r in results if not r.verdict_matches)
+        totals["failures"] = sum(1 for r in results if r.failed)
         totals["key_rate"] = (totals["key_hits"] / keyed) if keyed else 0.0
         totals["worker_time"] = sum(r.wall_time for r in results)
         return totals

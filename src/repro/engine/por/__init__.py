@@ -1,8 +1,8 @@
-"""Partial-order reduction for the exploration engine (DESIGN.md §9).
+"""Partial-order reduction for the exploration engine (DESIGN.md §9, §13).
 
 The engine consults this package before expanding a configuration.
-Three reduction tiers, selected by ``explore(..., reduction=...)`` and
-``--reduction`` on the ``run`` / ``suite`` / ``fuzz`` CLI:
+Four reduction tiers, selected by ``explore(..., reduction=...)`` and
+``--reduction`` on the ``run`` / ``suite`` / ``fuzz`` / ``verify`` CLI:
 
 ``"none"``
     The unreduced graph search (:mod:`repro.engine.core`) — every
@@ -17,8 +17,15 @@ Three reduction tiers, selected by ``explore(..., reduction=...)`` and
     pruning — visits a subset of the configurations while preserving
     terminal outcome sets, control-observable violation verdicts and
     truncation flags.
+``"optimal"``
+    Parsimonious race-reversal DPOR (:mod:`.optimal`, DESIGN.md §13):
+    races are scheduled as minimal reversing *views* and replayed by
+    guided descent instead of single-initial backtracking — no wakeup
+    trees.  Accepts ``equivalence="reads-from"`` (as does ``"dpor"``)
+    to key the visited store by the observation quotient instead of the
+    full Shasha–Snir key.
 
-The dependency relation both reductions share lives in :mod:`.deps`;
+The dependency relation the reductions share lives in :mod:`.deps`;
 the per-model location footprints come from
 :meth:`repro.interp.memory_model.MemoryModel.step_footprint`.
 Soundness is continuously cross-checked against the unreduced search by
@@ -29,7 +36,9 @@ litmus/case-study parity suite (``tests/test_por_parity.py``).
 from __future__ import annotations
 
 from repro.engine.por.deps import (
+    EQUIVALENCES,
     REDUCTIONS,
+    RaceWitness,
     StepFootprint,
     conflicts,
     control_signature,
@@ -37,26 +46,33 @@ from repro.engine.por.deps import (
     step_footprint,
 )
 from repro.engine.por.dpor import explore_dpor
+from repro.engine.por.optimal import explore_optimal
 from repro.engine.por.sleep import explore_sleep
 
 
 def explore_reduced(program, init_values, model, reduction, **kwargs):
-    """Dispatch a reduced exploration (``reduction`` in ``"sleep"``/``"dpor"``)."""
+    """Dispatch a reduced exploration (``reduction`` in
+    ``"sleep"``/``"dpor"``/``"optimal"``)."""
     if reduction == "sleep":
         return explore_sleep(program, init_values, model, **kwargs)
     if reduction == "dpor":
         return explore_dpor(program, init_values, model, **kwargs)
+    if reduction == "optimal":
+        return explore_optimal(program, init_values, model, **kwargs)
     raise ValueError(
         f"unknown reduction {reduction!r}; choose from {REDUCTIONS}"
     )
 
 
 __all__ = [
+    "EQUIVALENCES",
     "REDUCTIONS",
+    "RaceWitness",
     "StepFootprint",
     "conflicts",
     "control_signature",
     "explore_dpor",
+    "explore_optimal",
     "explore_reduced",
     "explore_sleep",
     "step_changes_control",

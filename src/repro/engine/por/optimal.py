@@ -1,48 +1,48 @@
-"""Source-set-style dynamic partial-order reduction (``"dpor"``).
+"""Parsimonious race-reversal DPOR (``"optimal"``, DESIGN.md §13).
 
-A depth-first exploration in the Flanagan–Godefroid / Abdulla et al.
-mould, thread-granular (each thread has exactly one pending step, so
-choosing a thread chooses its step and only the memory model branches
-below it):
+The ``"dpor"`` tier (:mod:`.dpor`) schedules each detected race by
+inserting a *single initial* of the reversing witness into an
+ancestor's backtrack set; from there the reversal is re-discovered step
+by step, with every fresh node seeding an arbitrary awake thread and
+relying on sleep sets and the visited store to cut the wandering short.
+This tier follows "Parsimonious Optimal Dynamic Partial Order
+Reduction" (Jonsson et al., arXiv 2405.11128) instead: a race is
+scheduled as its full minimal reversing sequence — a *view* — and the
+re-exploration *descends the view*, executing exactly the witness steps
+in order until the reversal is realised.  Intermediate nodes explore
+only the guided direction (plus whatever later races insert at them),
+so the detour between reversal and rejoining the visited state space is
+as short as the witness itself — the effect wakeup trees buy in
+classical optimal DPOR, without maintaining trees:
 
-* **Race detection** — every executed step carries a vector clock (the
-  join of its thread's history with the clocks of the conflicting
-  accesses it extends).  On *entering* a configuration, the pending
-  step of **every** thread — picked for exploration or not — is
-  compared against the *last* conflicting accesses on the current path
-  (last write per location read, last write plus per-thread last reads
-  per location written, last visible step when control visibility is
-  on); any such access not already happens-before the thread is a race.
-* **Backtrack-point insertion** — for each race with an earlier step
-  ``e``, the *source-set* rule (Abdulla et al.) schedules the reversal
-  at the configuration ``e`` was executed from: unless an initial of
-  the reversing witness is already in that backtrack set, one initial
-  is inserted, preferring an awake one.  (Inserting the racing thread
-  itself — the plain Flanagan–Godefroid rule — is incomplete under
-  sleep sets: it can be asleep at the ancestor while another initial
-  of the same witness is awake.)
-* **Sleep sets** — a fully explored thread sleeps for its later
-  siblings and wakes on the first conflicting step, so no Mazurkiewicz
-  trace is explored twice.
+* **Views, not wakeup trees** — a view is an ordinary tuple of thread
+  ids (:class:`~repro.engine.por.deps.RaceWitness`), dead after one
+  descent.  Wakeup trees exist to *persist* minimal sequences across
+  sleep-set blocking inside a stateless search; here the stateful
+  visited store (canonical keys × sleep-set antichains, inherited from
+  :mod:`.dpor`) already remembers every explored subtree, so a blocked
+  view can simply be dropped — its trace is covered — and nothing needs
+  grafting (DESIGN.md §13).
+* **At most one scheduled view per head** — a view is only inserted
+  when no initial of its witness is already among the node's done,
+  active or scheduled heads (the same source-set skip rule as
+  ``"dpor"``), so ``pending`` holds at most one view per thread and
+  cannot grow beyond the thread count.
+* **Equivalence-parameterised keying** — the visited store can key by
+  the canonical (Shasha–Snir) key or by the *reads-from* quotient
+  (``equivalence="reads-from"``): configurations that agree on events,
+  ``rf`` and covered writes but order dead writes differently in ``mo``
+  merge, shrinking ``configs`` further (DESIGN.md §13; the per-model
+  key hooks keep the knob verdict-preserving — SRA falls back to the
+  exact key).
 
-Unlike classical stateless DPOR this search is *stateful*: a
-configuration re-reached with a sleep set that includes a recorded one
-is pruned (the same inclusion discipline as :mod:`.sleep`).  Pruning
-against a previously explored subtree can hide races between that
-subtree's steps and the *current* path, so every such hit triggers a
-conservative fallback: all nodes on the current spine are fully
-expanded (backtrack := enabled, sleep cleared).  Under the RA/SRA
-event semantics states embed their whole history, so inequivalent
-interleavings rarely collapse to one canonical key and the fallback
-stays rare; under SC it fires often and DPOR degrades toward the full
-search — sound, just not profitable there.
-
-What the reduction preserves (and tests/fuzzing enforce): terminal
-configurations and their outcome sets, violation verdicts of
-``check_config`` hooks over control observables (visibility makes
-pc-changing steps pairwise dependent), the truncation flags, and
-``configs`` can only shrink.  Memory-reading per-state hooks need the
-``"sleep"`` tier or no reduction (DESIGN.md §9).
+Race detection (vector clocks at node entry), sleep-set inheritance
+with conflict wake, the visited-prune access-summary compensation and
+the cycle fallback are shared with :mod:`.dpor` — see its module
+docstring for those invariants.  What the reduction preserves is the
+same contract, enforced by the same parity tests and fuzz oracle:
+terminal outcome sets, control-observable violation verdicts,
+truncation flags; only ``configs`` may shrink.
 """
 
 from __future__ import annotations
@@ -64,8 +64,11 @@ from typing import (
 from repro.engine.core import ExplorationResult, Violation, _key_of, _state_size
 from repro.engine.keys import KEY_CACHE
 from repro.engine.por.deps import StepFootprint, conflicts, pending_steps, step_footprint
+from repro.engine.por.dpor import _candidates
 
 Clock = Dict[int, int]  # tid -> highest path index happens-before
+
+View = Tuple[int, ...]
 
 
 class _Abort(Exception):
@@ -74,14 +77,17 @@ class _Abort(Exception):
 
 @dataclass
 class _Node:
-    """One configuration on the DFS spine, with its DPOR bookkeeping."""
+    """One configuration on the DFS spine, with its view bookkeeping."""
 
     config: object
     key: Hashable
     steps: Dict[int, object]  # tid -> PendingStep
     fps: Dict[int, StepFootprint]
     enabled: Tuple[int, ...]
-    backtrack: Set[int]
+    #: scheduled reversing sequences, at most one per head thread;
+    #: sleep-blocked views are retained (a compensation pass may clear
+    #: the sleep set while the node is still on the spine)
+    pending: List[View]
     done: Set[int] = field(default_factory=set)
     #: tid -> footprint it went to sleep with (inherited + done siblings)
     sleep: Dict[int, StepFootprint] = field(default_factory=dict)
@@ -95,7 +101,10 @@ class _Node:
     active_fp: Optional[StepFootprint] = None
     active_steps: List = field(default_factory=list)
     active_idx: int = 0
-    active_ctx: Optional[tuple] = None  # (thread_clock', last_write', last_reads', last_visible')
+    active_ctx: Optional[tuple] = None  # (step_clock, thread_clock', lw', lr', lv')
+    #: the rest of the view being descended: children seed their
+    #: pending with it, so the reversal replays without wandering
+    active_guide: View = ()
     #: tid -> last conflicting path accesses of its pending step,
     #: computed once at node entry (the tables are node-fixed)
     cands: Dict[int, Set[Tuple[int, int]]] = field(default_factory=dict)
@@ -108,30 +117,26 @@ class _Node:
     #: against this key must fall back to whole-spine expansion
     sub_universal: bool = False
 
+    def scheduled_heads(self) -> Set[int]:
+        """Threads whose exploration from here is done, running or booked."""
+        heads = set(self.done)
+        if self.active_tid is not None:
+            heads.add(self.active_tid)
+        heads.update(w[0] for w in self.pending)
+        return heads
 
-def _candidates(
-    last_write: Dict[str, Tuple[int, int]],
-    last_reads: Dict[str, Dict[int, int]],
-    last_visible: Optional[Tuple[int, int]],
-    tid: int,
-    fp: StepFootprint,
-) -> Set[Tuple[int, int]]:
-    """Last conflicting accesses on the path, as ``(index, tid)`` pairs."""
-    out: Set[Tuple[int, int]] = set()
-    for var in fp.reads | fp.writes:
-        last = last_write.get(var)
-        if last is not None and last[1] != tid:
-            out.add(last)
-    for var in fp.writes:
-        for reader, idx in last_reads.get(var, {}).items():
-            if reader != tid:
-                out.add((idx, reader))
-    if fp.visible and last_visible is not None and last_visible[1] != tid:
-        out.add(last_visible)
-    return out
+    def expand_fully(self) -> None:
+        """Conservative fallback: schedule every enabled thread and wake
+        the sleepers (the whole-node analogue of ``backtrack :=
+        enabled; sleep := ∅`` in :mod:`.dpor`)."""
+        self.sleep.clear()
+        heads = self.scheduled_heads()
+        for t in self.enabled:
+            if t not in heads:
+                self.pending.append((t,))
 
 
-def explore_dpor(
+def explore_optimal(
     program,
     init_values: Mapping,
     model,
@@ -144,19 +149,12 @@ def explore_dpor(
     strategy: str = "bfs",
     equivalence: str = "shasha-snir",
 ) -> ExplorationResult:
-    """Stateful source-set DPOR from ``(P, σ_0)``.
+    """Parsimonious view-guided DPOR from ``(P, σ_0)``.
 
-    The traversal is inherently depth-first (race detection needs the
-    current path); ``strategy`` is recorded in the stats but does not
-    choose a frontier.  ``configs`` counts *distinct* configurations
-    visited, so it is directly comparable with — and never exceeds —
-    the unreduced count.
-
-    ``equivalence`` selects the key the visited store deduplicates by:
-    ``"shasha-snir"`` (canonical, exact) or ``"reads-from"`` (the
-    observation quotient of DESIGN.md §13 — configurations differing
-    only in the ``mo`` of dead writes merge, so ``configs`` may shrink
-    further; the per-model key hooks keep it verdict-preserving).
+    The traversal is inherently depth-first; ``strategy`` is recorded
+    in the stats but does not choose a frontier.  ``configs`` counts
+    distinct configuration keys, so under ``equivalence="reads-from"``
+    it additionally shrinks by the dead-write quotient.
     """
     from repro.c11.compact import ORDER_TIMER
     from repro.interp.memory_model import MODEL_TIMER
@@ -170,7 +168,7 @@ def explore_dpor(
     result._equivalence = equivalence
     stats = result.stats
     stats.strategy = strategy
-    stats.reduction = "dpor"
+    stats.reduction = "optimal"
     stats.equivalence = equivalence
     track_control = check_config is not None
 
@@ -216,21 +214,25 @@ def explore_dpor(
         if config.is_terminated():
             result.terminal.append(config)
 
-    def _insert_backtrack(idx: int, tid: int, fp: StepFootprint, own: Clock) -> None:
-        """Schedule the reversal of a race at ``stack[idx]`` — the
-        source-set insertion rule (Abdulla et al.).
+    def _insert_view(idx: int, tid: int, fp: StepFootprint, own: Clock) -> None:
+        """Schedule the *minimal reversing sequence* of a race at
+        ``stack[idx]`` — the parsimonious insertion rule.
 
-        The witness of the reversed race is ``v`` — the path steps after
-        ``idx`` that do not happen-after the raced step, followed by
-        ``tid``'s pending step.  Any *initial* of ``v`` (a thread whose
-        first step in ``v`` has no happens-before predecessor inside it)
-        starts an equivalent suffix, so if one is already scheduled at
-        the ancestor nothing needs inserting; otherwise one initial is
-        added — an awake one when possible.  Inserting only ``tid``
-        (the Flanagan–Godefroid rule) is incomplete under sleep sets:
-        ``tid`` may be sleeping at the ancestor, covered there only by
-        traces that cannot realise this reversal, while another initial
-        is wide awake.
+        The witness ``v`` is the path suffix that does not happen-after
+        the raced step, and the view is its thread sequence followed by
+        ``tid`` — replaying it from the ancestor executes the race the
+        other way around with no detour.  ``v`` is program-order closed
+        per thread (a step happens-after everything its own thread did),
+        so the view's head is the pending step of ``v``'s first thread
+        *at the ancestor* and the whole sequence replays thread-granularly.
+
+        The source-set skip rule carries over verbatim: when an initial
+        of the witness is already done, active or scheduled at the
+        ancestor, that subtree realises an equivalent reversal (or
+        re-detects the residual race deeper) and nothing is inserted —
+        this is what bounds ``pending`` to one view per head.  When the
+        view's head is asleep, guidance is abandoned for a plain awake
+        initial exactly as ``"dpor"`` would insert one.
         """
         target = stack[idx]
         raced_tid = edges[idx][0]
@@ -253,17 +255,22 @@ def explore_dpor(
             initials.add(tid)
         if not initials:  # defensive: tid is initial whenever v is empty
             initials.add(tid)
-        if target.backtrack & initials:
-            return  # an equivalent reversal is already scheduled
+        if target.scheduled_heads() & initials:
+            return  # an equivalent reversal is already booked
         enabled_inits = sorted(q for q in initials if q in target.enabled)
         if not enabled_inits:  # bound-blocked at the ancestor: defensive
-            target.backtrack.update(target.enabled)
+            target.expand_fully()
+            return
+        view: View = tuple(edges[j][0] for j in v) + (tid,)
+        head = view[0]
+        if head in target.enabled and head not in target.sleep:
+            target.pending.append(view)
             return
         awake = [q for q in enabled_inits if q not in target.sleep]
-        target.backtrack.add(awake[0] if awake else enabled_inits[0])
+        target.pending.append((awake[0],) if awake else (enabled_inits[0],))
 
     def make_node(config, key, sleep, thread_clock, last_write, last_reads,
-                  last_visible) -> Optional[_Node]:
+                  last_visible, guide: View) -> Optional[_Node]:
         """Book a configuration in; return its node, or ``None`` for leaves."""
         visit(config, key)
         expanded.setdefault(key, []).append(frozenset(sleep))
@@ -288,9 +295,7 @@ def explore_dpor(
                 result.truncated = True
         # Race analysis at node entry, for *every* pending step — picked
         # or not: a thread this branch never runs must still get its
-        # reversals scheduled at the ancestors.  Bound-blocked steps are
-        # analysed too; they are enabled at every ancestor (event counts
-        # only grow along a path).
+        # reversals scheduled at the ancestors (see .dpor).
         for tid in sorted(steps):
             fp = fps[tid]
             cand = _candidates(last_write, last_reads, last_visible, tid, fp)
@@ -299,14 +304,28 @@ def explore_dpor(
             for idx, other in cand:
                 if idx > own.get(other, -1):  # concurrent conflict: a race
                     stats.races += 1
-                    _insert_backtrack(idx, tid, fp, own)
+                    _insert_view(idx, tid, fp, own)
         if not enabled:
             return None
-        first_awake = next((t for t in enabled if t not in sleep), None)
-        backtrack = set() if first_awake is None else {first_awake}
+        # Seed the node's schedule.  Mid-descent the guide continues the
+        # reversing view; a guide blocked by the bound falls back to
+        # full expansion (every enabled thread), a guide blocked by
+        # sleep is covered and degrades to the plain one-awake-thread
+        # seed of .dpor.  Fresh unguided nodes seed one awake thread.
+        pending: List[View] = []
+        if guide:
+            head = guide[0]
+            if head in enabled and head not in sleep:
+                pending.append(guide)
+            elif head in steps and head not in enabled:
+                pending.extend((t,) for t in enabled)
+        if not pending:
+            first_awake = next((t for t in enabled if t not in sleep), None)
+            if first_awake is not None:
+                pending.append((first_awake,))
         return _Node(
             config=config, key=key, steps=steps, fps=fps,
-            enabled=tuple(enabled), backtrack=backtrack, sleep=dict(sleep),
+            enabled=tuple(enabled), pending=pending, sleep=dict(sleep),
             thread_clock=thread_clock, last_write=last_write,
             last_reads=last_reads, last_visible=last_visible, cands=cands,
         )
@@ -317,7 +336,7 @@ def explore_dpor(
         stats.time_keys += clock() - t0
         result.parents[init_key] = (None, None)
 
-        root = make_node(initial, init_key, {}, {}, {}, {}, None)
+        root = make_node(initial, init_key, {}, {}, {}, {}, None, ())
         if root is not None:
             stack.append(root)
             on_stack[init_key] = 1
@@ -328,18 +347,23 @@ def explore_dpor(
             depth = len(stack) - 1
 
             if node.active_tid is None:
-                pick = next(
-                    (t for t in node.enabled
-                     if t in node.backtrack and t not in node.done
-                     and t not in node.sleep),
-                    None,
-                )
-                if pick is None:
-                    blocked = sum(
-                        1 for t in node.enabled
-                        if t in node.backtrack and t not in node.done
-                    )
-                    stats.sleep_hits += blocked
+                # Pick the next runnable view: done-headed views are
+                # spent (their head's subtree covers the reversal),
+                # sleep-blocked views are retained for a possible wake.
+                pick_view: Optional[View] = None
+                i = 0
+                while i < len(node.pending):
+                    head = node.pending[i][0]
+                    if head in node.done or head not in node.steps:
+                        node.pending.pop(i)
+                        continue
+                    if head not in node.enabled or head in node.sleep:
+                        i += 1  # blocked; keep for a compensation wake
+                        continue
+                    pick_view = node.pending.pop(i)
+                    break
+                if pick_view is None:
+                    stats.sleep_hits += len(node.pending)
                     stats.pruned += sum(
                         1 for t in node.enabled if t not in node.done
                     )
@@ -365,12 +389,11 @@ def explore_dpor(
                         )
                     continue
 
+                pick = pick_view[0]
                 fp = node.fps[pick]
-                # Races were already detected (and backtrack points
-                # inserted) at node entry.  The step's clock: program
-                # order joined with every conflicting access it extends
-                # (racing or not — once executed here it is ordered
-                # after all of them).
+                # Races were already detected (and views inserted) at
+                # node entry.  The step's clock: program order joined
+                # with every conflicting access it extends.
                 step_clock: Clock = dict(node.thread_clock.get(pick, {}))
                 step_clock[pick] = depth
                 for idx, _other in node.cands[pick]:
@@ -393,6 +416,7 @@ def explore_dpor(
 
                 node.active_tid = pick
                 node.active_fp = fp
+                node.active_guide = pick_view[1:]
                 node.active_ctx = (step_clock, thread_clock, last_write,
                                    last_reads, last_visible)
                 t0 = clock()
@@ -413,6 +437,7 @@ def explore_dpor(
                 node.active_fp = None
                 node.active_steps = []
                 node.active_ctx = None
+                node.active_guide = ()
                 continue
 
             step = node.active_steps[node.active_idx]
@@ -437,26 +462,19 @@ def explore_dpor(
                 stats.revisits += 1
                 # Pruning against an explored subtree can hide races
                 # between *its* steps and the current path.  Compensate
-                # with the subtree's recorded access summary: every
-                # spine node whose outgoing edge conflicts with it is
-                # fully expanded.  A terminal child has no subtree,
-                # hence no hidden races — no compensation at all.
+                # with the subtree's recorded access summary, exactly
+                # as in .dpor (see there for the cycle fallback).
                 node.sub_reads |= fp.reads
                 node.sub_writes |= fp.writes
                 node.sub_visible = node.sub_visible or fp.visible
                 summary = summaries.get(child_key)
                 if not step.target.is_terminated():
                     if on_stack.get(child_key) or summary is None or summary[3]:
-                        # A cycle (or a summary poisoned by one): the
-                        # pruned subtree is still being explored and its
-                        # summary is incomplete — expand the whole spine
-                        # and poison everything inside the cycle.
                         cut = max(
                             i for i, m in enumerate(stack) if m.key == child_key
                         ) if on_stack.get(child_key) else -1
                         for i, spine in enumerate(stack):
-                            spine.backtrack.update(spine.enabled)
-                            spine.sleep.clear()
+                            spine.expand_fully()
                             if i > cut >= 0:
                                 spine.sub_universal = True
                         node.sub_universal = True
@@ -465,29 +483,41 @@ def explore_dpor(
                         node.sub_reads |= sub_r
                         node.sub_writes |= sub_w
                         node.sub_visible = node.sub_visible or sub_vis
-                        _c_clock, _c_tclock, lw, lr, lv = node.active_ctx
-                        hits = set()
+                        _c_clock, c_tclock, lw, lr, lv = node.active_ctx
+                        # Candidate path accesses that touch a summary
+                        # variable, as (path index, acting tid) pairs.
+                        pairs = set()
                         for var in sub_w:
                             last = lw.get(var)
                             if last is not None:
-                                hits.add(last[0])
-                            for _reader, i in lr.get(var, {}).items():
-                                hits.add(i)
+                                pairs.add(last)
+                            for reader, i in lr.get(var, {}).items():
+                                pairs.add((i, reader))
                         for var in sub_r:
                             last = lw.get(var)
                             if last is not None:
-                                hits.add(last[0])
+                                pairs.add(last)
                         if sub_vis and lv is not None:
-                            hits.add(lv[0])
-                        for i in hits:
-                            spine = stack[i]
-                            spine.backtrack.update(spine.enabled)
-                            spine.sleep.clear()
+                            pairs.add(lv)
+                        # Parsimonious filter: every step of the pruned
+                        # subtree is performed by a thread live at the
+                        # pruned child and happens-after that thread's
+                        # vector clock there, so a path access whose
+                        # index is inside *every* live thread's clock is
+                        # happens-before the whole subtree and cannot
+                        # race with it — its node needs no compensation.
+                        clocks = [
+                            c_tclock.get(t, {})
+                            for t in pending_steps(step.target.program)
+                        ]
+                        for idx, atid in pairs:
+                            if any(c.get(atid, -1) < idx for c in clocks):
+                                stack[idx].expand_fully()
                 continue
             edges.append((tid, fp, step_clock))
             child = make_node(
                 step.target, child_key, child_sleep, thread_clock,
-                last_write, last_reads, last_visible,
+                last_write, last_reads, last_visible, node.active_guide,
             )
             if child is None:
                 edges.pop()
@@ -513,4 +543,4 @@ def explore_dpor(
     return result
 
 
-__all__ = ["explore_dpor"]
+__all__ = ["explore_optimal"]

@@ -20,8 +20,12 @@ class EngineStats:
     """Counters and phase timings of one exploration run."""
 
     strategy: str = "bfs"
-    #: Which partial-order reduction ran ("none" | "sleep" | "dpor").
+    #: Which partial-order reduction ran
+    #: ("none" | "sleep" | "dpor" | "optimal").
     reduction: str = "none"
+    #: Which state equivalence keyed the visited store
+    #: ("shasha-snir" | "reads-from"); only "dpor"/"optimal" consult it.
+    equivalence: str = "shasha-snir"
     #: Largest number of configurations ever waiting in the frontier
     #: (for the DPOR depth-first traversal: the peak spine depth).
     peak_frontier: int = 0
@@ -119,4 +123,6 @@ class EngineStats:
                 f"sleep-hits={self.sleep_hits} races={self.races} "
                 f"revisits={self.revisits}"
             )
+            if self.equivalence != "shasha-snir":
+                line += f" equivalence={self.equivalence}"
         return line

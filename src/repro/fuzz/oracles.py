@@ -276,6 +276,7 @@ def check_program(
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
     models: Optional[Dict[str, Callable[[], MemoryModel]]] = None,
     reduction: str = "dpor",
+    equivalence: str = "shasha-snir",
     check_orders: bool = False,
     check_lowering: bool = False,
 ) -> OracleReport:
@@ -283,11 +284,15 @@ def check_program(
 
     ``reduction`` selects which partial-order reduction the POR-parity
     oracle cross-validates against the full search (``"none"`` disables
-    the oracle).  ``check_orders`` additionally replays the compact
-    derived-order self-check over every distinct RA-reachable state
-    (DESIGN.md §11).  ``check_lowering`` replays the program under each
-    model with the lowered IR on and off and diffs the full step
-    streams (DESIGN.md §12).
+    the oracle); ``"optimal"`` additionally replays ``"dpor"``, so the
+    parsimonious explorer (DESIGN.md §13) is diffed against both the
+    unreduced search *and* the source-set baseline in one run.
+    ``equivalence`` keys the reduced runs' visited stores (consulted by
+    ``"dpor"``/``"optimal"`` only).  ``check_orders`` additionally
+    replays the compact derived-order self-check over every distinct
+    RA-reachable state (DESIGN.md §11).  ``check_lowering`` replays the
+    program under each model with the lowered IR on and off and diffs
+    the full step streams (DESIGN.md §12).
     """
     models = models if models is not None else ORACLE_MODELS
     report = OracleReport(case)
@@ -419,59 +424,80 @@ def check_program(
                 report.detail = failure
                 return report
 
-    # 4. POR parity: the reduced search must be outcome-identical
+    # 4. POR parity: the reduced search must be outcome-identical.
+    # "optimal" replays "dpor" too — both tiers are diffed against the
+    # full search (and hence transitively against each other); the
+    # baseline runs under the default equivalence so a broken quotient
+    # key cannot mask itself.
     if reduction != "none":
-        try:
-            reduced = explore(
-                case.program, case.init, models["ra"](),
-                max_events=max_events, max_configs=max_configs,
-                reduction=reduction,
-            )
-        except Exception as exc:  # noqa: BLE001 — a crash IS a finding
-            report.divergence = "crash"
-            report.detail = (
-                f"ra exploration under reduction={reduction} raised "
-                f"{type(exc).__name__}: {exc}"
-            )
-            return report
-        report.configs += reduced.configs
-        report.transitions += reduced.transitions
-        report.key_hits += reduced.stats.key_hits
-        report.key_misses += reduced.stats.key_misses
-        report.time_orders += reduced.stats.time_orders
-        report.time_expand += reduced.stats.time_expand
-        report.time_model += reduced.stats.time_model
-        report.expanded += reduced.stats.expanded
-        report.pruned += reduced.stats.pruned
-        report.sleep_hits += reduced.stats.sleep_hits
-        report.races += reduced.stats.races
-        report.revisits += reduced.stats.revisits
-        reduced_outcomes = _outcome_set(reduced.terminal)
-        if reduced_outcomes != report.outcomes["ra"]:
-            missing = report.outcomes["ra"] - reduced_outcomes
-            extra = reduced_outcomes - report.outcomes["ra"]
-            witness = _format_outcome(sorted(missing or extra)[0])
-            report.divergence = "por-parity"
-            report.detail = (
-                f"reduction={reduction}: outcome {witness} "
-                f"{'lost' if missing else 'invented'} by the reduced "
-                f"search ({len(missing)} missing, {len(extra)} extra)"
-            )
-            return report
-        if reduced.truncated != ra_full.truncated:
-            report.divergence = "por-parity"
-            report.detail = (
-                f"reduction={reduction}: truncation flag diverged "
-                f"({reduced.truncated} vs {ra_full.truncated})"
-            )
-            return report
-        if reduced.configs > ra_full.configs:
-            report.divergence = "por-parity"
-            report.detail = (
-                f"reduction={reduction}: visited {reduced.configs} distinct "
-                f"configurations, more than the full search's {ra_full.configs}"
-            )
-            return report
+        tiers = [(reduction, equivalence)]
+        if reduction == "optimal":
+            tiers.insert(0, ("dpor", "shasha-snir"))
+        for tier, tier_equivalence in tiers:
+            label = f"reduction={tier}"
+            if tier_equivalence != "shasha-snir":
+                label += f" equivalence={tier_equivalence}"
+            try:
+                reduced = explore(
+                    case.program, case.init, models["ra"](),
+                    max_events=max_events, max_configs=max_configs,
+                    reduction=tier, equivalence=tier_equivalence,
+                )
+            except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+                report.divergence = "crash"
+                report.detail = (
+                    f"ra exploration under {label} raised "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                return report
+            report.configs += reduced.configs
+            report.transitions += reduced.transitions
+            report.key_hits += reduced.stats.key_hits
+            report.key_misses += reduced.stats.key_misses
+            report.time_orders += reduced.stats.time_orders
+            report.time_expand += reduced.stats.time_expand
+            report.time_model += reduced.stats.time_model
+            report.expanded += reduced.stats.expanded
+            report.pruned += reduced.stats.pruned
+            report.sleep_hits += reduced.stats.sleep_hits
+            report.races += reduced.stats.races
+            report.revisits += reduced.stats.revisits
+            if reduced.capped:
+                # The reduced search hit the safety cap: its outcome set
+                # is incomplete, so neither green nor a divergence
+                # verdict would be honest.
+                report.inconclusive = True
+                report.detail = (
+                    f"{label}: exploration hit the config cap; no verdict"
+                )
+                return report
+            reduced_outcomes = _outcome_set(reduced.terminal)
+            if reduced_outcomes != report.outcomes["ra"]:
+                missing = report.outcomes["ra"] - reduced_outcomes
+                extra = reduced_outcomes - report.outcomes["ra"]
+                witness = _format_outcome(sorted(missing or extra)[0])
+                report.divergence = "por-parity"
+                report.detail = (
+                    f"{label}: outcome {witness} "
+                    f"{'lost' if missing else 'invented'} by the reduced "
+                    f"search ({len(missing)} missing, {len(extra)} extra)"
+                )
+                return report
+            if reduced.truncated != ra_full.truncated:
+                report.divergence = "por-parity"
+                report.detail = (
+                    f"{label}: truncation flag diverged "
+                    f"({reduced.truncated} vs {ra_full.truncated})"
+                )
+                return report
+            if reduced.configs > ra_full.configs:
+                report.divergence = "por-parity"
+                report.detail = (
+                    f"{label}: visited {reduced.configs} distinct "
+                    f"configurations, more than the full search's "
+                    f"{ra_full.configs}"
+                )
+                return report
 
     return report
 

@@ -36,8 +36,11 @@ class FuzzJob:
     shrink: bool = True
     strategy: str = "bfs"  # unused; parity with SuiteJob's interface
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS
-    #: reduction the POR-parity oracle checks ("none" disables it)
+    #: reduction the POR-parity oracle checks ("none" disables it;
+    #: "optimal" also replays "dpor" — DESIGN.md §13)
     reduction: str = "dpor"
+    #: state equivalence keying the reduced runs' visited stores
+    equivalence: str = "shasha-snir"
     #: cross-check compact vs definitional derived orders per state
     #: (the "orders" oracle, DESIGN.md §11)
     check_orders: bool = False
@@ -78,8 +81,8 @@ class DivergenceRecord:
 def _check(job: FuzzJob, case: GeneratedCase) -> OracleReport:
     return check_program(
         case, axiomatic=job.axiomatic, max_configs=job.max_configs,
-        reduction=job.reduction, check_orders=job.check_orders,
-        check_lowering=job.check_lowering,
+        reduction=job.reduction, equivalence=job.equivalence,
+        check_orders=job.check_orders, check_lowering=job.check_lowering,
     )
 
 
@@ -238,6 +241,7 @@ def fuzz_jobs(
     shrink: bool = True,
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
     reduction: str = "dpor",
+    equivalence: str = "shasha-snir",
     check_orders: bool = False,
     check_lowering: bool = False,
 ) -> List[FuzzJob]:
@@ -264,6 +268,7 @@ def fuzz_jobs(
             shrink=shrink,
             max_configs=max_configs,
             reduction=reduction,
+            equivalence=equivalence,
             check_orders=check_orders,
             check_lowering=check_lowering,
         )
@@ -280,6 +285,7 @@ def run_campaign(
     shrink: bool = True,
     max_configs: Optional[int] = DEFAULT_MAX_CONFIGS,
     reduction: str = "dpor",
+    equivalence: str = "shasha-snir",
     check_orders: bool = False,
     check_lowering: bool = False,
 ) -> CampaignReport:
@@ -289,12 +295,32 @@ def run_campaign(
     work = fuzz_jobs(
         seed, iters, profile=profile, jobs=jobs, axiomatic=axiomatic,
         shrink=shrink, max_configs=max_configs, reduction=reduction,
-        check_orders=check_orders, check_lowering=check_lowering,
+        equivalence=equivalence, check_orders=check_orders,
+        check_lowering=check_lowering,
     )
     results = ParallelRunner(jobs=jobs).run(work)
     report = CampaignReport(seed=seed, iters=iters, profile=profile)
     seen_spaces = set()
     for result in results:
+        if result.failed:
+            # The worker raised instead of reporting (its ``detail`` is
+            # a traceback, not a JSON payload): surface the crash as a
+            # campaign divergence so the run can never read as green.
+            report.divergences.append(
+                DivergenceRecord(
+                    name=result.job.label,
+                    kind="worker-crash",
+                    detail=result.detail,
+                    seed=result.job.seed,
+                    index=result.job.start,
+                    profile=result.job.profile,
+                    original="",
+                    shrunk="",
+                    shrunk_threads=0,
+                    shrink_attempts=0,
+                )
+            )
+            continue
         payload = json.loads(result.detail)
         report.inconclusive += payload["inconclusive"]
         for data in payload["divergences"]:

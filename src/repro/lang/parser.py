@@ -476,7 +476,7 @@ def parse_litmus(text: str) -> ParsedLitmus:
 
 
 def run_parsed_litmus(parsed: ParsedLitmus, model=None, max_events=None, strategy="bfs",
-                      reduction="none"):
+                      reduction="none", equivalence="shasha-snir"):
     """Convenience: decide the parsed test's outcome reachability."""
     from repro.interp.explore import explore
     from repro.interp.ra_model import RAMemoryModel
@@ -485,7 +485,7 @@ def run_parsed_litmus(parsed: ParsedLitmus, model=None, max_events=None, strateg
     model = model if model is not None else RAMemoryModel()
     result = explore(
         parsed.program, parsed.init, model, max_events=max_events,
-        strategy=strategy, reduction=reduction,
+        strategy=strategy, reduction=reduction, equivalence=equivalence,
     )
     # Files without an exists/forbidden clause (e.g. fuzz-corpus
     # reproducers) are pure explorations: nothing to be reachable.

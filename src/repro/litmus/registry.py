@@ -93,13 +93,15 @@ def run_litmus(
     max_configs: Optional[int] = None,
     strategy: str = "bfs",
     reduction: str = "none",
+    equivalence: str = "shasha-snir",
 ) -> LitmusOutcome:
     """Decide reachability of the test's outcome under ``model``.
 
-    ``reduction`` selects a partial-order reduction (DESIGN.md §9);
-    litmus verdicts are outcome-set properties of the terminal states,
-    which every reduction preserves — the POR parity suite and CI job
-    assert exactly this, verdict for verdict.
+    ``reduction`` selects a partial-order reduction (DESIGN.md §9) and
+    ``equivalence`` the state abstraction keying its visited store
+    (DESIGN.md §13); litmus verdicts are outcome-set properties of the
+    terminal states, which every reduction preserves — the POR parity
+    suite and CI job assert exactly this, verdict for verdict.
     """
     model = model if model is not None else RAMemoryModel()
     result = explore(
@@ -110,6 +112,7 @@ def run_litmus(
         max_configs=max_configs,
         strategy=strategy,
         reduction=reduction,
+        equivalence=equivalence,
     )
     reachable = any(
         test.outcome(final_values(config)) for config in result.terminal

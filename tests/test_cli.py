@@ -222,6 +222,65 @@ def test_suite_reduction_matches_unreduced_verdicts(capsys):
     assert "diverged" not in reduced_out
 
 
+def test_run_with_optimal_reduction(sb_file, capsys):
+    assert main([
+        "run", sb_file, "--reduction", "optimal",
+        "--equivalence", "reads-from", "--stats",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "reduction=optimal" in out
+    assert "equivalence=reads-from" in out
+    assert "verdict: OK" in out
+
+
+def test_equivalence_without_keyed_reduction_is_rejected(sb_file):
+    with pytest.raises(SystemExit, match="requires --reduction"):
+        main(["run", sb_file, "--equivalence", "reads-from"])
+    with pytest.raises(SystemExit, match="requires --reduction"):
+        main(["suite", "--equivalence", "reads-from"])
+    with pytest.raises(SystemExit, match="requires --reduction"):
+        main(["fuzz", "--reduction", "sleep", "--equivalence", "reads-from"])
+
+
+def test_suite_with_optimal_reduction_footer(capsys):
+    assert main([
+        "suite", "--reduction", "optimal", "--equivalence", "reads-from",
+        "--case-studies",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "reduction=optimal equivalence=reads-from: pruned" in out
+    assert "diverged" not in out
+
+
+def test_suite_crashed_job_renders_error_footer(capsys, monkeypatch):
+    """A worker crash must surface in the suite output — an ERROR row,
+    a crash footer, and exit code 1 — with the footer still rendering
+    (no zero-division on the crashed job's zeroed stats)."""
+    import repro.engine.parallel as parallel
+
+    real = parallel.run_suite_job
+
+    def crashy(job):
+        if job.name == "SB":
+            raise RuntimeError("injected worker crash")
+        return real(job)
+
+    monkeypatch.setattr(parallel, "run_suite_job", crashy)
+    assert main(["suite", "--models", "ra"]) == 1
+    out = capsys.readouterr().out
+    assert "ERROR" in out
+    assert "job(s) crashed in a worker:" in out
+    assert "injected worker crash" in out
+    assert "phase split: expand=" in out  # footer still rendered
+
+
+def test_verify_optimal_falls_back(capsys):
+    assert main(["verify", "spinlock-tas", "--reduction", "optimal"]) == 0
+    out = capsys.readouterr().out
+    assert "falling back to --reduction none" in out
+    assert "OK" in out
+
+
 def test_run_with_profile_footer(sb_file, capsys):
     assert main(["run", sb_file, "--profile"]) == 0
     out = capsys.readouterr().out

@@ -255,6 +255,50 @@ def test_case_study_jobs_verdict_parity_under_reduction():
         assert reduced.configs <= plain.configs
 
 
+def test_worker_crash_surfaces_as_failed_result():
+    """A job that raises in a worker must come back as a failed result
+    with the traceback in ``detail`` — never abort the run, never pass
+    (satellite: crash surfacing)."""
+    good = SuiteJob(kind="litmus", name="SB", model="ra")
+    bad = SuiteJob(kind="litmus", name="no-such-test", model="ra")
+    runner = ParallelRunner(jobs=1)
+    results = runner.run([good, bad])
+    assert not results[0].failed and results[0].verdict_matches
+    crashed = results[1]
+    assert crashed.failed
+    assert crashed.verdict == "ERROR"
+    assert not crashed.verdict_matches
+    assert "Traceback" in crashed.detail
+    assert "no-such-test" in crashed.detail
+    assert "MISMATCH" in crashed.row()
+    totals = runner.aggregate(results)
+    assert totals["failures"] == 1
+    assert totals["mismatches"] == 1
+
+
+def test_worker_crash_surfaces_in_pool_path_too():
+    """The pool path must survive a crashing job and still return every
+    other job's verdict in submission order."""
+    work = [
+        SuiteJob(kind="litmus", name="SB", model="ra"),
+        SuiteJob(kind="litmus", name="no-such-test", model="ra"),
+        SuiteJob(kind="litmus", name="MP+rel-acq", model="sc"),
+    ]
+    results = ParallelRunner(jobs=2).run(work)
+    assert [r.failed for r in results] == [False, True, False]
+    assert results[0].verdict_matches and results[2].verdict_matches
+
+
+def test_aggregate_with_no_results_has_no_zero_division():
+    """Footer guards (satellite): an empty result set aggregates to
+    zeros — ``key_rate`` and friends must not divide by zero."""
+    totals = ParallelRunner(jobs=1).aggregate([])
+    assert totals["jobs"] == 0
+    assert totals["key_rate"] == 0.0
+    assert totals["mismatches"] == 0
+    assert totals["failures"] == 0
+
+
 def test_aggregate_surfaces_reduction_counters():
     """The aggregator sums every integer stat field generically — the
     reduction counters show up instead of being silently dropped."""

@@ -98,3 +98,23 @@ def test_axiomatic_divergence_reported_once_and_unshrunk(monkeypatch):
     assert record.kind == "axiomatic"
     assert record.shrunk == record.original
     assert record.shrink_attempts == 0
+
+
+def test_worker_crash_becomes_campaign_divergence(monkeypatch):
+    """A fuzz worker that raises must surface as a ``worker-crash``
+    divergence record carrying the traceback — the campaign can never
+    read as green past a crashed chunk."""
+    import repro.fuzz.runner as runner_mod
+
+    def boom(seed, index, profile):
+        raise RuntimeError("injected fuzz worker crash")
+
+    monkeypatch.setattr(runner_mod, "generate_case", boom)
+    report = run_campaign(
+        seed=0, iters=2, jobs=1, axiomatic=False, shrink=False,
+    )
+    assert not report.ok
+    assert {r.kind for r in report.divergences} == {"worker-crash"}
+    record = report.divergences[0]
+    assert "injected fuzz worker crash" in record.detail
+    assert "Traceback" in record.detail

@@ -1,9 +1,11 @@
 """POR parity: reduced exploration must be outcome-identical to full.
 
-The subsystem's contract (DESIGN.md §9), checked wholesale: the entire
-litmus registry under every model, all four case studies, and a slice
-of generated fuzz programs, each explored with ``reduction="none"``,
-``"sleep"`` and ``"dpor"`` — verdict for verdict, outcome set for
+The subsystem's contract (DESIGN.md §9, §13), checked wholesale: the
+entire litmus registry under every model, every case study, and a slice
+of generated fuzz programs, each explored with every reduction tier —
+``"sleep"``, ``"dpor"`` and the parsimonious ``"optimal"``, the keyed
+tiers under both the canonical Shasha–Snir abstraction and the
+``"reads-from"`` quotient — verdict for verdict, outcome set for
 outcome set, truncation flag for truncation flag.  CI runs this file as
 the POR parity smoke job.
 """
@@ -24,6 +26,16 @@ from repro.litmus.suite import ALL_TESTS
 MODELS = {"ra": RAMemoryModel, "sra": SRAMemoryModel, "sc": SCMemoryModel}
 REGISTRY = list(ALL_TESTS) + list(EXTRA_TESTS)
 
+#: Every reduction tier the engine ships, with the equivalence knob
+#: exercised on the tiers that key a visited store (DESIGN.md §13).
+TIERS = [
+    pytest.param("sleep", "shasha-snir", id="sleep"),
+    pytest.param("dpor", "shasha-snir", id="dpor"),
+    pytest.param("dpor", "reads-from", id="dpor-rf"),
+    pytest.param("optimal", "shasha-snir", id="optimal"),
+    pytest.param("optimal", "reads-from", id="optimal-rf"),
+]
+
 
 def outcome_set(result):
     return frozenset(
@@ -32,12 +44,15 @@ def outcome_set(result):
 
 
 @pytest.mark.parametrize("model_name", sorted(MODELS))
-@pytest.mark.parametrize("reduction", ["sleep", "dpor"])
-def test_litmus_registry_verdict_parity(model_name, reduction):
+@pytest.mark.parametrize("reduction,equivalence", TIERS)
+def test_litmus_registry_verdict_parity(model_name, reduction, equivalence):
     """Every registry test, verdict for verdict, under one model."""
     for test in REGISTRY:
         full = run_litmus(test, MODELS[model_name]())
-        reduced = run_litmus(test, MODELS[model_name](), reduction=reduction)
+        reduced = run_litmus(
+            test, MODELS[model_name](), reduction=reduction,
+            equivalence=equivalence,
+        )
         assert reduced.reachable == full.reachable, (
             f"{test.name} [{model_name}] verdict diverged under {reduction}"
         )
@@ -53,10 +68,12 @@ def test_litmus_registry_verdict_parity(model_name, reduction):
 
 
 @pytest.mark.parametrize("name", sorted(CASE_STUDIES))
-@pytest.mark.parametrize("reduction", ["sleep", "dpor"])
-def test_case_study_verdict_parity(name, reduction):
+@pytest.mark.parametrize("reduction,equivalence", TIERS)
+def test_case_study_verdict_parity(name, reduction, equivalence):
     full = _case_study_exploration(name, "bfs", None)
-    reduced = _case_study_exploration(name, "bfs", None, reduction=reduction)
+    reduced = _case_study_exploration(
+        name, "bfs", None, reduction=reduction, equivalence=equivalence,
+    )
     assert full.ok == reduced.ok
     assert full.truncated == reduced.truncated
     assert reduced.configs <= full.configs
@@ -67,7 +84,8 @@ def test_case_study_verdict_parity(name, reduction):
 @pytest.mark.parametrize("profile", ["default", "small"])
 def test_fuzz_sample_outcome_parity(profile):
     """Generated programs: outcome sets identical under every model and
-    both reductions (a slice of what `repro fuzz` checks campaign-wide)."""
+    every reduction tier (a slice of what `repro fuzz` checks
+    campaign-wide)."""
     for index in range(12):
         case = generate_case(0, index, PROFILES[profile])
         bound = case.events_hint + 1
@@ -78,14 +96,21 @@ def test_fuzz_sample_outcome_parity(profile):
             )
             if full.truncated:
                 continue
-            for reduction in ("sleep", "dpor"):
+            for reduction, equivalence in (
+                ("sleep", "shasha-snir"),
+                ("dpor", "shasha-snir"),
+                ("dpor", "reads-from"),
+                ("optimal", "shasha-snir"),
+                ("optimal", "reads-from"),
+            ):
                 reduced = explore(
                     case.program, case.init, factory(),
                     max_events=bound, max_configs=50_000, reduction=reduction,
+                    equivalence=equivalence,
                 )
                 assert outcome_set(reduced) == outcome_set(full), (
                     f"case {profile}#{index} [{model_name}] diverged "
-                    f"under {reduction}"
+                    f"under {reduction}/{equivalence}"
                 )
                 assert reduced.configs <= full.configs
                 if reduction == "sleep":
@@ -119,3 +144,115 @@ def test_fuzz_oracle_catches_a_broken_reduction(monkeypatch):
     report = check_program(case, axiomatic=False, reduction="dpor")
     assert report.divergence == "por-parity"
     assert "lost" in report.detail
+
+
+def test_optimal_strictly_beats_dpor_on_peterson():
+    """The acceptance bar of DESIGN.md §13: the parsimonious explorer
+    visits strictly fewer configurations than source-set DPOR on
+    Peterson at bound 12 with identical outcomes."""
+    from repro.casestudies.peterson import PETERSON_INIT, peterson_program
+
+    results = {}
+    for reduction in ("none", "dpor", "optimal"):
+        results[reduction] = explore(
+            peterson_program(once=True), PETERSON_INIT, RAMemoryModel(),
+            max_events=12, reduction=reduction,
+        )
+    assert outcome_set(results["optimal"]) == outcome_set(results["none"])
+    assert results["optimal"].configs < results["dpor"].configs
+
+
+def test_fuzz_oracle_catches_a_broken_equivalence(monkeypatch):
+    """Plant a reads-from key that collapses distinct states; the
+    reduced search then prunes live configurations and loses outcomes,
+    which the parity oracle must flag — the canary that a quotient
+    abstraction cannot silently become unsound."""
+    from repro.interp.ra_model import RAMemoryModel as RA
+
+    monkeypatch.setattr(
+        RA, "reads_from_state_key", lambda self, state, live_tids: ("rf", 0)
+    )
+    case = generate_case(0, 3, PROFILES["default"])
+    report = check_program(
+        case, axiomatic=False, reduction="optimal", equivalence="reads-from",
+    )
+    assert report.divergence == "por-parity", report.detail
+    assert "equivalence=reads-from" in report.detail
+
+
+def test_fuzz_oracle_reports_capped_reduced_run_inconclusive(monkeypatch):
+    """A reduced search that hits the config cap has an incomplete
+    outcome set: the oracle must say *inconclusive*, never green."""
+    from repro.engine import por
+
+    real = por.explore_reduced
+
+    def capped(program, init_values, model, reduction, **kwargs):
+        result = real(program, init_values, model, reduction, **kwargs)
+        result.capped = True
+        result.truncated = True
+        return result
+
+    monkeypatch.setattr(por, "explore_reduced", capped)
+    case = generate_case(0, 3, PROFILES["default"])
+    report = check_program(case, axiomatic=False, reduction="dpor")
+    assert report.inconclusive
+    assert report.divergence is None
+    assert "config cap" in report.detail
+
+
+@pytest.mark.parametrize("reduction", ["none", "sleep", "dpor", "optimal"])
+def test_capped_run_sets_both_flags_on_every_explorer(reduction):
+    """Satellite contract: every explorer sets ``truncated`` *and*
+    ``capped`` on the max-configs exit path, so downstream consumers
+    (the parity oracle, the suite footer) can tell a bounded run from a
+    complete one."""
+    from repro.casestudies.peterson import PETERSON_INIT, peterson_program
+
+    result = explore(
+        peterson_program(once=True), PETERSON_INIT, RAMemoryModel(),
+        max_events=12, max_configs=15, reduction=reduction,
+    )
+    assert result.capped and result.truncated
+    assert result.configs <= 16
+
+
+def test_optimal_counterexample_replays_unreduced():
+    """A violation found by the parsimonious explorer must replay as a
+    valid unreduced trace (same contract DPOR honours)."""
+    from repro.casestudies.peterson import (
+        PETERSON_INIT,
+        mutual_exclusion_violations,
+        peterson_relaxed_turn,
+    )
+    from repro.interp.interpreter import (
+        configuration_successors,
+        initial_configuration,
+    )
+
+    model = RAMemoryModel()
+    result = explore(
+        peterson_relaxed_turn(once=True), PETERSON_INIT, model,
+        max_events=10, check_config=mutual_exclusion_violations,
+        reduction="optimal",
+    )
+    assert not result.ok
+    trace = result.counterexample()
+    assert trace, "violation must come with a trace"
+    cursor = initial_configuration(
+        peterson_relaxed_turn(once=True), PETERSON_INIT, model
+    )
+    for step in trace:
+        candidates = list(configuration_successors(cursor, model))
+        matches = [
+            s for s in candidates
+            if s.tid == step.tid
+            and s.event == step.event
+            and s.read_value == step.read_value
+            and s.target.program == step.target.program
+            and model.canonical_state_key(s.target.state)
+            == model.canonical_state_key(step.target.state)
+        ]
+        assert matches, f"trace step {step} not reproducible unreduced"
+        cursor = matches[0].target
+    assert mutual_exclusion_violations(cursor)
