@@ -94,6 +94,89 @@ def _load(path: str):
         return parse_litmus(handle.read())
 
 
+#: Ledger payload of the command that just ran: handlers stash their
+#: footer-level stats (and seed) here; ``main`` appends the record
+#: (DESIGN.md §14) so every exiting path — including SystemExit — is
+#: ledgered consistently in one place.
+_RUN_SUMMARY: dict = {}
+
+
+def _note_stats(**stats) -> None:
+    """Record footer stats for the run ledger and ``--metrics`` export."""
+    _RUN_SUMMARY.update(
+        {k: v for k, v in stats.items() if v is not None}
+    )
+
+
+def _rate_line(configs: int, seconds: float) -> str:
+    """Derived throughput, spin-calibrated when the calibrator works:
+    states/sec alone depends on the machine; states per million spin
+    iterations is comparable across machines (DESIGN.md §12)."""
+    rate = configs / seconds if seconds else 0.0
+    try:
+        from repro.engine.calibrate import per_mspin, spin_score
+
+        score = spin_score()
+        return (
+            f"throughput: {rate:,.0f} states/sec = "
+            f"{per_mspin(rate, score):,.0f} states/Mspin "
+            f"(spin {score / 1e6:.1f}M ops/s)"
+        )
+    except Exception:  # noqa: BLE001 - calibration is best-effort
+        return f"throughput: {rate:,.0f} states/sec"
+
+
+def _activate_obs(args: argparse.Namespace) -> bool:
+    """Turn on the trace bus / progress env for this process tree.
+
+    ``--trace`` both enables the in-process tracer and exports
+    ``REPRO_TRACE`` so pool workers trace too, whether they inherit the
+    live tracer (fork) or re-resolve the environment (spawn).  All
+    records land in one O_APPEND file; lines interleave atomically.
+    Returns whether tracing was enabled (so the dispatcher can undo it
+    — ``main`` is also called in-process by tests).
+    """
+    import os
+
+    if not getattr(args, "trace", None):
+        return False
+    from repro.obs import trace as obs_trace
+
+    os.environ["REPRO_TRACE"] = args.trace
+    if args.trace_sample is not None:
+        os.environ["REPRO_TRACE_SAMPLE"] = str(args.trace_sample)
+    obs_trace.enable(args.trace, sample=args.trace_sample)
+    return True
+
+
+def _deactivate_obs() -> None:
+    import os
+
+    from repro.obs import trace as obs_trace
+
+    obs_trace.disable()
+    os.environ.pop("REPRO_TRACE", None)
+    os.environ.pop("REPRO_TRACE_SAMPLE", None)
+
+
+def _export_metrics(args: argparse.Namespace) -> None:
+    if getattr(args, "metrics", None):
+        from repro.obs.metrics import METRICS, export_to
+
+        METRICS.record_totals("cli", _RUN_SUMMARY)
+        fmt = export_to(args.metrics)
+        print(f"wrote {args.metrics} ({fmt} metrics)")
+
+
+def _heartbeat(args: argparse.Namespace, total: int, label: str):
+    """The ``--progress`` callback for ParallelRunner.run, or ``None``."""
+    if not getattr(args, "progress", False):
+        return None
+    from repro.obs.progress import Heartbeat
+
+    return Heartbeat(total, label=label, force=True)
+
+
 def _profile_lines(configs: int, stats) -> List[str]:
     """The ``--profile`` / suite footer: phase split + calibrated rate.
 
@@ -163,6 +246,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     if args.stats:
         print("engine:", result.stats.summary())
+        print(_rate_line(result.configs, result.stats.time_total))
     if args.profile:
         for line in _profile_lines(result.configs, result.stats):
             print(line)
@@ -173,6 +257,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         ok = True
     print("verdict:", "OK" if ok else "UNEXPECTED")
+    _note_stats(
+        configs=result.configs,
+        transitions=result.transitions,
+        terminal=len(result.terminal),
+        truncated=result.truncated,
+        time_total=result.stats.time_total,
+        peak_frontier=result.stats.peak_frontier,
+        races=result.stats.races,
+    )
     return 0 if ok else 1
 
 
@@ -203,9 +296,12 @@ def cmd_suite(args: argparse.Namespace) -> int:
         )
 
     runner = ParallelRunner(jobs=args.jobs)
+    heartbeat = _heartbeat(args, len(work), "suite")
     t0 = time.perf_counter()
-    results = runner.run(work)
+    results = runner.run(work, progress=heartbeat)
     wall = time.perf_counter() - t0
+    if heartbeat is not None:
+        heartbeat.finish()
 
     for r in results:
         print(r.row())
@@ -215,7 +311,8 @@ def cmd_suite(args: argparse.Namespace) -> int:
         f"{totals['jobs']} jobs, {totals['configs']} configurations, "
         f"{totals['transitions']} transitions; "
         f"key-cache hit rate {100.0 * totals['key_rate']:.0f}%; "
-        f"order derivation {totals['time_orders']:.2f}s"
+        f"order derivation {totals['time_orders']:.2f}s; "
+        f"peak frontier {totals['peak_frontier']}"
     )
     from repro.engine.calibrate import per_mspin, spin_score
 
@@ -246,6 +343,16 @@ def cmd_suite(args: argparse.Namespace) -> int:
         f"strategy={args.strategy} workers={args.jobs} "
         f"wall={wall:.2f}s (worker time {totals['worker_time']:.2f}s)"
     )
+    _note_stats(
+        configs=totals["configs"],
+        transitions=totals["transitions"],
+        jobs=totals["jobs"],
+        mismatches=totals["mismatches"],
+        failures=totals["failures"],
+        peak_frontier=totals["peak_frontier"],
+        worker_time=totals["worker_time"],
+        wall=wall,
+    )
     if totals["failures"]:
         print(f"{totals['failures']} job(s) crashed in a worker:")
         for r in results:
@@ -270,6 +377,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown profile {args.profile!r}; choose from {sorted(PROFILES)}"
         )
+    from repro.fuzz.runner import fuzz_jobs
+
+    n_jobs = len(fuzz_jobs(args.seed, args.iters, profile=args.profile,
+                           jobs=args.jobs))
+    heartbeat = _heartbeat(args, n_jobs, "fuzz")
     t0 = time.perf_counter()
     report = run_campaign(
         seed=args.seed,
@@ -282,8 +394,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         equivalence=args.equivalence,
         check_orders=args.check_orders,
         check_lowering=args.check_lowering,
+        progress=heartbeat,
     )
     wall = time.perf_counter() - t0
+    if heartbeat is not None:
+        heartbeat.finish()
 
     for record in report.divergences:
         print(f"DIVERGENCE [{record.kind}] case #{record.index}: {record.detail}")
@@ -299,6 +414,16 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"    {line}")
     print(report.summary())
     print(f"wall={wall:.2f}s workers={args.jobs}")
+    _note_stats(
+        seed=args.seed,
+        iters=args.iters,
+        configs=report.configs,
+        transitions=report.transitions,
+        divergences=len(report.divergences),
+        inconclusive=report.inconclusive,
+        peak_frontier=report.peak_frontier,
+        wall=wall,
+    )
     if report.divergences and not args.no_save:
         paths = save_campaign(args.corpus_dir, report.divergences)
         for path in paths:
@@ -403,6 +528,13 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 outline, report,
             )
             failed += not report.proved
+            _note_stats(
+                configs=_RUN_SUMMARY.get("configs", 0) + report.configs,
+                obligations=_RUN_SUMMARY.get("obligations", 0)
+                + report.obligations_discharged,
+                failed_obligations=_RUN_SUMMARY.get("failed_obligations", 0)
+                + len(report.failures),
+            )
     return 1 if failed else 0
 
 
@@ -421,9 +553,12 @@ def _verify_all(args: argparse.Namespace, reduction: str) -> int:
     if not work:
         raise SystemExit("no registered outline matches the requested models")
     runner = ParallelRunner(jobs=args.jobs)
+    heartbeat = _heartbeat(args, len(work), "verify")
     t0 = time.perf_counter()
-    results = runner.run(work)
+    results = runner.run(work, progress=heartbeat)
     wall = time.perf_counter() - t0
+    if heartbeat is not None:
+        heartbeat.finish()
 
     for r in results:
         print(r.row())
@@ -439,6 +574,14 @@ def _verify_all(args: argparse.Namespace, reduction: str) -> int:
     print(
         f"strategy={args.strategy} reduction={reduction} workers={args.jobs} "
         f"wall={wall:.2f}s (worker time {totals['worker_time']:.2f}s)"
+    )
+    _note_stats(
+        configs=totals["configs"],
+        obligations=totals["obligations"],
+        failed_obligations=totals["failed_obligations"],
+        jobs=totals["jobs"],
+        peak_frontier=totals["peak_frontier"],
+        wall=wall,
     )
     if totals["mismatches"]:
         for r in results:
@@ -560,6 +703,62 @@ def cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a JSONL trace file (and optionally export Chrome
+    trace-event JSON for Perfetto / chrome://tracing)."""
+    import json
+
+    from repro.obs.summarize import format_summary, summarize, write_chrome
+    from repro.obs.trace import parse_trace
+
+    try:
+        records = parse_trace(args.file)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if not records:
+        print(f"{args.file}: empty trace")
+        return 1
+    summary = summarize(records, top=args.top)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"trace {args.file}:")
+        for line in format_summary(summary):
+            print(f"  {line}")
+    if args.chrome:
+        count = write_chrome(records, args.chrome)
+        print(f"wrote {args.chrome} ({count} Chrome trace events)")
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Inspect the run ledger (``.repro/runs.jsonl``, DESIGN.md §14)."""
+    from repro.obs.ledger import diff_records, format_list, read_ledger
+
+    records = read_ledger(args.ledger)
+    if not records:
+        target = args.ledger or "the ledger"
+        print(f"no runs recorded in {target}")
+        return 1
+    if args.action == "list":
+        for line in format_list(records, limit=args.limit):
+            print(line)
+        return 0
+    # diff: indices count from the end (-1 = newest); default last two
+    old_idx = args.old if args.old is not None else -2
+    new_idx = args.new if args.new is not None else -1
+    try:
+        old, new = records[old_idx], records[new_idx]
+    except IndexError:
+        raise SystemExit(
+            f"ledger has {len(records)} record(s); indices {old_idx} and "
+            f"{new_idx} do not both exist"
+        )
+    for line in diff_records(old, new):
+        print(line)
+    return 0
+
+
 def cmd_soundness(args: argparse.Namespace) -> int:
     from repro.checking.soundness import check_soundness
 
@@ -572,6 +771,32 @@ def cmd_soundness(args: argparse.Namespace) -> int:
     )
     print(report.row())
     return 0 if report.sound else 1
+
+
+def _add_obs_flags(sub: argparse.ArgumentParser, progress: bool = False) -> None:
+    """The observability knobs shared by run/suite/fuzz/verify."""
+    sub.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append JSONL trace records (runs, spans, races, views, "
+        "prunes, jobs) to PATH; workers inherit via REPRO_TRACE; "
+        "summarize with 'repro trace PATH' (DESIGN.md §14)",
+    )
+    sub.add_argument(
+        "--trace-sample", type=int, default=None, metavar="N",
+        help="keep 1-in-N of the high-frequency node/prune records "
+        "(default 16; structural records are never sampled)",
+    )
+    sub.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="export the metrics registry after the run: JSON, or "
+        "Prometheus text when PATH ends in .prom",
+    )
+    if progress:
+        sub.add_argument(
+            "--progress", action="store_true",
+            help="render a live heartbeat line on stderr (jobs done, "
+            "states/sec, ETA, worker lag) as results stream back",
+        )
 
 
 def _add_equivalence_flag(sub: argparse.ArgumentParser) -> None:
@@ -616,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'optimal' is the parsimonious tier, DESIGN.md §13)",
     )
     _add_equivalence_flag(run)
+    _add_obs_flags(run)
     run.set_defaults(func=cmd_run)
 
     suite = sub.add_parser(
@@ -642,6 +868,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(verdict-identical by design; see DESIGN.md §9 and §13)",
     )
     _add_equivalence_flag(suite)
+    _add_obs_flags(suite, progress=True)
     suite.set_defaults(func=cmd_suite)
 
     fuzz = sub.add_parser(
@@ -696,6 +923,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--corpus-dir", default="tests/fuzz_corpus",
         help="where reproducers are persisted (default: tests/fuzz_corpus)",
     )
+    _add_obs_flags(fuzz, progress=True)
     fuzz.set_defaults(func=cmd_fuzz)
 
     verify = sub.add_parser(
@@ -748,7 +976,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-configs", type=int, default=None,
         help="hard cap on explored configurations",
     )
+    _add_obs_flags(verify, progress=True)
     verify.set_defaults(func=cmd_verify)
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize a JSONL trace file (phase breakdown, hot "
+        "programs, race/prune hotspots; optional Perfetto export)",
+    )
+    trace.add_argument("file", help="trace file written by --trace")
+    trace.add_argument(
+        "--top", type=int, default=5,
+        help="how many hot programs / hotspots to show (default 5)",
+    )
+    trace.add_argument(
+        "--chrome", default=None, metavar="OUT",
+        help="also export Chrome trace-event JSON (open in Perfetto "
+        "or chrome://tracing)",
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="print the summary as JSON instead of the human report",
+    )
+    trace.set_defaults(func=cmd_trace)
+
+    runs = sub.add_parser(
+        "runs",
+        help="inspect the run ledger (.repro/runs.jsonl; every "
+        "run/suite/fuzz/verify appends a record)",
+    )
+    runs.add_argument(
+        "action", choices=["list", "diff"],
+        help="'list' recent records; 'diff' two records' stats",
+    )
+    runs.add_argument(
+        "old", nargs="?", type=int, default=None,
+        help="diff: index of the older record (negative counts from "
+        "the end; default -2)",
+    )
+    runs.add_argument(
+        "new", nargs="?", type=int, default=None,
+        help="diff: index of the newer record (default -1, the latest)",
+    )
+    runs.add_argument(
+        "--ledger", default=None,
+        help="ledger path (default: .repro/runs.jsonl or REPRO_LEDGER)",
+    )
+    runs.add_argument(
+        "--limit", type=int, default=20,
+        help="list: show at most this many records (newest last)",
+    )
+    runs.set_defaults(func=cmd_runs)
 
     table = sub.add_parser("table", help="print the litmus verdict table")
     table.add_argument("--models", default="ra,sc", help="comma list of models")
@@ -770,10 +1048,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+#: Commands whose invocations are appended to the run ledger.
+_LEDGERED = ("run", "suite", "fuzz", "verify")
+
+
+def _dispatch(argv: Optional[List[str]] = None) -> int:
+    """Parse, activate observability, run the command, ledger it."""
+    import time
+
     args = build_parser().parse_args(argv)
+    _RUN_SUMMARY.clear()
+    traced = _activate_obs(args)
+    t0 = time.perf_counter()
     try:
-        return args.func(args)
+        try:
+            code = args.func(args)
+        except BrokenPipeError:
+            raise
+        except SystemExit as exc:
+            _ledger(args, argv, "error", time.perf_counter() - t0)
+            raise exc
+    finally:
+        if traced:
+            _deactivate_obs()
+    _ledger(
+        args, argv, "ok" if code == 0 else "fail", time.perf_counter() - t0
+    )
+    _export_metrics(args)
+    return code
+
+
+def _ledger(args, argv: Optional[List[str]], verdict: str,
+            wall: float) -> None:
+    if getattr(args, "command", None) not in _LEDGERED:
+        return
+    from repro.obs.ledger import append_record
+
+    append_record(
+        args.command,
+        verdict=verdict,
+        wall=wall,
+        stats=dict(_RUN_SUMMARY),
+        seed=_RUN_SUMMARY.get("seed", getattr(args, "seed", None)),
+        argv=list(argv) if argv is not None else None,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(argv)
     except BrokenPipeError:
         # The stdout reader went away (`repro table | head`): finish
         # quietly instead of tracebacking.  Redirect stdout to devnull

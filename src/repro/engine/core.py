@@ -372,6 +372,7 @@ def _explore_once(
     from repro.interp.memory_model import MODEL_TIMER
     from repro.interp.config import Configuration
     from repro.interp.interpreter import successor_list
+    from repro.obs.trace import tracer
 
     initial = Configuration(program, model.initial(init_values))
     result: ExplorationResult[S] = ExplorationResult(initial)
@@ -379,6 +380,16 @@ def _explore_once(
     result._canonicalize = canonicalize
     stats = result.stats
     stats.strategy = strategy
+
+    tr = tracer()
+    run = (
+        tr.run_start(
+            program, getattr(model, "name", type(model).__name__),
+            strategy, "none", max_events,
+        )
+        if tr is not None
+        else None
+    )
 
     clock = time.perf_counter
     t_run = clock()
@@ -409,6 +420,13 @@ def _explore_once(
         while frontier:
             config, key = frontier.pop()
             result.configs += 1
+            if tr is not None and tr.tick():
+                hits_now, misses_now, _ = KEY_CACHE.snapshot()
+                tr.emit(
+                    "node", run=run, n=result.configs,
+                    pcs=[config.program.pc(t) for t in config.program.tids],
+                    keys=[hits_now - hits0, misses_now - misses0],
+                )
             if keep_representatives:
                 result.representatives[key] = config
 
@@ -476,6 +494,11 @@ def _explore_once(
         stats.key_misses += misses1 - misses0
         stats.time_orders += ORDER_TIMER.snapshot() - orders0
         stats.time_model += MODEL_TIMER.snapshot() - model0
+        if tr is not None:
+            tr.run_end(
+                run, stats, result.configs, result.transitions,
+                result.truncated,
+            )
 
     return result
 

@@ -26,7 +26,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 #: Case-study checks runnable as suite jobs: name -> (expected ok?).
 #: Bounds are modest so a suite run stays interactive; the dedicated
@@ -117,6 +117,13 @@ class SuiteJobResult:
     #: the worker raised instead of reporting: ``detail`` carries the
     #: traceback and the job counts as a mismatch, never as a pass
     failed: bool = False
+    #: peak frontier/spine depth of the job's exploration — a memory
+    #: high-water mark, aggregated by *max* across jobs (a per-worker
+    #: peak is not additive; see :meth:`ParallelRunner.aggregate`)
+    peak_frontier: int = 0
+    #: pid of the worker that ran the job (observability only — never
+    #: aggregated; lets trace/job records be joined to engine records)
+    worker_pid: int = 0
 
     @property
     def verdict_matches(self) -> bool:
@@ -261,6 +268,7 @@ def _run_litmus_job(job: SuiteJob) -> SuiteJobResult:
         time_orders=stats.time_orders,
         time_expand=stats.time_expand,
         time_model=stats.time_model,
+        peak_frontier=stats.peak_frontier,
     )
 
 
@@ -375,6 +383,7 @@ def _run_case_study_job(job: SuiteJob) -> SuiteJobResult:
         time_orders=result.stats.time_orders,
         time_expand=result.stats.time_expand,
         time_model=result.stats.time_model,
+        peak_frontier=result.stats.peak_frontier,
     )
 
 
@@ -423,12 +432,18 @@ def _run_verify_job(job: SuiteJob) -> SuiteJobResult:
         time_orders=stats.time_orders,
         time_expand=stats.time_expand,
         time_model=stats.time_model,
+        peak_frontier=stats.peak_frontier,
     )
 
 
 def run_suite_job(job: SuiteJob) -> SuiteJobResult:
     """Execute one job — the worker entry point (must stay module-level
     so it pickles by reference)."""
+    from repro.obs.trace import tracer
+
+    tr = tracer()
+    if tr is not None:
+        tr.emit("job_start", job=job.label, kind=job.kind)
     t0 = time.perf_counter()
     if job.kind == "litmus":
         result = _run_litmus_job(job)
@@ -446,7 +461,15 @@ def run_suite_job(job: SuiteJob) -> SuiteJobResult:
         raise ValueError(f"unknown job kind {job.kind!r}")
     # Report whole-job wall time (exploration + registry resolution),
     # not just the engine's in-loop time.
-    return dataclasses.replace(result, wall_time=time.perf_counter() - t0)
+    result = dataclasses.replace(
+        result, wall_time=time.perf_counter() - t0, worker_pid=os.getpid()
+    )
+    if tr is not None:
+        tr.emit(
+            "job_end", job=job.label, kind=job.kind, dur=result.wall_time,
+            configs=result.configs, verdict=result.verdict,
+        )
+    return result
 
 
 def _run_suite_job_safely(job: SuiteJob) -> SuiteJobResult:
@@ -477,7 +500,17 @@ def _run_suite_job_safely(job: SuiteJob) -> SuiteJobResult:
             key_misses=0,
             detail=traceback.format_exc(),
             failed=True,
+            worker_pid=os.getpid(),
         )
+
+
+def _run_indexed(pair: Tuple[int, SuiteJob]) -> Tuple[int, SuiteJobResult]:
+    """Pool entry point for the streaming path: tags each result with
+    its submission index so out-of-order completion (``imap_unordered``,
+    which is what lets finished jobs reach the parent — and the progress
+    callback — immediately) can be re-sorted into submission order."""
+    index, job = pair
+    return index, _run_suite_job_safely(job)
 
 
 class ParallelRunner:
@@ -492,35 +525,71 @@ class ParallelRunner:
     def __init__(self, jobs: Optional[int] = None):
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
 
-    def run(self, work: Sequence[SuiteJob]) -> List[SuiteJobResult]:
+    def run(
+        self,
+        work: Sequence[SuiteJob],
+        progress: Optional[Callable[[SuiteJobResult], None]] = None,
+    ) -> List[SuiteJobResult]:
+        """Run the jobs; results return in submission order.
+
+        ``progress``, when given, is invoked in the parent with each
+        job's result *as it completes* — the stat deltas ride the
+        pool's existing result pipe (``imap_unordered``), no side
+        channel.  The sequential path invokes it after each in-process
+        job, so a heartbeat renders identically at ``--jobs 1``.
+        """
         if not work:
             return []
         if self.jobs <= 1:
-            return [_run_suite_job_safely(job) for job in work]
+            results = []
+            for job in work:
+                result = _run_suite_job_safely(job)
+                results.append(result)
+                if progress is not None:
+                    progress(result)
+            return results
         processes = min(self.jobs, len(work))
         with multiprocessing.Pool(processes=processes) as pool:
-            return pool.map(_run_suite_job_safely, list(work))
+            if progress is None:
+                return pool.map(_run_suite_job_safely, list(work))
+            slots: List[Optional[SuiteJobResult]] = [None] * len(work)
+            for index, result in pool.imap_unordered(
+                _run_indexed, list(enumerate(work))
+            ):
+                slots[index] = result
+                progress(result)
+            return [r for r in slots if r is not None]
 
     def aggregate(self, results: Sequence[SuiteJobResult]) -> dict:
         """Suite-level totals for the CLI footer.
 
         Every numeric counter field of :class:`SuiteJobResult` — int or
-        float — is summed generically: a stat key added to the result
+        float — is folded generically: a stat key added to the result
         type (reduction counters, ``time_orders``, say) shows up here
         without aggregator surgery, instead of being silently dropped.
-        ``wall_time`` is excluded (it is whole-job time, surfaced as the
-        derived ``worker_time``); the other derived entries (``jobs``,
-        ``mismatches``, ``key_rate``) stay explicit too.
+        Fields named ``peak_*`` are high-water marks and fold by *max*
+        (summing a per-job peak across jobs overstates it — no moment
+        ever held the sum); everything else sums.  ``wall_time`` is
+        excluded (it is whole-job time, surfaced as the derived
+        ``worker_time``), as is the ``worker_pid`` identifier; the
+        other derived entries (``jobs``, ``mismatches``, ``key_rate``)
+        stay explicit too.
         """
         import typing
 
         hints = typing.get_type_hints(SuiteJobResult)
         totals = {
-            name: sum(getattr(r, name) for r in results)
+            name: (
+                max((getattr(r, name) for r in results), default=0)
+                if name.startswith("peak_")
+                else sum(getattr(r, name) for r in results)
+            )
             for f in dataclasses.fields(SuiteJobResult)
             for name in (f.name,)
-            # resolved type: excludes bool/str; wall_time is derived
-            if hints.get(name) in (int, float) and name != "wall_time"
+            # resolved type: excludes bool/str; wall_time is derived,
+            # worker_pid is an identifier — neither is a counter
+            if hints.get(name) in (int, float)
+            and name not in ("wall_time", "worker_pid")
         }
         keyed = totals["key_hits"] + totals["key_misses"]
         totals["jobs"] = len(results)

@@ -162,6 +162,7 @@ def explore_dpor(
     from repro.interp.memory_model import MODEL_TIMER
     from repro.interp.config import Configuration
     from repro.interp.interpreter import thread_successor_list
+    from repro.obs.trace import tracer
 
     initial = Configuration(program, model.initial(init_values))
     result: ExplorationResult = ExplorationResult(initial)
@@ -173,6 +174,16 @@ def explore_dpor(
     stats.reduction = "dpor"
     stats.equivalence = equivalence
     track_control = check_config is not None
+
+    tr = tracer()
+    run = (
+        tr.run_start(
+            program, getattr(model, "name", type(model).__name__),
+            strategy, "dpor", max_events,
+        )
+        if tr is not None
+        else None
+    )
 
     clock = time.perf_counter
     t_run = clock()
@@ -299,6 +310,8 @@ def explore_dpor(
             for idx, other in cand:
                 if idx > own.get(other, -1):  # concurrent conflict: a race
                     stats.races += 1
+                    if tr is not None:
+                        tr.race(run, tid, fp, config.program)
                     _insert_backtrack(idx, tid, fp, own)
         if not enabled:
             return None
@@ -435,6 +448,8 @@ def explore_dpor(
                 rec <= frozenset(child_sleep) for rec in records
             ):
                 stats.revisits += 1
+                if tr is not None and tr.tick():
+                    tr.prune(run, "visited", step.target.program)
                 # Pruning against an explored subtree can hide races
                 # between *its* steps and the current path.  Compensate
                 # with the subtree's recorded access summary: every
@@ -509,6 +524,11 @@ def explore_dpor(
         stats.key_misses += misses1 - misses0
         stats.time_orders += ORDER_TIMER.snapshot() - orders0
         stats.time_model += MODEL_TIMER.snapshot() - model0
+        if tr is not None:
+            tr.run_end(
+                run, stats, result.configs, result.transitions,
+                result.truncated,
+            )
 
     return result
 

@@ -160,6 +160,7 @@ def explore_optimal(
     from repro.interp.memory_model import MODEL_TIMER
     from repro.interp.config import Configuration
     from repro.interp.interpreter import thread_successor_list
+    from repro.obs.trace import tracer
 
     initial = Configuration(program, model.initial(init_values))
     result: ExplorationResult = ExplorationResult(initial)
@@ -171,6 +172,16 @@ def explore_optimal(
     stats.reduction = "optimal"
     stats.equivalence = equivalence
     track_control = check_config is not None
+
+    tr = tracer()
+    run = (
+        tr.run_start(
+            program, getattr(model, "name", type(model).__name__),
+            strategy, "optimal", max_events,
+        )
+        if tr is not None
+        else None
+    )
 
     clock = time.perf_counter
     t_run = clock()
@@ -264,6 +275,8 @@ def explore_optimal(
         view: View = tuple(edges[j][0] for j in v) + (tid,)
         head = view[0]
         if head in target.enabled and head not in target.sleep:
+            if tr is not None:
+                tr.view(run, view, target.config.program)
             target.pending.append(view)
             return
         awake = [q for q in enabled_inits if q not in target.sleep]
@@ -304,6 +317,8 @@ def explore_optimal(
             for idx, other in cand:
                 if idx > own.get(other, -1):  # concurrent conflict: a race
                     stats.races += 1
+                    if tr is not None:
+                        tr.race(run, tid, fp, config.program)
                     _insert_view(idx, tid, fp, own)
         if not enabled:
             return None
@@ -460,6 +475,8 @@ def explore_optimal(
                 rec <= frozenset(child_sleep) for rec in records
             ):
                 stats.revisits += 1
+                if tr is not None and tr.tick():
+                    tr.prune(run, "visited", step.target.program)
                 # Pruning against an explored subtree can hide races
                 # between *its* steps and the current path.  Compensate
                 # with the subtree's recorded access summary, exactly
@@ -539,6 +556,11 @@ def explore_optimal(
         stats.key_misses += misses1 - misses0
         stats.time_orders += ORDER_TIMER.snapshot() - orders0
         stats.time_model += MODEL_TIMER.snapshot() - model0
+        if tr is not None:
+            tr.run_end(
+                run, stats, result.configs, result.transitions,
+                result.truncated,
+            )
 
     return result
 

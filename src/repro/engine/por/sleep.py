@@ -68,6 +68,7 @@ def explore_sleep(
     from repro.interp.memory_model import MODEL_TIMER
     from repro.interp.config import Configuration
     from repro.interp.interpreter import thread_successor_list
+    from repro.obs.trace import tracer
 
     initial = Configuration(program, model.initial(init_values))
     result: ExplorationResult = ExplorationResult(initial)
@@ -77,6 +78,16 @@ def explore_sleep(
     stats.strategy = strategy
     stats.reduction = "sleep"
     track_control = check_config is not None
+
+    tr = tracer()
+    run = (
+        tr.run_start(
+            program, getattr(model, "name", type(model).__name__),
+            strategy, "sleep", max_events,
+        )
+        if tr is not None
+        else None
+    )
 
     clock = time.perf_counter
     t_run = clock()
@@ -137,6 +148,8 @@ def explore_sleep(
                 if tid in sleep:
                     stats.sleep_hits += 1
                     stats.pruned += 1
+                    if tr is not None and tr.tick():
+                        tr.prune(run, "sleep", config.program)
                     if at_bound and not step.is_silent:
                         result.truncated = True
                     continue
@@ -200,6 +213,11 @@ def explore_sleep(
         stats.key_misses += misses1 - misses0
         stats.time_orders += ORDER_TIMER.snapshot() - orders0
         stats.time_model += MODEL_TIMER.snapshot() - model0
+        if tr is not None:
+            tr.run_end(
+                run, stats, result.configs, result.transitions,
+                result.truncated,
+            )
 
     return result
 

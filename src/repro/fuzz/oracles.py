@@ -135,6 +135,9 @@ class OracleReport:
     time_expand: float = 0.0
     #: memory-model share of ``time_expand`` (lowered path only)
     time_model: float = 0.0
+    #: largest frontier/spine across this case's explorations — a
+    #: high-water mark, folded by max (never summed) up the stack
+    peak_frontier: int = 0
 
     @property
     def ok(self) -> bool:
@@ -327,6 +330,8 @@ def check_program(
         report.time_orders += result.stats.time_orders
         report.time_expand += result.stats.time_expand
         report.time_model += result.stats.time_model
+        if result.stats.peak_frontier > report.peak_frontier:
+            report.peak_frontier = result.stats.peak_frontier
         if name == "ra":
             ra_full = result
         if result.truncated:
@@ -462,6 +467,8 @@ def check_program(
             report.sleep_hits += reduced.stats.sleep_hits
             report.races += reduced.stats.races
             report.revisits += reduced.stats.revisits
+            if reduced.stats.peak_frontier > report.peak_frontier:
+                report.peak_frontier = reduced.stats.peak_frontier
             if reduced.capped:
                 # The reduced search hit the safety cap: its outcome set
                 # is incomplete, so neither green nor a divergence

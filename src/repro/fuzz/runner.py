@@ -103,11 +103,14 @@ def run_fuzz_job(job: FuzzJob):
     with divergence records serialised into ``detail``.
     """
     from repro.engine.parallel import SuiteJobResult
+    from repro.obs.trace import tracer
 
+    tr = tracer()
     records: List[DivergenceRecord] = []
     inconclusive = 0
     configs = transitions = terminal = key_hits = key_misses = 0
     expanded = pruned = sleep_hits = races = revisits = 0
+    peak_frontier = 0
     time_orders = time_expand = time_model = 0.0
     for index in range(job.start, job.start + job.count):
         case = generate_case(job.seed, index, PROFILES[job.profile])
@@ -125,6 +128,16 @@ def run_fuzz_job(job: FuzzJob):
         sleep_hits += report.sleep_hits
         races += report.races
         revisits += report.revisits
+        if report.peak_frontier > peak_frontier:
+            peak_frontier = report.peak_frontier
+        if tr is not None:
+            tr.emit(
+                "case", seed=job.seed, index=index,
+                kind=(
+                    "inconclusive" if report.inconclusive
+                    else (report.divergence or "ok")
+                ),
+            )
         if report.inconclusive:
             inconclusive += 1
             continue
@@ -179,6 +192,7 @@ def run_fuzz_job(job: FuzzJob):
         time_orders=time_orders,
         time_expand=time_expand,
         time_model=time_model,
+        peak_frontier=peak_frontier,
     )
 
 
@@ -202,6 +216,8 @@ class CampaignReport:
     sleep_hits: int = 0
     races: int = 0
     revisits: int = 0
+    #: campaign-wide frontier high-water mark (max over jobs, not sum)
+    peak_frontier: int = 0
 
     @property
     def ok(self) -> bool:
@@ -288,8 +304,14 @@ def run_campaign(
     equivalence: str = "shasha-snir",
     check_orders: bool = False,
     check_lowering: bool = False,
+    progress: Optional[Callable] = None,
 ) -> CampaignReport:
-    """Run a whole campaign through the parallel runner."""
+    """Run a whole campaign through the parallel runner.
+
+    ``progress`` is forwarded to :meth:`ParallelRunner.run`: called in
+    the parent with each job's flat result as it completes (the CLI's
+    ``--progress`` heartbeat).
+    """
     from repro.engine.parallel import ParallelRunner
 
     work = fuzz_jobs(
@@ -298,7 +320,7 @@ def run_campaign(
         equivalence=equivalence, check_orders=check_orders,
         check_lowering=check_lowering,
     )
-    results = ParallelRunner(jobs=jobs).run(work)
+    results = ParallelRunner(jobs=jobs).run(work, progress=progress)
     report = CampaignReport(seed=seed, iters=iters, profile=profile)
     seen_spaces = set()
     for result in results:
@@ -342,6 +364,8 @@ def run_campaign(
         report.sleep_hits += result.sleep_hits
         report.races += result.races
         report.revisits += result.revisits
+        if result.peak_frontier > report.peak_frontier:
+            report.peak_frontier = result.peak_frontier
     report.divergences.sort(key=lambda r: r.index)
     return report
 

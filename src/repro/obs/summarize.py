@@ -1,0 +1,225 @@
+"""Trace-file summarization and Chrome trace-event export
+(``repro trace FILE``, DESIGN.md §14).
+
+:func:`summarize` folds a parsed trace into the three views the
+optimal-DPOR tuning loop needs:
+
+* **phase breakdown** — total seconds per engine phase across every
+  run (the ``span`` records), with percentages of the total phase;
+* **hot programs** — top-k programs by explored configs (``run_start``
+  joined with ``run_end`` on the run id);
+* **hotspots** — race / view / prune counts keyed by the program-
+  counter vector at the moment of the event, so "where do races
+  happen" has an answer in program coordinates, not just a count.
+
+:func:`to_chrome` converts the same records to Chrome trace-event
+JSON (the ``traceEvents`` array format) for Perfetto / chrome://tracing:
+runs become ``X`` (complete) slices placed at their wall-clock end
+minus duration, phase spans become nested slices, and races / views /
+prunes become ``i`` (instant) markers.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, defaultdict
+from typing import Any, Dict, List
+
+from repro.obs.trace import PHASES
+
+
+def summarize(records: List[dict], top: int = 5) -> Dict[str, Any]:
+    """Aggregate parsed trace records into a summary document."""
+    phase_seconds: Dict[str, float] = defaultdict(float)
+    phase_spans: Dict[str, int] = defaultdict(int)
+    run_prog: Dict[str, str] = {}
+    run_configs: Counter = Counter()
+    run_transitions: Counter = Counter()
+    counts: Counter = Counter()
+    race_pcs: Counter = Counter()
+    prune_pcs: Counter = Counter()
+    view_pcs: Counter = Counter()
+    prune_kinds: Counter = Counter()
+    truncated = 0
+    sample = None
+
+    for record in records:
+        ev = record.get("ev")
+        counts[ev] += 1
+        if ev == "header":
+            sample = record.get("sample", sample)
+        elif ev == "span":
+            phase_seconds[record.get("name", "?")] += record.get("dur", 0.0)
+            phase_spans[record.get("name", "?")] += 1
+        elif ev == "run_start":
+            run_prog[record.get("run", "?")] = record.get("prog", "?")
+        elif ev == "run_end":
+            run = record.get("run", "?")
+            run_configs[run] += record.get("configs", 0)
+            run_transitions[run] += record.get("transitions", 0)
+            if record.get("truncated"):
+                truncated += 1
+        elif ev == "race":
+            race_pcs[tuple(record.get("pcs", []))] += 1
+        elif ev == "view":
+            view_pcs[tuple(record.get("pcs", []))] += 1
+        elif ev == "prune":
+            prune_pcs[tuple(record.get("pcs", []))] += 1
+            prune_kinds[record.get("kind", "?")] += 1
+
+    total = phase_seconds.get("total", 0.0)
+    phases = []
+    for name in PHASES:
+        if name not in phase_seconds:
+            continue
+        seconds = phase_seconds[name]
+        phases.append({
+            "phase": name,
+            "seconds": round(seconds, 6),
+            "spans": phase_spans[name],
+            "pct": round(100.0 * seconds / total, 1) if total else 0.0,
+        })
+
+    hot = [
+        {
+            "prog": run_prog.get(run, "?"),
+            "run": run,
+            "configs": configs,
+            "transitions": run_transitions[run],
+        }
+        for run, configs in run_configs.most_common(top)
+    ]
+
+    def hotspot_rows(counter: Counter) -> List[dict]:
+        return [
+            {"pcs": list(pcs), "count": count}
+            for pcs, count in counter.most_common(top)
+        ]
+
+    return {
+        "records": len(records),
+        "events": dict(counts),
+        "sample": sample,
+        "runs": len(run_prog) or counts.get("run_end", 0),
+        "configs": sum(run_configs.values()),
+        "transitions": sum(run_transitions.values()),
+        "truncated_runs": truncated,
+        "phases": phases,
+        "hot_programs": hot,
+        "race_hotspots": hotspot_rows(race_pcs),
+        "view_hotspots": hotspot_rows(view_pcs),
+        "prune_hotspots": hotspot_rows(prune_pcs),
+        "prune_kinds": dict(prune_kinds),
+    }
+
+
+def format_summary(summary: Dict[str, Any]) -> List[str]:
+    """Human lines for the ``repro trace`` report."""
+    lines = [
+        f"records: {summary['records']}  runs: {summary['runs']}  "
+        f"configs: {summary['configs']}  transitions: "
+        f"{summary['transitions']}"
+        + (f"  truncated: {summary['truncated_runs']}"
+           if summary["truncated_runs"] else ""),
+    ]
+    if summary.get("sample"):
+        lines.append(f"sampling: 1-in-{summary['sample']} (node/prune records)")
+    if summary["phases"]:
+        lines.append("phase breakdown:")
+        for row in summary["phases"]:
+            lines.append(
+                f"  {row['phase']:<8} {row['seconds']:>9.4f}s  "
+                f"{row['pct']:>5.1f}%  ({row['spans']} spans)"
+            )
+    if summary["hot_programs"]:
+        lines.append("hot programs (by configs):")
+        for row in summary["hot_programs"]:
+            lines.append(
+                f"  {row['configs']:>8} configs  {row['transitions']:>8} "
+                f"transitions  {row['prog']}"
+            )
+    for key, title in (("race_hotspots", "race hotspots"),
+                       ("view_hotspots", "view hotspots"),
+                       ("prune_hotspots", "prune hotspots")):
+        rows = summary[key]
+        if not rows:
+            continue
+        lines.append(f"{title} (by pc vector):")
+        for row in rows:
+            lines.append(f"  {row['count']:>6} @ pcs={row['pcs']}")
+    if summary["prune_kinds"]:
+        kinds = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(summary["prune_kinds"].items())
+        )
+        lines.append(f"prune kinds: {kinds}")
+    return lines
+
+
+def to_chrome(records: List[dict]) -> Dict[str, Any]:
+    """Chrome trace-event (``traceEvents``) document for Perfetto.
+
+    Wall-clock ``ts`` values are epoch microseconds; runs and their
+    phase spans are ``X`` complete slices anchored so they *end* at the
+    record's emission time (spans are emitted at run end), and point
+    events are ``i`` instants.
+    """
+    events: List[dict] = []
+    instant_names = {"race": "race", "view": "view", "prune": "prune",
+                     "node": "node", "case": "case"}
+    for record in records:
+        ev = record.get("ev")
+        ts_us = record.get("ts", 0.0) * 1e6
+        pid = record.get("pid", 0)
+        if ev in ("run_end", "span"):
+            dur_us = record.get("dur", 0.0) * 1e6
+            name = (record.get("run", "run") if ev == "run_end"
+                    else record.get("name", "span"))
+            events.append({
+                "name": name,
+                "cat": "run" if ev == "run_end" else "phase",
+                "ph": "X",
+                "ts": ts_us - dur_us,
+                "dur": dur_us,
+                "pid": pid,
+                "tid": 0 if ev == "run_end" else 1,
+                "args": {k: v for k, v in record.items()
+                         if k not in ("ev", "ts", "pid")},
+            })
+        elif ev == "job_end":
+            dur_us = record.get("dur", 0.0) * 1e6
+            events.append({
+                "name": f"{record.get('kind', 'job')}:{record.get('job', '?')}",
+                "cat": "job",
+                "ph": "X",
+                "ts": ts_us - dur_us,
+                "dur": dur_us,
+                "pid": pid,
+                "tid": 2,
+                "args": {k: v for k, v in record.items()
+                         if k not in ("ev", "ts", "pid")},
+            })
+        elif ev in instant_names:
+            events.append({
+                "name": instant_names[ev],
+                "cat": ev,
+                "ph": "i",
+                "s": "p",
+                "ts": ts_us,
+                "pid": pid,
+                "tid": 3,
+                "args": {k: v for k, v in record.items()
+                         if k not in ("ev", "ts", "pid")},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(records: List[dict], path: str) -> int:
+    """Write the Chrome trace document; returns the event count."""
+    document = to_chrome(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])
+
+
+__all__ = ["format_summary", "summarize", "to_chrome", "write_chrome"]

@@ -214,6 +214,19 @@ class ProofOutline:
         report.transitions = result.transitions
         report.truncated = result.truncated
         report.stats = result.stats
+
+        from repro.obs.trace import tracer
+
+        tr = tracer()
+        if tr is not None:
+            tr.emit(
+                "outline",
+                name=", ".join(inv.name for inv in self._invariants[:4])
+                + ("..." if len(self._invariants) > 4 else ""),
+                model=getattr(model, "name", type(model).__name__),
+                obligations=report.obligations_discharged,
+                failed=len(report.failures),
+            )
         return report
 
 

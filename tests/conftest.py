@@ -1,0 +1,35 @@
+"""Shared test hygiene for the observability stack (DESIGN.md §14).
+
+Tests drive ``repro.cli.main`` in-process; without these guards a CLI
+test would append real records to the developer's ``.repro/runs.jsonl``
+and a leaked ``REPRO_TRACE`` from the environment would silently slow
+every exploration in the suite.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _quiet_observability(monkeypatch):
+    """Disable the run ledger and ambient tracing for every test.
+
+    Tests that exercise the ledger/tracer opt back in by setting
+    ``REPRO_LEDGER``/``REPRO_TRACE`` (or calling ``trace.enable``)
+    themselves — monkeypatch restores the environment afterwards.
+    """
+    monkeypatch.setenv("REPRO_NO_LEDGER", "1")
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_SAMPLE", raising=False)
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+    yield
+    # A test that called trace.enable() must not leak its tracer into
+    # the next test's explorations.
+    from repro.obs import trace
+
+    trace.disable()
+
+
+# Ensure a stray inherited tracer never outlives collection either.
+os.environ.setdefault("REPRO_NO_LEDGER", "1")

@@ -1,0 +1,128 @@
+"""The run ledger (DESIGN.md §14): append, read-back, list and diff."""
+
+import json
+
+from repro.obs import ledger
+from repro.obs.ledger import (
+    REQUIRED_FIELDS,
+    SCHEMA_NAME,
+    append_record,
+    diff_records,
+    format_list,
+    ledger_path,
+    read_ledger,
+)
+
+
+def test_no_ledger_env_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_LEDGER", "1")
+    assert ledger_path() is None
+    assert append_record("run", verdict="ok", wall=0.1) is None
+
+
+def test_ledger_env_overrides_path(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_NO_LEDGER", raising=False)
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "l.jsonl"))
+    assert ledger_path() == str(tmp_path / "l.jsonl")
+
+
+def test_append_and_read_roundtrip(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    record = append_record(
+        "suite", verdict="ok", wall=1.234567, seed=7,
+        stats={"configs": 10}, argv=["suite", "--jobs", "2"], path=path,
+    )
+    assert record is not None
+    assert record["schema"] == SCHEMA_NAME
+    assert REQUIRED_FIELDS <= set(record)
+    back = read_ledger(path)
+    assert len(back) == 1
+    assert back[0]["cmd"] == "suite"
+    assert back[0]["seed"] == 7
+    assert back[0]["wall"] == 1.234567
+    assert back[0]["stats"] == {"configs": 10}
+
+
+def test_append_never_raises_on_unwritable_path(tmp_path):
+    # the "directory" component is a regular file -> OSError, swallowed
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    assert append_record(
+        "run", verdict="ok", wall=0.0, path=str(blocker / "runs.jsonl")
+    ) is None
+
+
+def test_read_skips_malformed_lines(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    good = {"schema": SCHEMA_NAME, "ts": 0, "cmd": "run", "verdict": "ok",
+            "wall": 0.0, "stats": {}}
+    path.write_text(
+        json.dumps(good) + "\nnot json\n[1,2,3]\n" + json.dumps(good) + "\n"
+    )
+    assert len(read_ledger(str(path))) == 2
+    assert read_ledger(str(tmp_path / "missing.jsonl")) == []
+
+
+def test_format_list_shows_newest_last(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    for i in range(3):
+        append_record("run", verdict="ok", wall=float(i),
+                      stats={"configs": i}, path=path)
+    lines = format_list(read_ledger(path), limit=2)
+    assert len(lines) == 2
+    assert "configs=1" in lines[0]
+    assert "configs=2" in lines[1]
+
+
+def test_diff_records_reports_stat_deltas():
+    old = {"cmd": "suite", "verdict": "ok", "wall": 1.0,
+           "stats": {"configs": 100, "races": 4}}
+    new = {"cmd": "suite", "verdict": "ok", "wall": 2.0,
+           "stats": {"configs": 150, "races": 4}}
+    lines = diff_records(old, new)
+    joined = "\n".join(lines)
+    assert "configs: 100 -> 150" in joined
+    assert "+50" in joined and "+50.0%" in joined
+    assert "races" not in joined  # unchanged stats are elided
+
+
+def test_diff_identical_stats():
+    record = {"cmd": "run", "verdict": "ok", "wall": 1.0, "stats": {"a": 1}}
+    assert "(stats identical)" in "\n".join(diff_records(record, record))
+
+
+def test_cli_ledgers_a_run(tmp_path, monkeypatch):
+    """`repro run` appends one ok record with footer stats."""
+    from repro.cli import main
+
+    litmus = tmp_path / "sb.litmus"
+    litmus.write_text(
+        "C11 SB\n{ x = 0; y = 0; r1 = 0; r2 = 0 }\n"
+        "P1: x := 1; r1 := y\nP2: y := 1; r2 := x\n"
+        "exists (r1 = 0 /\\ r2 = 0)\n"
+    )
+    path = tmp_path / "runs.jsonl"
+    monkeypatch.delenv("REPRO_NO_LEDGER", raising=False)
+    monkeypatch.setenv("REPRO_LEDGER", str(path))
+    assert main(["run", str(litmus)]) == 0
+    records = read_ledger(str(path))
+    assert len(records) == 1
+    assert records[0]["cmd"] == "run"
+    assert records[0]["verdict"] == "ok"
+    assert records[0]["stats"]["configs"] > 0
+    assert records[0]["argv"][0] == "run"
+
+
+def test_cli_runs_list_and_diff(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    path = str(tmp_path / "runs.jsonl")
+    for configs in (10, 25):
+        append_record("suite", verdict="ok", wall=0.5,
+                      stats={"configs": configs}, path=path)
+    assert main(["runs", "list", "--ledger", path]) == 0
+    out = capsys.readouterr().out
+    assert "configs=10" in out and "configs=25" in out
+    assert main(["runs", "diff", "--ledger", path]) == 0
+    out = capsys.readouterr().out
+    assert "configs: 10 -> 25" in out

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate a ``--trace`` JSONL file against the ``repro-trace/1`` schema.
+
+The trace bus (``src/repro/obs/trace.py``, DESIGN.md §14) promises that
+every line of a trace file is one JSON object carrying ``ev``/``ts``/
+``pid`` plus the payload fields its event type requires — the
+authoritative table is :data:`repro.obs.trace.SCHEMA`, which this
+script imports rather than duplicating.  CI's trace-smoke job runs a
+traced suite and a traced fuzz campaign, then points this checker at
+the resulting files; any malformed line, unknown event type, missing
+field or mistyped common field fails the job with file:line diagnostics.
+
+Run from the repository root (CI does, on every PR)::
+
+    python tools/check_trace_schema.py TRACE.jsonl [TRACE2.jsonl ...]
+
+Exit code 0 when every record validates, 1 otherwise.  ``--expect-runs``
+additionally requires at least N ``run_start``/``run_end`` pairs — the
+smoke job uses it so an accidentally empty trace cannot pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.trace import SCHEMA, SCHEMA_NAME  # noqa: E402
+
+#: Fields every record carries, with their permitted types.
+COMMON = {"ev": str, "ts": (int, float), "pid": int}
+
+
+def check_record(record: object, where: str, problems: list) -> None:
+    if not isinstance(record, dict):
+        problems.append(f"{where}: not a JSON object: {record!r}")
+        return
+    for field, types in COMMON.items():
+        if field not in record:
+            problems.append(f"{where}: missing common field {field!r}")
+            return
+        if not isinstance(record[field], types):
+            problems.append(
+                f"{where}: field {field!r} has type "
+                f"{type(record[field]).__name__}, expected {types}"
+            )
+            return
+    ev = record["ev"]
+    required = SCHEMA.get(ev)
+    if required is None:
+        problems.append(
+            f"{where}: unknown event type {ev!r} "
+            f"(schema {SCHEMA_NAME} defines {sorted(SCHEMA)})"
+        )
+        return
+    missing = required - set(record)
+    if missing:
+        problems.append(
+            f"{where}: event {ev!r} missing fields {sorted(missing)}"
+        )
+    if ev == "header" and record.get("schema") != SCHEMA_NAME:
+        problems.append(
+            f"{where}: header declares schema {record.get('schema')!r}, "
+            f"this checker validates {SCHEMA_NAME!r}"
+        )
+
+
+def check_file(path: Path, problems: list) -> dict:
+    """Validate one trace file; returns its event-type counts."""
+    counts: dict = {}
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        problems.append(f"{path}: unreadable: {exc}")
+        return counts
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{path}:{lineno}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{where}: malformed JSON: {exc}")
+            continue
+        check_record(record, where, problems)
+        if isinstance(record, dict) and isinstance(record.get("ev"), str):
+            counts[record["ev"]] = counts.get(record["ev"], 0) + 1
+    if not counts:
+        problems.append(f"{path}: no records at all")
+    elif "header" not in counts:
+        problems.append(f"{path}: no header record")
+    if counts.get("run_start", 0) != counts.get("run_end", 0):
+        problems.append(
+            f"{path}: {counts.get('run_start', 0)} run_start vs "
+            f"{counts.get('run_end', 0)} run_end records (unbalanced)"
+        )
+    return counts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="+", help="JSONL trace files")
+    parser.add_argument(
+        "--expect-runs", type=int, default=0, metavar="N",
+        help="require at least N completed runs per file (default 0)",
+    )
+    args = parser.parse_args(argv)
+
+    problems: list = []
+    for name in args.traces:
+        path = Path(name)
+        counts = check_file(path, problems)
+        runs = counts.get("run_end", 0)
+        if runs < args.expect_runs:
+            problems.append(
+                f"{path}: {runs} completed runs, expected >= "
+                f"{args.expect_runs}"
+            )
+        total = sum(counts.values())
+        print(f"{path}: {total} records, {runs} runs: " + ", ".join(
+            f"{ev}={n}" for ev, n in sorted(counts.items())
+        ))
+
+    if problems:
+        print(f"\n{len(problems)} schema violation(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"OK: all records conform to {SCHEMA_NAME}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
