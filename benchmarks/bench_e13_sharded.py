@@ -1,0 +1,188 @@
+"""E13 — sharded single-run exploration: speedup series and spill run.
+
+DESIGN.md §15's two claims made continuous:
+
+**Shard speedup** — Peterson (``once``) at bound 14 explored at 1/2/4
+shards in process mode, under a per-configuration check hook that
+sleeps a *spin-calibrated* stall (``STALL_MSPIN`` million iterations of
+the :func:`~repro.engine.calibrate.spin_score` loop, converted to wall
+time on this machine).  The stall models a realistically expensive
+per-state check (an SMT query, a disk lookup): it is wall time the
+worker *processes* overlap, so the wall-clock speedup measures the
+sharding protocol's scaling — routing, batching, round barriers — and
+not the host's core count; calibrating the stall by ``spin_score``
+keeps the ratio comparable across machines, because the protocol's CPU
+overhead and the stall shrink together on a faster host.  Every run of
+the series must report byte-identical outcome sets and identical
+config/transition counts — sharding partitions the search, never
+changes it — and the gate in ``benchmarks/check_regression.py`` holds
+the 4-shard speedup above the committed floor.
+
+**Spill identity** — the 4-thread token ring at bound 14 estimates
+~700 MB of in-memory visited-set footprint, over the default 512 MB
+budget; run under ``--spill`` it must overflow to disk exactly once
+and still report byte-identical results (configs, transitions,
+violations) to the unbudgeted in-memory run.
+
+Records land in ``--bench-json`` as ``BENCH_e13_sharded.json``.
+"""
+
+import time
+
+from conftest import once, table
+from repro.casestudies.peterson import PETERSON_INIT, peterson_program
+from repro.casestudies.token_ring import (
+    TOKEN_INIT,
+    token_ring_program,
+    token_ring_violations,
+)
+from repro.engine.calibrate import spin_score
+from repro.interp.explore import explore
+from repro.interp.ra_model import RAMemoryModel
+from repro.litmus.registry import final_values
+
+#: Peterson exploration bound for the speedup series (≥14 per the E13
+#: acceptance row; 934 configs under RA).
+BOUND = 14
+
+SHARD_SERIES = (1, 2, 4)
+
+#: Per-configuration check cost, in millions of spin-loop iterations'
+#: worth of wall time (~16 ms on the machine the baseline was recorded
+#: on).
+STALL_MSPIN = 0.3
+
+#: The default in-memory visited budget the spill run must exceed.
+SPILL_BUDGET = 512 * 1024 * 1024
+
+#: Token-ring size for the spill run: 4 threads at bound 14 visit
+#: ~172k configurations whose estimated in-memory footprint crosses
+#: the 512 MB budget mid-run.
+RING_THREADS = 4
+RING_BOUND = 14
+
+#: Set per session from ``spin_score`` before the series runs; module
+#: level so the hook stays picklable for the worker processes.
+_STALL = 0.0
+
+
+def _stalling_check(config):
+    time.sleep(_STALL)
+    return []
+
+
+def _outcome_set(result):
+    """The byte-comparable terminal outcome set of an exploration."""
+    return sorted(
+        {tuple(sorted(final_values(c).items())) for c in result.terminal}
+    )
+
+
+def test_shard_speedup_series(benchmark, bench_json):
+    global _STALL
+    score = spin_score()
+    _STALL = STALL_MSPIN * 1e6 / score
+    program = peterson_program(once=True)
+
+    def run_series():
+        rows = []
+        reference = None
+        for shards in SHARD_SERIES:
+            t0 = time.perf_counter()
+            result = explore(
+                program, PETERSON_INIT, RAMemoryModel(),
+                max_events=BOUND, shards=shards,
+                shard_processes=shards > 1,
+                check_config=_stalling_check,
+            )
+            wall = time.perf_counter() - t0
+            observed = (
+                result.configs, result.transitions, _outcome_set(result),
+            )
+            if reference is None:
+                reference = observed
+            # the parity contract: byte-identical outcome sets and
+            # identical counts at every shard width
+            assert observed == reference, f"shards={shards} diverged"
+            rows.append({
+                "shards": shards,
+                "wall_s": wall,
+                "configs": result.configs,
+                "transitions": result.transitions,
+                "speedup": rows[0]["wall_s"] / wall if rows else 1.0,
+            })
+        return rows
+
+    rows = once(benchmark, run_series)
+    table(
+        f"E13: Peterson bound {BOUND}, stalled check, process-mode shards",
+        [
+            f"shards={r['shards']}: {r['wall_s']:6.2f}s "
+            f"speedup={r['speedup']:.2f}x configs={r['configs']}"
+            for r in rows
+        ],
+    )
+    benchmark.extra_info["speedup_4"] = rows[-1]["speedup"]
+    bench_json.record("e13_sharded", {
+        "bound": BOUND,
+        "stall_mspin": STALL_MSPIN,
+        "spin_score": score,
+        "stall_s": _STALL,
+        "outcomes_identical": True,
+        "series": rows,
+    })
+
+
+def test_spill_identity_under_budget(benchmark, bench_json, tmp_path):
+    program = token_ring_program(n_threads=RING_THREADS)
+
+    def run_pair():
+        t0 = time.perf_counter()
+        plain = explore(
+            program, TOKEN_INIT, RAMemoryModel(), max_events=RING_BOUND,
+            check_config=token_ring_violations,
+        )
+        wall_plain = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        spilled = explore(
+            program, TOKEN_INIT, RAMemoryModel(), max_events=RING_BOUND,
+            check_config=token_ring_violations,
+            spill_dir=str(tmp_path / "spill"), spill_max_bytes=SPILL_BUDGET,
+        )
+        wall_spill = time.perf_counter() - t0
+        return plain, wall_plain, spilled, wall_spill
+
+    plain, wall_plain, spilled, wall_spill = once(benchmark, run_pair)
+    # the run must genuinely exceed the in-memory budget...
+    assert spilled.stats.spills == 1
+    assert spilled.stats.spilled_keys == spilled.configs
+    # ...and spilling must not change a single observable
+    assert spilled.configs == plain.configs
+    assert spilled.transitions == plain.transitions
+    assert _outcome_set(spilled) == _outcome_set(plain)
+    assert [str(v) for v in spilled.violations] == [
+        str(v) for v in plain.violations
+    ]
+    table(
+        f"E13: token ring ({RING_THREADS} threads) bound {RING_BOUND}, "
+        f"512MB visited budget",
+        [
+            f"in-memory: {wall_plain:6.1f}s  configs={plain.configs}",
+            f"spilled:   {wall_spill:6.1f}s  "
+            f"spilled_keys={spilled.stats.spilled_keys} "
+            f"(identical verdicts: {len(spilled.violations)} violations)",
+        ],
+    )
+    bench_json.record("e13_spill", {
+        "threads": RING_THREADS,
+        "bound": RING_BOUND,
+        "budget_bytes": SPILL_BUDGET,
+        "configs": spilled.configs,
+        "transitions": spilled.transitions,
+        "spills": spilled.stats.spills,
+        "spilled_keys": spilled.stats.spilled_keys,
+        "wall_s_inmem": wall_plain,
+        "wall_s_spill": wall_spill,
+        "violations": len(spilled.violations),
+        "identical": True,
+    })

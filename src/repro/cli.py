@@ -7,7 +7,10 @@ Commands
     Parse a ``.litmus`` file (see :mod:`repro.lang.parser`), explore it
     exhaustively under a memory model and decide its ``exists`` /
     ``forbidden`` clause.  Exit code 0 when the verdict matches the
-    clause's intent, 1 otherwise.
+    clause's intent, 1 otherwise.  ``--shards N`` partitions the single
+    exploration across N worker shards and ``--spill`` bounds the
+    in-memory visited set with an on-disk bucket store — both
+    outcome-identical by construction (DESIGN.md §15).
 
 ``table``
     Print the built-in litmus suite's verdict table under RA and SC
@@ -42,7 +45,10 @@ Commands
     closures on every reachable state (DESIGN.md §11), and
     ``--check-lowering`` the lowering oracle, replaying every program
     with the compiled step tables on and off and diffing the full
-    transition streams (DESIGN.md §12).  Divergences
+    transition streams (DESIGN.md §12), and ``--check-shards`` the
+    shard-parity oracle, re-exploring each program hash-partitioned
+    across three shards and requiring exact parity with the
+    single-process search (DESIGN.md §15).  Divergences
     are delta-debugged to minimal reproducers and persisted under
     ``--corpus-dir`` for pytest replay.  Exit code 1 iff any diverged.
 
@@ -223,16 +229,55 @@ def _check_equivalence(args: argparse.Namespace) -> None:
         )
 
 
+def _check_shards(args: argparse.Namespace) -> None:
+    """Fail sharding misconfigurations up front with CLI-shaped errors
+    (explore() raises the same constraints as ValueErrors)."""
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if shards > 1:
+        if getattr(args, "strategy", "bfs") != "bfs":
+            raise SystemExit(
+                "--shards requires --strategy bfs (the superstep "
+                "schedule is level-synchronous — DESIGN.md §15)"
+            )
+        if args.reduction not in ("none", "sleep"):
+            raise SystemExit(
+                f"--shards supports --reduction none or sleep, not "
+                f"{args.reduction!r} (dpor/optimal carry cross-state "
+                "scheduling state that does not partition — DESIGN.md §15)"
+            )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
     from repro.lang.parser import run_parsed_litmus
 
     _check_equivalence(args)
+    _check_shards(args)
     parsed = _load(args.file)
     model = _model(args.model)
-    reachable, result = run_parsed_litmus(
-        parsed, model=model, max_events=args.max_events, strategy=args.strategy,
-        reduction=args.reduction, equivalence=args.equivalence,
-    )
+    spill_dir, spill_max_bytes, tmp = None, None, None
+    if args.spill or args.spill_dir:
+        spill_max_bytes = args.spill_bytes
+        if args.spill_dir:
+            spill_dir = args.spill_dir
+            os.makedirs(spill_dir, exist_ok=True)
+        else:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-spill-")
+            spill_dir = tmp.name
+    try:
+        reachable, result = run_parsed_litmus(
+            parsed, model=model, max_events=args.max_events,
+            strategy=args.strategy, reduction=args.reduction,
+            equivalence=args.equivalence, shards=args.shards,
+            spill_dir=spill_dir, spill_max_bytes=spill_max_bytes,
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
     bound = " (bounded)" if result.truncated else ""
     outcome = (
         f"outcome {'reachable' if reachable else 'unreachable'}"
@@ -247,6 +292,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.stats:
         print("engine:", result.stats.summary())
         print(_rate_line(result.configs, result.stats.time_total))
+    if result.stats.spills:
+        print(
+            f"spill: {result.stats.spills} flush(es), "
+            f"{result.stats.spilled_keys} keys moved to disk "
+            f"(budget {spill_max_bytes // (1024 * 1024)}MB)"
+        )
     if args.profile:
         for line in _profile_lines(result.configs, result.stats):
             print(line)
@@ -265,6 +316,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         time_total=result.stats.time_total,
         peak_frontier=result.stats.peak_frontier,
         races=result.stats.races,
+        shards=result.stats.shards if result.stats.shards else None,
+        spills=result.stats.spills if result.stats.spills else None,
     )
     return 0 if ok else 1
 
@@ -279,6 +332,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
     )
 
     _check_equivalence(args)
+    _check_shards(args)
     models = [m.strip().lower() for m in args.models.split(",")]
     for name in models:
         if name not in MODELS:
@@ -288,11 +342,12 @@ def cmd_suite(args: argparse.Namespace) -> int:
     work = litmus_jobs(
         models=models, extra=args.extra, strategy=args.strategy,
         reduction=args.reduction, equivalence=args.equivalence,
+        shards=args.shards,
     )
     if args.case_studies:
         work += case_study_jobs(
             strategy=args.strategy, reduction=args.reduction,
-            equivalence=args.equivalence,
+            equivalence=args.equivalence, shards=args.shards,
         )
 
     runner = ParallelRunner(jobs=args.jobs)
@@ -394,6 +449,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         equivalence=args.equivalence,
         check_orders=args.check_orders,
         check_lowering=args.check_lowering,
+        check_shards=args.check_shards,
         progress=heartbeat,
     )
     wall = time.perf_counter() - t0
@@ -840,6 +896,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="partial-order reduction (outcome-identical, fewer configs; "
         "'optimal' is the parsimonious tier, DESIGN.md §13)",
     )
+    run.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the single exploration across N worker shards "
+        "by canonical-key hash (outcome-identical by the parity "
+        "contract; requires bfs and reduction none/sleep — "
+        "DESIGN.md §15)",
+    )
+    run.add_argument(
+        "--spill", action="store_true",
+        help="bound the in-memory visited set: once it exceeds the "
+        "--spill-bytes budget, keys move to an on-disk bucket store "
+        "under a temporary directory (DESIGN.md §15)",
+    )
+    run.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="directory for the spilled visited-set buckets (implies "
+        "--spill; default: a fresh temporary directory)",
+    )
+    run.add_argument(
+        "--spill-bytes", type=int, default=512 * 1024 * 1024, metavar="B",
+        help="estimated in-memory visited-set budget before spilling "
+        "(default 512MB; split across shards under --shards)",
+    )
     _add_equivalence_flag(run)
     _add_obs_flags(run)
     run.set_defaults(func=cmd_run)
@@ -866,6 +945,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["none", "sleep", "dpor", "optimal"],
         help="partial-order reduction applied in every job "
         "(verdict-identical by design; see DESIGN.md §9 and §13)",
+    )
+    suite.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shard each litmus/case-study exploration N ways inside "
+        "its job (in-process superstep schedule inside pool workers; "
+        "verdict-identical — DESIGN.md §15)",
     )
     _add_equivalence_flag(suite)
     _add_obs_flags(suite, progress=True)
@@ -906,6 +991,14 @@ def build_parser() -> argparse.ArgumentParser:
         "off and require identical transition streams at every "
         "reachable configuration (DESIGN.md §12); slower, catches "
         "compiler bugs",
+    )
+    fuzz.add_argument(
+        "--check-shards", action="store_true",
+        help="re-explore each generated program hash-partitioned across "
+        "three shards and require exact parity with the single-process "
+        "search — outcomes, truncation flag and config count "
+        "(DESIGN.md §15); the continuous soundness check of the "
+        "sharded explorer",
     )
     fuzz.add_argument(
         "--no-axiomatic", action="store_true",

@@ -184,6 +184,11 @@ def explore(
     strategy: str = "bfs",
     reduction: str = "none",
     equivalence: str = "shasha-snir",
+    shards: int = 1,
+    shard_processes: Optional[bool] = None,
+    spill_dir: Optional[str] = None,
+    spill_max_entries: Optional[int] = None,
+    spill_max_bytes: Optional[int] = None,
 ) -> ExplorationResult[S]:
     """Bounded exhaustive exploration from ``(P, σ_0)``.
 
@@ -232,9 +237,64 @@ def explore(
     the unreduced and sleep searches enumerate configurations
     themselves, so a coarser key would change *what* they visit, and a
     non-default equivalence raises ``ValueError`` there.
+
+    ``shards > 1`` runs the hash-partitioned sharded search
+    (:mod:`repro.engine.shard`, DESIGN.md §15): breadth-first only,
+    reductions ``"none"``/``"sleep"``, canonical keys.  The parity
+    contract guarantees identical configuration/transition counts and
+    outcome sets for every shard count on exhaustive runs.
+    ``shard_processes`` forces (True) or forbids (False) real worker
+    processes; the default auto-selects.
+
+    ``spill_dir`` plus ``spill_max_entries``/``spill_max_bytes`` bound
+    the in-memory visited set: past the budget, keys overflow to an
+    on-disk store under ``spill_dir``
+    (:class:`~repro.engine.visited.SpillableVisitedSet`) that is
+    removed when the run finishes.  Spilling requires canonical keys
+    and is supported by the unreduced, sleep and sharded searches.
     """
     from repro.engine.por import EQUIVALENCES, REDUCTIONS, explore_reduced
     from repro.interp.compiled import maybe_lower
+
+    spilling = spill_max_entries is not None or spill_max_bytes is not None
+    if spilling and spill_dir is None:
+        raise ValueError("a visited-set spill budget needs spill_dir")
+    if spill_dir is not None and not canonicalize:
+        raise ValueError(
+            "visited-set spilling encodes canonical keys; "
+            "canonicalize=False has no encodable key"
+        )
+    if spill_dir is not None and reduction not in ("none", "sleep"):
+        raise ValueError(
+            f"visited-set spilling supports the 'none' and 'sleep' "
+            f"searches; reduction={reduction!r} keeps per-key backtrack "
+            "state that cannot overflow"
+        )
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards > 1:
+        from repro.engine.shard import explore_sharded
+
+        return explore_sharded(
+            program,
+            init_values,
+            model,
+            shards,
+            max_events=max_events,
+            max_configs=max_configs,
+            check_config=check_config,
+            check_step=check_step,
+            stop_on_violation=stop_on_violation,
+            keep_representatives=keep_representatives,
+            canonicalize=canonicalize,
+            strategy=strategy,
+            reduction=reduction,
+            equivalence=equivalence,
+            processes=shard_processes,
+            spill_dir=spill_dir,
+            spill_max_entries=spill_max_entries,
+            spill_max_bytes=spill_max_bytes,
+        )
 
     # Compile once per run: every representation decision happens here,
     # so the deepening loop, the reduced traversals and the plain search
@@ -269,6 +329,10 @@ def explore(
             kwargs_step["check_step"] = check_step
         if reduction in ("dpor", "optimal"):
             kwargs_step["equivalence"] = equivalence
+        if spill_dir is not None and reduction == "sleep":
+            kwargs_step["spill_dir"] = spill_dir
+            kwargs_step["spill_max_entries"] = spill_max_entries
+            kwargs_step["spill_max_bytes"] = spill_max_bytes
         return explore_reduced(
             program,
             init_values,
@@ -295,6 +359,9 @@ def explore(
             stop_on_violation=stop_on_violation,
             keep_representatives=keep_representatives,
             canonicalize=canonicalize,
+            spill_dir=spill_dir,
+            spill_max_entries=spill_max_entries,
+            spill_max_bytes=spill_max_bytes,
         )
     return _explore_once(
         program,
@@ -308,6 +375,9 @@ def explore(
         keep_representatives=keep_representatives,
         canonicalize=canonicalize,
         strategy=strategy,
+        spill_dir=spill_dir,
+        spill_max_entries=spill_max_entries,
+        spill_max_bytes=spill_max_bytes,
     )
 
 
@@ -366,6 +436,9 @@ def _explore_once(
     keep_representatives: bool = False,
     canonicalize: bool = True,
     strategy: str = "bfs",
+    spill_dir: Optional[str] = None,
+    spill_max_entries: Optional[int] = None,
+    spill_max_bytes: Optional[int] = None,
 ) -> ExplorationResult[S]:
     """One search run with a fixed frontier discipline and bounds."""
     from repro.c11.compact import ORDER_TIMER
@@ -397,12 +470,27 @@ def _explore_once(
     orders0 = ORDER_TIMER.snapshot()
     model0 = MODEL_TIMER.snapshot()
 
+    spill_store = None
+    if spill_max_entries is not None or spill_max_bytes is not None:
+        from repro.engine.visited import SpillableVisitedSet, encode_config_key
+
+        spill_store = SpillableVisitedSet(
+            spill_dir=spill_dir,
+            max_entries=spill_max_entries,
+            max_bytes=spill_max_bytes,
+            encode=encode_config_key,
+        )
+
     try:
         t0 = clock()
         init_key = _key_of(initial, model, canonicalize)
         stats.time_keys += clock() - t0
 
-        seen = {init_key}
+        if spill_store is not None:
+            seen = spill_store
+            seen.add(init_key)
+        else:
+            seen = {init_key}
         result.parents[init_key] = (None, None)
         frontier = frontier_class(strategy)()
         frontier.push((initial, init_key))
@@ -488,6 +576,10 @@ def _explore_once(
                 if len(frontier) > stats.peak_frontier:
                     stats.peak_frontier = len(frontier)
     finally:
+        if spill_store is not None:
+            stats.spills += spill_store.spills
+            stats.spilled_keys += spill_store.spilled_keys
+            spill_store.close()
         stats.time_total += clock() - t_run
         hits1, misses1, _ = KEY_CACHE.snapshot()
         stats.key_hits += hits1 - hits0

@@ -63,6 +63,13 @@ class SuiteJob:
     #: (DESIGN.md §13); consulted only by "dpor"/"optimal" and reset to
     #: the default whenever a job falls back to another tier.
     equivalence: str = "shasha-snir"
+    #: intra-run shards for this job's exploration (DESIGN.md §15).
+    #: Suite workers are daemonic pool processes, so a shards > 1 job
+    #: runs the sharded search in its in-process mode — same parity
+    #: contract, no nested fork.  Litmus and case-study kinds honour it;
+    #: fuzz and verify kinds run their own exploration schedules and
+    #: ignore it.
+    shards: int = 1
 
     @property
     def label(self) -> str:
@@ -162,6 +169,7 @@ def litmus_jobs(
     strategy: str = "bfs",
     reduction: str = "none",
     equivalence: str = "shasha-snir",
+    shards: int = 1,
 ) -> List[SuiteJob]:
     """One job per (litmus test, model) over the built-in suite."""
     from repro.litmus.extra import EXTRA_TESTS
@@ -171,7 +179,7 @@ def litmus_jobs(
     return [
         SuiteJob(
             kind="litmus", name=test.name, model=model, strategy=strategy,
-            reduction=reduction, equivalence=equivalence,
+            reduction=reduction, equivalence=equivalence, shards=shards,
         )
         for test in tests
         for model in models
@@ -182,11 +190,12 @@ def case_study_jobs(
     strategy: str = "bfs",
     reduction: str = "none",
     equivalence: str = "shasha-snir",
+    shards: int = 1,
 ) -> List[SuiteJob]:
     """The case-study checks as suite jobs (RA model, modest bounds)."""
     return [
         SuiteJob(kind="case-study", name=name, strategy=strategy,
-                 reduction=reduction, equivalence=equivalence)
+                 reduction=reduction, equivalence=equivalence, shards=shards)
         for name in CASE_STUDIES
     ]
 
@@ -246,6 +255,7 @@ def _run_litmus_job(job: SuiteJob) -> SuiteJobResult:
     outcome = run_litmus(
         test, model, max_configs=job.max_configs, strategy=job.strategy,
         reduction=job.reduction, equivalence=job.equivalence,
+        shards=job.shards,
     )
     stats = outcome.result.stats
     return SuiteJobResult(
@@ -274,7 +284,8 @@ def _run_litmus_job(job: SuiteJob) -> SuiteJobResult:
 
 def _case_study_exploration(name: str, strategy: str, max_configs,
                             reduction: str = "none",
-                            equivalence: str = "shasha-snir"):
+                            equivalence: str = "shasha-snir",
+                            shards: int = 1):
     from repro.casestudies.dekker import (
         DEKKER_INIT,
         dekker_entry_program,
@@ -355,13 +366,14 @@ def _case_study_exploration(name: str, strategy: str, max_configs,
         strategy=strategy,
         reduction=reduction,
         equivalence=equivalence,
+        shards=shards,
     )
 
 
 def _run_case_study_job(job: SuiteJob) -> SuiteJobResult:
     result = _case_study_exploration(
         job.name, job.strategy, job.max_configs, reduction=job.reduction,
-        equivalence=job.equivalence,
+        equivalence=job.equivalence, shards=job.shards,
     )
     return SuiteJobResult(
         job=job,

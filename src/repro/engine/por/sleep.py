@@ -47,6 +47,9 @@ def explore_sleep(
     keep_representatives: bool = False,
     canonicalize: bool = True,
     strategy: str = "bfs",
+    spill_dir: Optional[str] = None,
+    spill_max_entries: Optional[int] = None,
+    spill_max_bytes: Optional[int] = None,
 ) -> ExplorationResult:
     """Graph search with sleep-set transition pruning.
 
@@ -63,6 +66,13 @@ def explore_sleep(
     preservation along explored paths) reaches the same proved/failed
     verdict as the unreduced search; only the obligation *counts* and
     the particular failing transitions reported may differ.
+
+    ``spill_dir`` + ``spill_max_entries``/``spill_max_bytes`` route the
+    ``known`` visited set through
+    :class:`~repro.engine.visited.SpillableVisitedSet` (DESIGN.md §15).
+    The sleep-record antichain stays in memory — it is consulted on
+    every pop and push — so spilling bounds the key *store*, which is
+    the dominant term, not the whole resident footprint.
     """
     from repro.c11.compact import ORDER_TIMER
     from repro.interp.memory_model import MODEL_TIMER
@@ -95,6 +105,17 @@ def explore_sleep(
     orders0 = ORDER_TIMER.snapshot()
     model0 = MODEL_TIMER.snapshot()
 
+    spill_store = None
+    if spill_max_entries is not None or spill_max_bytes is not None:
+        from repro.engine.visited import SpillableVisitedSet, encode_config_key
+
+        spill_store = SpillableVisitedSet(
+            spill_dir=spill_dir,
+            max_entries=spill_max_entries,
+            max_bytes=spill_max_bytes,
+            encode=encode_config_key,
+        )
+
     #: key -> antichain of sleep-tid sets this key was expanded with
     expanded: Dict[Hashable, List[FrozenSet[int]]] = {}
 
@@ -107,7 +128,11 @@ def explore_sleep(
         frontier = frontier_class(strategy)()
         frontier.push((initial, init_key, {}))
         stats.peak_frontier = 1
-        known = {init_key}
+        if spill_store is not None:
+            known = spill_store
+            known.add(init_key)
+        else:
+            known = {init_key}
         capped = False
 
         while frontier:
@@ -207,6 +232,10 @@ def explore_sleep(
                         stats.peak_frontier = len(frontier)
                 awake_sleep[tid] = fp  # sleeps for the remaining siblings
     finally:
+        if spill_store is not None:
+            stats.spills += spill_store.spills
+            stats.spilled_keys += spill_store.spilled_keys
+            spill_store.close()
         stats.time_total += clock() - t_run
         hits1, misses1, _ = KEY_CACHE.snapshot()
         stats.key_hits += hits1 - hits0

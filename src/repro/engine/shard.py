@@ -1,0 +1,1026 @@
+"""Sharded single-run exploration (DESIGN.md §15).
+
+One exploration, hash-partitioned across ``N`` shards: shard ``i`` owns
+exactly the configurations whose canonical-key digest satisfies
+``shard_of(digest, N) == i`` (:func:`~repro.engine.keys.shard_of` over
+the stable blake2b digest — never ``hash()``, which is salted per
+process).  Each shard keeps the visited-set slice, parent-map slice and
+frontier slice for its own keys; successors discovered by one shard but
+owned by another are routed to the owner in batches.
+
+The search is bulk-synchronous breadth-first: one *superstep* per BFS
+level.  In phase A every shard expands its level-``r`` frontier in
+**path-signature order** — each frontier item carries the tuple of
+emission ordinals along its discovery path, whose lexicographic order
+is exactly the single-process FIFO order — and emits one message per
+surviving transition.  At the level barrier, phase B has every shard
+sort its inbox by signature and replay the single-process push sequence
+for its own keys: dedup (first arrival in signature order wins the
+parent slot), config cap, and — under the sleep-set reduction — the
+push-time covered check against the sleep-record antichain *as of the
+sender's pop stamp* (records are stamped ``(level, signature)``; a push
+by the parent popped at stamp ``t`` consults only records ``<= t``,
+which is precisely the set of records the single-process loop had
+appended when it performed that push).  Phase A never reads another
+shard's state and phase B replays a per-key operation sequence
+identical to the single-process interleaving, which is the induction
+behind the parity contract: exhaustive sharded runs report the same
+configuration and transition counts, byte-identical terminal/outcome
+sets, the same per-key parent choices and the same violation verdicts
+as the single-process search, for every ``N``.
+
+Termination is decided by counting, one round per superstep: each shard
+reports how many messages it sent and received and how many items its
+next level holds; the coordinator checks global ``sent == recv`` (no
+message in flight — Mattern-style counting; with one exchange per
+barrier a termination token degenerates to exactly this sum) and stops
+when every next frontier is empty.
+
+Two execution modes share the same :class:`_ShardCore` superstep code:
+
+* **process mode** — one worker process per shard (fork start method:
+  programs, models and check hooks reach workers through fork'd memory;
+  only queue messages are pickled).  Messages and final results pack
+  configurations as ``(pcs, state)`` against the run's one lowered
+  table, sidestepping ``LoweredProgram.__reduce__``'s re-lowering on
+  every unpickle.
+* **in-process mode** — the same supersteps run sequentially over all
+  shards in one process.  This is the reference the parity matrix
+  compares process mode against, and the only mode available inside
+  daemonic pool workers (the fuzz ``shard-parity`` oracle), which may
+  not fork children.
+
+Every routed message carries the sender-computed key digest; the
+receiving shard re-derives ownership and raises on a mis-routed
+configuration — the canary the parity test matrix deliberately trips by
+patching :func:`_dest_for`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.engine.core import ExplorationResult, Violation, _key_of, _state_size
+from repro.engine.frontier import LevelFrontier
+from repro.engine.keys import KEY_CACHE, key_digest, shard_of, stable_encode
+from repro.engine.stats import EngineStats
+from repro.engine.visited import SpillableVisitedSet, encode_config_key, program_token
+
+#: Reductions the sharded search supports: the two whose traversals the
+#: superstep replay reproduces exactly.  The DPOR tiers are inherently
+#: depth-first with global backtrack state — out of scope by design.
+SHARDABLE_REDUCTIONS = ("none", "sleep")
+
+
+def key_digest_for(key) -> bytes:
+    """Stable digest of a full ``ConfigKey = (program, state_key)``.
+
+    Routed through :meth:`~repro.c11.compact.CachedKey.digest` when the
+    state key carries one — canonical keys are interned, so the digest
+    of a revisited state is a cached attribute read, not a re-encode.
+    """
+    program, state_key = key
+    digest_method = getattr(state_key, "digest", None)
+    state_digest = (
+        digest_method() if digest_method is not None else key_digest(state_key)
+    )
+    return hashlib.blake2b(
+        stable_encode(program_token(program)) + state_digest, digest_size=16
+    ).digest()
+
+
+def _dest_for(digest: bytes, shards: int) -> int:
+    """The shard a successor is routed to.
+
+    A separate seam from :func:`~repro.engine.keys.shard_of` (which the
+    *receiver* uses to verify ownership) so the broken-partition canary
+    test can mis-route sends without also disarming the check.
+    """
+    return shard_of(digest, shards)
+
+
+@dataclass
+class _ShardSpec:
+    """Everything one shard worker needs (shared via fork, not pickle)."""
+
+    program: Any
+    init_values: Mapping
+    model: Any
+    shards: int
+    reduction: str = "none"
+    max_events: Optional[int] = None
+    #: per-shard slice of the global config cap (None = uncapped)
+    max_configs: Optional[int] = None
+    check_config: Optional[Callable] = None
+    check_step: Optional[Callable] = None
+    stop_on_violation: bool = False
+    keep_representatives: bool = False
+    spill_dir: Optional[str] = None
+    spill_max_entries: Optional[int] = None
+    spill_max_bytes: Optional[int] = None
+    #: trace run id of the enclosing run (None = tracing off)
+    run_id: Optional[str] = None
+
+
+class _ShardCore:
+    """One shard's state plus the phase A / phase B superstep logic.
+
+    Frontier items and routed messages are
+    ``(sig, step, config, key, parent_key, sleep, digest)`` — the path
+    signature, the discovering transition (``None`` only for the seeded
+    initial configuration), the configuration and its canonical key, the
+    *sender's* key for the parent (receivers never re-canonicalize), the
+    child sleep-set dict (``None`` under ``reduction="none"``) and the
+    key digest the sender routed by.
+    """
+
+    def __init__(self, spec: _ShardSpec, index: int) -> None:
+        self.spec = spec
+        self.index = index
+        self.stats = EngineStats(strategy="bfs", reduction=spec.reduction)
+        self.frontier: LevelFrontier = LevelFrontier()
+        self.parents: Dict[Any, Tuple[Any, Any]] = {}
+        self.representatives: Dict[Any, Any] = {}
+        #: (stamp, Configuration) — stamped for deterministic merge
+        self.terminal: List[Tuple[tuple, Any]] = []
+        #: (stamp, Violation)
+        self.violations: List[Tuple[tuple, Violation]] = []
+        self.configs = 0
+        self.transitions = 0
+        self.truncated = False
+        self.capped = False
+        self.level = 0
+        if spec.spill_max_entries is not None or spec.spill_max_bytes is not None:
+            shard_dir = os.path.join(spec.spill_dir, f"shard-{index}")
+            self.visited = SpillableVisitedSet(
+                spill_dir=shard_dir,
+                max_entries=spec.spill_max_entries,
+                max_bytes=spec.spill_max_bytes,
+                encode=encode_config_key,
+            )
+        else:
+            self.visited = None
+            self._seen = set()
+        #: sleep reduction: key -> list of (pop stamp, frozen sleep set),
+        #: stamped so phase B can reconstruct the sender's push-time view
+        self.antichain: Dict[Any, List[Tuple[tuple, frozenset]]] = {}
+
+    # -- visited-set facade --------------------------------------------
+
+    def _visited_add(self, key) -> bool:
+        if self.visited is not None:
+            return self.visited.add(key)
+        before = len(self._seen)
+        self._seen.add(key)
+        return len(self._seen) != before
+
+    def _visited_has(self, key) -> bool:
+        if self.visited is not None:
+            return key in self.visited
+        return key in self._seen
+
+    def _visited_len(self) -> int:
+        if self.visited is not None:
+            return len(self.visited)
+        return len(self._seen)
+
+    def seed(self, initial, init_key) -> None:
+        """Install the initial configuration (owner shard only)."""
+        self._visited_add(init_key)
+        self.parents[init_key] = (None, None)
+        self.frontier.push(((), None, initial, init_key, None, {}, None))
+        self.stats.peak_frontier = 1
+
+    # -- phase A: expand the current level -----------------------------
+
+    def expand_level(self) -> List[List[tuple]]:
+        """Expand every current-level item in signature order.
+
+        Returns the per-destination outgoing message lists (index
+        ``self.index`` holds the local deliveries).
+        """
+        spec = self.spec
+        clock = time.perf_counter
+        t_phase = clock()
+        outgoing: List[List[tuple]] = [[] for _ in range(spec.shards)]
+        level_items = sorted(self.frontier.take_level(), key=lambda it: it[0])
+        for item in level_items:
+            sig, _step, config, key, _parent, sleep, _digest = item
+            stamp = (self.level, sig)
+            if spec.reduction == "sleep":
+                self._expand_sleep(stamp, config, key, sleep, outgoing)
+            else:
+                self._expand_plain(stamp, config, key, outgoing)
+            if spec.stop_on_violation and self.violations:
+                break
+        self.stats.time_total += clock() - t_phase
+        return outgoing
+
+    def _check_config(self, stamp, config) -> None:
+        spec = self.spec
+        if spec.check_config is None:
+            return
+        clock = time.perf_counter
+        t0 = clock()
+        messages = spec.check_config(config)
+        self.stats.time_checks += clock() - t0
+        for message in messages:
+            self.violations.append((stamp, Violation(message, config)))
+
+    def _check_step(self, stamp, config, step) -> None:
+        spec = self.spec
+        if spec.check_step is None:
+            return
+        clock = time.perf_counter
+        t0 = clock()
+        messages = spec.check_step(step)
+        self.stats.time_checks += clock() - t0
+        for message in messages:
+            self.violations.append((stamp, Violation(message, config, step)))
+
+    def _emit(self, outgoing, sig, step, key, child_key, child_sleep) -> None:
+        digest = key_digest_for(child_key)
+        dest = _dest_for(digest, self.spec.shards)
+        outgoing[dest].append(
+            (sig, step, step.target, child_key, key, child_sleep, digest)
+        )
+
+    def _expand_plain(self, stamp, config, key, outgoing) -> None:
+        from repro.interp.interpreter import successor_list
+
+        spec = self.spec
+        clock = time.perf_counter
+        self.configs += 1
+        if spec.keep_representatives:
+            self.representatives[key] = config
+        self._check_config(stamp, config)
+        if config.is_terminated():
+            self.terminal.append((stamp, config))
+            return
+        if self.capped and spec.check_step is None:
+            self.truncated = True
+            return
+        at_bound = (
+            spec.max_events is not None
+            and _state_size(config.state) >= spec.max_events
+        )
+        t0 = clock()
+        steps = successor_list(config, spec.model)
+        self.stats.time_expand += clock() - t0
+        seq = 0
+        for step in steps:
+            if at_bound and step.event is not None:
+                self.truncated = True
+                continue
+            self.transitions += 1
+            self._check_step(stamp, config, step)
+            if self.capped:
+                continue
+            t0 = clock()
+            child_key = _key_of(step.target, spec.model)
+            self.stats.time_keys += clock() - t0
+            self._emit(outgoing, stamp[1] + (seq,), step, key, child_key, None)
+            seq += 1
+
+    def _expand_sleep(self, stamp, config, key, sleep, outgoing) -> None:
+        from repro.engine.por.deps import conflicts, pending_steps, step_footprint
+        from repro.interp.interpreter import thread_successor_list
+
+        spec = self.spec
+        clock = time.perf_counter
+        sleeping = frozenset(sleep)
+        records = self.antichain.get(key)
+        if records is not None:
+            # Pop-time covered check: pops of this key all happen on
+            # this shard, in stamp order, so every record present is
+            # causally earlier — the single-process view exactly.
+            if any(rec <= sleeping for _, rec in records):
+                return  # covered arrival: strictly less awake
+            self.stats.revisits += 1
+        self.antichain.setdefault(key, []).append((stamp, sleeping))
+
+        if records is None:  # first visit: hooks fire exactly once per key
+            self.configs += 1
+            if spec.keep_representatives:
+                self.representatives[key] = config
+            self._check_config(stamp, config)
+            if config.is_terminated():
+                self.terminal.append((stamp, config))
+
+        if config.is_terminated():
+            return
+
+        steps = pending_steps(config.program)
+        at_bound = (
+            spec.max_events is not None
+            and _state_size(config.state) >= spec.max_events
+        )
+        track_control = spec.check_config is not None
+        awake_sleep = dict(sleep)
+        seq = 0
+        for tid in sorted(steps):
+            step = steps[tid]
+            if tid in sleep:
+                self.stats.sleep_hits += 1
+                self.stats.pruned += 1
+                if at_bound and not step.is_silent:
+                    self.truncated = True
+                continue
+            if at_bound and not step.is_silent:
+                self.truncated = True
+                continue
+            fp = step_footprint(
+                spec.model, config.state, config.program, tid, step,
+                track_control,
+            )
+            self.stats.expanded += 1
+            t0 = clock()
+            successors = thread_successor_list(config, spec.model, tid, step)
+            self.stats.time_expand += clock() - t0
+            child_sleep = {
+                q: fq for q, fq in awake_sleep.items()
+                if q != tid and not conflicts(fq, fp)
+            }
+            for child in successors:
+                self.transitions += 1
+                self._check_step(stamp, config, child)
+                if self.capped:
+                    continue
+                t0 = clock()
+                child_key = _key_of(child.target, spec.model)
+                self.stats.time_keys += clock() - t0
+                self._emit(
+                    outgoing, stamp[1] + (seq,), child, key, child_key,
+                    child_sleep,
+                )
+                seq += 1
+            awake_sleep[tid] = fp  # sleeps for the remaining siblings
+
+    # -- phase B: integrate routed arrivals ----------------------------
+
+    def integrate(self, arrivals: List[tuple]) -> None:
+        """Replay the push sequence for this shard's keys, in global
+        signature order — the barrier half of the superstep."""
+        spec = self.spec
+        arrivals.sort(key=lambda message: message[0])
+        for sig, step, child_config, child_key, parent_key, child_sleep, digest in arrivals:
+            if shard_of(digest, spec.shards) != self.index:
+                raise RuntimeError(
+                    f"mis-routed configuration: digest owner is shard "
+                    f"{shard_of(digest, spec.shards)}, delivered to shard "
+                    f"{self.index} — partition function broken"
+                )
+            if spec.reduction == "sleep":
+                self._integrate_sleep(
+                    sig, step, child_config, child_key, parent_key,
+                    child_sleep, digest,
+                )
+            else:
+                self._integrate_plain(
+                    sig, step, child_config, child_key, parent_key, digest
+                )
+        self.level += 1
+        self.frontier.advance()
+        if len(self.frontier) > self.stats.peak_frontier:
+            self.stats.peak_frontier = len(self.frontier)
+
+    def _cap_hit(self) -> bool:
+        spec = self.spec
+        if spec.max_configs is not None and self._visited_len() >= spec.max_configs:
+            self.truncated = True
+            self.capped = True
+            return True
+        return False
+
+    def _integrate_plain(
+        self, sig, step, child_config, child_key, parent_key, digest
+    ) -> None:
+        if self._visited_has(child_key):
+            return
+        if self.capped or self._cap_hit():
+            return
+        self._visited_add(child_key)
+        self.parents[child_key] = (parent_key, step)
+        self.frontier.push(
+            (sig, step, child_config, child_key, parent_key, None, digest)
+        )
+
+    def _integrate_sleep(
+        self, sig, step, child_config, child_key, parent_key, child_sleep, digest
+    ) -> None:
+        if not self._visited_has(child_key):
+            if self.capped or self._cap_hit():
+                return
+            self._visited_add(child_key)
+        self.parents.setdefault(child_key, (parent_key, step))
+        recs = self.antichain.get(child_key)
+        if recs is not None:
+            frozen = frozenset(child_sleep)
+            # The sender pushed this child while popping the parent at
+            # stamp (level, sig[:-1]); the single-process loop's
+            # push-time check saw exactly the records appended by pops
+            # up to and including that one (module docstring).
+            parent_stamp = (self.level, sig[:-1])
+            if any(
+                rec <= frozen
+                for rec_stamp, rec in recs if rec_stamp <= parent_stamp
+            ):
+                return  # already expanded at least this awake
+        self.frontier.push(
+            (sig, step, child_config, child_key, parent_key, child_sleep, digest)
+        )
+
+    # -- results --------------------------------------------------------
+
+    def finish(self) -> dict:
+        """Close the spill store and package this shard's outcome."""
+        if self.visited is not None:
+            self.stats.spills = self.visited.spills
+            self.stats.spilled_keys = self.visited.spilled_keys
+            self.visited.close()
+        return {
+            "configs": self.configs,
+            "transitions": self.transitions,
+            "truncated": self.truncated,
+            "capped": self.capped,
+            "terminal": self.terminal,
+            "violations": self.violations,
+            "parents": self.parents,
+            "representatives": self.representatives,
+            "stats": self.stats,
+        }
+
+
+def _merge_results(
+    spec: _ShardSpec, initial, payloads: List[dict], wall: float
+) -> ExplorationResult:
+    """Fold per-shard payloads into one ExplorationResult."""
+    result = ExplorationResult(initial)
+    result._model = spec.model
+    result._canonicalize = True
+    merged = result.stats
+    merged.strategy = "bfs"
+    merged.reduction = spec.reduction
+    rounds = 0
+    terminal: List[Tuple[tuple, Any]] = []
+    violations: List[Tuple[tuple, Violation]] = []
+    for payload in payloads:
+        result.configs += payload["configs"]
+        result.transitions += payload["transitions"]
+        result.truncated = result.truncated or payload["truncated"]
+        result.capped = result.capped or payload["capped"]
+        terminal.extend(payload["terminal"])
+        violations.extend(payload["violations"])
+        result.parents.update(payload["parents"])
+        result.representatives.update(payload["representatives"])
+        merged.merge_round(payload["stats"])
+        rounds = max(rounds, payload["stats"].shard_rounds)
+    # (level, signature) order is the single-process BFS pop order, so
+    # the merged lists read exactly as the unsharded run's would
+    terminal.sort(key=lambda pair: pair[0])
+    violations.sort(key=lambda pair: pair[0])
+    result.terminal = [config for _, config in terminal]
+    result.violations = [violation for _, violation in violations]
+    merged.shards = spec.shards
+    merged.shard_rounds = rounds
+    # per-shard phase timings sum across workers; the run's total is the
+    # coordinator's wall clock (under process mode the sum exceeds it —
+    # that surplus is exactly what parallel hardware buys back)
+    merged.time_total = wall
+    return result
+
+
+def _emit_shard_spans(tr, run_id, payloads: List[dict]) -> None:
+    """One ``span`` per shard: where each worker's expand time went."""
+    if tr is None or run_id is None:
+        return
+    for index, payload in enumerate(payloads):
+        tr.emit(
+            "span", run=run_id, name=f"shard{index}",
+            dur=payload["stats"].time_total,
+        )
+
+
+# ======================================================================
+# In-process mode
+# ======================================================================
+
+
+def _explore_sharded_inprocess(
+    spec: _ShardSpec, initial, init_key
+) -> ExplorationResult:
+    from repro.c11.compact import ORDER_TIMER
+    from repro.interp.memory_model import MODEL_TIMER
+    from repro.obs.trace import tracer
+
+    tr = tracer()
+    clock = time.perf_counter
+    t_run = clock()
+    hits0, misses0, _ = KEY_CACHE.snapshot()
+    orders0 = ORDER_TIMER.snapshot()
+    model0 = MODEL_TIMER.snapshot()
+    cores = [_ShardCore(spec, i) for i in range(spec.shards)]
+    cores[_dest_for(key_digest_for(init_key), spec.shards)].seed(initial, init_key)
+    rounds = 0
+    payloads: Optional[List[dict]] = None
+    try:
+        while True:
+            outgoing_all = [core.expand_level() for core in cores]
+            stop = False
+            for i, core in enumerate(cores):
+                inbox = [
+                    message
+                    for j in range(spec.shards)
+                    for message in outgoing_all[j][i]
+                ]
+                sent = sum(
+                    len(batch)
+                    for k, batch in enumerate(outgoing_all[i]) if k != i
+                )
+                recv = sum(
+                    len(outgoing_all[j][i])
+                    for j in range(spec.shards) if j != i
+                )
+                core.stats.shard_sent += sent
+                core.stats.shard_recv += recv
+                core.integrate(inbox)
+                if tr is not None and spec.run_id is not None:
+                    tr.emit(
+                        "shard", run=spec.run_id, shard=i, round=rounds,
+                        sent=sent, recv=recv, frontier=len(core.frontier),
+                    )
+                if spec.stop_on_violation and core.violations:
+                    stop = True
+            rounds += 1
+            for core in cores:
+                core.stats.shard_rounds = rounds
+            if stop or all(len(core.frontier) == 0 for core in cores):
+                break
+        payloads = [core.finish() for core in cores]
+    finally:
+        for core in cores:
+            if core.visited is not None:
+                core.visited.close()
+    wall = clock() - t_run
+    result = _merge_results(spec, initial, payloads, wall)
+    hits1, misses1, _ = KEY_CACHE.snapshot()
+    result.stats.key_hits = hits1 - hits0
+    result.stats.key_misses = misses1 - misses0
+    result.stats.time_orders = ORDER_TIMER.snapshot() - orders0
+    result.stats.time_model = MODEL_TIMER.snapshot() - model0
+    _emit_shard_spans(tr, spec.run_id, payloads)
+    return result
+
+
+# ======================================================================
+# Process mode
+# ======================================================================
+
+
+def _pack_config(config, table):
+    """Configuration → wire form (pcs against the run's one table)."""
+    program = config.program
+    if table is not None and getattr(program, "table", None) is table:
+        return ("pcs", program.pcs, config.state)
+    return ("cfg", config)
+
+
+def _unpack_config(packed, table):
+    from repro.interp.compiled import LoweredProgram
+    from repro.interp.config import Configuration
+
+    if packed[0] == "pcs":
+        return Configuration(LoweredProgram(table, packed[1]), packed[2])
+    return packed[1]
+
+
+def _pack_step(step, table):
+    if step is None:
+        return None
+    return (
+        _pack_config(step.source, table),
+        step.tid,
+        _pack_config(step.target, table),
+        step.event,
+        step.observed,
+        step.read_value,
+    )
+
+
+def _unpack_step(packed, table):
+    from repro.interp.interpreter import InterpretedStep
+
+    if packed is None:
+        return None
+    source, tid, target, event, observed, read_value = packed
+    return InterpretedStep(
+        _unpack_config(source, table), tid, _unpack_config(target, table),
+        event, observed, read_value,
+    )
+
+
+def _pack_message(message, table):
+    sig, step, _child_config, child_key, parent_key, child_sleep, digest = message
+    # the child configuration is step.target — rebuilt on the far side
+    return (sig, _pack_step(step, table), child_key, parent_key, child_sleep, digest)
+
+
+def _unpack_message(packed, table):
+    sig, step_packed, child_key, parent_key, child_sleep, digest = packed
+    step = _unpack_step(step_packed, table)
+    return (sig, step, step.target, child_key, parent_key, child_sleep, digest)
+
+
+def _pack_payload(payload: dict, table) -> dict:
+    payload["terminal"] = [
+        (stamp, _pack_config(config, table))
+        for stamp, config in payload["terminal"]
+    ]
+    payload["violations"] = [
+        (
+            stamp,
+            (v.message, _pack_config(v.config, table), _pack_step(v.step, table)),
+        )
+        for stamp, v in payload["violations"]
+    ]
+    payload["parents"] = {
+        key: (parent, _pack_step(step, table))
+        for key, (parent, step) in payload["parents"].items()
+    }
+    payload["representatives"] = {
+        key: _pack_config(config, table)
+        for key, config in payload["representatives"].items()
+    }
+    return payload
+
+
+def _unpack_payload(payload: dict, table) -> dict:
+    payload["terminal"] = [
+        (stamp, _unpack_config(config, table))
+        for stamp, config in payload["terminal"]
+    ]
+    payload["violations"] = [
+        (
+            stamp,
+            Violation(
+                message, _unpack_config(config, table),
+                _unpack_step(step, table),
+            ),
+        )
+        for stamp, (message, config, step) in payload["violations"]
+    ]
+    payload["parents"] = {
+        key: (parent, _unpack_step(step, table))
+        for key, (parent, step) in payload["parents"].items()
+    }
+    payload["representatives"] = {
+        key: _unpack_config(config, table)
+        for key, config in payload["representatives"].items()
+    }
+    return payload
+
+
+def _shard_worker(spec, index, inboxes, coord_queue, ctrl_queue) -> None:
+    """One shard's worker process (fork entry point)."""
+    from repro.c11.compact import ORDER_TIMER
+    from repro.interp.config import Configuration
+    from repro.interp.memory_model import MODEL_TIMER
+    from repro.obs.trace import tracer
+
+    core = _ShardCore(spec, index)
+    table = getattr(spec.program, "table", None)
+    tr = tracer()
+    hits0, misses0, _ = KEY_CACHE.snapshot()
+    orders0 = ORDER_TIMER.snapshot()
+    model0 = MODEL_TIMER.snapshot()
+    initial = Configuration(spec.program, spec.model.initial(spec.init_values))
+    init_key = _key_of(initial, spec.model)
+    if _dest_for(key_digest_for(init_key), spec.shards) == index:
+        core.seed(initial, init_key)
+    rounds = 0
+    try:
+        while True:
+            outgoing = core.expand_level()
+            sent = 0
+            for dest in range(spec.shards):
+                if dest == index:
+                    continue
+                batch = [_pack_message(m, table) for m in outgoing[dest]]
+                sent += len(batch)
+                # Pickle here, in the worker's main thread: Queue.put
+                # defers pickling to a feeder thread, where an
+                # unpicklable payload (a program that lowered to
+                # closures and missed the (pcs, state) fast path) would
+                # kill the feeder silently and deadlock the round.
+                # Raising here lands in the crash report instead.
+                inboxes[dest].put(("batch", rounds, index, pickle.dumps(batch)))
+            inbox = list(outgoing[index])
+            recv = 0
+            for _ in range(spec.shards - 1):
+                tag, r, _sender, blob = inboxes[index].get()
+                assert tag == "batch" and r == rounds, (tag, r, rounds)
+                batch = pickle.loads(blob)
+                recv += len(batch)
+                inbox.extend(_unpack_message(m, table) for m in batch)
+            core.stats.shard_sent += sent
+            core.stats.shard_recv += recv
+            core.integrate(inbox)
+            if tr is not None and spec.run_id is not None:
+                tr.emit(
+                    "shard", run=spec.run_id, shard=index, round=rounds,
+                    sent=sent, recv=recv, frontier=len(core.frontier),
+                )
+            rounds += 1
+            core.stats.shard_rounds = rounds
+            coord_queue.put((
+                "round", index, rounds - 1, len(core.frontier), sent, recv,
+                bool(core.violations),
+            ))
+            if ctrl_queue.get()[0] == "stop":
+                break
+        hits1, misses1, _ = KEY_CACHE.snapshot()
+        core.stats.key_hits = hits1 - hits0
+        core.stats.key_misses = misses1 - misses0
+        core.stats.time_orders = ORDER_TIMER.snapshot() - orders0
+        core.stats.time_model = MODEL_TIMER.snapshot() - model0
+        # pickled in the main thread for the same reason as batches
+        coord_queue.put(
+            ("result", index, pickle.dumps(_pack_payload(core.finish(), table)))
+        )
+    except BaseException:  # noqa: BLE001 — report, then let it propagate
+        import traceback
+
+        coord_queue.put(("crash", index, traceback.format_exc()))
+        raise
+    finally:
+        if core.visited is not None:
+            core.visited.close()
+
+
+def _explore_sharded_processes(
+    spec: _ShardSpec, initial, init_key
+) -> ExplorationResult:
+    import multiprocessing
+    import queue as queue_mod
+
+    from repro.obs.trace import tracer
+
+    clock = time.perf_counter
+    t_run = clock()
+    ctx = multiprocessing.get_context()
+    inboxes = [ctx.Queue() for _ in range(spec.shards)]
+    coord_queue = ctx.Queue()
+    ctrls = [ctx.Queue() for _ in range(spec.shards)]
+    workers = [
+        ctx.Process(
+            target=_shard_worker,
+            args=(spec, i, inboxes, coord_queue, ctrls[i]),
+            daemon=True,
+        )
+        for i in range(spec.shards)
+    ]
+    for worker in workers:
+        worker.start()
+
+    def collect(expected_tag: str, count: int) -> List[tuple]:
+        got: List[tuple] = []
+        while len(got) < count:
+            try:
+                message = coord_queue.get(timeout=1.0)
+            except queue_mod.Empty:
+                dead = [w for w in workers if not w.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"shard worker(s) {[w.pid for w in dead]} died "
+                        "without reporting"
+                    )
+                continue
+            if message[0] == "crash":
+                raise RuntimeError(f"shard {message[1]} crashed:\n{message[2]}")
+            assert message[0] == expected_tag, message
+            got.append(message)
+        return got
+
+    payloads: Optional[List[dict]] = None
+    try:
+        while True:
+            reports = collect("round", spec.shards)
+            sent = sum(report[4] for report in reports)
+            recv = sum(report[5] for report in reports)
+            if sent != recv:  # the count-based termination invariant
+                raise RuntimeError(
+                    f"sharded termination count mismatch: {sent} routed "
+                    f"out, {recv} delivered"
+                )
+            frontier_total = sum(report[3] for report in reports)
+            violated = any(report[6] for report in reports)
+            done = frontier_total == 0 or (spec.stop_on_violation and violated)
+            for ctrl in ctrls:
+                ctrl.put(("stop",) if done else ("continue",))
+            if done:
+                break
+        results = collect("result", spec.shards)
+        table = getattr(spec.program, "table", None)
+        payloads = [
+            _unpack_payload(pickle.loads(blob), table)
+            for _, _, blob in sorted(results, key=lambda r: r[1])
+        ]
+    finally:
+        for worker in workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5.0)
+        for q in [coord_queue, *inboxes, *ctrls]:
+            q.close()
+            q.cancel_join_thread()
+        if spec.spill_dir is not None:
+            # a worker crash may have left per-shard stores behind
+            import shutil
+
+            for i in range(spec.shards):
+                shard_dir = os.path.join(spec.spill_dir, f"shard-{i}")
+                if os.path.isdir(shard_dir):
+                    shutil.rmtree(shard_dir, ignore_errors=True)
+    wall = clock() - t_run
+    result = _merge_results(spec, initial, payloads, wall)
+    _emit_shard_spans(tracer(), spec.run_id, payloads)
+    return result
+
+
+# ======================================================================
+# Entry point
+# ======================================================================
+
+
+class ShardedExplorer:
+    """The hash-partitioned explorer: validate once, run many.
+
+    Thin stateful wrapper over :func:`explore_sharded` for callers that
+    run several explorations under one partitioning configuration (the
+    benchmark harness); one-shot callers use the function directly.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        processes: Optional[bool] = None,
+        spill_dir: Optional[str] = None,
+        spill_max_entries: Optional[int] = None,
+        spill_max_bytes: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.processes = processes
+        self.spill_dir = spill_dir
+        self.spill_max_entries = spill_max_entries
+        self.spill_max_bytes = spill_max_bytes
+
+    def explore(self, program, init_values, model, **kwargs) -> ExplorationResult:
+        return explore_sharded(
+            program, init_values, model, self.shards,
+            processes=self.processes, spill_dir=self.spill_dir,
+            spill_max_entries=self.spill_max_entries,
+            spill_max_bytes=self.spill_max_bytes, **kwargs,
+        )
+
+
+def explore_sharded(
+    program,
+    init_values: Mapping,
+    model,
+    shards: int,
+    max_events: Optional[int] = None,
+    max_configs: Optional[int] = None,
+    check_config: Optional[Callable] = None,
+    check_step: Optional[Callable] = None,
+    stop_on_violation: bool = False,
+    keep_representatives: bool = False,
+    canonicalize: bool = True,
+    strategy: str = "bfs",
+    reduction: str = "none",
+    equivalence: str = "shasha-snir",
+    processes: Optional[bool] = None,
+    spill_dir: Optional[str] = None,
+    spill_max_entries: Optional[int] = None,
+    spill_max_bytes: Optional[int] = None,
+) -> ExplorationResult:
+    """Hash-partitioned exploration across ``shards`` workers.
+
+    Accepts the single-process ``explore`` surface where the sharded
+    search can honour its parity contract, and rejects the rest up
+    front: breadth-first only (the superstep structure *is* BFS),
+    reductions ``"none"``/``"sleep"``, the exact Shasha–Snir
+    equivalence, and canonical keys (the digest partition function is
+    defined on them).
+
+    ``processes=None`` auto-selects: real worker processes when the
+    current process may fork children, the in-process supersteps
+    otherwise (daemonic pool workers — the fuzz oracle's home — may
+    not fork).  ``shards=1`` always runs in-process: one worker has
+    nothing to overlap.
+
+    Semantic deltas against the single-process loop, both flag-visible:
+    ``stop_on_violation`` stops at the end of the superstep that found
+    the violation (same verdict and same first violation, possibly more
+    configs counted), and ``max_configs`` caps each shard at
+    ``ceil(max_configs / shards)`` (capped runs are order-dependent in
+    the single-process engine already; ``truncated``/``capped``
+    propagate whenever any shard hits its slice).
+    """
+    from repro.interp.compiled import maybe_lower
+    from repro.interp.config import Configuration
+    from repro.obs.trace import tracer
+
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if strategy != "bfs":
+        raise ValueError(
+            "sharded exploration is breadth-first by construction; "
+            f"strategy={strategy!r} is not shardable"
+        )
+    if reduction not in SHARDABLE_REDUCTIONS:
+        raise ValueError(
+            f"reduction {reduction!r} is not shardable; choose from "
+            f"{SHARDABLE_REDUCTIONS} (the DPOR tiers are depth-first with "
+            "global backtrack state)"
+        )
+    if equivalence != "shasha-snir":
+        raise ValueError(
+            "sharded exploration keys configurations exactly; "
+            f"equivalence={equivalence!r} is not shardable"
+        )
+    if not canonicalize:
+        raise ValueError(
+            "sharded exploration partitions by canonical-key digest; "
+            "canonicalize=False has no digestable key"
+        )
+    if (spill_max_entries is not None or spill_max_bytes is not None) and (
+        spill_dir is None
+    ):
+        raise ValueError("a visited-set spill budget needs spill_dir")
+    if processes is None:
+        import multiprocessing
+
+        processes = not multiprocessing.current_process().daemon
+
+    program = maybe_lower(program)
+    spec = _ShardSpec(
+        program=program,
+        init_values=init_values,
+        model=model,
+        shards=shards,
+        reduction=reduction,
+        max_events=max_events,
+        max_configs=(
+            None if max_configs is None else max(1, -(-max_configs // shards))
+        ),
+        check_config=check_config,
+        check_step=check_step,
+        stop_on_violation=stop_on_violation,
+        keep_representatives=keep_representatives,
+        spill_dir=spill_dir,
+        spill_max_entries=spill_max_entries,
+        spill_max_bytes=(
+            None if spill_max_bytes is None
+            else max(1, spill_max_bytes // shards)
+        ),
+    )
+
+    tr = tracer()
+    run = (
+        tr.run_start(
+            program, getattr(model, "name", type(model).__name__),
+            "bfs", reduction, max_events,
+        )
+        if tr is not None
+        else None
+    )
+    spec.run_id = run
+
+    initial = Configuration(program, model.initial(init_values))
+    init_key = _key_of(initial, model)
+    if processes and shards > 1:
+        result = _explore_sharded_processes(spec, initial, init_key)
+    else:
+        result = _explore_sharded_inprocess(spec, initial, init_key)
+    if tr is not None:
+        tr.run_end(
+            run, result.stats, result.configs, result.transitions,
+            result.truncated,
+        )
+    return result
+
+
+__all__ = [
+    "SHARDABLE_REDUCTIONS",
+    "ShardedExplorer",
+    "explore_sharded",
+    "key_digest_for",
+]

@@ -69,6 +69,20 @@ class EngineStats:
     #: Arrivals at an already-expanded configuration: covered prunes
     #: plus re-expansions under an incomparable sleep set.
     revisits: int = 0
+    #: How many hash-partitioned shards ran this exploration (1 = the
+    #: ordinary single-owner search; DESIGN.md §15).
+    shards: int = 1
+    #: Cross-shard successor messages routed out of / into this shard's
+    #: worker (equal in total across a completed run — the count-based
+    #: termination check).
+    shard_sent: int = 0
+    shard_recv: int = 0
+    #: Superstep rounds the sharded search synchronised on (max-merged:
+    #: every shard participates in every round).
+    shard_rounds: int = 0
+    #: Visited-set spill events and keys moved to the on-disk store.
+    spills: int = 0
+    spilled_keys: int = 0
 
     @property
     def key_rate(self) -> float:
@@ -99,6 +113,11 @@ class EngineStats:
         self.sleep_hits += other.sleep_hits
         self.races += other.races
         self.revisits += other.revisits
+        self.shard_sent += other.shard_sent
+        self.shard_recv += other.shard_recv
+        self.shard_rounds = max(self.shard_rounds, other.shard_rounds)
+        self.spills += other.spills
+        self.spilled_keys += other.spilled_keys
 
     def summary(self) -> str:
         """One human-readable line, used by the CLI and benchmarks."""
@@ -125,4 +144,11 @@ class EngineStats:
             )
             if self.equivalence != "shasha-snir":
                 line += f" equivalence={self.equivalence}"
+        if self.shards > 1:
+            line += (
+                f" shards={self.shards} rounds={self.shard_rounds} "
+                f"routed={self.shard_sent}/{self.shard_recv}"
+            )
+        if self.spills:
+            line += f" spills={self.spills} spilled-keys={self.spilled_keys}"
         return line

@@ -47,6 +47,9 @@ class FuzzJob:
     #: replay lowered vs legacy interpretation step-for-step
     #: (the "lowering" oracle, DESIGN.md §12)
     check_lowering: bool = False
+    #: re-explore under shards=3 and require exact parity with the
+    #: single-process search (the "shard-parity" oracle, DESIGN.md §15)
+    check_shards: bool = False
 
     @property
     def label(self) -> str:
@@ -83,6 +86,7 @@ def _check(job: FuzzJob, case: GeneratedCase) -> OracleReport:
         case, axiomatic=job.axiomatic, max_configs=job.max_configs,
         reduction=job.reduction, equivalence=job.equivalence,
         check_orders=job.check_orders, check_lowering=job.check_lowering,
+        check_shards=job.check_shards,
     )
 
 
@@ -260,6 +264,7 @@ def fuzz_jobs(
     equivalence: str = "shasha-snir",
     check_orders: bool = False,
     check_lowering: bool = False,
+    check_shards: bool = False,
 ) -> List[FuzzJob]:
     """Slice ``iters`` cases into worker-sized chunks.
 
@@ -287,6 +292,7 @@ def fuzz_jobs(
             equivalence=equivalence,
             check_orders=check_orders,
             check_lowering=check_lowering,
+            check_shards=check_shards,
         )
         for start in range(0, iters, chunk)
     ]
@@ -304,6 +310,7 @@ def run_campaign(
     equivalence: str = "shasha-snir",
     check_orders: bool = False,
     check_lowering: bool = False,
+    check_shards: bool = False,
     progress: Optional[Callable] = None,
 ) -> CampaignReport:
     """Run a whole campaign through the parallel runner.
@@ -318,7 +325,7 @@ def run_campaign(
         seed, iters, profile=profile, jobs=jobs, axiomatic=axiomatic,
         shrink=shrink, max_configs=max_configs, reduction=reduction,
         equivalence=equivalence, check_orders=check_orders,
-        check_lowering=check_lowering,
+        check_lowering=check_lowering, check_shards=check_shards,
     )
     results = ParallelRunner(jobs=jobs).run(work, progress=progress)
     report = CampaignReport(seed=seed, iters=iters, profile=profile)

@@ -476,8 +476,14 @@ def parse_litmus(text: str) -> ParsedLitmus:
 
 
 def run_parsed_litmus(parsed: ParsedLitmus, model=None, max_events=None, strategy="bfs",
-                      reduction="none", equivalence="shasha-snir"):
-    """Convenience: decide the parsed test's outcome reachability."""
+                      reduction="none", equivalence="shasha-snir", shards=1,
+                      spill_dir=None, spill_max_entries=None, spill_max_bytes=None):
+    """Convenience: decide the parsed test's outcome reachability.
+
+    ``shards``/``spill_*`` select the sharded search and the spillable
+    visited set (DESIGN.md §15) — the ``repro run --shards/--spill``
+    path lands here.
+    """
     from repro.interp.explore import explore
     from repro.interp.ra_model import RAMemoryModel
     from repro.litmus.registry import final_values
@@ -486,6 +492,8 @@ def run_parsed_litmus(parsed: ParsedLitmus, model=None, max_events=None, strateg
     result = explore(
         parsed.program, parsed.init, model, max_events=max_events,
         strategy=strategy, reduction=reduction, equivalence=equivalence,
+        shards=shards, spill_dir=spill_dir, spill_max_entries=spill_max_entries,
+        spill_max_bytes=spill_max_bytes,
     )
     # Files without an exists/forbidden clause (e.g. fuzz-corpus
     # reproducers) are pure explorations: nothing to be reachable.

@@ -94,6 +94,7 @@ def run_litmus(
     strategy: str = "bfs",
     reduction: str = "none",
     equivalence: str = "shasha-snir",
+    shards: int = 1,
 ) -> LitmusOutcome:
     """Decide reachability of the test's outcome under ``model``.
 
@@ -102,6 +103,9 @@ def run_litmus(
     (DESIGN.md §13); litmus verdicts are outcome-set properties of the
     terminal states, which every reduction preserves — the POR parity
     suite and CI job assert exactly this, verdict for verdict.
+    ``shards > 1`` partitions the single exploration across worker
+    shards (DESIGN.md §15) — outcome-identical by the sharding parity
+    contract, checked test by test in ``tests/test_shard_parity.py``.
     """
     model = model if model is not None else RAMemoryModel()
     result = explore(
@@ -113,6 +117,7 @@ def run_litmus(
         strategy=strategy,
         reduction=reduction,
         equivalence=equivalence,
+        shards=shards,
     )
     reachable = any(
         test.outcome(final_values(config)) for config in result.terminal
