@@ -24,6 +24,15 @@ budget; run under ``--spill`` it must overflow to disk exactly once
 and still report byte-identical results (configs, transitions,
 violations) to the unbudgeted in-memory run.
 
+**Checkpoint overhead** — the same stalled Peterson workload explored
+with and without periodic checkpointing (DESIGN.md §16).  Snapshot
+cost is paid per cadence interval, so it amortises exactly when
+per-state work dominates — the long-run regime checkpointing exists
+for, and the same regime the stall models.  The checkpointed run must
+stay within 5% of the plain one (gated hard in
+``benchmarks/check_regression.py``) while actually writing snapshots,
+and must report byte-identical results.
+
 Records land in ``--bench-json`` as ``BENCH_e13_sharded.json``.
 """
 
@@ -184,5 +193,78 @@ def test_spill_identity_under_budget(benchmark, bench_json, tmp_path):
         "wall_s_inmem": wall_plain,
         "wall_s_spill": wall_spill,
         "violations": len(spilled.violations),
+        "identical": True,
+    })
+
+
+#: Per-configuration stall for the checkpoint pair, in millions of
+#: spin-loop iterations (~2.5 ms) — small enough that the pair stays
+#: under ~10 s, large enough that per-state work dominates, which is
+#: the regime checkpointing is built for.
+CKPT_STALL_MSPIN = 0.05
+
+#: Snapshot cadence: two checkpoints over Peterson's 934 configs at
+#: ``BOUND``.
+CKPT_EVERY = 400
+
+#: Best-of-N for each side of the pair (walls, not configs, vary).
+CKPT_REPS = 2
+
+
+def test_checkpoint_overhead(benchmark, bench_json, tmp_path):
+    global _STALL
+    score = spin_score()
+    _STALL = CKPT_STALL_MSPIN * 1e6 / score
+    program = peterson_program(once=True)
+    ckpt = str(tmp_path / "e13.ckpt")
+
+    def run_pair():
+        def one(**kw):
+            t0 = time.perf_counter()
+            result = explore(
+                program, PETERSON_INIT, RAMemoryModel(),
+                max_events=BOUND, check_config=_stalling_check, **kw,
+            )
+            return time.perf_counter() - t0, result
+
+        wall_off, plain = one()
+        wall_on, checked = one(checkpoint=ckpt, checkpoint_every=CKPT_EVERY)
+        for _ in range(CKPT_REPS - 1):
+            wall_off = min(wall_off, one()[0])
+            wall_on = min(
+                wall_on,
+                one(checkpoint=ckpt, checkpoint_every=CKPT_EVERY)[0],
+            )
+        return plain, wall_off, checked, wall_on
+
+    plain, wall_off, checked, wall_on = once(benchmark, run_pair)
+    # snapshots must actually land, and must not change a single
+    # observable
+    assert checked.stats.checkpoints >= 1
+    assert checked.configs == plain.configs
+    assert checked.transitions == plain.transitions
+    assert _outcome_set(checked) == _outcome_set(plain)
+    ratio = wall_on / wall_off
+    table(
+        f"E13: Peterson bound {BOUND}, stalled check, "
+        f"checkpoint every {CKPT_EVERY} configs",
+        [
+            f"checkpoint off: {wall_off:6.2f}s",
+            f"checkpoint on:  {wall_on:6.2f}s  "
+            f"overhead={100.0 * (ratio - 1.0):+.1f}% "
+            f"({checked.stats.checkpoints} snapshot(s))",
+        ],
+    )
+    benchmark.extra_info["overhead_ratio"] = ratio
+    bench_json.record("e13_checkpoint", {
+        "bound": BOUND,
+        "stall_mspin": CKPT_STALL_MSPIN,
+        "spin_score": score,
+        "checkpoint_every": CKPT_EVERY,
+        "checkpoints": checked.stats.checkpoints,
+        "configs": checked.configs,
+        "wall_s_off": wall_off,
+        "wall_s_on": wall_on,
+        "overhead_ratio": ratio,
         "identical": True,
     })

@@ -49,7 +49,16 @@ spill — a spill run that stopped overflowing (or stopped agreeing with
 the in-memory run) fails the gate outright.
 
 A record family present in only one of the two documents is skipped;
-the gate fails if the documents share no gated record at all.
+**``e13_checkpoint``** — checkpoint overhead.  The stalled Peterson
+workload explored with snapshots on and off in the same session
+records ``overhead_ratio`` (on/off wall clock, machine-independent by
+construction); the gate holds it at or under the hard
+``CHECKPOINT_OVERHEAD_CEILING`` of 1.05 — checkpointing may never cost
+more than 5% in the per-state-work-dominated regime it exists for —
+and requires that at least one snapshot actually landed and that the
+run asserted byte-identical results.
+
+The gate fails if the documents share no gated record at all.
 """
 
 from __future__ import annotations
@@ -230,6 +239,39 @@ def check_spill(base_record, cur_record, tolerance, failures) -> None:
     )
 
 
+#: Hard ceiling on the checkpointed/plain wall-clock ratio of the E13
+#: overhead pair.  Not tolerance-scaled: <5% is the acceptance bar.
+CHECKPOINT_OVERHEAD_CEILING = 1.05
+
+
+def check_checkpoint(base_record, cur_record, tolerance, failures) -> None:
+    """Gate the E13 checkpoint-overhead pair (hard 5% ceiling)."""
+    ratio = cur_record.get("overhead_ratio")
+    snapshots = cur_record.get("checkpoints", 0)
+    if not cur_record.get("identical"):
+        failures.append(
+            "checkpoint pair: results no longer identical with snapshots on"
+        )
+    if snapshots < 1:
+        failures.append(
+            "checkpoint pair: no snapshot was written — the workload no "
+            "longer exercises the checkpoint path"
+        )
+    if ratio is None:
+        failures.append("checkpoint pair: overhead_ratio missing")
+    elif ratio > CHECKPOINT_OVERHEAD_CEILING:
+        failures.append(
+            f"checkpoint pair: overhead {100.0 * (ratio - 1.0):+.1f}% "
+            f"exceeds the hard {CHECKPOINT_OVERHEAD_CEILING:.2f}x ceiling"
+        )
+    print(
+        f"checkpoint pair: overhead "
+        f"{'n/a' if ratio is None else f'{100.0 * (ratio - 1.0):+.1f}%'}, "
+        f"{snapshots} snapshot(s), "
+        f"identical={bool(cur_record.get('identical'))}"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -271,11 +313,17 @@ def main(argv=None) -> int:
         check_spill(
             base["e13_spill"], cur["e13_spill"], args.tolerance, failures
         )
+    if "e13_checkpoint" in base and "e13_checkpoint" in cur:
+        gated += 1
+        check_checkpoint(
+            base["e13_checkpoint"], cur["e13_checkpoint"], args.tolerance,
+            failures,
+        )
     if not gated:
         print(
             f"{args.baseline} and {args.current} share no gated record "
-            "(e12_hotpath, e8_peterson_reduction_series, e13_sharded "
-            "or e13_spill)",
+            "(e12_hotpath, e8_peterson_reduction_series, e13_sharded, "
+            "e13_spill or e13_checkpoint)",
             file=sys.stderr,
         )
         return 1

@@ -213,6 +213,24 @@ class C11State:
             self._hash = hash((self.events, self.sb, self.rf, self.mo))
         return self._hash
 
+    def __getstate__(self):
+        # Checkpoints pickle frontier states (DESIGN.md §16).  Only the
+        # structural core may cross the boundary: ``_hash`` bakes in
+        # per-process string salting, ``_ra_trans`` holds interned
+        # lowered steps whose update closures cannot pickle, and the
+        # remaining slots are derived caches that rebuild on demand.
+        return (
+            self._events, self._sb, self._rf, self._mo, self.fast_eco,
+            self._compact,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self._events, self._sb, self._rf, self._mo, self.fast_eco,
+            self._compact,
+        ) = state
+        self._init_lazy()
+
     def __repr__(self) -> str:
         return (
             f"C11State(|D|={len(self.events)}, |sb|={len(self.sb)}, "

@@ -251,33 +251,57 @@ def _check_shards(args: argparse.Namespace) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     import os
+    import shutil
     import tempfile
 
+    from repro.faults import FaultInterrupt, FaultPlan, clear_plan, set_plan
     from repro.lang.parser import run_parsed_litmus
 
     _check_equivalence(args)
     _check_shards(args)
     parsed = _load(args.file)
     model = _model(args.model)
-    spill_dir, spill_max_bytes, tmp = None, None, None
+    spill_dir, spill_max_bytes, tmp, claimed = None, None, None, None
     if args.spill or args.spill_dir:
         spill_max_bytes = args.spill_bytes
         if args.spill_dir:
-            spill_dir = args.spill_dir
-            os.makedirs(spill_dir, exist_ok=True)
+            # a shared --spill-dir must not collide between concurrent
+            # runs: claim a per-run subdirectory (and reap stale ones
+            # left by dead runs — DESIGN.md §16)
+            from repro.engine.visited import claim_run_dir
+
+            os.makedirs(args.spill_dir, exist_ok=True)
+            spill_dir = claimed = claim_run_dir(args.spill_dir)
         else:
             tmp = tempfile.TemporaryDirectory(prefix="repro-spill-")
             spill_dir = tmp.name
+    if args.inject_faults:
+        try:
+            set_plan(FaultPlan(args.inject_faults))
+        except ValueError as exc:
+            raise SystemExit(f"--inject-faults: {exc}")
     try:
         reachable, result = run_parsed_litmus(
             parsed, model=model, max_events=args.max_events,
             strategy=args.strategy, reduction=args.reduction,
             equivalence=args.equivalence, shards=args.shards,
             spill_dir=spill_dir, spill_max_bytes=spill_max_bytes,
+            checkpoint=args.checkpoint, checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
         )
+    except FaultInterrupt as exc:
+        where = exc.checkpoint or "none written"
+        print(f"fault injection stopped the run: {exc}")
+        print(f"resumable checkpoint: {where}")
+        _note_stats(interrupted=1, checkpoint=exc.checkpoint)
+        return 3
     finally:
+        if args.inject_faults:
+            clear_plan()
         if tmp is not None:
             tmp.cleanup()
+        if claimed is not None:
+            shutil.rmtree(claimed, ignore_errors=True)
     bound = " (bounded)" if result.truncated else ""
     outcome = (
         f"outcome {'reachable' if reachable else 'unreachable'}"
@@ -308,16 +332,31 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         ok = True
     print("verdict:", "OK" if ok else "UNEXPECTED")
+    stats = result.stats
+    if stats.faults or stats.retries:
+        print(
+            f"recovery: {stats.faults} worker fault(s), "
+            f"{stats.retries} retried attempt(s), "
+            f"{stats.respawns} respawned worker(s)"
+        )
     _note_stats(
         configs=result.configs,
         transitions=result.transitions,
         terminal=len(result.terminal),
         truncated=result.truncated,
-        time_total=result.stats.time_total,
-        peak_frontier=result.stats.peak_frontier,
-        races=result.stats.races,
-        shards=result.stats.shards if result.stats.shards else None,
-        spills=result.stats.spills if result.stats.spills else None,
+        time_total=stats.time_total,
+        peak_frontier=stats.peak_frontier,
+        races=stats.races,
+        shards=stats.shards if stats.shards else None,
+        spills=stats.spills if stats.spills else None,
+        spill_failures=stats.spill_failures if stats.spill_failures else None,
+        faults=stats.faults if stats.faults else None,
+        retries=stats.retries if stats.retries else None,
+        respawns=stats.respawns if stats.respawns else None,
+        checkpoints=stats.checkpoints if stats.checkpoints else None,
+        resumed=stats.resumed if stats.resumed else None,
+        resumed_from=args.resume,
+        checkpoint=args.checkpoint,
     )
     return 0 if ok else 1
 
@@ -327,6 +366,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
     from repro.engine.parallel import (
         ParallelRunner,
+        SuiteInterrupted,
         case_study_jobs,
         litmus_jobs,
     )
@@ -353,7 +393,18 @@ def cmd_suite(args: argparse.Namespace) -> int:
     runner = ParallelRunner(jobs=args.jobs)
     heartbeat = _heartbeat(args, len(work), "suite")
     t0 = time.perf_counter()
-    results = runner.run(work, progress=heartbeat)
+    try:
+        results = runner.run(work, progress=heartbeat)
+    except SuiteInterrupted as interrupt:
+        if heartbeat is not None:
+            heartbeat.finish()
+        for r in interrupt.results:
+            print(r.row())
+        print(
+            f"interrupted: {len(interrupt.results)}/{len(work)} job(s) "
+            "completed; workers terminated"
+        )
+        return 130
     wall = time.perf_counter() - t0
     if heartbeat is not None:
         heartbeat.finish()
@@ -423,6 +474,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
 def cmd_fuzz(args: argparse.Namespace) -> int:
     import time
 
+    from repro.engine.parallel import SuiteInterrupted
     from repro.fuzz.corpus import save_campaign
     from repro.fuzz.generator import PROFILES
     from repro.fuzz.runner import run_campaign
@@ -438,20 +490,30 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                            jobs=args.jobs))
     heartbeat = _heartbeat(args, n_jobs, "fuzz")
     t0 = time.perf_counter()
-    report = run_campaign(
-        seed=args.seed,
-        iters=args.iters,
-        profile=args.profile,
-        jobs=args.jobs,
-        axiomatic=not args.no_axiomatic,
-        shrink=not args.no_shrink,
-        reduction=args.reduction,
-        equivalence=args.equivalence,
-        check_orders=args.check_orders,
-        check_lowering=args.check_lowering,
-        check_shards=args.check_shards,
-        progress=heartbeat,
-    )
+    try:
+        report = run_campaign(
+            seed=args.seed,
+            iters=args.iters,
+            profile=args.profile,
+            jobs=args.jobs,
+            axiomatic=not args.no_axiomatic,
+            shrink=not args.no_shrink,
+            reduction=args.reduction,
+            equivalence=args.equivalence,
+            check_orders=args.check_orders,
+            check_lowering=args.check_lowering,
+            check_shards=args.check_shards,
+            check_faults=args.check_faults,
+            progress=heartbeat,
+        )
+    except SuiteInterrupted as interrupt:
+        if heartbeat is not None:
+            heartbeat.finish()
+        print(
+            f"interrupted: {len(interrupt.results)}/{n_jobs} fuzz job(s) "
+            "completed; workers terminated"
+        )
+        return 130
     wall = time.perf_counter() - t0
     if heartbeat is not None:
         heartbeat.finish()
@@ -597,7 +659,11 @@ def cmd_verify(args: argparse.Namespace) -> int:
 def _verify_all(args: argparse.Namespace, reduction: str) -> int:
     import time
 
-    from repro.engine.parallel import ParallelRunner, verify_jobs
+    from repro.engine.parallel import (
+        ParallelRunner,
+        SuiteInterrupted,
+        verify_jobs,
+    )
 
     models = (
         [m.strip().lower() for m in args.model.split(",")]
@@ -611,7 +677,18 @@ def _verify_all(args: argparse.Namespace, reduction: str) -> int:
     runner = ParallelRunner(jobs=args.jobs)
     heartbeat = _heartbeat(args, len(work), "verify")
     t0 = time.perf_counter()
-    results = runner.run(work, progress=heartbeat)
+    try:
+        results = runner.run(work, progress=heartbeat)
+    except SuiteInterrupted as interrupt:
+        if heartbeat is not None:
+            heartbeat.finish()
+        for r in interrupt.results:
+            print(r.row())
+        print(
+            f"interrupted: {len(interrupt.results)}/{len(work)} proof job(s) "
+            "completed; workers terminated"
+        )
+        return 130
     wall = time.perf_counter() - t0
     if heartbeat is not None:
         heartbeat.finish()
@@ -919,6 +996,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimated in-memory visited-set budget before spilling "
         "(default 512MB; split across shards under --shards)",
     )
+    run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="periodically snapshot the search's complete loop state to "
+        "an atomic repro-ckpt/1 file; a resumed run finishes "
+        "byte-identically (DESIGN.md §16)",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="configurations between checkpoint snapshots (default 1000)",
+    )
+    run.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="continue a checkpointed run; the file's fingerprint must "
+        "match this invocation (program, model, bounds, reduction, "
+        "shard count)",
+    )
+    run.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault injection (testing): e.g. "
+        "'kill-worker:shard=1,round=2;interrupt:configs=500' — same "
+        "grammar as REPRO_FAULTS (DESIGN.md §16)",
+    )
     _add_equivalence_flag(run)
     _add_obs_flags(run)
     run.set_defaults(func=cmd_run)
@@ -999,6 +1098,14 @@ def build_parser() -> argparse.ArgumentParser:
         "search — outcomes, truncation flag and config count "
         "(DESIGN.md §15); the continuous soundness check of the "
         "sharded explorer",
+    )
+    fuzz.add_argument(
+        "--check-faults", action="store_true",
+        help="re-explore each generated program with an injected "
+        "mid-search interrupt plus checkpoint/resume, and with forced "
+        "spill-write failures, requiring byte-identical results to the "
+        "clean run (DESIGN.md §16); the continuous soundness check of "
+        "the fault-tolerance layer",
     )
     fuzz.add_argument(
         "--no-axiomatic", action="store_true",
@@ -1158,6 +1265,13 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
             code = args.func(args)
         except BrokenPipeError:
             raise
+        except KeyboardInterrupt:
+            # Backstop for Ctrl-C / SIGTERM outside the per-command
+            # handlers: ledger the aborted run, exit with the
+            # conventional interrupt status instead of a traceback.
+            _ledger(args, argv, "error", time.perf_counter() - t0)
+            print("interrupted", file=sys.stderr)
+            return 130
         except SystemExit as exc:
             _ledger(args, argv, "error", time.perf_counter() - t0)
             raise exc

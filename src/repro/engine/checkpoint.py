@@ -1,0 +1,215 @@
+"""Checkpoint/resume for the exploration engine (DESIGN.md §16).
+
+A checkpoint is the *complete* loop state of a paused search — frontier
+(in exact pop order), visited set, parent map, accumulated counters and
+:class:`~repro.engine.stats.EngineStats` — written as one atomic,
+versioned file.  Because the engine's searches are deterministic
+functions of that loop state, a resumed run replays the remaining
+search exactly: configs, transitions, terminal outcome sets and
+counterexamples are byte-identical to the uninterrupted run (pinned by
+the kill-and-resume parity tests in ``tests/test_checkpoint.py``).
+
+File format (``repro-ckpt/1``)::
+
+    b"repro-ckpt/1\\n"  +  pickle({"fingerprint": ..., "payload": ...})
+
+* The **fingerprint** identifies the run the state belongs to: a digest
+  of the program source, the model name, the bounds, strategy,
+  reduction, equivalence and shard count.  Resuming checks every field
+  and refuses a mismatch — resuming Peterson's frontier into a litmus
+  test would otherwise fail in silently wrong ways.
+* The **payload** is algorithm-tagged loop state (``"plain"`` for the
+  unreduced loop, ``"sleep"`` for sleep sets, ``"shard"`` for the
+  bulk-synchronous sharded search, one entry per shard core).  Keys
+  and configurations travel by pickle — safe because every cached hash
+  in the object graph (``CachedKey``, ``Program``, lowered programs)
+  rebuilds on unpickle rather than shipping its process-salted value.
+  A spilled visited set snapshots as its raw bucket-file bytes: the
+  same length-prefixed ``stable_encode`` records it keeps on disk
+  (:mod:`repro.engine.visited`), so restore is byte-exact.
+
+Writes go to a temporary file in the target directory followed by
+``os.replace`` — a crash mid-checkpoint leaves the previous checkpoint
+intact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Optional, Tuple
+
+MAGIC = b"repro-ckpt/1\n"
+SCHEMA_NAME = "repro-ckpt/1"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable, foreign, or mismatched."""
+
+
+def _program_text(program) -> str:
+    """The structural identity of a program, lowered or not."""
+    table = getattr(program, "table", None)
+    source = table.source if table is not None else program
+    return repr(source.threads)
+
+
+def run_fingerprint(
+    program,
+    init_values,
+    model,
+    *,
+    max_events,
+    max_configs,
+    strategy: str,
+    reduction: str,
+    equivalence: str,
+    canonicalize: bool,
+    shards: int,
+) -> dict:
+    """The identity a checkpoint must match to be resumable.
+
+    Everything that shapes the visited *set* or the visit *order* is
+    included; resource configuration (spill budgets, process mode,
+    checkpoint cadence) is deliberately not — a run may legitimately
+    resume on a machine with different budgets.
+    """
+    program_digest = hashlib.blake2b(
+        _program_text(program).encode("utf-8"), digest_size=16
+    ).hexdigest()
+    init_digest = hashlib.blake2b(
+        repr(sorted((str(k), v) for k, v in init_values.items())).encode("utf-8"),
+        digest_size=16,
+    ).hexdigest()
+    return {
+        "schema": SCHEMA_NAME,
+        "program": program_digest,
+        "lowered": getattr(program, "pcs", None) is not None,
+        "init_values": init_digest,
+        "model": getattr(model, "name", type(model).__name__),
+        "max_events": max_events,
+        "max_configs": max_configs,
+        "strategy": strategy,
+        "reduction": reduction,
+        "equivalence": equivalence,
+        "canonicalize": canonicalize,
+        "shards": shards,
+    }
+
+
+def write_checkpoint(path: str, fingerprint: dict, payload: dict) -> None:
+    """Atomically write one checkpoint file (write-temp + rename)."""
+    blob = MAGIC + pickle.dumps(
+        {"fingerprint": fingerprint, "payload": payload},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = os.path.join(
+        directory, f".{os.path.basename(path)}.tmp-{os.getpid()}"
+    )
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def read_checkpoint(
+    path: str, expect: Optional[dict] = None
+) -> Tuple[dict, dict]:
+    """Load ``(fingerprint, payload)``; verify ``expect`` if given.
+
+    Raises :class:`CheckpointError` on a missing/foreign/torn file or
+    on any fingerprint field that disagrees with the resuming run's.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if not blob.startswith(MAGIC):
+        raise CheckpointError(
+            f"{path!r} is not a {SCHEMA_NAME} checkpoint "
+            "(bad magic; wrong file or torn write)"
+        )
+    try:
+        document = pickle.loads(blob[len(MAGIC):])
+        fingerprint = document["fingerprint"]
+        payload = document["payload"]
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} is corrupt: {exc}"
+        ) from exc
+    if expect is not None:
+        mismatched = [
+            f"{field}: checkpoint={fingerprint.get(field)!r} "
+            f"run={value!r}"
+            for field, value in expect.items()
+            if fingerprint.get(field) != value
+        ]
+        if mismatched:
+            raise CheckpointError(
+                f"checkpoint {path!r} belongs to a different run — "
+                + "; ".join(mismatched)
+            )
+    return fingerprint, payload
+
+
+# ----------------------------------------------------------------------
+# Visited-set snapshots (shared by the plain, sleep and sharded loops)
+# ----------------------------------------------------------------------
+
+
+def snapshot_seen(seen) -> Tuple[str, object]:
+    """A checkpointable image of a visited set (plain or spillable)."""
+    snapshot = getattr(seen, "snapshot", None)
+    if snapshot is not None:
+        return ("spill", snapshot())
+    return ("set", set(seen))
+
+
+def restore_seen(image: Tuple[str, object], spill_store):
+    """Rebuild a visited set from a :func:`snapshot_seen` image.
+
+    With a ``spill_store`` (the resuming run configured a budget) both
+    image kinds restore into it; a plain-set image simply re-adds its
+    keys, which may re-spill under the new budget.  Without one, a
+    spilled image cannot be decoded back into keys — the on-disk
+    records are one-way encodings — so resuming requires the spill
+    budget the original run had.
+    """
+    kind, snap = image
+    if spill_store is not None:
+        if kind == "spill":
+            spill_store.restore(snap)
+        else:
+            for key in snap:
+                spill_store.add(key)
+        return spill_store
+    if kind == "spill":
+        raise CheckpointError(
+            "checkpoint holds a spilled visited set; resume with the "
+            "same --spill/--spill-dir budget to reopen it"
+        )
+    return set(snap)
+
+
+__all__ = [
+    "MAGIC",
+    "SCHEMA_NAME",
+    "CheckpointError",
+    "run_fingerprint",
+    "write_checkpoint",
+    "read_checkpoint",
+    "snapshot_seen",
+    "restore_seen",
+]

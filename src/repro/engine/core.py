@@ -189,6 +189,9 @@ def explore(
     spill_dir: Optional[str] = None,
     spill_max_entries: Optional[int] = None,
     spill_max_bytes: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: Optional[str] = None,
 ) -> ExplorationResult[S]:
     """Bounded exhaustive exploration from ``(P, σ_0)``.
 
@@ -252,6 +255,16 @@ def explore(
     (:class:`~repro.engine.visited.SpillableVisitedSet`) that is
     removed when the run finishes.  Spilling requires canonical keys
     and is supported by the unreduced, sleep and sharded searches.
+
+    ``checkpoint`` names a ``repro-ckpt/1`` file
+    (:mod:`repro.engine.checkpoint`, DESIGN.md §16) rewritten
+    atomically every ``checkpoint_every`` configurations (default
+    1000); ``resume`` loads such a file — after verifying it belongs
+    to this exact run — and continues the search to a byte-identical
+    final result.  Both require canonical keys, the ``"none"``/
+    ``"sleep"`` reductions, and a ``"bfs"``/``"dfs"`` strategy
+    (``iddfs`` restarts its frontier per round; the backtracking
+    reductions keep per-key state the snapshot format does not cover).
     """
     from repro.engine.por import EQUIVALENCES, REDUCTIONS, explore_reduced
     from repro.interp.compiled import maybe_lower
@@ -270,6 +283,25 @@ def explore(
             f"searches; reduction={reduction!r} keeps per-key backtrack "
             "state that cannot overflow"
         )
+    if checkpoint is not None or resume is not None:
+        if not canonicalize:
+            raise ValueError(
+                "checkpoint/resume snapshots canonical keys; "
+                "canonicalize=False has no snapshottable key"
+            )
+        if reduction not in ("none", "sleep"):
+            raise ValueError(
+                f"checkpoint/resume supports the 'none' and 'sleep' "
+                f"searches; reduction={reduction!r} keeps per-key "
+                "backtrack state the snapshot format does not cover"
+            )
+        if strategy not in ("bfs", "dfs"):
+            raise ValueError(
+                f"checkpoint/resume supports the 'bfs' and 'dfs' "
+                f"strategies, not {strategy!r}"
+            )
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
     if shards < 1:
         raise ValueError("shards must be >= 1")
     if shards > 1:
@@ -294,6 +326,9 @@ def explore(
             spill_dir=spill_dir,
             spill_max_entries=spill_max_entries,
             spill_max_bytes=spill_max_bytes,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
         )
 
     # Compile once per run: every representation decision happens here,
@@ -317,6 +352,20 @@ def explore(
             f"'optimal' reductions; reduction={reduction!r} enumerates "
             "configurations itself and must key them exactly"
         )
+    fingerprint = None
+    resume_payload = None
+    if checkpoint is not None or resume is not None:
+        from repro.engine.checkpoint import run_fingerprint, read_checkpoint
+
+        fingerprint = run_fingerprint(
+            program, init_values, model,
+            max_events=max_events, max_configs=max_configs,
+            strategy=strategy, reduction=reduction,
+            equivalence=equivalence, canonicalize=canonicalize, shards=1,
+        )
+        if resume is not None:
+            _, resume_payload = read_checkpoint(resume, expect=fingerprint)
+
     if reduction != "none":
         if check_step is not None and reduction != "sleep":
             raise ValueError(
@@ -333,6 +382,13 @@ def explore(
             kwargs_step["spill_dir"] = spill_dir
             kwargs_step["spill_max_entries"] = spill_max_entries
             kwargs_step["spill_max_bytes"] = spill_max_bytes
+        if reduction == "sleep" and (
+            checkpoint is not None or resume_payload is not None
+        ):
+            kwargs_step["checkpoint"] = checkpoint
+            kwargs_step["checkpoint_every"] = checkpoint_every
+            kwargs_step["resume_payload"] = resume_payload
+            kwargs_step["fingerprint"] = fingerprint
         return explore_reduced(
             program,
             init_values,
@@ -378,6 +434,10 @@ def explore(
         spill_dir=spill_dir,
         spill_max_entries=spill_max_entries,
         spill_max_bytes=spill_max_bytes,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume_payload=resume_payload,
+        fingerprint=fingerprint,
     )
 
 
@@ -439,6 +499,10 @@ def _explore_once(
     spill_dir: Optional[str] = None,
     spill_max_entries: Optional[int] = None,
     spill_max_bytes: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume_payload: Optional[dict] = None,
+    fingerprint: Optional[dict] = None,
 ) -> ExplorationResult[S]:
     """One search run with a fixed frontier discipline and bounds."""
     from repro.c11.compact import ORDER_TIMER
@@ -481,20 +545,17 @@ def _explore_once(
             encode=encode_config_key,
         )
 
+    from repro.faults import FaultInterrupt, active_plan
+
+    plan = active_plan()
+    last_ckpt: Optional[str] = None
+
     try:
         t0 = clock()
         init_key = _key_of(initial, model, canonicalize)
         stats.time_keys += clock() - t0
 
-        if spill_store is not None:
-            seen = spill_store
-            seen.add(init_key)
-        else:
-            seen = {init_key}
-        result.parents[init_key] = (None, None)
         frontier = frontier_class(strategy)()
-        frontier.push((initial, init_key))
-        stats.peak_frontier = 1
         # Once the max_configs cap is hit, nothing new can ever be
         # enqueued, so canonical keying of successors becomes pure dead
         # work and is skipped.  Remaining frontier entries are still
@@ -504,8 +565,88 @@ def _explore_once(
         # (which only makes `transitions` a count over *expanded*
         # configurations on such capped runs).
         capped = False
+        if resume_payload is not None:
+            from repro.engine.checkpoint import restore_seen
+
+            loop = resume_payload
+            seen = restore_seen(loop["seen"], spill_store)
+            frontier.restore(loop["frontier"])
+            result.parents = loop["parents"]
+            result.terminal = loop["terminal"]
+            result.violations = loop["violations"]
+            result.representatives = loop["representatives"]
+            result.configs = loop["configs"]
+            result.transitions = loop["transitions"]
+            result.truncated = loop["truncated"]
+            result.capped = capped = loop["capped"]
+            result.stats = stats = loop["stats"]
+            stats.resumed = 1
+        else:
+            if spill_store is not None:
+                seen = spill_store
+                seen.add(init_key)
+            else:
+                seen = {init_key}
+            result.parents[init_key] = (None, None)
+            frontier.push((initial, init_key))
+            stats.peak_frontier = 1
+
+        def write_ckpt() -> None:
+            import dataclasses
+
+            from repro.engine.checkpoint import snapshot_seen, write_checkpoint
+
+            # the snapshot's stats must look like the run ended here:
+            # fold in this segment's process-wide counter deltas
+            snap_stats = dataclasses.replace(stats)
+            snap_stats.checkpoints += 1
+            h1, m1, _ = KEY_CACHE.snapshot()
+            snap_stats.key_hits += h1 - hits0
+            snap_stats.key_misses += m1 - misses0
+            snap_stats.time_total += clock() - t_run
+            snap_stats.time_orders += ORDER_TIMER.snapshot() - orders0
+            snap_stats.time_model += MODEL_TIMER.snapshot() - model0
+            write_checkpoint(checkpoint, fingerprint, {
+                "algo": "plain",
+                "frontier": frontier.snapshot(),
+                "seen": snapshot_seen(seen),
+                "parents": result.parents,
+                "terminal": result.terminal,
+                "violations": result.violations,
+                "representatives": result.representatives,
+                "configs": result.configs,
+                "transitions": result.transitions,
+                "truncated": result.truncated,
+                "capped": result.capped,
+                "stats": snap_stats,
+            })
+            stats.checkpoints += 1
+            if tr is not None:
+                tr.emit(
+                    "ckpt", run=run, path=checkpoint,
+                    configs=result.configs, action="write",
+                )
+
+        next_ckpt = None
+        if checkpoint is not None:
+            every = checkpoint_every or 1000
+            next_ckpt = result.configs + every
 
         while frontier:
+            if next_ckpt is not None and result.configs >= next_ckpt:
+                write_ckpt()
+                last_ckpt = checkpoint
+                next_ckpt = result.configs + every
+            if plan is not None and plan.interrupt_due(result.configs):
+                if tr is not None:
+                    tr.emit(
+                        "fault", run=run, kind="interrupt",
+                        detail=f"configs={result.configs}",
+                    )
+                raise FaultInterrupt(
+                    f"injected interrupt at {result.configs} configurations",
+                    checkpoint=last_ckpt,
+                )
             config, key = frontier.pop()
             result.configs += 1
             if tr is not None and tr.tick():
@@ -579,6 +720,7 @@ def _explore_once(
         if spill_store is not None:
             stats.spills += spill_store.spills
             stats.spilled_keys += spill_store.spilled_keys
+            stats.spill_failures += spill_store.spill_failures
             spill_store.close()
         stats.time_total += clock() - t_run
         hits1, misses1, _ = KEY_CACHE.snapshot()

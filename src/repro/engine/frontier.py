@@ -40,6 +40,19 @@ class Frontier(Generic[T]):
     def __bool__(self) -> bool:
         return len(self) > 0
 
+    def snapshot(self) -> List[T]:
+        """The pending items, in an order ``restore`` understands.
+
+        ``restore(snapshot())`` must reproduce the frontier exactly —
+        same items, same future pop order — so a checkpointed search
+        resumes byte-identically (DESIGN.md §16).
+        """
+        raise NotImplementedError
+
+    def restore(self, items: List[T]) -> None:
+        """Replace the frontier's contents with a prior ``snapshot``."""
+        raise NotImplementedError
+
 
 class BFSFrontier(Frontier[T]):
     """FIFO frontier — breadth-first search, shortest counterexamples."""
@@ -56,6 +69,12 @@ class BFSFrontier(Frontier[T]):
     def __len__(self) -> int:
         return len(self._items)
 
+    def snapshot(self) -> List[T]:
+        return list(self._items)
+
+    def restore(self, items: List[T]) -> None:
+        self._items = deque(items)
+
 
 class DFSFrontier(Frontier[T]):
     """LIFO frontier — depth-first search, smallest memory footprint."""
@@ -71,6 +90,12 @@ class DFSFrontier(Frontier[T]):
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def snapshot(self) -> List[T]:
+        return list(self._items)
+
+    def restore(self, items: List[T]) -> None:
+        self._items = list(items)
 
 
 class LevelFrontier(Frontier[T]):
@@ -112,6 +137,15 @@ class LevelFrontier(Frontier[T]):
 
     def __len__(self) -> int:
         return len(self._current) + len(self._next)
+
+    def snapshot(self) -> List[T]:
+        # two lists, kept apart so the level boundary survives a resume
+        return [list(self._current), list(self._next)]
+
+    def restore(self, items: List[T]) -> None:
+        current, upcoming = items
+        self._current = deque(current)
+        self._next = list(upcoming)
 
 
 def frontier_class(strategy: str) -> Type[Frontier]:

@@ -45,6 +45,20 @@ CASE_STUDIES = {
 }
 
 
+class SuiteInterrupted(KeyboardInterrupt):
+    """Ctrl-C (or SIGTERM) landed mid-suite.
+
+    Carries the results completed before the interrupt so the CLI can
+    print a partial footer instead of a bare traceback.  Raised only
+    after the worker pool has been terminated and joined — no orphaned
+    workers, no queue feeder left wedging the terminal.
+    """
+
+    def __init__(self, results: List["SuiteJobResult"]) -> None:
+        super().__init__(f"interrupted after {len(results)} job(s)")
+        self.results = results
+
+
 @dataclass(frozen=True)
 class SuiteJob:
     """One unit of suite work, picklable by construction (names only)."""
@@ -549,28 +563,51 @@ class ParallelRunner:
         pool's existing result pipe (``imap_unordered``), no side
         channel.  The sequential path invokes it after each in-process
         job, so a heartbeat renders identically at ``--jobs 1``.
+
+        Ctrl-C raises :class:`SuiteInterrupted` carrying every result
+        completed so far; the pool is terminated and joined first, so
+        no worker outlives the interrupt.
         """
         if not work:
             return []
         if self.jobs <= 1:
             results = []
-            for job in work:
-                result = _run_suite_job_safely(job)
-                results.append(result)
-                if progress is not None:
-                    progress(result)
+            try:
+                for job in work:
+                    result = _run_suite_job_safely(job)
+                    results.append(result)
+                    if progress is not None:
+                        progress(result)
+            except KeyboardInterrupt:
+                raise SuiteInterrupted(results) from None
             return results
         processes = min(self.jobs, len(work))
-        with multiprocessing.Pool(processes=processes) as pool:
+        pool = multiprocessing.Pool(processes=processes)
+        try:
             if progress is None:
-                return pool.map(_run_suite_job_safely, list(work))
+                results = pool.map(_run_suite_job_safely, list(work))
+                pool.close()
+                pool.join()
+                return results
             slots: List[Optional[SuiteJobResult]] = [None] * len(work)
             for index, result in pool.imap_unordered(
                 _run_indexed, list(enumerate(work))
             ):
                 slots[index] = result
                 progress(result)
+            pool.close()
+            pool.join()
             return [r for r in slots if r is not None]
+        except KeyboardInterrupt:
+            # terminate (not close): workers are mid-job and must not
+            # finish the queue; join reaps them before reporting
+            pool.terminate()
+            pool.join()
+            done = [r for r in locals().get("slots") or [] if r is not None]
+            raise SuiteInterrupted(done) from None
+        finally:
+            pool.terminate()
+            pool.join()
 
     def aggregate(self, results: Sequence[SuiteJobResult]) -> dict:
         """Suite-level totals for the CLI footer.
@@ -615,6 +652,7 @@ class ParallelRunner:
 __all__ = [
     "CASE_STUDIES",
     "ParallelRunner",
+    "SuiteInterrupted",
     "SuiteJob",
     "SuiteJobResult",
     "case_study_jobs",

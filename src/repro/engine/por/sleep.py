@@ -50,6 +50,10 @@ def explore_sleep(
     spill_dir: Optional[str] = None,
     spill_max_entries: Optional[int] = None,
     spill_max_bytes: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume_payload: Optional[dict] = None,
+    fingerprint: Optional[dict] = None,
 ) -> ExplorationResult:
     """Graph search with sleep-set transition pruning.
 
@@ -119,23 +123,100 @@ def explore_sleep(
     #: key -> antichain of sleep-tid sets this key was expanded with
     expanded: Dict[Hashable, List[FrozenSet[int]]] = {}
 
+    from repro.faults import FaultInterrupt, active_plan
+
+    plan = active_plan()
+    last_ckpt: Optional[str] = None
+
     try:
         t0 = clock()
         init_key = _key_of(initial, model, canonicalize)
         stats.time_keys += clock() - t0
 
-        result.parents[init_key] = (None, None)
         frontier = frontier_class(strategy)()
-        frontier.push((initial, init_key, {}))
-        stats.peak_frontier = 1
-        if spill_store is not None:
-            known = spill_store
-            known.add(init_key)
-        else:
-            known = {init_key}
         capped = False
+        if resume_payload is not None:
+            from repro.engine.checkpoint import restore_seen
+
+            loop = resume_payload
+            known = restore_seen(loop["seen"], spill_store)
+            frontier.restore(loop["frontier"])
+            expanded = loop["expanded"]
+            result.parents = loop["parents"]
+            result.terminal = loop["terminal"]
+            result.violations = loop["violations"]
+            result.representatives = loop["representatives"]
+            result.configs = loop["configs"]
+            result.transitions = loop["transitions"]
+            result.truncated = loop["truncated"]
+            result.capped = capped = loop["capped"]
+            result.stats = stats = loop["stats"]
+            stats.resumed = 1
+        else:
+            result.parents[init_key] = (None, None)
+            frontier.push((initial, init_key, {}))
+            stats.peak_frontier = 1
+            if spill_store is not None:
+                known = spill_store
+                known.add(init_key)
+            else:
+                known = {init_key}
+
+        def write_ckpt() -> None:
+            import dataclasses
+
+            from repro.engine.checkpoint import snapshot_seen, write_checkpoint
+
+            snap_stats = dataclasses.replace(stats)
+            snap_stats.checkpoints += 1
+            h1, m1, _ = KEY_CACHE.snapshot()
+            snap_stats.key_hits += h1 - hits0
+            snap_stats.key_misses += m1 - misses0
+            snap_stats.time_total += clock() - t_run
+            snap_stats.time_orders += ORDER_TIMER.snapshot() - orders0
+            snap_stats.time_model += MODEL_TIMER.snapshot() - model0
+            write_checkpoint(checkpoint, fingerprint, {
+                "algo": "sleep",
+                "frontier": frontier.snapshot(),
+                "seen": snapshot_seen(known),
+                "expanded": expanded,
+                "parents": result.parents,
+                "terminal": result.terminal,
+                "violations": result.violations,
+                "representatives": result.representatives,
+                "configs": result.configs,
+                "transitions": result.transitions,
+                "truncated": result.truncated,
+                "capped": result.capped,
+                "stats": snap_stats,
+            })
+            stats.checkpoints += 1
+            if tr is not None:
+                tr.emit(
+                    "ckpt", run=run, path=checkpoint,
+                    configs=result.configs, action="write",
+                )
+
+        next_ckpt = None
+        if checkpoint is not None:
+            every = checkpoint_every or 1000
+            next_ckpt = result.configs + every
 
         while frontier:
+            if next_ckpt is not None and result.configs >= next_ckpt:
+                write_ckpt()
+                last_ckpt = checkpoint
+                next_ckpt = result.configs + every
+            if plan is not None and plan.interrupt_due(result.configs):
+                if tr is not None:
+                    tr.emit(
+                        "fault", run=run, kind="interrupt",
+                        detail=f"configs={result.configs}",
+                    )
+                raise FaultInterrupt(
+                    f"injected interrupt at {result.configs} configurations",
+                    checkpoint=last_ckpt,
+                )
             config, key, sleep = frontier.pop()
             sleeping = frozenset(sleep)
             records = expanded.get(key)
@@ -235,6 +316,7 @@ def explore_sleep(
         if spill_store is not None:
             stats.spills += spill_store.spills
             stats.spilled_keys += spill_store.spilled_keys
+            stats.spill_failures += spill_store.spill_failures
             spill_store.close()
         stats.time_total += clock() - t_run
         hits1, misses1, _ = KEY_CACHE.snapshot()

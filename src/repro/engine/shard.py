@@ -76,6 +76,26 @@ from repro.engine.visited import SpillableVisitedSet, encode_config_key, program
 #: depth-first with global backtrack state — out of scope by design.
 SHARDABLE_REDUCTIONS = ("none", "sleep")
 
+#: supervision policy: how many times a round of worker deaths is
+#: retried (respawning the fleet, resuming from the last checkpoint)
+#: before the run degrades to the in-process supersteps
+MAX_ATTEMPTS = 3
+_BACKOFF_BASE = 0.25  # seconds; doubled per retry, capped below
+_BACKOFF_CAP = 2.0
+
+
+class WorkerDied(RuntimeError):
+    """A shard worker exited without reporting (kill, OOM, crash-loop).
+
+    Raised by the coordinator's collect loop when a queue timeout finds
+    dead workers; the supervisor in :func:`_run_sharded_supervised`
+    catches it and retries the attempt instead of deadlocking the round.
+    """
+
+    def __init__(self, pids: List[int]) -> None:
+        super().__init__(f"shard worker(s) {pids} died without reporting")
+        self.pids = pids
+
 
 def key_digest_for(key) -> bytes:
     """Stable digest of a full ``ConfigKey = (program, state_key)``.
@@ -125,6 +145,15 @@ class _ShardSpec:
     spill_max_bytes: Optional[int] = None
     #: trace run id of the enclosing run (None = tracing off)
     run_id: Optional[str] = None
+    #: checkpoint file + cadence (configs between snapshots) and the
+    #: fingerprint the file is stamped with (DESIGN.md §16)
+    checkpoint: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    fingerprint: Optional[dict] = None
+    #: fault-injection spec for the *workers* — passed explicitly (never
+    #: read from the environment in a worker) so the supervisor can hand
+    #: respawned workers a disarmed plan and recovery cannot loop
+    fault_spec: Optional[str] = None
 
 
 class _ShardCore:
@@ -437,11 +466,61 @@ class _ShardCore:
 
     # -- results --------------------------------------------------------
 
+    def snapshot(self) -> dict:
+        """Checkpoint image of this shard's dynamic state (DESIGN.md §16).
+
+        Taken at a superstep barrier (post-integration), where every
+        shard's state is a pure function of the supersteps so far — the
+        per-shard analogue of the single-process loop snapshot.
+        """
+        import dataclasses
+
+        from repro.engine.checkpoint import snapshot_seen
+
+        seen = self.visited if self.visited is not None else self._seen
+        return {
+            "level": self.level,
+            "frontier": self.frontier.snapshot(),
+            "seen": snapshot_seen(seen),
+            "antichain": {key: list(recs) for key, recs in self.antichain.items()},
+            "parents": dict(self.parents),
+            "representatives": dict(self.representatives),
+            "terminal": list(self.terminal),
+            "violations": list(self.violations),
+            "configs": self.configs,
+            "transitions": self.transitions,
+            "truncated": self.truncated,
+            "capped": self.capped,
+            "stats": dataclasses.replace(self.stats),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Rebuild this (freshly constructed) core from a snapshot."""
+        from repro.engine.checkpoint import restore_seen
+
+        store = restore_seen(snap["seen"], self.visited)
+        if self.visited is None:
+            self._seen = store
+        self.level = snap["level"]
+        self.frontier.restore(snap["frontier"])
+        self.antichain = snap["antichain"]
+        self.parents = snap["parents"]
+        self.representatives = snap["representatives"]
+        self.terminal = snap["terminal"]
+        self.violations = snap["violations"]
+        self.configs = snap["configs"]
+        self.transitions = snap["transitions"]
+        self.truncated = snap["truncated"]
+        self.capped = snap["capped"]
+        self.stats = snap["stats"]
+        self.stats.resumed = 1
+
     def finish(self) -> dict:
         """Close the spill store and package this shard's outcome."""
         if self.visited is not None:
             self.stats.spills = self.visited.spills
             self.stats.spilled_keys = self.visited.spilled_keys
+            self.stats.spill_failures = self.visited.spill_failures
             self.visited.close()
         return {
             "configs": self.configs,
@@ -512,21 +591,42 @@ def _emit_shard_spans(tr, run_id, payloads: List[dict]) -> None:
 
 
 def _explore_sharded_inprocess(
-    spec: _ShardSpec, initial, init_key
+    spec: _ShardSpec, initial, init_key, resume_payload: Optional[dict] = None
 ) -> ExplorationResult:
     from repro.c11.compact import ORDER_TIMER
+    from repro.engine.checkpoint import write_checkpoint
+    from repro.faults import FaultInterrupt, active_plan
     from repro.interp.memory_model import MODEL_TIMER
     from repro.obs.trace import tracer
 
     tr = tracer()
+    plan = active_plan()  # kill-worker has no target in-process; ignored
     clock = time.perf_counter
     t_run = clock()
     hits0, misses0, _ = KEY_CACHE.snapshot()
     orders0 = ORDER_TIMER.snapshot()
     model0 = MODEL_TIMER.snapshot()
     cores = [_ShardCore(spec, i) for i in range(spec.shards)]
-    cores[_dest_for(key_digest_for(init_key), spec.shards)].seed(initial, init_key)
     rounds = 0
+    ckpt_count = 0
+    last_ckpt: Optional[str] = None
+    if resume_payload is not None:
+        for core, blob in zip(cores, resume_payload["cores"]):
+            core.restore(pickle.loads(blob))
+        rounds = cores[0].level
+        ckpt_count = resume_payload.get("checkpoints", 0)
+        if ckpt_count:
+            last_ckpt = spec.checkpoint
+    else:
+        cores[_dest_for(key_digest_for(init_key), spec.shards)].seed(
+            initial, init_key
+        )
+    every = spec.checkpoint_every or 1000
+    next_ckpt = (
+        sum(core.configs for core in cores) + every
+        if spec.checkpoint is not None
+        else None
+    )
     payloads: Optional[List[dict]] = None
     try:
         while True:
@@ -561,6 +661,31 @@ def _explore_sharded_inprocess(
                 core.stats.shard_rounds = rounds
             if stop or all(len(core.frontier) == 0 for core in cores):
                 break
+            total = sum(core.configs for core in cores)
+            if next_ckpt is not None and total >= next_ckpt:
+                ckpt_count += 1
+                write_checkpoint(spec.checkpoint, spec.fingerprint, {
+                    "algo": "shard",
+                    "cores": [pickle.dumps(core.snapshot()) for core in cores],
+                    "checkpoints": ckpt_count,
+                })
+                last_ckpt = spec.checkpoint
+                next_ckpt = total + every
+                if tr is not None and spec.run_id is not None:
+                    tr.emit(
+                        "ckpt", run=spec.run_id, path=spec.checkpoint,
+                        configs=total, action="write",
+                    )
+            if plan is not None and plan.interrupt_due(total):
+                if tr is not None and spec.run_id is not None:
+                    tr.emit(
+                        "fault", run=spec.run_id, kind="interrupt",
+                        detail=f"configs={total}",
+                    )
+                raise FaultInterrupt(
+                    f"injected interrupt at {total} configurations",
+                    checkpoint=last_ckpt,
+                )
         payloads = [core.finish() for core in cores]
     finally:
         for core in cores:
@@ -568,6 +693,7 @@ def _explore_sharded_inprocess(
                 core.visited.close()
     wall = clock() - t_run
     result = _merge_results(spec, initial, payloads, wall)
+    result.stats.checkpoints += ckpt_count
     hits1, misses1, _ = KEY_CACHE.snapshot()
     result.stats.key_hits = hits1 - hits0
     result.stats.key_misses = misses1 - misses0
@@ -685,13 +811,28 @@ def _unpack_payload(payload: dict, table) -> dict:
     return payload
 
 
-def _shard_worker(spec, index, inboxes, coord_queue, ctrl_queue) -> None:
-    """One shard's worker process (fork entry point)."""
+def _shard_worker(
+    spec, index, inboxes, coord_queue, ctrl_queue, resume_blob=None
+) -> None:
+    """One shard's worker process (fork entry point).
+
+    Fault injection is driven *only* by ``spec.fault_spec`` — never the
+    environment — so the supervisor controls exactly which attempt is
+    faulty; ``resume_blob`` is this shard's pickled core snapshot from a
+    checkpoint (None = fresh start).
+    """
+    import signal
+
     from repro.c11.compact import ORDER_TIMER
+    from repro.faults import FaultPlan
     from repro.interp.config import Configuration
     from repro.interp.memory_model import MODEL_TIMER
     from repro.obs.trace import tracer
 
+    # the coordinator's SIGTERM-to-exception handler travels across
+    # fork; in a worker `terminate()` should just kill, not raise
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    plan = FaultPlan(spec.fault_spec) if spec.fault_spec else None
     core = _ShardCore(spec, index)
     table = getattr(spec.program, "table", None)
     tr = tracer()
@@ -700,11 +841,16 @@ def _shard_worker(spec, index, inboxes, coord_queue, ctrl_queue) -> None:
     model0 = MODEL_TIMER.snapshot()
     initial = Configuration(spec.program, spec.model.initial(spec.init_values))
     init_key = _key_of(initial, spec.model)
-    if _dest_for(key_digest_for(init_key), spec.shards) == index:
-        core.seed(initial, init_key)
     rounds = 0
+    if resume_blob is not None:
+        core.restore(pickle.loads(resume_blob))
+        rounds = core.level  # snapshots are taken at superstep barriers
+    elif _dest_for(key_digest_for(init_key), spec.shards) == index:
+        core.seed(initial, init_key)
     try:
         while True:
+            if plan is not None and plan.kill_worker_now(index, rounds):
+                os._exit(1)  # simulated hard death: no cleanup, no report
             outgoing = core.expand_level()
             sent = 0
             for dest in range(spec.shards):
@@ -712,6 +858,8 @@ def _shard_worker(spec, index, inboxes, coord_queue, ctrl_queue) -> None:
                     continue
                 batch = [_pack_message(m, table) for m in outgoing[dest]]
                 sent += len(batch)
+                if plan is not None:
+                    plan.delay_send(index)
                 # Pickle here, in the worker's main thread: Queue.put
                 # defers pickling to a feeder thread, where an
                 # unpicklable payload (a program that lowered to
@@ -739,10 +887,15 @@ def _shard_worker(spec, index, inboxes, coord_queue, ctrl_queue) -> None:
             core.stats.shard_rounds = rounds
             coord_queue.put((
                 "round", index, rounds - 1, len(core.frontier), sent, recv,
-                bool(core.violations),
+                bool(core.violations), core.configs,
             ))
-            if ctrl_queue.get()[0] == "stop":
+            command = ctrl_queue.get()
+            if command[0] == "stop":
                 break
+            if len(command) > 1 and command[1]:
+                # checkpoint request: snapshot the barrier state, pickled
+                # in the main thread like every other payload
+                coord_queue.put(("ckpt", index, pickle.dumps(core.snapshot())))
         hits1, misses1, _ = KEY_CACHE.snapshot()
         core.stats.key_hits = hits1 - hits0
         core.stats.key_misses = misses1 - misses0
@@ -763,23 +916,34 @@ def _shard_worker(spec, index, inboxes, coord_queue, ctrl_queue) -> None:
 
 
 def _explore_sharded_processes(
-    spec: _ShardSpec, initial, init_key
+    spec: _ShardSpec, initial, init_key, resume_payload: Optional[dict] = None
 ) -> ExplorationResult:
     import multiprocessing
     import queue as queue_mod
 
+    from repro.engine.checkpoint import write_checkpoint
+    from repro.faults import FaultInterrupt, active_plan
     from repro.obs.trace import tracer
 
+    tr = tracer()
+    plan = active_plan()  # coordinator-side probes (interrupt) only
     clock = time.perf_counter
     t_run = clock()
     ctx = multiprocessing.get_context()
     inboxes = [ctx.Queue() for _ in range(spec.shards)]
     coord_queue = ctx.Queue()
     ctrls = [ctx.Queue() for _ in range(spec.shards)]
+    blobs = (
+        resume_payload["cores"] if resume_payload is not None
+        else [None] * spec.shards
+    )
+    ckpt_count = (
+        resume_payload.get("checkpoints", 0) if resume_payload is not None else 0
+    )
     workers = [
         ctx.Process(
             target=_shard_worker,
-            args=(spec, i, inboxes, coord_queue, ctrls[i]),
+            args=(spec, i, inboxes, coord_queue, ctrls[i], blobs[i]),
             daemon=True,
         )
         for i in range(spec.shards)
@@ -787,26 +951,40 @@ def _explore_sharded_processes(
     for worker in workers:
         worker.start()
 
+    stash: List[tuple] = []
+
     def collect(expected_tag: str, count: int) -> List[tuple]:
         got: List[tuple] = []
+        kept: List[tuple] = []
+        for message in stash:
+            if message[0] == expected_tag and len(got) < count:
+                got.append(message)
+            else:
+                kept.append(message)
+        stash[:] = kept
         while len(got) < count:
             try:
                 message = coord_queue.get(timeout=1.0)
             except queue_mod.Empty:
                 dead = [w for w in workers if not w.is_alive()]
                 if dead:
-                    raise RuntimeError(
-                        f"shard worker(s) {[w.pid for w in dead]} died "
-                        "without reporting"
-                    )
+                    raise WorkerDied([w.pid for w in dead])
                 continue
             if message[0] == "crash":
                 raise RuntimeError(f"shard {message[1]} crashed:\n{message[2]}")
-            assert message[0] == expected_tag, message
+            if message[0] != expected_tag:
+                # a fast worker's next-round report can land while this
+                # barrier's checkpoint blobs are still being collected
+                stash.append(message)
+                continue
             got.append(message)
         return got
 
+    every = spec.checkpoint_every or 1000
+    next_ckpt: Optional[int] = None
+    last_ckpt: Optional[str] = spec.checkpoint if ckpt_count else None
     payloads: Optional[List[dict]] = None
+    failed = True
     try:
         while True:
             reports = collect("round", spec.shards)
@@ -819,20 +997,62 @@ def _explore_sharded_processes(
                 )
             frontier_total = sum(report[3] for report in reports)
             violated = any(report[6] for report in reports)
+            total_configs = sum(report[7] for report in reports)
             done = frontier_total == 0 or (spec.stop_on_violation and violated)
+            do_ckpt = False
+            if spec.checkpoint is not None and not done:
+                if next_ckpt is None:
+                    next_ckpt = (
+                        total_configs + every if resume_payload is not None
+                        else every
+                    )
+                do_ckpt = total_configs >= next_ckpt
+            if plan is not None and not done and plan.interrupt_due(total_configs):
+                for ctrl in ctrls:
+                    ctrl.put(("stop",))
+                if tr is not None and spec.run_id is not None:
+                    tr.emit(
+                        "fault", run=spec.run_id, kind="interrupt",
+                        detail=f"configs={total_configs}",
+                    )
+                raise FaultInterrupt(
+                    f"injected interrupt at {total_configs} configurations",
+                    checkpoint=last_ckpt,
+                )
             for ctrl in ctrls:
-                ctrl.put(("stop",) if done else ("continue",))
+                ctrl.put(("stop",) if done else ("continue", do_ckpt))
             if done:
                 break
+            if do_ckpt:
+                snaps = collect("ckpt", spec.shards)
+                ckpt_count += 1
+                write_checkpoint(spec.checkpoint, spec.fingerprint, {
+                    "algo": "shard",
+                    "cores": [
+                        blob
+                        for _, _, blob in sorted(snaps, key=lambda s: s[1])
+                    ],
+                    "checkpoints": ckpt_count,
+                })
+                last_ckpt = spec.checkpoint
+                next_ckpt = total_configs + every
+                if tr is not None and spec.run_id is not None:
+                    tr.emit(
+                        "ckpt", run=spec.run_id, path=spec.checkpoint,
+                        configs=total_configs, action="write",
+                    )
         results = collect("result", spec.shards)
         table = getattr(spec.program, "table", None)
         payloads = [
             _unpack_payload(pickle.loads(blob), table)
             for _, _, blob in sorted(results, key=lambda r: r[1])
         ]
+        failed = False
     finally:
         for worker in workers:
-            worker.join(timeout=5.0)
+            # on failure the surviving workers are blocked mid-exchange;
+            # a graceful join would only burn the timeout per worker
+            worker.join(timeout=0.2 if failed else 5.0)
             if worker.is_alive():
                 worker.terminate()
                 worker.join(timeout=5.0)
@@ -849,7 +1069,74 @@ def _explore_sharded_processes(
                     shutil.rmtree(shard_dir, ignore_errors=True)
     wall = clock() - t_run
     result = _merge_results(spec, initial, payloads, wall)
+    result.stats.checkpoints += ckpt_count
     _emit_shard_spans(tracer(), spec.run_id, payloads)
+    return result
+
+
+def _run_sharded_supervised(
+    spec: _ShardSpec, initial, init_key, resume_payload: Optional[dict]
+) -> ExplorationResult:
+    """Attempt-level supervision around the process-mode search.
+
+    Each attempt runs the whole worker fleet; when :class:`WorkerDied`
+    reports silent deaths, the fleet is torn down and respawned after a
+    capped exponential backoff, resuming from the latest checkpoint on
+    disk (or the original resume point, or scratch).  After
+    :data:`MAX_ATTEMPTS` the run degrades to the in-process supersteps,
+    whose parity contract guarantees identical results.  Fault specs are
+    armed on the first attempt only, so injected kills cannot loop.
+    """
+    from repro.engine.checkpoint import CheckpointError, read_checkpoint
+    from repro.faults import active_plan
+    from repro.obs.trace import tracer
+
+    tr = tracer()
+
+    def emit_fault(kind: str, detail: str) -> None:
+        if tr is not None and spec.run_id is not None:
+            tr.emit("fault", run=spec.run_id, kind=kind, detail=detail)
+
+    plan = active_plan()
+    spec.fault_spec = plan.spec if plan is not None else None
+    faults = retries = respawns = 0
+    attempt = 0
+    while True:
+        payload = resume_payload
+        if attempt > 0:
+            spec.fault_spec = None  # disarm worker-side faults on retries
+            if spec.checkpoint is not None and os.path.exists(spec.checkpoint):
+                try:
+                    _, ckpt = read_checkpoint(
+                        spec.checkpoint, expect=spec.fingerprint
+                    )
+                    if ckpt.get("algo") == "shard":
+                        payload = ckpt
+                except CheckpointError:
+                    pass  # torn/foreign file: restart from the original point
+        try:
+            result = _explore_sharded_processes(spec, initial, init_key, payload)
+            break
+        except WorkerDied as death:
+            faults += len(death.pids)
+            emit_fault("worker-death", str(death))
+            attempt += 1
+            if attempt >= MAX_ATTEMPTS:
+                emit_fault(
+                    "degrade",
+                    f"in-process fallback after {attempt} failed attempts",
+                )
+                result = _explore_sharded_inprocess(
+                    spec, initial, init_key, payload
+                )
+                break
+            retries += 1
+            respawns += spec.shards
+            emit_fault("respawn", f"attempt {attempt + 1}/{MAX_ATTEMPTS}")
+            time.sleep(min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** (attempt - 1))))
+    result.stats.faults += faults
+    result.stats.retries += retries
+    result.stats.respawns += respawns
     return result
 
 
@@ -910,6 +1197,9 @@ def explore_sharded(
     spill_dir: Optional[str] = None,
     spill_max_entries: Optional[int] = None,
     spill_max_bytes: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: Optional[str] = None,
 ) -> ExplorationResult:
     """Hash-partitioned exploration across ``shards`` workers.
 
@@ -933,6 +1223,17 @@ def explore_sharded(
     ``ceil(max_configs / shards)`` (capped runs are order-dependent in
     the single-process engine already; ``truncated``/``capped``
     propagate whenever any shard hits its slice).
+
+    ``checkpoint``/``checkpoint_every``/``resume`` give the sharded
+    search the single-process checkpoint surface (DESIGN.md §16):
+    snapshots are taken at superstep barriers — per-shard core images
+    assembled by the coordinator into ONE atomic ``repro-ckpt/1`` file
+    with algorithm tag ``"shard"`` — and resume requires the identical
+    shard count (it is part of the fingerprint).  Process mode runs
+    under attempt-level supervision: silently dying workers are
+    detected, the fleet respawned from the latest checkpoint with
+    capped backoff, and after :data:`MAX_ATTEMPTS` failed attempts the
+    run degrades to the in-process supersteps instead of failing.
     """
     from repro.interp.compiled import maybe_lower
     from repro.interp.config import Configuration
@@ -971,6 +1272,31 @@ def explore_sharded(
         processes = not multiprocessing.current_process().daemon
 
     program = maybe_lower(program)
+    fingerprint = None
+    resume_payload = None
+    if checkpoint is not None or resume is not None:
+        from repro.engine.checkpoint import (
+            CheckpointError,
+            read_checkpoint,
+            run_fingerprint,
+        )
+
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        fingerprint = run_fingerprint(
+            program, init_values, model,
+            max_events=max_events, max_configs=max_configs,
+            strategy="bfs", reduction=reduction, equivalence=equivalence,
+            canonicalize=True, shards=shards,
+        )
+        if resume is not None:
+            _, resume_payload = read_checkpoint(resume, expect=fingerprint)
+            if resume_payload.get("algo") != "shard":
+                raise CheckpointError(
+                    f"checkpoint {resume!r} holds "
+                    f"{resume_payload.get('algo')!r} loop state, not the "
+                    "sharded search's per-core snapshots"
+                )
     spec = _ShardSpec(
         program=program,
         init_values=init_values,
@@ -991,6 +1317,9 @@ def explore_sharded(
             None if spill_max_bytes is None
             else max(1, spill_max_bytes // shards)
         ),
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        fingerprint=fingerprint,
     )
 
     tr = tracer()
@@ -1007,9 +1336,33 @@ def explore_sharded(
     initial = Configuration(program, model.initial(init_values))
     init_key = _key_of(initial, model)
     if processes and shards > 1:
-        result = _explore_sharded_processes(spec, initial, init_key)
+        import signal
+        import threading
+
+        # SIGTERM must run the teardown path (terminate workers, close
+        # queue feeders) rather than killing the coordinator mid-round
+        # and orphaning the fleet; signal handlers only install from the
+        # main thread, elsewhere the default disposition already applies
+        # to the whole process group.
+        previous_handler = None
+        installed = False
+        if threading.current_thread() is threading.main_thread():
+            def _on_sigterm(signum, frame):
+                raise KeyboardInterrupt("SIGTERM")
+
+            previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+            installed = True
+        try:
+            result = _run_sharded_supervised(
+                spec, initial, init_key, resume_payload
+            )
+        finally:
+            if installed:
+                signal.signal(signal.SIGTERM, previous_handler)
     else:
-        result = _explore_sharded_inprocess(spec, initial, init_key)
+        result = _explore_sharded_inprocess(
+            spec, initial, init_key, resume_payload
+        )
     if tr is not None:
         tr.run_end(
             run, result.stats, result.configs, result.transitions,
@@ -1019,8 +1372,10 @@ def explore_sharded(
 
 
 __all__ = [
+    "MAX_ATTEMPTS",
     "SHARDABLE_REDUCTIONS",
     "ShardedExplorer",
+    "WorkerDied",
     "explore_sharded",
     "key_digest_for",
 ]

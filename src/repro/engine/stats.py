@@ -83,6 +83,20 @@ class EngineStats:
     #: Visited-set spill events and keys moved to the on-disk store.
     spills: int = 0
     spilled_keys: int = 0
+    #: Fault-tolerance block (DESIGN.md §16).  ``faults`` counts worker
+    #: deaths (and injected faults) the run survived, ``retries`` the
+    #: sharded attempts restarted after one, ``respawns`` the worker
+    #: processes relaunched for those attempts.
+    faults: int = 0
+    retries: int = 0
+    respawns: int = 0
+    #: Spill writes that failed (e.g. ENOSPC) and were absorbed by
+    #: falling back to the in-memory set.
+    spill_failures: int = 0
+    #: Checkpoint snapshots written during the run, and whether the run
+    #: itself started from one (0 | 1).
+    checkpoints: int = 0
+    resumed: int = 0
 
     @property
     def key_rate(self) -> float:
@@ -118,6 +132,12 @@ class EngineStats:
         self.shard_rounds = max(self.shard_rounds, other.shard_rounds)
         self.spills += other.spills
         self.spilled_keys += other.spilled_keys
+        self.faults += other.faults
+        self.retries += other.retries
+        self.respawns += other.respawns
+        self.spill_failures += other.spill_failures
+        self.checkpoints += other.checkpoints
+        self.resumed = max(self.resumed, other.resumed)
 
     def summary(self) -> str:
         """One human-readable line, used by the CLI and benchmarks."""
@@ -151,4 +171,13 @@ class EngineStats:
             )
         if self.spills:
             line += f" spills={self.spills} spilled-keys={self.spilled_keys}"
+        if self.faults or self.retries or self.respawns or self.spill_failures:
+            line += (
+                f" faults={self.faults} retries={self.retries} "
+                f"respawns={self.respawns} spill-failures={self.spill_failures}"
+            )
+        if self.checkpoints or self.resumed:
+            line += f" checkpoints={self.checkpoints}"
+            if self.resumed:
+                line += " resumed"
         return line

@@ -39,8 +39,10 @@ to one exploration, and are removed by the owning explorer's
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
+import secrets
 import shutil
 from typing import Callable, Dict, Optional
 
@@ -134,6 +136,10 @@ class SpillableVisitedSet:
         self.spilled_keys = 0
         #: confirmed-on-disk record reads a filter hit forced
         self.filter_scans = 0
+        #: spill attempts that failed (ENOSPC and kin) and were
+        #: absorbed by staying in memory (DESIGN.md §16)
+        self.spill_failures = 0
+        self._spill_disabled = False
         #: 64-bit digest prefix -> (bucket, payload offset, length) of
         #: every stored record; a prefix collision chains into a list
         self._filter: Dict[int, object] = {}
@@ -162,6 +168,8 @@ class SpillableVisitedSet:
         )
 
     def _over_budget(self) -> bool:
+        if self._spill_disabled:
+            return False
         if self.max_entries is not None and self._count > self.max_entries:
             return True
         if self.max_bytes is not None and self.estimated_bytes > self.max_bytes:
@@ -228,7 +236,10 @@ class SpillableVisitedSet:
         offset = self._sizes.get(bucket, 0)
         handle.write(len(enc).to_bytes(4, "big") + enc)
         self._sizes[bucket] = offset + 4 + len(enc)
-        entry = (bucket, offset + 4, len(enc))
+        self._index(digest, (bucket, offset + 4, len(enc)))
+        self.spilled_keys += 1
+
+    def _index(self, digest: bytes, entry) -> None:
         prefix = self._prefix(digest)
         prior = self._filter.get(prefix)
         if prior is None:
@@ -237,7 +248,6 @@ class SpillableVisitedSet:
             prior.append(entry)
         else:
             self._filter[prefix] = [prior, entry]
-        self.spilled_keys += 1
 
     def _record_matches(self, entry, enc: bytes) -> bool:
         """Read one indexed record back and compare it byte-for-byte."""
@@ -270,13 +280,103 @@ class SpillableVisitedSet:
         return any(self._record_matches(entry, enc) for entry in candidates)
 
     def _spill(self) -> None:
-        """Convert the in-memory phase to the on-disk store wholesale."""
-        os.makedirs(self.spill_dir, exist_ok=True)
-        self.spilled = True
-        self.spills += 1
-        mem, self._mem = self._mem, set()
-        for key in mem:
-            self._append(self.encode(key))
+        """Convert the in-memory phase to the on-disk store wholesale.
+
+        A failed spill (ENOSPC, a vanished directory, an injected fault
+        from :mod:`repro.faults`) is absorbed, never propagated: the
+        in-memory set is restored wholesale, spilling is disabled for
+        the rest of the run, and the search continues over budget but
+        *correct* — a visited set that loses keys would silently prune
+        live configurations.  The failure is counted in
+        ``spill_failures`` (surfaced through ``EngineStats``).
+        """
+        mem = self._mem
+        try:
+            from repro.faults import active_plan
+
+            plan = active_plan()
+            if plan is not None and plan.spill_write_fails():
+                raise OSError(errno.ENOSPC, "injected ENOSPC on spill write")
+            os.makedirs(self.spill_dir, exist_ok=True)
+            self.spilled = True
+            self.spills += 1
+            self._mem = set()
+            for key in mem:
+                self._append(self.encode(key))
+        except OSError:
+            self._mem = mem
+            self.spilled = False
+            self.spills = max(0, self.spills - 1)
+            self.spilled_keys = 0
+            self._filter.clear()
+            for handle in (*self._handles.values(), *self._readers.values()):
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+            self._handles.clear()
+            self._readers.clear()
+            self._sizes.clear()
+            self._spill_disabled = True
+            self.spill_failures += 1
+
+    # -- checkpoint images (DESIGN.md §16) ------------------------------
+
+    def snapshot(self) -> dict:
+        """A checkpointable image of the store's entire contents.
+
+        The in-memory phase snapshots as its key set; the disk phase as
+        the raw bucket files — the same length-prefixed
+        ``stable_encode`` records, byte-for-byte — so a restored store
+        answers every membership query identically.
+        """
+        for handle in self._handles.values():
+            handle.flush()
+        buckets: Dict[int, bytes] = {}
+        if self.spilled:
+            for bucket in range(self.buckets):
+                path = self._bucket_path(bucket)
+                if os.path.exists(path):
+                    with open(path, "rb") as handle:
+                        buckets[bucket] = handle.read()
+        return {
+            "mem": set(self._mem),
+            "count": self._count,
+            "spilled": self.spilled,
+            "spills": self.spills,
+            "spill_failures": self.spill_failures,
+            "spill_disabled": self._spill_disabled,
+            "buckets": buckets,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Rebuild contents from a :meth:`snapshot` image (fresh store).
+
+        Bucket bytes are written back verbatim and the first-bytes
+        filter is rebuilt by scanning the records — the restored store
+        is indistinguishable from the one that was snapshotted.
+        """
+        if self._count or self.spilled:
+            raise ValueError("restore() requires a fresh, empty store")
+        self._mem = set(snap["mem"])
+        self._count = snap["count"]
+        self.spills = snap["spills"]
+        self.spill_failures = snap.get("spill_failures", 0)
+        self._spill_disabled = snap.get("spill_disabled", False)
+        if snap["spilled"]:
+            os.makedirs(self.spill_dir, exist_ok=True)
+            self.spilled = True
+            for bucket, blob in snap["buckets"].items():
+                with open(self._bucket_path(bucket), "wb") as handle:
+                    handle.write(blob)
+                offset, end = 0, len(blob)
+                while offset < end:
+                    length = int.from_bytes(blob[offset:offset + 4], "big")
+                    enc = blob[offset + 4:offset + 4 + length]
+                    self._index(key_digest_of(enc), (bucket, offset + 4, length))
+                    self.spilled_keys += 1
+                    offset += 4 + length
+                self._sizes[bucket] = end
 
     # -- lifecycle ------------------------------------------------------
 
@@ -306,10 +406,49 @@ class SpillableVisitedSet:
         self.close()
 
 
+def claim_run_dir(base: str) -> str:
+    """Claim a private spill subdirectory under a *shared* base.
+
+    ``--spill-dir`` points several concurrent runs at one directory;
+    bucket files are append-only, so two stores sharing them would
+    silently interleave records and corrupt each other's membership
+    answers.  Each run therefore claims ``base/run-<pid>-<token>`` and
+    spills inside it.  A ``pid`` marker identifies the owner; on every
+    claim, sibling ``run-*`` directories whose recorded pid is no
+    longer alive are reaped — a crashed run's leftovers do not
+    accumulate.  Directories of live pids (and unreadable markers, e.g.
+    a sibling mid-creation) are left alone.
+    """
+    os.makedirs(base, exist_ok=True)
+    for entry in os.listdir(base):
+        if not entry.startswith("run-"):
+            continue
+        path = os.path.join(base, entry)
+        try:
+            with open(os.path.join(path, "pid"), "r", encoding="ascii") as h:
+                pid = int(h.read().strip())
+        except (OSError, ValueError):
+            continue
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            shutil.rmtree(path, ignore_errors=True)
+        except OSError:
+            continue
+    path = os.path.join(base, f"run-{os.getpid()}-{secrets.token_hex(4)}")
+    os.makedirs(path)
+    with open(os.path.join(path, "pid"), "w", encoding="ascii") as h:
+        h.write(str(os.getpid()))
+    return path
+
+
 __all__ = [
     "MEM_ENTRY_OVERHEAD",
     "MEM_OVERHEAD_FACTOR",
     "SpillableVisitedSet",
+    "claim_run_dir",
     "encode_config_key",
     "key_digest_of",
     "program_token",

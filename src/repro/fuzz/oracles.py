@@ -1,6 +1,6 @@
 """Differential oracles: what makes a generated program *pass*.
 
-Seven independent checks, cheapest first (the fifth through seventh are
+Eight independent checks, cheapest first (the fifth through eighth are
 opt-in):
 
 1. **Refinement chain** — the outcome sets (final values of every
@@ -67,6 +67,19 @@ opt-in):
    in-process superstep schedule, which is the same code path the
    worker processes run.
 
+8. **Fault parity** (``check_faults=True`` / ``repro fuzz
+   --check-faults``, off by default) — inject deterministic faults
+   (:mod:`repro.faults`, DESIGN.md §16) into a re-exploration of the
+   program and require recovery to be *exactly* outcome- and
+   count-identical to the clean search.  Two legs: (a) interrupt the
+   run mid-search with checkpoints enabled, then resume from the
+   checkpoint it left behind; (b) fail the first visited-set spill
+   write with a synthetic ENOSPC and require the store to roll back
+   and continue in memory.  The continuous soundness check of the
+   checkpoint/resume and fault-recovery machinery over whole
+   campaigns.  Both legs run in-process (fork-free), so the oracle is
+   safe inside daemonic pool workers.
+
 A run that hits an exploration bound (``max_events`` slack exceeded or
 the ``max_configs`` safety cap) is reported *inconclusive*, never
 divergent: a truncated outcome set could fail the subset check
@@ -125,7 +138,7 @@ class OracleReport:
     case: GeneratedCase
     #: divergence kind ("refinement" / "soundness" / "axiomatic" /
     #: "por-parity" / "orders" / "lowering" / "shard-parity" /
-    #: "crash"), or ``None`` when every oracle passed
+    #: "fault-parity" / "crash"), or ``None`` when every oracle passed
     divergence: Optional[str] = None
     detail: str = ""
     #: a bound was hit; no divergence verdict is possible
@@ -296,6 +309,7 @@ def check_program(
     check_orders: bool = False,
     check_lowering: bool = False,
     check_shards: bool = False,
+    check_faults: bool = False,
 ) -> OracleReport:
     """Run every oracle on ``case`` and report the first divergence.
 
@@ -312,7 +326,10 @@ def check_program(
     the full step streams (DESIGN.md §12).  ``check_shards`` re-runs
     the RA exploration hash-partitioned across three shards and
     requires exact parity with the single-process search (DESIGN.md
-    §15).
+    §15).  ``check_faults`` injects a deterministic mid-run interrupt
+    (resumed from its checkpoint) and a synthetic spill-write ENOSPC
+    into re-explorations and requires exact parity with the clean
+    search (DESIGN.md §16).
     """
     models = models if models is not None else ORACLE_MODELS
     report = OracleReport(case)
@@ -592,6 +609,142 @@ def check_program(
                 "(sharding must partition, not prune)"
             )
             return report
+
+    # 6. fault parity: injected faults must not change what the search
+    # computes (DESIGN.md §16).  Leg (a) interrupts the RA exploration
+    # after half its configurations and resumes from the checkpoint the
+    # interrupt left behind; the stitched run must be exactly outcome-
+    # and count-identical to the clean one.  Leg (b) dooms the first
+    # visited-set spill write to a synthetic ENOSPC; the store must
+    # roll back to memory without losing a key.  Both legs run
+    # in-process and fork-free, so the oracle is daemonic-pool safe.
+    if check_faults:
+        import os
+        import shutil
+        import tempfile
+
+        from repro.faults import (
+            FaultInterrupt,
+            FaultPlan,
+            clear_plan,
+            set_plan,
+        )
+
+        def _fault_diff(label: str, rerun) -> Optional[str]:
+            rerun_outcomes = _outcome_set(rerun.terminal)
+            if rerun_outcomes != report.outcomes["ra"]:
+                missing = report.outcomes["ra"] - rerun_outcomes
+                extra = rerun_outcomes - report.outcomes["ra"]
+                witness = _format_outcome(sorted(missing or extra)[0])
+                return (
+                    f"{label}: outcome {witness} "
+                    f"{'lost' if missing else 'invented'} after recovery "
+                    f"({len(missing)} missing, {len(extra)} extra)"
+                )
+            if rerun.truncated != ra_full.truncated:
+                return (
+                    f"{label}: truncation flag diverged "
+                    f"({rerun.truncated} vs {ra_full.truncated})"
+                )
+            if rerun.configs != ra_full.configs:
+                return (
+                    f"{label}: visited {rerun.configs} distinct "
+                    f"configurations vs the clean search's "
+                    f"{ra_full.configs} (recovery must lose nothing)"
+                )
+            return None
+
+        workdir = tempfile.mkdtemp(prefix="repro-fault-oracle-")
+        try:
+            # (a) interrupt mid-run, resume from the checkpoint
+            label = "fault-parity(interrupt+resume)"
+            half = max(1, ra_full.configs // 2)
+            ckpt = os.path.join(workdir, "case.ckpt")
+            try:
+                set_plan(FaultPlan(f"interrupt:configs={half}"))
+                try:
+                    resumed = explore(
+                        case.program, case.init, models["ra"](),
+                        max_events=max_events, max_configs=max_configs,
+                        checkpoint=ckpt,
+                        checkpoint_every=max(1, half // 2),
+                    )
+                except FaultInterrupt as exc:
+                    clear_plan()
+                    if exc.checkpoint is not None:
+                        resumed = explore(
+                            case.program, case.init, models["ra"](),
+                            max_events=max_events, max_configs=max_configs,
+                            resume=exc.checkpoint,
+                        )
+                    else:
+                        # interrupted before the first snapshot landed:
+                        # recovery degenerates to a fresh run
+                        resumed = explore(
+                            case.program, case.init, models["ra"](),
+                            max_events=max_events, max_configs=max_configs,
+                        )
+            except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+                report.divergence = "crash"
+                report.detail = f"{label} raised {type(exc).__name__}: {exc}"
+                return report
+            finally:
+                clear_plan()
+            report.configs += resumed.configs
+            report.transitions += resumed.transitions
+            if resumed.capped:
+                report.inconclusive = True
+                report.detail = (
+                    f"{label}: exploration hit the config cap; no verdict"
+                )
+                return report
+            detail = _fault_diff(label, resumed)
+            if detail is not None:
+                report.divergence = "fault-parity"
+                report.detail = detail
+                return report
+
+            # (b) ENOSPC on the first visited-set spill write
+            label = "fault-parity(enospc)"
+            spill_dir = os.path.join(workdir, "spill")
+            os.makedirs(spill_dir, exist_ok=True)
+            try:
+                set_plan(FaultPlan("enospc:spill=1"))
+                spilled = explore(
+                    case.program, case.init, models["ra"](),
+                    max_events=max_events, max_configs=max_configs,
+                    spill_dir=spill_dir, spill_max_entries=1,
+                )
+            except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+                report.divergence = "crash"
+                report.detail = f"{label} raised {type(exc).__name__}: {exc}"
+                return report
+            finally:
+                clear_plan()
+            report.configs += spilled.configs
+            report.transitions += spilled.transitions
+            if spilled.capped:
+                report.inconclusive = True
+                report.detail = (
+                    f"{label}: exploration hit the config cap; no verdict"
+                )
+                return report
+            detail = _fault_diff(label, spilled)
+            if (
+                detail is None
+                and ra_full.configs > 1
+                and spilled.stats.spill_failures < 1
+            ):
+                detail = (
+                    f"{label}: the doomed spill write never failed "
+                    "(spill_failures=0) — the fault was not exercised"
+                )
+            if detail is not None:
+                report.divergence = "fault-parity"
+                report.detail = detail
+                return report
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
 
     return report
 

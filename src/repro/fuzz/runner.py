@@ -50,6 +50,10 @@ class FuzzJob:
     #: re-explore under shards=3 and require exact parity with the
     #: single-process search (the "shard-parity" oracle, DESIGN.md §15)
     check_shards: bool = False
+    #: interrupt the search mid-run, resume from the checkpoint, and
+    #: require byte-identical results; also fail one spill write and
+    #: require recovery (the "fault-parity" oracle, DESIGN.md §16)
+    check_faults: bool = False
 
     @property
     def label(self) -> str:
@@ -86,7 +90,7 @@ def _check(job: FuzzJob, case: GeneratedCase) -> OracleReport:
         case, axiomatic=job.axiomatic, max_configs=job.max_configs,
         reduction=job.reduction, equivalence=job.equivalence,
         check_orders=job.check_orders, check_lowering=job.check_lowering,
-        check_shards=job.check_shards,
+        check_shards=job.check_shards, check_faults=job.check_faults,
     )
 
 
@@ -265,6 +269,7 @@ def fuzz_jobs(
     check_orders: bool = False,
     check_lowering: bool = False,
     check_shards: bool = False,
+    check_faults: bool = False,
 ) -> List[FuzzJob]:
     """Slice ``iters`` cases into worker-sized chunks.
 
@@ -293,6 +298,7 @@ def fuzz_jobs(
             check_orders=check_orders,
             check_lowering=check_lowering,
             check_shards=check_shards,
+            check_faults=check_faults,
         )
         for start in range(0, iters, chunk)
     ]
@@ -311,6 +317,7 @@ def run_campaign(
     check_orders: bool = False,
     check_lowering: bool = False,
     check_shards: bool = False,
+    check_faults: bool = False,
     progress: Optional[Callable] = None,
 ) -> CampaignReport:
     """Run a whole campaign through the parallel runner.
@@ -326,6 +333,7 @@ def run_campaign(
         shrink=shrink, max_configs=max_configs, reduction=reduction,
         equivalence=equivalence, check_orders=check_orders,
         check_lowering=check_lowering, check_shards=check_shards,
+        check_faults=check_faults,
     )
     results = ParallelRunner(jobs=jobs).run(work, progress=progress)
     report = CampaignReport(seed=seed, iters=iters, profile=profile)

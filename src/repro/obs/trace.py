@@ -56,6 +56,11 @@ files against:
 ``case``       fuzz case: ``seed``, ``index``, divergence ``kind``
 ``outline``    proof discharge: ``name``, ``model``, ``obligations``,
                ``failed``
+``ckpt``       checkpoint activity (DESIGN.md §16): ``run``, ``path``,
+               ``configs`` at the snapshot, ``action`` (``write``)
+``fault``      fault-tolerance event: ``run``, ``kind``
+               (``interrupt``/``worker-death``/``respawn``/``degrade``),
+               free-form ``detail``
 =============  ====================================================
 """
 
@@ -86,6 +91,8 @@ SCHEMA: Dict[str, frozenset] = {
     "job_end": frozenset({"job", "kind", "dur", "configs", "verdict"}),
     "case": frozenset({"seed", "index", "kind"}),
     "outline": frozenset({"name", "model", "obligations", "failed"}),
+    "ckpt": frozenset({"run", "path", "configs", "action"}),
+    "fault": frozenset({"run", "kind", "detail"}),
 }
 
 #: Default 1-in-N sampling of node/prune records.

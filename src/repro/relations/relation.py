@@ -135,6 +135,17 @@ class Relation:
             self._hash = hash(self._pairs)
         return self._hash
 
+    def __getstate__(self):
+        # Ship the pair set only: the cached hash is salted per process
+        # (PYTHONHASHSEED) and the adjacency maps rebuild on demand.
+        return self._pairs
+
+    def __setstate__(self, pairs) -> None:
+        self._pairs = pairs
+        self._succ = None
+        self._pred = None
+        self._hash = None
+
     def __repr__(self) -> str:
         inner = ", ".join(repr(p) for p in sorted(self._pairs, key=repr))
         return f"Relation({{{inner}}})"

@@ -1,0 +1,180 @@
+"""Shard-worker supervision: dying workers never hang or corrupt a run.
+
+The fault-tolerance contract (DESIGN.md §16), half two: process-mode
+sharded exploration runs under attempt-level supervision.  A worker
+that dies silently (``os._exit``, OOM-kill) is *detected* — the round
+barrier cannot deadlock on a corpse — and the fleet is respawned with
+capped backoff, resuming from the latest checkpoint when one exists;
+after :data:`~repro.engine.shard.MAX_ATTEMPTS` failed attempts the run
+degrades to the in-process supersteps, whose parity contract
+guarantees identical results either way.  Injected kills are armed on
+the first attempt only, so recovery cannot loop.
+
+The deterministic ``kill-worker:shard=K,round=R`` fault drives the
+real process-mode path end to end; the permanent-failure ladder is
+driven through the supervision seam directly, keeping the degrade
+test exact instead of racy.
+
+CI runs this file in the chaos job.
+"""
+
+import pytest
+
+import repro.engine.shard as shard_mod
+from repro.casestudies.peterson import PETERSON_INIT, peterson_program
+from repro.engine.shard import MAX_ATTEMPTS, WorkerDied
+from repro.faults import FaultPlan, clear_plan, set_plan
+from repro.interp.explore import explore
+from repro.interp.ra_model import RAMemoryModel
+from repro.litmus.registry import final_values
+
+BOUND = 10  # Peterson (once): 390 configs, 656 transitions
+SHARDS = 3
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    clear_plan()
+
+
+def outcome_set(result):
+    return frozenset(
+        tuple(sorted(final_values(c).items())) for c in result.terminal
+    )
+
+
+def run_explore(**kwargs):
+    return explore(
+        peterson_program(once=True), PETERSON_INIT, RAMemoryModel(),
+        max_events=BOUND, **kwargs,
+    )
+
+
+def assert_identical(recovered, full, label):
+    assert recovered.configs == full.configs, f"{label}: configs diverged"
+    assert recovered.transitions == full.transitions, (
+        f"{label}: transitions diverged"
+    )
+    assert outcome_set(recovered) == outcome_set(full), (
+        f"{label}: outcome set diverged"
+    )
+    assert [str(v) for v in recovered.violations] == [
+        str(v) for v in full.violations
+    ], f"{label}: violations diverged"
+
+
+# ----------------------------------------------------------------------
+# A worker killed mid-round: detected, retried, identical results
+# ----------------------------------------------------------------------
+
+
+def test_killed_worker_is_detected_and_retried():
+    full = run_explore()
+    set_plan(FaultPlan("kill-worker:shard=1,round=2"))
+    try:
+        recovered = run_explore(shards=SHARDS, shard_processes=True)
+    finally:
+        clear_plan()
+    assert_identical(recovered, full, "kill shard=1 round=2")
+    stats = recovered.stats
+    assert stats.faults >= 1  # the death was seen, not papered over
+    assert stats.retries == 1  # one respawned attempt sufficed
+    assert stats.respawns == SHARDS  # the whole fleet is relaunched
+
+
+def test_killed_worker_via_environment(monkeypatch):
+    """The REPRO_FAULTS path the chaos CI job uses: the spec travels
+    from the environment through the spec into the worker fleet."""
+    monkeypatch.setenv("REPRO_FAULTS", "kill-worker:shard=0,round=1")
+    clear_plan()
+    full = run_explore()
+    recovered = run_explore(shards=SHARDS, shard_processes=True)
+    assert_identical(recovered, full, "env kill shard=0 round=1")
+    assert recovered.stats.faults >= 1
+    assert recovered.stats.retries >= 1
+
+
+def test_retry_resumes_from_the_latest_checkpoint(tmp_path):
+    """With snapshots on, the respawned attempt picks up the barrier
+    checkpoint instead of restarting from scratch — and still finishes
+    byte-identically."""
+    full = run_explore()
+    set_plan(FaultPlan("kill-worker:shard=1,round=3"))
+    try:
+        recovered = run_explore(
+            shards=SHARDS, shard_processes=True,
+            checkpoint=str(tmp_path / "super.ckpt"), checkpoint_every=50,
+        )
+    finally:
+        clear_plan()
+    assert_identical(recovered, full, "kill with checkpoint")
+    assert recovered.stats.faults >= 1
+    assert recovered.stats.retries == 1
+
+
+def test_two_kills_need_two_retries():
+    full = run_explore()
+    set_plan(
+        FaultPlan("kill-worker:shard=1,round=2;kill-worker:shard=2,round=1")
+    )
+    try:
+        recovered = run_explore(shards=SHARDS, shard_processes=True)
+    finally:
+        clear_plan()
+    assert_identical(recovered, full, "two kills")
+    # both kills land in the same first attempt (they are armed only
+    # then), so either one retry absorbs both deaths or two attempts
+    # were needed — but never a hang and never a divergence
+    assert recovered.stats.faults >= 1
+    assert 1 <= recovered.stats.retries < MAX_ATTEMPTS
+    assert recovered.stats.respawns == recovered.stats.retries * SHARDS
+
+
+# ----------------------------------------------------------------------
+# Permanent failure: the degrade ladder
+# ----------------------------------------------------------------------
+
+
+def test_persistent_deaths_degrade_to_inprocess(monkeypatch):
+    """Every process-mode attempt dying must end in the in-process
+    fallback with correct results — never an exception, never a hang."""
+    attempts = []
+
+    def always_dies(spec, initial, init_key, payload):
+        attempts.append(payload)
+        raise WorkerDied([99990 + len(attempts)])
+
+    monkeypatch.setattr(
+        shard_mod, "_explore_sharded_processes", always_dies
+    )
+    monkeypatch.setattr(shard_mod, "_BACKOFF_BASE", 0.0)
+    full = run_explore()
+    recovered = run_explore(shards=SHARDS, shard_processes=True)
+    assert_identical(recovered, full, "degraded run")
+    assert len(attempts) == MAX_ATTEMPTS
+    stats = recovered.stats
+    assert stats.faults == MAX_ATTEMPTS  # one reported pid per attempt
+    assert stats.retries == MAX_ATTEMPTS - 1
+    assert stats.respawns == (MAX_ATTEMPTS - 1) * SHARDS
+
+
+def test_backoff_is_capped_exponential(monkeypatch):
+    """The supervisor sleeps between respawns, never unboundedly."""
+    sleeps = []
+    monkeypatch.setattr(shard_mod.time, "sleep", sleeps.append)
+    monkeypatch.setattr(
+        shard_mod, "_explore_sharded_processes",
+        lambda *a: (_ for _ in ()).throw(WorkerDied([1])),
+    )
+    run_explore(shards=SHARDS, shard_processes=True)
+    assert len(sleeps) == MAX_ATTEMPTS - 1
+    assert sleeps == sorted(sleeps)  # non-decreasing
+    assert all(s <= shard_mod._BACKOFF_CAP for s in sleeps)
+
+
+def test_worker_died_reports_its_pids():
+    death = WorkerDied([123, 456])
+    assert death.pids == [123, 456]
+    assert "123" in str(death)
+    assert MAX_ATTEMPTS >= 2  # supervision retries at least once
